@@ -1,0 +1,58 @@
+// Command benchgen generates the paper's three benchmark families
+// (Section IV-A) as .ebmf files.
+//
+// Usage:
+//
+//	benchgen -out DIR [-seed N] [-family rand|opt|gap|all] [-scale paper|small]
+//
+// At -scale paper the counts match the paper (10 per random cell and per
+// optimal rank, 100 per gap pair count); -scale small divides by 10 for
+// quick experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchgen"
+	"repro/internal/eval"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	seed := flag.Int64("seed", 2024, "generator seed")
+	family := flag.String("family", "all", "rand | opt | gap | all")
+	scale := flag.String("scale", "small", "paper | small")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchgen: -out is required")
+		os.Exit(2)
+	}
+	countSmall, countGap := 1, 10
+	if *scale == "paper" {
+		countSmall, countGap = 10, 100
+	}
+	suites := eval.PaperSuites(*seed, countSmall, countGap)
+	total := 0
+	for _, name := range eval.SuiteOrder() {
+		suite := suites[name]
+		if !familyMatches(*family, suite) {
+			continue
+		}
+		if err := benchgen.SaveSuite(*out, suite); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %-16s %4d instances\n", name, len(suite))
+		total += len(suite)
+	}
+	fmt.Printf("total: %d instances in %s\n", total, *out)
+}
+
+func familyMatches(want string, suite []benchgen.Instance) bool {
+	if want == "all" || len(suite) == 0 {
+		return want == "all"
+	}
+	return string(suite[0].Family) == want
+}

@@ -1,0 +1,154 @@
+// Command ebmf solves the depth-optimal rectangular addressing problem for a
+// binary pattern matrix: it reads a matrix (rows of 0/1 characters), runs
+// the SAP solver, and prints the rectangle partition, optionally as EBMF
+// factors or an AOD pulse schedule.
+//
+// Usage:
+//
+//	ebmf [flags] [file]            # reads stdin when no file is given
+//
+// Flags:
+//
+//	-trials N      row-packing trials (default 100)
+//	-encoding E    onehot | log (default onehot)
+//	-budget N      SAT conflict budget, 0 = unlimited (default 2000000)
+//	-timeout D     SAT wall-clock budget, e.g. 30s (default unlimited)
+//	-heuristic     skip the exact stage
+//	-factors       print the H and W factors
+//	-schedule      print the AOD schedule and per-shot frames
+//	-q             print only the depth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	ebmf "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	trials := flag.Int("trials", 100, "row-packing trials")
+	encoding := flag.String("encoding", "onehot", "CNF encoding: onehot or log")
+	budget := flag.Int64("budget", 2_000_000, "SAT conflict budget (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "SAT wall-clock budget (0 = unlimited)")
+	heuristic := flag.Bool("heuristic", false, "skip the exact stage")
+	factors := flag.Bool("factors", false, "print EBMF factors H and W")
+	schedule := flag.Bool("schedule", false, "print the AOD schedule")
+	jsonOut := flag.String("json", "", "write the AOD schedule as JSON to this file ('-' for stdout)")
+	quiet := flag.Bool("q", false, "print only the depth")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	data, err := io.ReadAll(src)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := ebmf.Parse(string(data))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := ebmf.DefaultOptions()
+	opts.Packing.Trials = *trials
+	opts.ConflictBudget = *budget
+	opts.TimeBudget = *timeout
+	opts.SkipSAT = *heuristic
+	switch *encoding {
+	case "onehot":
+		opts.Encoding = core.EncodingOneHot
+	case "log":
+		opts.Encoding = core.EncodingLog
+	default:
+		fatal(fmt.Errorf("unknown encoding %q", *encoding))
+	}
+
+	res, err := ebmf.Solve(m, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *quiet {
+		fmt.Println(res.Depth)
+		return
+	}
+
+	fmt.Printf("matrix: %d×%d, %d ones (occupancy %.1f%%)\n",
+		m.Rows(), m.Cols(), m.Ones(), 100*m.Occupancy())
+	fmt.Printf("depth:  %d rectangles", res.Depth)
+	if res.Optimal {
+		fmt.Printf("  (optimal, certificate: %s)", res.Certificate)
+	} else {
+		fmt.Printf("  (upper bound; lower bound %d%s)", lowerBound(res), timedOut(res))
+	}
+	fmt.Println()
+	fmt.Printf("bounds: rank=%d fooling=%d heuristic=%d\n",
+		res.RankLB, res.FoolingLB, res.HeuristicDepth)
+	fmt.Printf("effort: pack=%v sat=%v (%d calls, %d conflicts)\n",
+		res.PackTime.Round(time.Microsecond), res.SATTime.Round(time.Microsecond),
+		res.SATCalls, res.Conflicts)
+	fmt.Print(res.Partition)
+
+	if *factors {
+		h, w := res.Partition.Factors()
+		fmt.Printf("H (%d×%d):\n%s\nW (%d×%d):\n%s\n",
+			h.Rows(), h.Cols(), h, w.Rows(), w.Cols(), w)
+	}
+	if *schedule || *jsonOut != "" {
+		sched := ebmf.CompileSchedule(res.Partition)
+		arr := ebmf.NewArray(m.Rows(), m.Cols())
+		if err := sched.Verify(arr); err != nil {
+			fatal(fmt.Errorf("schedule verification failed: %w", err))
+		}
+		if *schedule {
+			st := sched.ComputeStats()
+			fmt.Printf("schedule: depth=%d tones=%d maxTones=%d reconfig=%d (verified)\n",
+				st.Depth, st.TotalTones, st.MaxTones, st.ReconfigCost)
+			fmt.Print(sched.Render(arr))
+		}
+		if *jsonOut != "" {
+			var out io.Writer = os.Stdout
+			if *jsonOut != "-" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := sched.WriteJSON(out); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func lowerBound(res *ebmf.Result) int {
+	lb := res.RankLB
+	if res.FoolingLB > lb {
+		lb = res.FoolingLB
+	}
+	return lb
+}
+
+func timedOut(res *ebmf.Result) string {
+	if res.TimedOut {
+		return ", budget exhausted"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ebmf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command evaltable regenerates Table I of the paper: the percentage of
+// benchmark instances on which the trivial heuristic and row packing (at
+// several trial counts) find a provably optimal rectangle partition, plus
+// the fraction of instances whose binary rank equals their rational rank.
+//
+// Usage:
+//
+//	evaltable [-scale small|paper] [-seed N] [-budget N] [-trials 1,10,100,1000]
+//
+// The paper's scale (10 instances per random cell and optimal rank, 100 per
+// gap pair count, 1000 packing trials) takes a while on a laptop; the
+// default small scale finishes in minutes and preserves the qualitative
+// shape of every row.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "paper | small")
+	seed := flag.Int64("seed", 2024, "benchmark seed")
+	budget := flag.Int64("budget", 2_000_000, "SAT conflict budget per instance (0 = unlimited)")
+	timeout := flag.Duration("timeout", 60*time.Second, "SAT wall-clock budget per instance")
+	trialsFlag := flag.String("trials", "1,10,100,1000", "row-packing trial counts")
+	csvPath := flag.String("csv", "", "also write raw counts as CSV to this file")
+	flag.Parse()
+
+	trialCounts, err := parseInts(*trialsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaltable:", err)
+		os.Exit(2)
+	}
+	countSmall, countGap := 2, 10
+	if *scale == "paper" {
+		countSmall, countGap = 10, 100
+	}
+	opts := eval.Options{
+		TrialCounts:    trialCounts,
+		ConflictBudget: *budget,
+		TimeBudget:     *timeout,
+		MaxSATEntries:  400,
+		Seed:           *seed,
+	}
+	suites := eval.PaperSuites(*seed, countSmall, countGap)
+	var rows []eval.Row
+	start := time.Now()
+	for _, name := range eval.SuiteOrder() {
+		t0 := time.Now()
+		row, _ := eval.EvalSuite(name, suites[name], opts)
+		rows = append(rows, row)
+		fmt.Fprintf(os.Stderr, "evaluated %-16s (%d instances) in %v\n",
+			name, row.Total, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("\nTable I (percentage of cases finding an optimal solution; seed %d, scale %s)\n\n", *seed, *scale)
+	eval.WriteTable(os.Stdout, rows, trialCounts)
+	fmt.Printf("\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaltable:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := eval.WriteCSV(f, rows, trialCounts); err != nil {
+			fmt.Fprintln(os.Stderr, "evaltable:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("raw counts written to %s\n", *csvPath)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad trial count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

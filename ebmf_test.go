@@ -1,0 +1,99 @@
+package ebmf_test
+
+import (
+	"math/rand"
+	"testing"
+
+	ebmf "repro"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	m := ebmf.MustParse("101\n011\n111")
+	res, err := ebmf.Solve(m, ebmf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("small instance must be decided")
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sched := ebmf.CompileSchedule(res.Partition)
+	if err := sched.Verify(ebmf.NewArray(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Depth() != res.Depth {
+		t.Fatal("schedule depth mismatch")
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	if ebmf.New(2, 3).Rows() != 2 {
+		t.Fatal("New")
+	}
+	if ebmf.Identity(3).Ones() != 3 {
+		t.Fatal("Identity")
+	}
+	if ebmf.AllOnes(2, 2).Ones() != 4 {
+		t.Fatal("AllOnes")
+	}
+	if ebmf.FromRows([][]int{{1, 0}}).Get(0, 0) != true {
+		t.Fatal("FromRows")
+	}
+	if ebmf.Tensor(ebmf.Identity(2), ebmf.AllOnes(1, 1)).Ones() != 2 {
+		t.Fatal("Tensor")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if m := ebmf.Random(rng, 5, 5, 1.0); m.Ones() != 25 {
+		t.Fatal("Random at occupancy 1")
+	}
+	if _, err := ebmf.Parse("10\n01"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeHeuristics(t *testing.T) {
+	m := ebmf.MustParse("1100\n1100\n0011")
+	if p := ebmf.Trivial(m); p.Depth() != 2 {
+		t.Fatalf("trivial depth %d", p.Depth())
+	}
+	if p := ebmf.Pack(m, ebmf.DefaultPackOptions()); p.Depth() != 2 {
+		t.Fatalf("pack depth %d", p.Depth())
+	}
+}
+
+func TestFacadeFoolingSet(t *testing.T) {
+	set, exact := ebmf.FoolingSet(ebmf.Identity(4), 0)
+	if !exact || len(set) != 4 {
+		t.Fatalf("fooling set %v exact=%v", set, exact)
+	}
+}
+
+func TestFacadeBinaryRank(t *testing.T) {
+	r, err := ebmf.BinaryRank(ebmf.MustParse("110\n011\n111"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 3 {
+		t.Fatalf("r_B = %d, want 3", r)
+	}
+}
+
+func TestFacadeVacancies(t *testing.T) {
+	atoms := ebmf.MustParse("10\n01")
+	arr := ebmf.NewArrayWithVacancies(atoms)
+	if arr.HasAtom(0, 1) || !arr.HasAtom(1, 1) {
+		t.Fatal("vacancy mask wrong")
+	}
+}
+
+func TestFacadeCertifyDepth(t *testing.T) {
+	m := ebmf.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	if err := ebmf.CertifyDepth(m, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ebmf.CertifyDepth(m, 6); err == nil {
+		t.Fatal("suboptimal depth certified")
+	}
+}

@@ -1,0 +1,57 @@
+// FTQC scenario (Figure 5a / Section V of the paper): a logical operation on
+// a 2D pattern of surface-code patches expands to the tensor product of the
+// logical pattern and the per-patch physical pattern. The two-level solve
+// partitions each level independently and combines the partitions; Watson's
+// bound (Eq. 5) certifies optimality for the common transversal case.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ebmf "repro"
+	"repro/internal/core"
+	"repro/internal/ftqc"
+)
+
+func main() {
+	// Logical level: which patches receive the operation U (Figure 5a uses
+	// an alternating U/I pattern; we use the paper's Figure 1b pattern for
+	// a nontrivial logical partition).
+	logical := ebmf.MustParse(`101100
+010011
+101010
+010101
+111000
+000111`)
+
+	opts := core.DefaultOptions()
+
+	for _, tc := range []struct {
+		name  string
+		patch *ebmf.Matrix
+	}{
+		{"transversal (all-ones patch)", ftqc.TransversalPatch(3)},
+		{"checkerboard sublattice patch", ftqc.CheckerboardPatch(4)},
+		{"diagonal patch (worst case)", ftqc.DiagonalPatch(3)},
+	} {
+		res, err := ftqc.SolveTwoLevel(logical, tc.patch, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		full := ebmf.Tensor(logical, tc.patch)
+		fmt.Printf("%s:\n", tc.name)
+		fmt.Printf("  physical pattern %d×%d: r_B=%d\n",
+			tc.patch.Rows(), tc.patch.Cols(), res.Physical.Depth)
+		fmt.Printf("  full pattern %d×%d (%d physical qubits addressed)\n",
+			full.Rows(), full.Cols(), full.Ones())
+		fmt.Printf("  two-level depth: %d  (logical %d × physical %d)\n",
+			res.UpperBound, res.Logical.Depth, res.Physical.Depth)
+		fmt.Printf("  Watson lower bound (Eq. 5): %d  → optimal: %v\n\n",
+			res.WatsonLB, res.Optimal)
+	}
+
+	fmt.Println("Observation (paper Section V): for transversal patches the physical")
+	fmt.Println("pattern has r_B = ϕ = 1, so the logical partition alone is optimal;")
+	fmt.Println("whether binary rank is multiplicative under ⊗ in general is open.")
+}

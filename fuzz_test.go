@@ -1,0 +1,109 @@
+// Fuzz targets: robustness of the parser and end-to-end solver invariants
+// under arbitrary inputs. Under plain `go test` these run on their seed
+// corpus; `go test -fuzz=FuzzX` explores further.
+package ebmf_test
+
+import (
+	"strings"
+	"testing"
+
+	ebmf "repro"
+	"repro/internal/rowpack"
+	"repro/internal/sat"
+)
+
+// FuzzParse: the matrix parser must never panic and must round-trip
+// whatever it accepts.
+func FuzzParse(f *testing.F) {
+	f.Add("101\n010")
+	f.Add("# comment\n1 0 1\n0,1,1")
+	f.Add("")
+	f.Add("abc")
+	f.Add("1\n10")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ebmf.Parse(input)
+		if err != nil {
+			return
+		}
+		back, err := ebmf.Parse(m.String())
+		if err != nil || !back.Equal(m) {
+			t.Fatalf("accepted input does not round-trip: %q", input)
+		}
+	})
+}
+
+// FuzzSolveSmall: for any small binary matrix described by a byte string,
+// SAP returns a valid partition obeying all bounds.
+func FuzzSolveSmall(f *testing.F) {
+	f.Add(uint8(3), uint8(3), "101010011")
+	f.Add(uint8(2), uint8(5), "1111100000")
+	f.Add(uint8(1), uint8(1), "1")
+	f.Fuzz(func(t *testing.T, rows, cols uint8, bits string) {
+		r := int(rows%6) + 1
+		c := int(cols%6) + 1
+		m := ebmf.New(r, c)
+		for idx := 0; idx < r*c && idx < len(bits); idx++ {
+			if bits[idx]&1 == 1 {
+				m.Set(idx/c, idx%c, true)
+			}
+		}
+		opts := ebmf.DefaultOptions()
+		opts.Packing.Trials = 2
+		opts.ConflictBudget = 50_000
+		res, err := ebmf.Solve(m, opts)
+		if err != nil {
+			t.Fatalf("solve error: %v", err)
+		}
+		if err := res.Partition.Validate(); err != nil {
+			t.Fatalf("invalid partition: %v\n%s", err, m)
+		}
+		if res.Depth < res.RankLB || res.Depth > m.TrivialUpperBound() {
+			t.Fatalf("depth %d outside [rank %d, trivial %d]", res.Depth, res.RankLB, m.TrivialUpperBound())
+		}
+	})
+}
+
+// FuzzDIMACS: the DIMACS parser must never panic; accepted formulas must
+// solve without crashing.
+func FuzzDIMACS(f *testing.F) {
+	f.Add("p cnf 2 1\n1 -2 0\n")
+	f.Add("c comment\np cnf 1 2\n1 0\n-1 0\n")
+	f.Add("p cnf 0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<12 {
+			return
+		}
+		s, err := sat.ParseDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if s.NumVars() > 64 || s.NumClauses() > 256 {
+			return // keep the fuzz iteration cheap
+		}
+		s.SetConflictBudget(10_000)
+		s.Solve()
+	})
+}
+
+// FuzzRowPack: row packing on arbitrary matrices must always produce a
+// valid partition no worse than trivial.
+func FuzzRowPack(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(4), "1011")
+	f.Fuzz(func(t *testing.T, seed int64, rows, cols uint8, bits string) {
+		r := int(rows%8) + 1
+		c := int(cols%8) + 1
+		m := ebmf.New(r, c)
+		for idx := 0; idx < r*c && idx < len(bits); idx++ {
+			if bits[idx]&1 == 1 {
+				m.Set(idx/c, idx%c, true)
+			}
+		}
+		p := rowpack.Pack(m, rowpack.Options{Trials: 2, Seed: seed})
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid: %v\n%s", err, m)
+		}
+		if p.Depth() > m.TrivialUpperBound() {
+			t.Fatalf("worse than trivial")
+		}
+	})
+}

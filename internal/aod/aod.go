@@ -1,0 +1,254 @@
+// Package aod models the physical addressing layer of Figure 1 of the
+// paper: a 2D atom array driven by a crossed acousto-optic deflector (AOD).
+// Each addressing shot switches on a set of row tones and a set of column
+// tones; atoms at the tone intersections receive one Rz pulse. A rectangle
+// partition of the target pattern therefore compiles directly into a pulse
+// schedule whose depth is the partition size.
+//
+// The simulator replays a schedule against an array, counting pulses per
+// site, and the verifier checks the hardware contract the mathematics is
+// supposed to guarantee: every targeted qubit is hit exactly once and no
+// spectator is hit at all. Sites without atoms (vacancies) are "don't care".
+package aod
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/bitmat"
+	"repro/internal/rect"
+)
+
+// Array is a 2D atom array. Sites may be empty (vacancies): pulses hitting a
+// vacancy have no effect, matching the paper's don't-care discussion.
+type Array struct {
+	rows, cols int
+	atoms      *bitmat.Matrix // 1 = atom present
+}
+
+// NewArray returns a fully loaded rows×cols array.
+func NewArray(rows, cols int) *Array {
+	return &Array{rows: rows, cols: cols, atoms: bitmat.AllOnes(rows, cols)}
+}
+
+// NewArrayWithVacancies returns an array whose occupied sites are given by
+// atoms (1 = atom present).
+func NewArrayWithVacancies(atoms *bitmat.Matrix) *Array {
+	return &Array{rows: atoms.Rows(), cols: atoms.Cols(), atoms: atoms.Clone()}
+}
+
+// Rows returns the number of array rows.
+func (a *Array) Rows() int { return a.rows }
+
+// Cols returns the number of array columns.
+func (a *Array) Cols() int { return a.cols }
+
+// HasAtom reports whether site (i, j) holds an atom.
+func (a *Array) HasAtom(i, j int) bool { return a.atoms.Get(i, j) }
+
+// Shot is one AOD configuration: the active row and column tones.
+type Shot struct {
+	// RowTones has bit i set if row tone i is on.
+	RowTones bitmat.Vec
+	// ColTones has bit j set if column tone j is on.
+	ColTones bitmat.Vec
+}
+
+// Sites returns the number of illuminated sites (|rows|·|cols|).
+func (s Shot) Sites() int { return s.RowTones.Ones() * s.ColTones.Ones() }
+
+// Tones returns the number of active tones (|rows|+|cols|), the control
+// cost of the shot.
+func (s Shot) Tones() int { return s.RowTones.Ones() + s.ColTones.Ones() }
+
+// String renders the shot as row and column tone lists.
+func (s Shot) String() string {
+	return fmt.Sprintf("rows%v cols%v", s.RowTones.OnesPositions(), s.ColTones.OnesPositions())
+}
+
+// Schedule is an ordered sequence of shots addressing a target pattern.
+type Schedule struct {
+	// Target is the pattern of qubits that must receive exactly one pulse.
+	Target *bitmat.Matrix
+	// Shots are the AOD configurations, applied in order.
+	Shots []Shot
+}
+
+// Depth returns the number of shots.
+func (s *Schedule) Depth() int { return len(s.Shots) }
+
+// Compile converts a rectangle partition into an AOD schedule, one shot per
+// rectangle.
+func Compile(p *rect.Partition) *Schedule {
+	sched := &Schedule{Target: p.M}
+	for _, r := range p.Rects {
+		sched.Shots = append(sched.Shots, Shot{
+			RowTones: r.Rows.Clone(),
+			ColTones: r.Cols.Clone(),
+		})
+	}
+	return sched
+}
+
+// PulseCounts replays the schedule on the array and returns the number of
+// pulses received per occupied site (vacant sites stay 0).
+func (s *Schedule) PulseCounts(a *Array) [][]int {
+	counts := make([][]int, a.rows)
+	for i := range counts {
+		counts[i] = make([]int, a.cols)
+	}
+	for _, shot := range s.Shots {
+		shot.RowTones.ForEachOne(func(i int) {
+			shot.ColTones.ForEachOne(func(j int) {
+				if a.HasAtom(i, j) {
+					counts[i][j]++
+				}
+			})
+		})
+	}
+	return counts
+}
+
+// Verification failure modes.
+var (
+	// ErrMissedTarget marks a target qubit that received no pulse.
+	ErrMissedTarget = errors.New("aod: target qubit missed")
+	// ErrDoubleHit marks a target qubit pulsed more than once.
+	ErrDoubleHit = errors.New("aod: target qubit pulsed multiple times")
+	// ErrSpectatorHit marks a non-target atom that received a pulse.
+	ErrSpectatorHit = errors.New("aod: spectator atom pulsed")
+	// ErrShape marks a dimension mismatch between schedule and array.
+	ErrShape = errors.New("aod: schedule/array shape mismatch")
+	// ErrTargetVacant marks a target site without an atom.
+	ErrTargetVacant = errors.New("aod: target site is vacant")
+)
+
+// Verify simulates the schedule and checks the addressing contract: every
+// occupied target site is pulsed exactly once and every occupied non-target
+// site not at all. Vacant sites are ignored regardless of pulse count.
+func (s *Schedule) Verify(a *Array) error {
+	if s.Target.Rows() != a.rows || s.Target.Cols() != a.cols {
+		return fmt.Errorf("target %d×%d vs array %d×%d: %w",
+			s.Target.Rows(), s.Target.Cols(), a.rows, a.cols, ErrShape)
+	}
+	counts := s.PulseCounts(a)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			target := s.Target.Get(i, j)
+			if target && !a.HasAtom(i, j) {
+				return fmt.Errorf("site (%d,%d): %w", i, j, ErrTargetVacant)
+			}
+			if !a.HasAtom(i, j) {
+				continue
+			}
+			switch {
+			case target && counts[i][j] == 0:
+				return fmt.Errorf("site (%d,%d): %w", i, j, ErrMissedTarget)
+			case target && counts[i][j] > 1:
+				return fmt.Errorf("site (%d,%d) hit %d times: %w", i, j, counts[i][j], ErrDoubleHit)
+			case !target && counts[i][j] > 0:
+				return fmt.Errorf("site (%d,%d): %w", i, j, ErrSpectatorHit)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the control cost of a schedule.
+type Stats struct {
+	// Depth is the number of shots (the quantity the paper minimizes).
+	Depth int
+	// TotalTones is Σ per-shot (row+column) tone counts.
+	TotalTones int
+	// MaxTones is the largest per-shot tone count.
+	MaxTones int
+	// ReconfigCost is Σ Hamming distance between consecutive AOD
+	// configurations (a proxy for retuning latency between shots).
+	ReconfigCost int
+}
+
+// ComputeStats returns the control-cost summary of the schedule.
+func (s *Schedule) ComputeStats() Stats {
+	st := Stats{Depth: len(s.Shots)}
+	for i, shot := range s.Shots {
+		tones := shot.Tones()
+		st.TotalTones += tones
+		if tones > st.MaxTones {
+			st.MaxTones = tones
+		}
+		if i > 0 {
+			st.ReconfigCost += hamming(s.Shots[i-1], shot)
+		}
+	}
+	return st
+}
+
+// hamming is the Hamming distance between two AOD configurations.
+func hamming(a, b Shot) int {
+	d := 0
+	r := a.RowTones.Clone()
+	r.Xor(b.RowTones)
+	d += r.Ones()
+	c := a.ColTones.Clone()
+	c.Xor(b.ColTones)
+	d += c.Ones()
+	return d
+}
+
+// MinimizeReconfig reorders the shots greedily so consecutive AOD
+// configurations are as similar as possible (nearest-neighbour on Hamming
+// distance). Depth and correctness are unchanged — only the order.
+func (s *Schedule) MinimizeReconfig() {
+	n := len(s.Shots)
+	if n < 3 {
+		return
+	}
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	order = append(order, 0)
+	used[0] = true
+	for len(order) < n {
+		last := s.Shots[order[len(order)-1]]
+		best, bestD := -1, 0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			d := hamming(last, s.Shots[i])
+			if best < 0 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+	}
+	shots := make([]Shot, n)
+	for idx, i := range order {
+		shots[idx] = s.Shots[i]
+	}
+	s.Shots = shots
+}
+
+// Render draws the schedule as ASCII art, one frame per shot: '#' targeted
+// this shot, '·' atom not addressed, ' ' vacancy.
+func (s *Schedule) Render(a *Array) string {
+	var sb strings.Builder
+	for k, shot := range s.Shots {
+		fmt.Fprintf(&sb, "shot %d: %s\n", k, shot)
+		for i := 0; i < a.rows; i++ {
+			for j := 0; j < a.cols; j++ {
+				switch {
+				case !a.HasAtom(i, j):
+					sb.WriteByte(' ')
+				case shot.RowTones.Get(i) && shot.ColTones.Get(j):
+					sb.WriteByte('#')
+				default:
+					sb.WriteString("·")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

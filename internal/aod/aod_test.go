@@ -1,0 +1,195 @@
+package aod
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+	"repro/internal/rect"
+	"repro/internal/rowpack"
+)
+
+func fig1bPartition(t *testing.T) *rect.Partition {
+	t.Helper()
+	m := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	p := rowpack.Pack(m, rowpack.Options{Trials: 50, Seed: 3})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileAndVerifyFig1b(t *testing.T) {
+	p := fig1bPartition(t)
+	sched := Compile(p)
+	if sched.Depth() != p.Depth() {
+		t.Fatalf("depth %d != partition %d", sched.Depth(), p.Depth())
+	}
+	arr := NewArray(6, 6)
+	if err := sched.Verify(arr); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestVerifyDetectsSpectatorHit(t *testing.T) {
+	target := bitmat.MustParse("10\n00")
+	sched := &Schedule{Target: target}
+	shot := Shot{RowTones: bitmat.VecFromBits([]int{1, 0}), ColTones: bitmat.VecFromBits([]int{1, 1})}
+	sched.Shots = append(sched.Shots, shot) // hits (0,1) which is not a target
+	err := sched.Verify(NewArray(2, 2))
+	if !errors.Is(err, ErrSpectatorHit) {
+		t.Fatalf("got %v, want ErrSpectatorHit", err)
+	}
+}
+
+func TestVerifyDetectsMiss(t *testing.T) {
+	target := bitmat.MustParse("11\n00")
+	sched := &Schedule{Target: target}
+	sched.Shots = append(sched.Shots, Shot{
+		RowTones: bitmat.VecFromBits([]int{1, 0}),
+		ColTones: bitmat.VecFromBits([]int{1, 0}),
+	})
+	err := sched.Verify(NewArray(2, 2))
+	if !errors.Is(err, ErrMissedTarget) {
+		t.Fatalf("got %v, want ErrMissedTarget", err)
+	}
+}
+
+func TestVerifyDetectsDoubleHit(t *testing.T) {
+	target := bitmat.MustParse("1")
+	sched := &Schedule{Target: target}
+	shot := Shot{RowTones: bitmat.VecFromBits([]int{1}), ColTones: bitmat.VecFromBits([]int{1})}
+	sched.Shots = append(sched.Shots, shot, shot)
+	err := sched.Verify(NewArray(1, 1))
+	if !errors.Is(err, ErrDoubleHit) {
+		t.Fatalf("got %v, want ErrDoubleHit", err)
+	}
+}
+
+func TestVerifyDetectsShapeMismatch(t *testing.T) {
+	sched := &Schedule{Target: bitmat.New(2, 2)}
+	err := sched.Verify(NewArray(3, 3))
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("got %v, want ErrShape", err)
+	}
+}
+
+func TestVerifyDetectsVacantTarget(t *testing.T) {
+	atoms := bitmat.MustParse("10\n11")
+	target := bitmat.MustParse("01\n00") // target where no atom sits
+	sched := &Schedule{Target: target}
+	err := sched.Verify(NewArrayWithVacancies(atoms))
+	if !errors.Is(err, ErrTargetVacant) {
+		t.Fatalf("got %v, want ErrTargetVacant", err)
+	}
+}
+
+func TestVacanciesAbsorbExtraPulses(t *testing.T) {
+	// A shot covering a vacancy is fine: the empty site is a don't-care.
+	atoms := bitmat.MustParse("11\n10") // (1,1) vacant
+	target := bitmat.MustParse("11\n10")
+	sched := &Schedule{Target: target}
+	sched.Shots = append(sched.Shots,
+		Shot{RowTones: bitmat.VecFromBits([]int{1, 0}), ColTones: bitmat.VecFromBits([]int{1, 1})},
+		Shot{RowTones: bitmat.VecFromBits([]int{0, 1}), ColTones: bitmat.VecFromBits([]int{1, 1})},
+	)
+	// Second shot would hit (1,1), but it is vacant.
+	if err := sched.Verify(NewArrayWithVacancies(atoms)); err != nil {
+		t.Fatalf("vacancy not treated as don't-care: %v", err)
+	}
+}
+
+func TestPulseCounts(t *testing.T) {
+	sched := &Schedule{Target: bitmat.AllOnes(2, 2)}
+	sched.Shots = append(sched.Shots, Shot{
+		RowTones: bitmat.VecFromBits([]int{1, 1}),
+		ColTones: bitmat.VecFromBits([]int{1, 1}),
+	})
+	counts := sched.PulseCounts(NewArray(2, 2))
+	for i := range counts {
+		for j := range counts[i] {
+			if counts[i][j] != 1 {
+				t.Fatalf("count[%d][%d] = %d", i, j, counts[i][j])
+			}
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := fig1bPartition(t)
+	sched := Compile(p)
+	st := sched.ComputeStats()
+	if st.Depth != sched.Depth() {
+		t.Fatal("depth mismatch")
+	}
+	if st.TotalTones <= 0 || st.MaxTones <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMinimizeReconfigKeepsValidity(t *testing.T) {
+	p := fig1bPartition(t)
+	sched := Compile(p)
+	before := sched.ComputeStats()
+	sched.MinimizeReconfig()
+	after := sched.ComputeStats()
+	if after.Depth != before.Depth {
+		t.Fatal("reorder changed depth")
+	}
+	if after.ReconfigCost > before.ReconfigCost {
+		t.Fatalf("reorder increased cost: %d → %d", before.ReconfigCost, after.ReconfigCost)
+	}
+	if err := sched.Verify(NewArray(6, 6)); err != nil {
+		t.Fatalf("reorder broke schedule: %v", err)
+	}
+}
+
+func TestRenderShowsFrames(t *testing.T) {
+	p := fig1bPartition(t)
+	sched := Compile(p)
+	out := sched.Render(NewArray(6, 6))
+	if !strings.Contains(out, "shot 0") || !strings.Contains(out, "#") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+// Property: compiling any valid partition yields a schedule that verifies on
+// a full array.
+func TestQuickCompileVerifies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := bitmat.Random(rng, 1+rng.Intn(8), 1+rng.Intn(8), rng.Float64())
+		p := rowpack.Pack(m, rowpack.Options{Trials: 2, Seed: seed})
+		if p.Validate() != nil {
+			return false
+		}
+		return Compile(p).Verify(NewArray(m.Rows(), m.Cols())) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total pulses delivered equals the number of target 1s on a full
+// array for a compiled valid partition.
+func TestQuickPulseConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := bitmat.Random(rng, 1+rng.Intn(8), 1+rng.Intn(8), rng.Float64())
+		p := rowpack.Pack(m, rowpack.Options{Trials: 2, Seed: seed})
+		counts := Compile(p).PulseCounts(NewArray(m.Rows(), m.Cols()))
+		total := 0
+		for _, row := range counts {
+			for _, c := range row {
+				total += c
+			}
+		}
+		return total == m.Ones()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

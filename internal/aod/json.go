@@ -1,0 +1,91 @@
+package aod
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bitmat"
+)
+
+// scheduleJSON is the wire form of a Schedule: explicit index lists rather
+// than bitsets, so downstream control software can consume it without
+// knowing this package's internals.
+type scheduleJSON struct {
+	Rows   int        `json:"rows"`
+	Cols   int        `json:"cols"`
+	Target []string   `json:"target"` // '0'/'1' strings, one per row
+	Shots  []shotJSON `json:"shots"`
+}
+
+type shotJSON struct {
+	RowTones []int `json:"row_tones"`
+	ColTones []int `json:"col_tones"`
+}
+
+// WriteJSON serializes the schedule for hardware handoff.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	out := scheduleJSON{
+		Rows: s.Target.Rows(),
+		Cols: s.Target.Cols(),
+	}
+	for i := 0; i < s.Target.Rows(); i++ {
+		out.Target = append(out.Target, s.Target.Row(i).String())
+	}
+	for _, shot := range s.Shots {
+		out.Shots = append(out.Shots, shotJSON{
+			RowTones: shot.RowTones.OnesPositions(),
+			ColTones: shot.ColTones.OnesPositions(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a schedule written by WriteJSON.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var in scheduleJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("aod: %w", err)
+	}
+	if in.Rows < 0 || in.Cols < 0 {
+		return nil, fmt.Errorf("aod: negative dimensions %d×%d", in.Rows, in.Cols)
+	}
+	if len(in.Target) != in.Rows {
+		return nil, fmt.Errorf("aod: %d target rows for %d-row schedule", len(in.Target), in.Rows)
+	}
+	target := bitmat.New(in.Rows, in.Cols)
+	for i, rowStr := range in.Target {
+		if len(rowStr) != in.Cols {
+			return nil, fmt.Errorf("aod: target row %d has %d columns, want %d", i, len(rowStr), in.Cols)
+		}
+		for j, c := range rowStr {
+			switch c {
+			case '1':
+				target.Set(i, j, true)
+			case '0':
+			default:
+				return nil, fmt.Errorf("aod: target row %d has invalid character %q", i, c)
+			}
+		}
+	}
+	sched := &Schedule{Target: target}
+	for si, sj := range in.Shots {
+		shot := Shot{RowTones: bitmat.NewVec(in.Rows), ColTones: bitmat.NewVec(in.Cols)}
+		for _, t := range sj.RowTones {
+			if t < 0 || t >= in.Rows {
+				return nil, fmt.Errorf("aod: shot %d row tone %d out of range", si, t)
+			}
+			shot.RowTones.Set(t, true)
+		}
+		for _, t := range sj.ColTones {
+			if t < 0 || t >= in.Cols {
+				return nil, fmt.Errorf("aod: shot %d col tone %d out of range", si, t)
+			}
+			shot.ColTones.Set(t, true)
+		}
+		sched.Shots = append(sched.Shots, shot)
+	}
+	return sched, nil
+}

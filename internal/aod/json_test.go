@@ -1,0 +1,71 @@
+package aod
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/rowpack"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	m := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	p := rowpack.Pack(m, rowpack.Options{Trials: 20, Seed: 1})
+	sched := Compile(p)
+	var buf bytes.Buffer
+	if err := sched.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Target.Equal(m) {
+		t.Fatal("target changed")
+	}
+	if back.Depth() != sched.Depth() {
+		t.Fatalf("depth %d → %d", sched.Depth(), back.Depth())
+	}
+	if err := back.Verify(NewArray(6, 6)); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+	for i := range sched.Shots {
+		if !back.Shots[i].RowTones.Equal(sched.Shots[i].RowTones) ||
+			!back.Shots[i].ColTones.Equal(sched.Shots[i].ColTones) {
+			t.Fatalf("shot %d changed", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"rows":2,"cols":2,"target":["10"],"shots":[]}`,                                  // row count mismatch
+		`{"rows":1,"cols":2,"target":["1"],"shots":[]}`,                                   // column count mismatch
+		`{"rows":1,"cols":1,"target":["x"],"shots":[]}`,                                   // bad character
+		`{"rows":1,"cols":1,"target":["1"],"shots":[{"row_tones":[5],"col_tones":[0]}]}`,  // tone range
+		`{"rows":1,"cols":1,"target":["1"],"shots":[{"row_tones":[0],"col_tones":[-1]}]}`, // negative tone
+		`{"rows":-1,"cols":1,"target":[],"shots":[]}`,                                     // negative dims
+	}
+	for _, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted malformed input %q", src)
+		}
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	m := bitmat.MustParse("11\n00")
+	p := rowpack.Pack(m, rowpack.Options{Trials: 1})
+	var buf bytes.Buffer
+	if err := Compile(p).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"rows": 2`, `"row_tones"`, `"target"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

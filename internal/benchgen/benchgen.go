@@ -1,0 +1,236 @@
+// Package benchgen constructs the paper's three benchmark families
+// (Section IV-A):
+//
+//  1. random matrices with controlled occupancy;
+//  2. matrices with known optimal solutions: M = Σ cᵢ·rᵢ with pairwise
+//     disjoint row patterns rᵢ and linearly independent column indicators
+//     cᵢ, so rank(M) = r_B(M) = k;
+//  3. "gap" matrices designed to separate the rational rank from the binary
+//     rank: a random row r is split into k disjoint pairs r = r'ⱼ + r”ⱼ;
+//     over the rationals any pair recovers r (rank stays low), but an EBMF
+//     cannot use subtraction, pushing the binary rank above the rank.
+//
+// All generation is deterministic given the seed.
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitmat"
+	"repro/internal/rect"
+)
+
+// Family labels a benchmark family.
+type Family string
+
+// Families of Section IV-A.
+const (
+	FamilyRandom Family = "rand"
+	FamilyOpt    Family = "opt"
+	FamilyGap    Family = "gap"
+)
+
+// Instance is one benchmark matrix with provenance.
+type Instance struct {
+	// Name is a unique, human-readable identifier.
+	Name string
+	// Family is the generating family.
+	Family Family
+	// M is the matrix.
+	M *bitmat.Matrix
+	// Occupancy is the target occupancy for random instances (0 otherwise).
+	Occupancy float64
+	// KnownOptimal is r_B(M) when the construction certifies it, else -1.
+	KnownOptimal int
+	// GapPairs is the number of row pairs for gap instances (0 otherwise).
+	GapPairs int
+}
+
+// Random returns a rows×cols matrix with the given occupancy.
+func Random(rng *rand.Rand, rows, cols int, occupancy float64) *bitmat.Matrix {
+	return bitmat.Random(rng, rows, cols, occupancy)
+}
+
+// KnownOptimal builds a matrix with certified binary rank k together with
+// its optimal partition. It retries until the column indicators come out
+// linearly independent; k must be ≤ min(rows, cols).
+func KnownOptimal(rng *rand.Rand, rows, cols, k int) (*bitmat.Matrix, *rect.Partition) {
+	if k < 1 || k > rows || k > cols {
+		panic(fmt.Sprintf("benchgen: invalid rank %d for %d×%d", k, rows, cols))
+	}
+	for {
+		// Disjoint nonzero row patterns: partition a random subset of the
+		// columns into k nonempty parts.
+		parts := splitDisjoint(rng, cols, k)
+		// Random nonzero column indicators.
+		cs := make([]bitmat.Vec, k)
+		for i := range cs {
+			cs[i] = bitmat.RandomNonzeroVec(rng, rows, 0.5)
+		}
+		m := bitmat.New(rows, cols)
+		p := rect.NewPartition(m)
+		for i := 0; i < k; i++ {
+			r := rect.NewRect(rows, cols)
+			cs[i].ForEachOne(func(ri int) {
+				r.Rows.Set(ri, true)
+				for _, c := range parts[i] {
+					m.Set(ri, c, true)
+				}
+			})
+			for _, c := range parts[i] {
+				r.Cols.Set(c, true)
+			}
+			p.Add(r)
+		}
+		// The construction certifies optimality only when rank(M) = k.
+		if m.Rank() != k {
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			panic(fmt.Sprintf("benchgen: internal error: %v", err))
+		}
+		return m, p
+	}
+}
+
+// splitDisjoint partitions a random nonempty subset of [0, n) into k
+// nonempty parts.
+func splitDisjoint(rng *rand.Rand, n, k int) [][]int {
+	perm := rng.Perm(n)
+	// Use between k and n of the columns.
+	use := k + rng.Intn(n-k+1)
+	parts := make([][]int, k)
+	for i := 0; i < k; i++ {
+		parts[i] = []int{perm[i]}
+	}
+	for _, c := range perm[k:use] {
+		i := rng.Intn(k)
+		parts[i] = append(parts[i], c)
+	}
+	return parts
+}
+
+// Gap builds a rows×cols matrix per the paper's third family with the given
+// number of row pairs (pairs ≤ rows/2): rows 2j and 2j+1 are a disjoint
+// split of a common base row; the remaining rows are random with 50%
+// occupancy.
+func Gap(rng *rand.Rand, rows, cols, pairs int) *bitmat.Matrix {
+	if pairs < 1 || 2*pairs > rows {
+		panic(fmt.Sprintf("benchgen: invalid pairs %d for %d rows", pairs, rows))
+	}
+	m := bitmat.New(rows, cols)
+	// Base row at ~50% occupancy like the paper (resampled until it has at
+	// least 2 ones so splits into two nonzero parts exist). The paper notes
+	// the pair block rank "should be" pairs+1; it does not enforce this and
+	// neither do we — repeated splits occasionally lower it, and that is
+	// part of the benchmark's distribution.
+	var base bitmat.Vec
+	for {
+		base = bitmat.RandomVec(rng, cols, 0.5)
+		if base.Ones() >= 2 {
+			break
+		}
+	}
+	for j := 0; j < pairs; j++ {
+		r1, r2 := splitRow(rng, base)
+		m.SetRow(2*j, r1)
+		m.SetRow(2*j+1, r2)
+	}
+	for i := 2 * pairs; i < rows; i++ {
+		m.SetRow(i, bitmat.RandomVec(rng, cols, 0.5))
+	}
+	return m
+}
+
+// splitRow decomposes base into two disjoint nonzero parts r1 + r2 = base.
+func splitRow(rng *rand.Rand, base bitmat.Vec) (r1, r2 bitmat.Vec) {
+	n := base.Len()
+	for {
+		r1 = bitmat.NewVec(n)
+		r2 = bitmat.NewVec(n)
+		base.ForEachOne(func(c int) {
+			if rng.Intn(2) == 0 {
+				r1.Set(c, true)
+			} else {
+				r2.Set(c, true)
+			}
+		})
+		if !r1.IsZero() && !r2.IsZero() {
+			return r1, r2
+		}
+	}
+}
+
+// RandomSuite generates count instances per occupancy, named like the
+// paper's first benchmark set.
+func RandomSuite(seed int64, rows, cols int, occupancies []float64, count int) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Instance
+	for _, occ := range occupancies {
+		for i := 0; i < count; i++ {
+			out = append(out, Instance{
+				Name:         fmt.Sprintf("rand-%dx%d-occ%02.0f-%02d", rows, cols, occ*100, i),
+				Family:       FamilyRandom,
+				M:            Random(rng, rows, cols, occ),
+				Occupancy:    occ,
+				KnownOptimal: -1,
+			})
+		}
+	}
+	return out
+}
+
+// OptSuite generates count instances per rank k = 1..maxRank of the
+// known-optimal family (paper's second set: 10 each for k = 1..10 at 10×10).
+func OptSuite(seed int64, rows, cols, maxRank, count int) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Instance
+	for k := 1; k <= maxRank; k++ {
+		for i := 0; i < count; i++ {
+			m, _ := KnownOptimal(rng, rows, cols, k)
+			out = append(out, Instance{
+				Name:         fmt.Sprintf("opt-%dx%d-k%02d-%02d", rows, cols, k, i),
+				Family:       FamilyOpt,
+				M:            m,
+				KnownOptimal: k,
+			})
+		}
+	}
+	return out
+}
+
+// GapSuite generates count instances per pair count (paper's third set:
+// 100 each for 2..5 pairs at 10×10).
+func GapSuite(seed int64, rows, cols int, pairCounts []int, count int) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Instance
+	for _, pairs := range pairCounts {
+		for i := 0; i < count; i++ {
+			out = append(out, Instance{
+				Name:         fmt.Sprintf("gap-%dx%d-p%d-%03d", rows, cols, pairs, i),
+				Family:       FamilyGap,
+				M:            Gap(rng, rows, cols, pairs),
+				KnownOptimal: -1,
+				GapPairs:     pairs,
+			})
+		}
+	}
+	return out
+}
+
+// PaperOccupanciesSmall are the occupancies of the small random benchmarks
+// (10%, 20%, …, 90%).
+func PaperOccupanciesSmall() []float64 {
+	out := make([]float64, 9)
+	for i := range out {
+		out[i] = float64(i+1) / 10
+	}
+	return out
+}
+
+// PaperOccupanciesLarge are the occupancies of the 100×100 random
+// benchmarks (1%, 2%, 5%, 10%, 20%).
+func PaperOccupanciesLarge() []float64 {
+	return []float64{0.01, 0.02, 0.05, 0.10, 0.20}
+}

@@ -1,0 +1,233 @@
+package benchgen
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+)
+
+func TestRandomOccupancyRoughlyMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Random(rng, 100, 100, 0.3)
+	occ := m.Occupancy()
+	if occ < 0.25 || occ > 0.35 {
+		t.Fatalf("occupancy %.3f too far from 0.3", occ)
+	}
+}
+
+func TestKnownOptimalCertifiedRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for k := 1; k <= 8; k++ {
+		m, p := KnownOptimal(rng, 10, 10, k)
+		if m.Rank() != k {
+			t.Fatalf("k=%d: rank = %d", k, m.Rank())
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("k=%d: partition invalid: %v", k, err)
+		}
+		if p.Depth() != k {
+			t.Fatalf("k=%d: partition depth %d", k, p.Depth())
+		}
+	}
+}
+
+func TestKnownOptimalPanicsOnBadRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KnownOptimal(rand.New(rand.NewSource(1)), 3, 3, 4)
+}
+
+func TestGapStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for pairs := 2; pairs <= 5; pairs++ {
+		m := Gap(rng, 10, 10, pairs)
+		// Rows 2j and 2j+1 must be disjoint and sum to the same base row.
+		base := m.Row(0).Clone()
+		base.Or(m.Row(1))
+		for j := 0; j < pairs; j++ {
+			r1, r2 := m.Row(2*j), m.Row(2*j+1)
+			if r1.Intersects(r2) {
+				t.Fatalf("pair %d rows overlap", j)
+			}
+			sum := r1.Clone()
+			sum.Or(r2)
+			if !sum.Equal(base) {
+				t.Fatalf("pair %d does not sum to the base row", j)
+			}
+			if r1.IsZero() || r2.IsZero() {
+				t.Fatalf("pair %d has an empty part", j)
+			}
+		}
+	}
+}
+
+func TestGapRankStructure(t *testing.T) {
+	// Real rank of the 2k pair rows alone is at most k+1 (the paper's
+	// "should be k+1": each pair can add at most one direction beyond the
+	// shared base row; repeated splits may add fewer) and at least 2
+	// whenever a split is nontrivial.
+	rng := rand.New(rand.NewSource(4))
+	sawFull := false
+	for trial := 0; trial < 30; trial++ {
+		for pairs := 2; pairs <= 5; pairs++ {
+			m := Gap(rng, 2*pairs, 12, pairs) // no filler rows
+			got := m.Rank()
+			if got > pairs+1 || got < 2 {
+				t.Fatalf("pairs=%d: rank %d outside [2, %d]\n%s", pairs, got, pairs+1, m)
+			}
+			if got == pairs+1 {
+				sawFull = true
+			}
+		}
+	}
+	if !sawFull {
+		t.Fatal("no instance reached the generic rank k+1 — construction degenerate")
+	}
+}
+
+func TestGapPanicsOnTooManyPairs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gap(rand.New(rand.NewSource(1)), 4, 4, 3)
+}
+
+func TestSuitesDeterministic(t *testing.T) {
+	a := RandomSuite(7, 10, 10, []float64{0.3}, 3)
+	b := RandomSuite(7, 10, 10, []float64{0.3}, 3)
+	for i := range a {
+		if !a[i].M.Equal(b[i].M) || a[i].Name != b[i].Name {
+			t.Fatal("suites not deterministic")
+		}
+	}
+}
+
+func TestSuiteSizesAndNames(t *testing.T) {
+	rs := RandomSuite(1, 10, 20, PaperOccupanciesSmall(), 2)
+	if len(rs) != 18 {
+		t.Fatalf("random suite size %d, want 18", len(rs))
+	}
+	os := OptSuite(1, 10, 10, 5, 2)
+	if len(os) != 10 {
+		t.Fatalf("opt suite size %d, want 10", len(os))
+	}
+	for _, ins := range os {
+		if ins.KnownOptimal < 1 {
+			t.Fatalf("%s missing known optimal", ins.Name)
+		}
+	}
+	gs := GapSuite(1, 10, 10, []int{2, 3}, 4)
+	if len(gs) != 8 {
+		t.Fatalf("gap suite size %d, want 8", len(gs))
+	}
+	seen := map[string]bool{}
+	for _, ins := range append(append(rs, os...), gs...) {
+		if seen[ins.Name] {
+			t.Fatalf("duplicate name %s", ins.Name)
+		}
+		seen[ins.Name] = true
+	}
+}
+
+func TestPaperOccupancies(t *testing.T) {
+	small := PaperOccupanciesSmall()
+	if len(small) != 9 || small[0] != 0.1 || small[8] != 0.9 {
+		t.Fatalf("small occupancies: %v", small)
+	}
+	large := PaperOccupanciesLarge()
+	if len(large) != 5 || large[0] != 0.01 || large[4] != 0.20 {
+		t.Fatalf("large occupancies: %v", large)
+	}
+}
+
+func TestInstanceIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, _ := KnownOptimal(rng, 6, 6, 3)
+	ins := Instance{Name: "t1", Family: FamilyOpt, M: m, KnownOptimal: 3}
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "t1" || back.Family != FamilyOpt || back.KnownOptimal != 3 {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if !back.M.Equal(m) {
+		t.Fatal("matrix changed in round trip")
+	}
+}
+
+func TestSuiteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	suite := GapSuite(9, 8, 8, []int{2}, 3)
+	if err := SaveSuite(dir, suite); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSuite(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(suite) {
+		t.Fatalf("loaded %d, want %d", len(back), len(suite))
+	}
+	for i := range back {
+		if !back[i].M.Equal(suite[i].M) || back[i].GapPairs != suite[i].GapPairs {
+			t.Fatalf("instance %d mismatch", i)
+		}
+	}
+}
+
+// Property: gap matrices have a real rank at most rows-pairs+1 (the paper:
+// "total real rank equal to or slightly lower than m−k+1").
+func TestQuickGapRankUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pairs := 2 + rng.Intn(4)
+		rows := 2*pairs + rng.Intn(4)
+		m := Gap(rng, rows, 10, pairs)
+		return m.Rank() <= rows-pairs+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: known-optimal matrices are binary with a valid k-partition and
+// rank exactly k; the matrix must be reconstructible as the partition sum.
+func TestQuickKnownOptimalReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(6)
+		m, p := KnownOptimal(rng, 8, 8, k)
+		if m.Rank() != k || p.Validate() != nil {
+			return false
+		}
+		sum := bitmat.New(m.Rows(), m.Cols())
+		for _, r := range p.Rects {
+			r.Rows.ForEachOne(func(i int) {
+				r.Cols.ForEachOne(func(j int) {
+					if sum.Get(i, j) {
+						// overlap would mean non-binary sum
+						panic("overlap")
+					}
+					sum.Set(i, j, true)
+				})
+			})
+		}
+		return sum.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package benchgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitmat"
+)
+
+// WriteInstance writes one instance in the package's text format: comment
+// headers with metadata followed by the 0/1 matrix.
+func WriteInstance(w io.Writer, ins Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# name: %s\n", ins.Name)
+	fmt.Fprintf(bw, "# family: %s\n", ins.Family)
+	if ins.Occupancy > 0 {
+		fmt.Fprintf(bw, "# occupancy: %g\n", ins.Occupancy)
+	}
+	if ins.KnownOptimal >= 0 {
+		fmt.Fprintf(bw, "# known_optimal: %d\n", ins.KnownOptimal)
+	}
+	if ins.GapPairs > 0 {
+		fmt.Fprintf(bw, "# gap_pairs: %d\n", ins.GapPairs)
+	}
+	fmt.Fprintln(bw, ins.M.String())
+	return bw.Flush()
+}
+
+// ReadInstance parses the format written by WriteInstance.
+func ReadInstance(r io.Reader) (Instance, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Instance{}, err
+	}
+	ins := Instance{KnownOptimal: -1}
+	var matLines []string
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") {
+			kv := strings.SplitN(strings.TrimPrefix(trimmed, "#"), ":", 2)
+			if len(kv) != 2 {
+				continue
+			}
+			key := strings.TrimSpace(kv[0])
+			val := strings.TrimSpace(kv[1])
+			switch key {
+			case "name":
+				ins.Name = val
+			case "family":
+				ins.Family = Family(val)
+			case "occupancy":
+				if f, err := strconv.ParseFloat(val, 64); err == nil {
+					ins.Occupancy = f
+				}
+			case "known_optimal":
+				if n, err := strconv.Atoi(val); err == nil {
+					ins.KnownOptimal = n
+				}
+			case "gap_pairs":
+				if n, err := strconv.Atoi(val); err == nil {
+					ins.GapPairs = n
+				}
+			}
+			continue
+		}
+		if trimmed != "" {
+			matLines = append(matLines, trimmed)
+		}
+	}
+	m, err := bitmat.Parse(strings.Join(matLines, "\n"))
+	if err != nil {
+		return Instance{}, fmt.Errorf("benchgen: %w", err)
+	}
+	ins.M = m
+	return ins, nil
+}
+
+// SaveSuite writes every instance to dir as <name>.ebmf.
+func SaveSuite(dir string, suite []Instance) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, ins := range suite {
+		f, err := os.Create(filepath.Join(dir, ins.Name+".ebmf"))
+		if err != nil {
+			return err
+		}
+		if err := WriteInstance(f, ins); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSuite reads every *.ebmf file in dir, sorted by name.
+func LoadSuite(dir string) ([]Instance, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".ebmf") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []Instance
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		ins, err := ReadInstance(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, ins)
+	}
+	return out, nil
+}

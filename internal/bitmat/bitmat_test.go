@@ -1,0 +1,226 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDimensions(t *testing.T) {
+	m := New(3, 70) // spans two words per row
+	if m.Rows() != 3 || m.Cols() != 70 {
+		t.Fatalf("got %d×%d, want 3×70", m.Rows(), m.Cols())
+	}
+	if !m.IsZero() {
+		t.Fatal("new matrix must be zero")
+	}
+	if m.WordsPerRow() != 2 {
+		t.Fatalf("words per row = %d, want 2", m.WordsPerRow())
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	m := New(5, 130)
+	coords := [][2]int{{0, 0}, {4, 129}, {2, 63}, {2, 64}, {3, 127}, {3, 128}}
+	for _, c := range coords {
+		m.Set(c[0], c[1], true)
+	}
+	for _, c := range coords {
+		if !m.Get(c[0], c[1]) {
+			t.Errorf("(%d,%d) not set", c[0], c[1])
+		}
+	}
+	if m.Ones() != len(coords) {
+		t.Fatalf("Ones = %d, want %d", m.Ones(), len(coords))
+	}
+	for _, c := range coords {
+		m.Set(c[0], c[1], false)
+	}
+	if !m.IsZero() {
+		t.Fatal("matrix should be zero after clearing")
+	}
+}
+
+func TestGetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).Get(2, 0)
+}
+
+func TestFromRowsAndToRows(t *testing.T) {
+	rows := [][]int{{1, 0, 1}, {0, 1, 1}}
+	m := FromRows(rows)
+	got := m.ToRows()
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != got[i][j] {
+				t.Fatalf("round trip mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged input")
+		}
+	}()
+	FromRows([][]int{{1, 0}, {1}})
+}
+
+func TestFromRowsNonBinaryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-binary entry")
+		}
+	}()
+	FromRows([][]int{{2}})
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	src := "101\n010\n111"
+	m := MustParse(src)
+	if m.String() != src {
+		t.Fatalf("String() = %q, want %q", m.String(), src)
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	m, err := Parse("# header\n\n1 0 1\n0,1,1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("got %d×%d, want 2×3", m.Rows(), m.Cols())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(""); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Parse("10\n1"); err == nil {
+		t.Error("ragged input should error")
+	}
+	if _, err := Parse("1x0"); err == nil {
+		t.Error("invalid character should error")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m := Random(rng, 1+rng.Intn(12), 1+rng.Intn(90), rng.Float64())
+		if !m.Transpose().Transpose().Equal(m) {
+			t.Fatalf("transpose not involutive for\n%s", m)
+		}
+	}
+}
+
+func TestTransposeEntries(t *testing.T) {
+	m := MustParse("110\n001")
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %d×%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.Get(i, j) != tr.Get(j, i) {
+				t.Fatalf("entry mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := MustParse("10\n01")
+	c := m.Clone()
+	c.Set(0, 1, true)
+	if m.Get(0, 1) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Fatal("clone should equal original")
+	}
+}
+
+func TestRowSharingAndSetRow(t *testing.T) {
+	m := New(2, 10)
+	r := m.Row(0)
+	r.Set(3, true)
+	if !m.Get(0, 3) {
+		t.Fatal("Row must share storage")
+	}
+	v := NewVec(10)
+	v.Set(7, true)
+	m.SetRow(1, v)
+	if !m.Get(1, 7) {
+		t.Fatal("SetRow did not copy")
+	}
+	v.Set(8, true)
+	if m.Get(1, 8) {
+		t.Fatal("SetRow must copy, not alias")
+	}
+}
+
+func TestForEachOneOrder(t *testing.T) {
+	m := MustParse("0101\n1000")
+	var got [][2]int
+	m.ForEachOne(func(i, j int) { got = append(got, [2]int{i, j}) })
+	want := [][2]int{{0, 1}, {0, 3}, {1, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	m := MustParse("11\n00")
+	if m.Occupancy() != 0.5 {
+		t.Fatalf("occupancy = %v, want 0.5", m.Occupancy())
+	}
+	if New(0, 0).Occupancy() != 0 {
+		t.Fatal("empty occupancy should be 0")
+	}
+}
+
+func TestOnesPositionsCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := Random(rng, 8, 8, 0.4)
+	if len(m.OnesPositions()) != m.Ones() {
+		t.Fatal("OnesPositions length != Ones")
+	}
+}
+
+// Property: parse(String(m)) == m for random matrices.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Random(rng, 1+rng.Intn(10), 1+rng.Intn(10), rng.Float64())
+		back, err := Parse(m.String())
+		return err == nil && back.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose preserves the number of ones.
+func TestQuickTransposePreservesOnes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Random(rng, 1+rng.Intn(20), 1+rng.Intn(90), rng.Float64())
+		return m.Ones() == m.Transpose().Ones()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package bitmat
+
+// Compression records how a matrix was reduced by dropping all-zero rows and
+// columns and consolidating duplicates, together with the maps needed to
+// lift a rectangle partition of the compressed matrix back to the original.
+//
+// Binary rank is invariant under this reduction: a zero row/column belongs to
+// no rectangle, and duplicate rows (columns) can always share every rectangle
+// of their representative.
+type Compression struct {
+	// Reduced is the compressed matrix with distinct nonzero rows/columns.
+	Reduced *Matrix
+	// RowGroups[i] lists the original row indices represented by reduced
+	// row i (the representative first).
+	RowGroups [][]int
+	// ColGroups[j] lists the original column indices represented by reduced
+	// column j.
+	ColGroups [][]int
+	// OrigRows and OrigCols are the dimensions of the original matrix.
+	OrigRows, OrigCols int
+}
+
+// Compress removes all-zero rows/columns and merges duplicate rows and then
+// duplicate columns, returning the reduction record. The compressed matrix
+// has the same binary rank as the original.
+func Compress(m *Matrix) *Compression {
+	// Group duplicate nonzero rows.
+	rowIdx := make(map[string]int)
+	var rowGroups [][]int
+	var rowReps []int
+	for i := 0; i < m.rows; i++ {
+		r := m.Row(i)
+		if r.IsZero() {
+			continue
+		}
+		k := r.Key()
+		if g, ok := rowIdx[k]; ok {
+			rowGroups[g] = append(rowGroups[g], i)
+			continue
+		}
+		rowIdx[k] = len(rowGroups)
+		rowGroups = append(rowGroups, []int{i})
+		rowReps = append(rowReps, i)
+	}
+	// Build the row-deduplicated matrix, then group duplicate nonzero
+	// columns of that.
+	rd := New(len(rowReps), m.cols)
+	for ri, orig := range rowReps {
+		rd.SetRow(ri, m.Row(orig))
+	}
+	rdT := rd.Transpose()
+	colIdx := make(map[string]int)
+	var colGroups [][]int
+	var colReps []int
+	for j := 0; j < rdT.rows; j++ {
+		c := rdT.Row(j)
+		if c.IsZero() {
+			continue
+		}
+		k := c.Key()
+		if g, ok := colIdx[k]; ok {
+			colGroups[g] = append(colGroups[g], j)
+			continue
+		}
+		colIdx[k] = len(colGroups)
+		colGroups = append(colGroups, []int{j})
+		colReps = append(colReps, j)
+	}
+	reduced := rd.Submatrix(seq(len(rowReps)), colReps)
+	return &Compression{
+		Reduced:   reduced,
+		RowGroups: rowGroups,
+		ColGroups: colGroups,
+		OrigRows:  m.rows,
+		OrigCols:  m.cols,
+	}
+}
+
+// ExpandRows maps a set of reduced row indices to the corresponding original
+// row indices.
+func (c *Compression) ExpandRows(reduced []int) []int {
+	var out []int
+	for _, r := range reduced {
+		out = append(out, c.RowGroups[r]...)
+	}
+	return out
+}
+
+// ExpandCols maps a set of reduced column indices to original column indices.
+func (c *Compression) ExpandCols(reduced []int) []int {
+	var out []int
+	for _, cc := range reduced {
+		out = append(out, c.ColGroups[cc]...)
+	}
+	return out
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressRemovesZeroRowsCols(t *testing.T) {
+	m := MustParse("000\n101\n000")
+	c := Compress(m)
+	// The zero rows drop, and the two surviving columns are duplicates of
+	// each other, so they merge too: the reduction is 1×1.
+	if c.Reduced.Rows() != 1 || c.Reduced.Cols() != 1 {
+		t.Fatalf("reduced dims %d×%d, want 1×1", c.Reduced.Rows(), c.Reduced.Cols())
+	}
+	if got := c.ExpandCols([]int{0}); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("col group = %v, want [0 2]", got)
+	}
+}
+
+func TestCompressMergesDuplicates(t *testing.T) {
+	m := MustParse("110\n110\n001\n001")
+	c := Compress(m)
+	if c.Reduced.Rows() != 2 {
+		t.Fatalf("reduced rows = %d, want 2", c.Reduced.Rows())
+	}
+	if len(c.RowGroups[0]) != 2 || len(c.RowGroups[1]) != 2 {
+		t.Fatalf("row groups %v", c.RowGroups)
+	}
+}
+
+func TestCompressMergesDuplicateColumns(t *testing.T) {
+	m := MustParse("11\n11\n11")
+	c := Compress(m)
+	if c.Reduced.Rows() != 1 || c.Reduced.Cols() != 1 {
+		t.Fatalf("reduced dims %d×%d, want 1×1", c.Reduced.Rows(), c.Reduced.Cols())
+	}
+	if got := c.ExpandCols([]int{0}); len(got) != 2 {
+		t.Fatalf("expand cols %v", got)
+	}
+	if got := c.ExpandRows([]int{0}); len(got) != 3 {
+		t.Fatalf("expand rows %v", got)
+	}
+}
+
+func TestCompressPreservesRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		m := Random(rng, 1+rng.Intn(10), 1+rng.Intn(10), rng.Float64())
+		c := Compress(m)
+		if c.Reduced.Rank() != m.Rank() {
+			t.Fatalf("rank changed by compression:\n%s\n->\n%s", m, c.Reduced)
+		}
+	}
+}
+
+func TestCompressExpandCoversAllOnes(t *testing.T) {
+	// Every original 1 must be recoverable from some reduced 1 via group
+	// expansion.
+	rng := rand.New(rand.NewSource(21))
+	m := Random(rng, 8, 8, 0.4)
+	c := Compress(m)
+	covered := New(m.Rows(), m.Cols())
+	c.Reduced.ForEachOne(func(ri, rj int) {
+		for _, oi := range c.RowGroups[ri] {
+			for _, oj := range c.ColGroups[rj] {
+				covered.Set(oi, oj, true)
+			}
+		}
+	})
+	if !covered.Equal(m) {
+		t.Fatalf("expansion mismatch:\norig\n%s\ncovered\n%s", m, covered)
+	}
+}
+
+func TestCompressZeroMatrix(t *testing.T) {
+	c := Compress(New(3, 3))
+	if c.Reduced.Rows() != 0 {
+		t.Fatalf("zero matrix should compress to 0 rows, got %d", c.Reduced.Rows())
+	}
+}
+
+// Property: reduced matrix has no duplicate or zero rows/columns.
+func TestQuickCompressCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Random(rng, 1+rng.Intn(10), 1+rng.Intn(10), rng.Float64())
+		r := Compress(m).Reduced
+		seenR := map[string]bool{}
+		for i := 0; i < r.Rows(); i++ {
+			row := r.Row(i)
+			if row.IsZero() || seenR[row.Key()] {
+				return false
+			}
+			seenR[row.Key()] = true
+		}
+		rt := r.Transpose()
+		seenC := map[string]bool{}
+		for i := 0; i < rt.Rows(); i++ {
+			col := rt.Row(i)
+			if col.IsZero() || seenC[col.Key()] {
+				return false
+			}
+			seenC[col.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

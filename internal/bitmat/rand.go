@@ -1,0 +1,48 @@
+package bitmat
+
+import "math/rand"
+
+// Random returns a rows×cols matrix whose entries are 1 independently with
+// probability occupancy, drawn from rng. Deterministic for a fixed seed.
+func Random(rng *rand.Rand, rows, cols int, occupancy float64) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < occupancy {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// RandomVec returns a length-n vector with each bit set independently with
+// probability occupancy.
+func RandomVec(rng *rand.Rand, n int, occupancy float64) Vec {
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < occupancy {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// RandomNonzeroVec returns a length-n vector with at least one bit set,
+// each bit set independently with probability occupancy (resampled until
+// nonzero).
+func RandomNonzeroVec(rng *rand.Rand, n int, occupancy float64) Vec {
+	for {
+		v := RandomVec(rng, n, occupancy)
+		if !v.IsZero() {
+			return v
+		}
+	}
+}
+
+// ShuffledRows returns (m', perm) where m' is m with rows shuffled by rng and
+// perm maps new index → original index (m'.Row(i) == m.Row(perm[i])).
+func ShuffledRows(rng *rand.Rand, m *Matrix) (*Matrix, []int) {
+	perm := rng.Perm(m.rows)
+	return m.PermuteRows(perm), perm
+}

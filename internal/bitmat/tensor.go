@@ -1,0 +1,87 @@
+package bitmat
+
+// Tensor returns the Kronecker (tensor) product a ⊗ b: a matrix of dimension
+// (a.Rows·b.Rows) × (a.Cols·b.Cols) where block (i, j) equals b when
+// a(i,j)=1 and is zero otherwise. This is the two-level FTQC structure of
+// Section V: logical pattern ⊗ physical patch pattern.
+func Tensor(a, b *Matrix) *Matrix {
+	out := New(a.rows*b.rows, a.cols*b.cols)
+	a.ForEachOne(func(ai, aj int) {
+		b.ForEachOne(func(bi, bj int) {
+			out.Set(ai*b.rows+bi, aj*b.cols+bj, true)
+		})
+	})
+	return out
+}
+
+// AllOnes returns the rows×cols matrix with every entry 1 (binary rank 1; the
+// typical physical patch pattern of Section V, e.g. transversal X/Z/H).
+func AllOnes(rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, true)
+		}
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix (binary rank n).
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	return m
+}
+
+// HStack returns [a | b], the horizontal concatenation of two matrices with
+// equal row counts.
+func HStack(a, b *Matrix) *Matrix {
+	if a.rows != b.rows {
+		panic("bitmat: HStack row mismatch")
+	}
+	out := New(a.rows, a.cols+b.cols)
+	a.ForEachOne(func(i, j int) { out.Set(i, j, true) })
+	b.ForEachOne(func(i, j int) { out.Set(i, a.cols+j, true) })
+	return out
+}
+
+// VStack returns a over b, the vertical concatenation of two matrices with
+// equal column counts.
+func VStack(a, b *Matrix) *Matrix {
+	if a.cols != b.cols {
+		panic("bitmat: VStack column mismatch")
+	}
+	out := New(a.rows+b.rows, a.cols)
+	a.ForEachOne(func(i, j int) { out.Set(i, j, true) })
+	b.ForEachOne(func(i, j int) { out.Set(a.rows+i, j, true) })
+	return out
+}
+
+// Submatrix returns the matrix restricted to the given row and column index
+// lists (in the given order; indices may repeat).
+func (m *Matrix) Submatrix(rows, cols []int) *Matrix {
+	out := New(len(rows), len(cols))
+	for oi, i := range rows {
+		for oj, j := range cols {
+			if m.Get(i, j) {
+				out.Set(oi, oj, true)
+			}
+		}
+	}
+	return out
+}
+
+// PermuteRows returns a new matrix whose row i is m's row perm[i].
+// perm must be a permutation of [0, Rows).
+func (m *Matrix) PermuteRows(perm []int) *Matrix {
+	if len(perm) != m.rows {
+		panic("bitmat: PermuteRows length mismatch")
+	}
+	out := New(m.rows, m.cols)
+	for i, p := range perm {
+		out.SetRow(i, m.Row(p))
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTensorSmall(t *testing.T) {
+	a := MustParse("10\n01")
+	b := MustParse("11")
+	got := Tensor(a, b)
+	want := MustParse("1100\n0011")
+	if !got.Equal(want) {
+		t.Fatalf("tensor:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTensorDims(t *testing.T) {
+	a := New(2, 3)
+	b := New(4, 5)
+	tp := Tensor(a, b)
+	if tp.Rows() != 8 || tp.Cols() != 15 {
+		t.Fatalf("dims %d×%d, want 8×15", tp.Rows(), tp.Cols())
+	}
+}
+
+func TestTensorWithAllOnesPatch(t *testing.T) {
+	// M̂ ⊗ J: each logical 1 becomes an all-ones patch (Section V).
+	logical := MustParse("10\n11")
+	patch := AllOnes(2, 2)
+	tp := Tensor(logical, patch)
+	if tp.Ones() != logical.Ones()*4 {
+		t.Fatalf("ones = %d, want %d", tp.Ones(), logical.Ones()*4)
+	}
+	if tp.Rank() != logical.Rank() {
+		t.Fatalf("rank = %d, want %d", tp.Rank(), logical.Rank())
+	}
+}
+
+func TestIdentityAndAllOnes(t *testing.T) {
+	if got := Identity(3).Ones(); got != 3 {
+		t.Fatalf("I_3 ones = %d", got)
+	}
+	if got := AllOnes(3, 4).Ones(); got != 12 {
+		t.Fatalf("J ones = %d", got)
+	}
+}
+
+func TestHStackVStack(t *testing.T) {
+	a := MustParse("10\n01")
+	b := MustParse("11\n11")
+	h := HStack(a, b)
+	if h.String() != "1011\n0111" {
+		t.Fatalf("HStack:\n%s", h)
+	}
+	v := VStack(a, b)
+	if v.String() != "10\n01\n11\n11" {
+		t.Fatalf("VStack:\n%s", v)
+	}
+}
+
+func TestHStackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HStack(New(2, 2), New(3, 2))
+}
+
+func TestVStackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	VStack(New(2, 2), New(2, 3))
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := MustParse("101\n010\n111")
+	s := m.Submatrix([]int{0, 2}, []int{2, 0})
+	if s.String() != "11\n11" {
+		t.Fatalf("submatrix:\n%s", s)
+	}
+}
+
+func TestPermuteRows(t *testing.T) {
+	m := MustParse("100\n010\n001")
+	p := m.PermuteRows([]int{2, 0, 1})
+	if p.String() != "001\n100\n010" {
+		t.Fatalf("permute:\n%s", p)
+	}
+}
+
+func TestShuffledRowsPermValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := Random(rng, 6, 6, 0.5)
+	sh, perm := ShuffledRows(rng, m)
+	for i, p := range perm {
+		if !sh.Row(i).Equal(m.Row(p)) {
+			t.Fatalf("row %d does not match original row %d", i, p)
+		}
+	}
+}
+
+// Property: tensor ones count is multiplicative.
+func TestQuickTensorOnesMultiplicative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Random(rng, 1+rng.Intn(5), 1+rng.Intn(5), rng.Float64())
+		b := Random(rng, 1+rng.Intn(5), 1+rng.Intn(5), rng.Float64())
+		return Tensor(a, b).Ones() == a.Ones()*b.Ones()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (a⊗b)ᵀ == aᵀ⊗bᵀ.
+func TestQuickTensorTransposeCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Random(rng, 1+rng.Intn(4), 1+rng.Intn(4), 0.5)
+		b := Random(rng, 1+rng.Intn(4), 1+rng.Intn(4), 0.5)
+		return Tensor(a, b).Transpose().Equal(Tensor(a.Transpose(), b.Transpose()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecSetGet(t *testing.T) {
+	v := NewVec(130)
+	for _, i := range []int{0, 63, 64, 127, 128, 129} {
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.Ones() != 6 {
+		t.Fatalf("Ones = %d, want 6", v.Ones())
+	}
+}
+
+func TestVecFromBits(t *testing.T) {
+	v := VecFromBits([]int{1, 0, 1, 1})
+	if v.String() != "1011" {
+		t.Fatalf("got %s", v.String())
+	}
+}
+
+func TestVecSubsetOf(t *testing.T) {
+	a := VecFromBits([]int{1, 0, 1, 0})
+	b := VecFromBits([]int{1, 1, 1, 0})
+	if !a.SubsetOf(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("subset must be reflexive")
+	}
+	zero := NewVec(4)
+	if !zero.SubsetOf(a) {
+		t.Error("zero vec is subset of anything")
+	}
+}
+
+func TestVecAndNot(t *testing.T) {
+	a := VecFromBits([]int{1, 1, 1, 0})
+	b := VecFromBits([]int{0, 1, 0, 0})
+	a.AndNot(b)
+	if a.String() != "1010" {
+		t.Fatalf("got %s, want 1010", a.String())
+	}
+}
+
+func TestVecOrAndXor(t *testing.T) {
+	a := VecFromBits([]int{1, 0, 1})
+	b := VecFromBits([]int{0, 1, 1})
+	c := a.Clone()
+	c.Or(b)
+	if c.String() != "111" {
+		t.Fatalf("Or got %s", c.String())
+	}
+	c = a.Clone()
+	c.And(b)
+	if c.String() != "001" {
+		t.Fatalf("And got %s", c.String())
+	}
+	c = a.Clone()
+	c.Xor(b)
+	if c.String() != "110" {
+		t.Fatalf("Xor got %s", c.String())
+	}
+}
+
+func TestVecIntersects(t *testing.T) {
+	a := VecFromBits([]int{1, 0})
+	b := VecFromBits([]int{0, 1})
+	if a.Intersects(b) {
+		t.Error("disjoint vecs intersect")
+	}
+	b.Set(0, true)
+	if !a.Intersects(b) {
+		t.Error("overlapping vecs do not intersect")
+	}
+}
+
+func TestVecLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	NewVec(3).Or(NewVec(4))
+}
+
+func TestVecNextOne(t *testing.T) {
+	v := NewVec(200)
+	v.Set(5, true)
+	v.Set(70, true)
+	v.Set(199, true)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 70}, {70, 70}, {71, 199}, {199, 199},
+	}
+	for _, c := range cases {
+		if got := v.NextOne(c.from); got != c.want {
+			t.Errorf("NextOne(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	v.Set(199, false)
+	if got := v.NextOne(71); got != -1 {
+		t.Errorf("NextOne past last = %d, want -1", got)
+	}
+	if NewVec(0).NextOne(0) != -1 {
+		t.Error("empty vec NextOne should be -1")
+	}
+}
+
+func TestVecKeyDistinguishes(t *testing.T) {
+	a := VecFromBits([]int{1, 0, 0})
+	b := VecFromBits([]int{0, 1, 0})
+	if a.Key() == b.Key() {
+		t.Error("distinct vecs share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Error("equal vecs have distinct keys")
+	}
+}
+
+func TestVecOnesPositions(t *testing.T) {
+	v := VecFromBits([]int{0, 1, 0, 1, 1})
+	got := v.OnesPositions()
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: AndNot then Or with the same operand restores a superset
+// relationship: (a \ b) ∪ b ⊇ a.
+func TestQuickAndNotOrSuperset(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		a := RandomVec(rng, n, rng.Float64())
+		b := RandomVec(rng, n, rng.Float64())
+		c := a.Clone()
+		c.AndNot(b)
+		c.Or(b)
+		return a.SubsetOf(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: subset is antisymmetric — mutual subsets are equal.
+func TestQuickSubsetAntisymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		a := RandomVec(rng, n, 0.5)
+		b := a.Clone()
+		if rng.Intn(2) == 0 {
+			b = RandomVec(rng, n, 0.5)
+		}
+		if a.SubsetOf(b) && b.SubsetOf(a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package bmf implements the baseline the paper's background discusses:
+// approximate binary matrix factorization in the style of Zhang et al.
+// (ICDM 2007), the optimizer integrated into the NIMFA package. Given M and
+// a fixed inner dimension r, it minimizes ‖M − H·W‖² over binary H, W by
+// monotone coordinate descent (bit flips that strictly reduce the residual).
+//
+// The paper observes that this optimizer "is not designed for EBMF but to
+// provide approximations given a fixed r, [so] it does not perform well for
+// our specific purposes": even when an exact factorization at rank r exists,
+// local search frequently stalls at a nonzero residual, and the H·W product
+// may exceed 1 (overlapping rectangles), which rectangular addressing
+// forbids. The package exists to reproduce that comparison.
+package bmf
+
+import (
+	"math/rand"
+
+	"repro/internal/bitmat"
+	"repro/internal/rect"
+)
+
+// Factorization is an approximate binary factorization M ≈ H·W.
+type Factorization struct {
+	// H is m×r, W is r×n, both binary.
+	H, W *bitmat.Matrix
+	// Residual is ‖M − H·W‖² over the integers (0 means exact as a sum,
+	// but possibly with overlaps counted: an entry covered twice against a
+	// target of 1 contributes 1).
+	Residual int
+	// Overlaps counts entries where (H·W) > 1 — violations of the
+	// disjointness EBMF requires even when Residual treats them mildly.
+	Overlaps int
+	// Iterations is the number of full coordinate-descent sweeps performed.
+	Iterations int
+}
+
+// Options configures the optimizer.
+type Options struct {
+	// Rank is the inner dimension r.
+	Rank int
+	// Restarts is the number of random restarts (best kept).
+	Restarts int
+	// MaxSweeps bounds coordinate-descent sweeps per restart.
+	MaxSweeps int
+	// Seed makes runs deterministic.
+	Seed int64
+}
+
+// DefaultOptions returns a moderate-effort configuration.
+func DefaultOptions(rank int) Options {
+	return Options{Rank: rank, Restarts: 10, MaxSweeps: 100, Seed: 1}
+}
+
+// Factorize runs the coordinate-descent optimizer and returns the best
+// factorization over the restarts.
+func Factorize(m *bitmat.Matrix, opts Options) *Factorization {
+	if opts.Rank < 0 {
+		panic("bmf: negative rank")
+	}
+	if opts.Restarts < 1 {
+		opts.Restarts = 1
+	}
+	if opts.MaxSweeps < 1 {
+		opts.MaxSweeps = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var best *Factorization
+	for restart := 0; restart < opts.Restarts; restart++ {
+		f := descend(m, opts.Rank, opts.MaxSweeps, rng)
+		if best == nil || f.Residual < best.Residual ||
+			(f.Residual == best.Residual && f.Overlaps < best.Overlaps) {
+			best = f
+		}
+		if best.Residual == 0 && best.Overlaps == 0 {
+			break
+		}
+	}
+	return best
+}
+
+// descend is one restart: random initialization followed by bit-flip
+// coordinate descent until a sweep makes no progress.
+func descend(m *bitmat.Matrix, r, maxSweeps int, rng *rand.Rand) *Factorization {
+	rows, cols := m.Rows(), m.Cols()
+	// Integer working copies: target, H, W, and the product P = H·W.
+	target := make([][]int, rows)
+	for i := range target {
+		target[i] = make([]int, cols)
+		for j := 0; j < cols; j++ {
+			if m.Get(i, j) {
+				target[i][j] = 1
+			}
+		}
+	}
+	h := randBits(rng, rows, r, 0.3)
+	w := randBits(rng, r, cols, 0.3)
+	p := product(h, w)
+
+	f := &Factorization{}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		f.Iterations = sweep + 1
+		improved := false
+		// Flip H bits: flipping h[i][k] changes row i of P by ±w[k].
+		for i := 0; i < rows; i++ {
+			for k := 0; k < r; k++ {
+				delta := 0
+				sign := 1
+				if h[i][k] == 1 {
+					sign = -1
+				}
+				for j := 0; j < cols; j++ {
+					if w[k][j] == 0 {
+						continue
+					}
+					oldD := p[i][j] - target[i][j]
+					newD := oldD + sign
+					delta += newD*newD - oldD*oldD
+				}
+				if delta < 0 {
+					h[i][k] ^= 1
+					for j := 0; j < cols; j++ {
+						if w[k][j] == 1 {
+							p[i][j] += sign
+						}
+					}
+					improved = true
+				}
+			}
+		}
+		// Flip W bits: flipping w[k][j] changes column j of P by ±h[·][k].
+		for k := 0; k < r; k++ {
+			for j := 0; j < cols; j++ {
+				delta := 0
+				sign := 1
+				if w[k][j] == 1 {
+					sign = -1
+				}
+				for i := 0; i < rows; i++ {
+					if h[i][k] == 0 {
+						continue
+					}
+					oldD := p[i][j] - target[i][j]
+					newD := oldD + sign
+					delta += newD*newD - oldD*oldD
+				}
+				if delta < 0 {
+					w[k][j] ^= 1
+					for i := 0; i < rows; i++ {
+						if h[i][k] == 1 {
+							p[i][j] += sign
+						}
+					}
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	f.H = toMatrix(h)
+	f.W = toMatrix(w)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			d := p[i][j] - target[i][j]
+			f.Residual += d * d
+			if p[i][j] > 1 {
+				f.Overlaps++
+			}
+		}
+	}
+	return f
+}
+
+func randBits(rng *rand.Rand, rows, cols int, density float64) [][]int {
+	out := make([][]int, rows)
+	for i := range out {
+		out[i] = make([]int, cols)
+		for j := range out[i] {
+			if rng.Float64() < density {
+				out[i][j] = 1
+			}
+		}
+	}
+	return out
+}
+
+func product(h, w [][]int) [][]int {
+	rows, r := len(h), 0
+	if rows > 0 {
+		r = len(h[0])
+	}
+	cols := 0
+	if len(w) > 0 {
+		cols = len(w[0])
+	}
+	p := make([][]int, rows)
+	for i := range p {
+		p[i] = make([]int, cols)
+		for k := 0; k < r; k++ {
+			if h[i][k] == 0 {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				p[i][j] += w[k][j]
+			}
+		}
+	}
+	return p
+}
+
+func toMatrix(bits [][]int) *bitmat.Matrix {
+	if len(bits) == 0 {
+		return bitmat.New(0, 0)
+	}
+	return bitmat.FromRows(bits)
+}
+
+// IsExactEBMF reports whether the factorization is an exact binary matrix
+// factorization of m: zero residual and no overlaps.
+func (f *Factorization) IsExactEBMF() bool {
+	return f.Residual == 0 && f.Overlaps == 0
+}
+
+// Partition converts an exact factorization into a rectangle partition of m;
+// it returns nil when the factorization is not exact.
+func (f *Factorization) Partition(m *bitmat.Matrix) *rect.Partition {
+	if !f.IsExactEBMF() {
+		return nil
+	}
+	p := rect.FromFactors(m, f.H, f.W)
+	// Drop rectangles with empty row or column sets (unused inner dims).
+	kept := p.Rects[:0]
+	for _, r := range p.Rects {
+		if !r.IsEmpty() {
+			kept = append(kept, r)
+		}
+	}
+	p.Rects = kept
+	if err := p.Validate(); err != nil {
+		return nil
+	}
+	return p
+}
+
+// SolveEBMF searches for the smallest r at which the optimizer finds an
+// exact factorization, scanning r from the rank lower bound up to maxRank.
+// It returns the depth found and whether any exact factorization appeared —
+// the baseline protocol the paper compares SAP against.
+func SolveEBMF(m *bitmat.Matrix, maxRank int, opts Options) (depth int, ok bool) {
+	if m.Ones() == 0 {
+		return 0, true
+	}
+	lb := m.Rank()
+	for r := lb; r <= maxRank; r++ {
+		o := opts
+		o.Rank = r
+		f := Factorize(m, o)
+		if f.IsExactEBMF() && f.Partition(m) != nil {
+			return r, true
+		}
+	}
+	return maxRank, false
+}

@@ -1,0 +1,133 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+)
+
+func fastOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Packing.Trials = 10
+	o.FoolingBudget = 20_000
+	o.ConflictBudget = 200_000
+	return o
+}
+
+func TestAddLayerGeometryCheck(t *testing.T) {
+	c := NewCircuit(4, 4)
+	if err := c.AddLayer(Layer{Name: "bad", Pattern: bitmat.New(3, 4)}); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+	if err := c.AddLayer(Layer{Name: "ok", Pattern: bitmat.New(4, 4)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileEmptyCircuit(t *testing.T) {
+	res, err := Compile(NewCircuit(4, 4), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalShots != 0 || !res.AllOptimal {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestCompileQAOAStructuredLayersAreRank1(t *testing.T) {
+	c := QAOACircuit(8, 8, 2)
+	res, err := Compile(c, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every stripe layer is a single rectangle: 4 stripes × 2 rounds = 8.
+	if res.TotalShots != 8 {
+		t.Fatalf("total shots = %d, want 8", res.TotalShots)
+	}
+	if !res.AllOptimal {
+		t.Fatal("stripe layers must be proved optimal")
+	}
+	// Rectangular addressing crushes per-qubit addressing here; row-by-row
+	// ties (each stripe collapses to one distinct row) but never wins.
+	if res.NaiveShots <= res.TotalShots {
+		t.Fatalf("naive should lose: naive=%d shots=%d", res.NaiveShots, res.TotalShots)
+	}
+	if res.RowShots < res.TotalShots {
+		t.Fatalf("rows cannot beat optimal: rows=%d shots=%d", res.RowShots, res.TotalShots)
+	}
+}
+
+func TestCompileStaircaseIsFullRank(t *testing.T) {
+	// A permutation-matrix layer has binary rank = n: rectangular
+	// addressing degenerates to per-qubit addressing (the adversarial case).
+	c := StaircaseCircuit(5, 5, 3)
+	res, err := Compile(c, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalShots != 15 {
+		t.Fatalf("total shots = %d, want 15 (3 layers × rank 5)", res.TotalShots)
+	}
+	if res.TotalShots != res.NaiveShots {
+		t.Fatalf("staircase should match naive: %d vs %d", res.TotalShots, res.NaiveShots)
+	}
+}
+
+func TestCompileRandomCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := RandomCircuit(rng, 6, 6, 4, 0.4)
+	res, err := Compile(c, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 4 {
+		t.Fatalf("layers = %d", len(res.Layers))
+	}
+	for _, lr := range res.Layers {
+		if lr.Schedule.Depth() != lr.Solve.Depth {
+			t.Fatal("schedule depth mismatch")
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	c := QAOACircuit(4, 4, 1)
+	res, err := Compile(c, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	if !strings.Contains(s, "round0-even-rows") || !strings.Contains(s, "total shots") {
+		t.Fatalf("summary:\n%s", s)
+	}
+}
+
+// Property: total shots are bounded by the two baselines from below by the
+// sum of layer ranks, and never exceed row-by-row or naive addressing.
+func TestQuickCompileBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomCircuit(rng, 2+rng.Intn(5), 2+rng.Intn(5), 1+rng.Intn(3), 0.5)
+		res, err := Compile(c, fastOptions())
+		if err != nil {
+			return false
+		}
+		rankSum := 0
+		for _, l := range c.Layers {
+			rankSum += l.Pattern.Rank()
+		}
+		return res.TotalShots >= rankSum &&
+			res.TotalShots <= res.RowShots &&
+			res.TotalShots <= res.NaiveShots
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package complete implements the paper's future-work extension: rectangular
+// addressing with vacancies. Array sites without atoms are "don't cares" —
+// addressing them any number of times is harmless — so the problem becomes
+// binary matrix completion rather than factorization: cover every required 1
+// exactly once with rectangles that avoid required 0s, where rectangles may
+// overlap freely on don't-care cells.
+//
+// Exploiting don't cares can only reduce the depth: any EBMF of the pattern
+// is also a valid don't-care cover.
+package complete
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/rect"
+	"repro/internal/sat"
+)
+
+// Problem is a completion instance.
+type Problem struct {
+	// M marks the required 1s (qubits to address).
+	M *bitmat.Matrix
+	// DontCare marks sites that rectangles may cover freely (vacancies).
+	// A cell must not be both required and don't-care.
+	DontCare *bitmat.Matrix
+}
+
+// NewProblem validates and returns a completion instance.
+func NewProblem(m, dontCare *bitmat.Matrix) (*Problem, error) {
+	if m.Rows() != dontCare.Rows() || m.Cols() != dontCare.Cols() {
+		return nil, fmt.Errorf("complete: pattern %d×%d vs mask %d×%d",
+			m.Rows(), m.Cols(), dontCare.Rows(), dontCare.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i).Clone()
+		row.And(dontCare.Row(i))
+		if !row.IsZero() {
+			return nil, fmt.Errorf("complete: cell (%d,%d) is both required and don't-care",
+				i, row.NextOne(0))
+		}
+	}
+	return &Problem{M: m, DontCare: dontCare}, nil
+}
+
+// cellKind classifies a cell of the array.
+func (p *Problem) cellKind(i, j int) byte {
+	switch {
+	case p.M.Get(i, j):
+		return '1'
+	case p.DontCare.Get(i, j):
+		return 'X'
+	default:
+		return '0'
+	}
+}
+
+// Cover is a set of rectangles addressing the required pattern.
+type Cover struct {
+	P     *Problem
+	Rects []rect.Rect
+}
+
+// Depth returns the number of rectangles.
+func (c *Cover) Depth() int { return len(c.Rects) }
+
+// Validation failure modes.
+var (
+	// ErrCoversZero marks a rectangle touching a required 0.
+	ErrCoversZero = errors.New("complete: rectangle covers a required 0")
+	// ErrMultiplyCovered marks a required 1 covered more than once.
+	ErrMultiplyCovered = errors.New("complete: required 1 covered twice")
+	// ErrUncovered marks a required 1 covered by no rectangle.
+	ErrUncovered = errors.New("complete: required 1 uncovered")
+)
+
+// Validate checks the don't-care covering contract: no rectangle touches a
+// required 0; every required 1 is covered exactly once; don't-care overlap
+// is unrestricted.
+func (c *Cover) Validate() error {
+	m := c.P.M
+	counts := bitmat.New(m.Rows(), m.Cols())
+	for idx, r := range c.Rects {
+		var fail error
+		r.Rows.ForEachOne(func(i int) {
+			if fail != nil {
+				return
+			}
+			r.Cols.ForEachOne(func(j int) {
+				if fail != nil {
+					return
+				}
+				switch c.P.cellKind(i, j) {
+				case '0':
+					fail = fmt.Errorf("rectangle %d at (%d,%d): %w", idx, i, j, ErrCoversZero)
+				case '1':
+					if counts.Get(i, j) {
+						fail = fmt.Errorf("rectangle %d at (%d,%d): %w", idx, i, j, ErrMultiplyCovered)
+						return
+					}
+					counts.Set(i, j, true)
+				}
+			})
+		})
+		if fail != nil {
+			return fail
+		}
+	}
+	if !counts.Equal(m) {
+		for i := 0; i < m.Rows(); i++ {
+			missing := m.Row(i).Clone()
+			missing.AndNot(counts.Row(i))
+			if !missing.IsZero() {
+				return fmt.Errorf("cell (%d,%d): %w", i, missing.NextOne(0), ErrUncovered)
+			}
+		}
+	}
+	return nil
+}
+
+// Greedy builds a cover by growing maximal rectangles around uncovered 1s:
+// for each uncovered required 1 in row-major order, extend along the row
+// over compatible columns, then down over compatible rows.
+func Greedy(p *Problem) *Cover {
+	m := p.M
+	covered := bitmat.New(m.Rows(), m.Cols())
+	cov := &Cover{P: p}
+	m.ForEachOne(func(i, j int) {
+		if covered.Get(i, j) {
+			return
+		}
+		// Column set: uncovered 1s and don't-cares along row i, always
+		// including j.
+		cols := bitmat.NewVec(m.Cols())
+		for cc := 0; cc < m.Cols(); cc++ {
+			switch p.cellKind(i, cc) {
+			case '1':
+				if !covered.Get(i, cc) {
+					cols.Set(cc, true)
+				}
+			case 'X':
+				cols.Set(cc, true)
+			}
+		}
+		// Row set: rows where every chosen column is an uncovered 1 or a
+		// don't-care.
+		rows := bitmat.NewVec(m.Rows())
+		for rr := 0; rr < m.Rows(); rr++ {
+			ok := true
+			cols.ForEachOne(func(cc int) {
+				if !ok {
+					return
+				}
+				switch p.cellKind(rr, cc) {
+				case '0':
+					ok = false
+				case '1':
+					if covered.Get(rr, cc) {
+						ok = false
+					}
+				}
+			})
+			if ok {
+				rows.Set(rr, true)
+			}
+		}
+		// Trim columns that cover no required 1 within the chosen rows;
+		// they only constrain without helping (pure don't-care columns are
+		// harmless but make rectangles gratuitously wide).
+		cols.ForEachOne(func(cc int) {
+			any := false
+			rows.ForEachOne(func(rr int) {
+				if p.cellKind(rr, cc) == '1' {
+					any = true
+				}
+			})
+			if !any {
+				cols.Set(cc, false)
+			}
+		})
+		r := rect.Rect{Rows: rows, Cols: cols}
+		r.Rows.ForEachOne(func(rr int) {
+			r.Cols.ForEachOne(func(cc int) {
+				if p.cellKind(rr, cc) == '1' {
+					covered.Set(rr, cc, true)
+				}
+			})
+		})
+		cov.Rects = append(cov.Rects, r)
+	})
+	return cov
+}
+
+// SolveExact finds a minimum-depth cover by SAT narrowing from the greedy
+// upper bound, with an optional conflict budget (≤ 0 unlimited). It returns
+// the best cover found and whether it is proved optimal.
+func SolveExact(p *Problem, conflictBudget int64) (*Cover, bool) {
+	best := Greedy(p)
+	if best.Depth() <= 1 {
+		return best, true
+	}
+	ones := p.M.OnesPositions()
+	at := make(map[[2]int]int, len(ones))
+	for idx, pos := range ones {
+		at[pos] = idx
+	}
+	for b := best.Depth() - 1; b >= 1; b-- {
+		s := sat.New()
+		vars := make([][]sat.Var, len(ones))
+		for e := range vars {
+			vars[e] = make([]sat.Var, b)
+			for k := range vars[e] {
+				vars[e][k] = s.NewVar()
+			}
+		}
+		for e := range vars {
+			lits := make([]sat.Lit, b)
+			for k := 0; k < b; k++ {
+				lits[k] = sat.PosLit(vars[e][k])
+			}
+			s.AddClause(lits...)
+			for k1 := 0; k1 < b; k1++ {
+				for k2 := k1 + 1; k2 < b; k2++ {
+					s.AddClause(sat.NegLit(vars[e][k1]), sat.NegLit(vars[e][k2]))
+				}
+			}
+			// Symmetry breaking: entry e opens slots 0..e only.
+			for k := e + 1; k < b; k++ {
+				s.AddClause(sat.NegLit(vars[e][k]))
+			}
+		}
+		// Closure with don't-cares: same rectangle forces required-1 crosses
+		// into the rectangle, forbids 0 crosses, ignores don't-care crosses.
+		for a := 0; a < len(ones); a++ {
+			for c := a + 1; c < len(ones); c++ {
+				i, j := ones[a][0], ones[a][1]
+				i2, j2 := ones[c][0], ones[c][1]
+				if i == i2 || j == j2 {
+					continue
+				}
+				addCross := func(ci, cj int) bool {
+					switch p.cellKind(ci, cj) {
+					case '0':
+						for k := 0; k < b; k++ {
+							s.AddClause(sat.NegLit(vars[a][k]), sat.NegLit(vars[c][k]))
+						}
+						return true
+					case '1':
+						cross := at[[2]int{ci, cj}]
+						for k := 0; k < b; k++ {
+							s.AddClause(sat.NegLit(vars[a][k]), sat.NegLit(vars[c][k]),
+								sat.PosLit(vars[cross][k]))
+						}
+					}
+					return false
+				}
+				if addCross(i, j2) {
+					continue // pair already fully conflicting
+				}
+				addCross(i2, j)
+			}
+		}
+		if conflictBudget > 0 {
+			s.SetConflictBudget(conflictBudget)
+		}
+		switch s.Solve() {
+		case sat.Sat:
+			cov := &Cover{P: p}
+			byRect := make([][]int, b)
+			for e := range vars {
+				for k := 0; k < b; k++ {
+					if s.Value(vars[e][k]) {
+						byRect[k] = append(byRect[k], e)
+						break
+					}
+				}
+			}
+			for _, entries := range byRect {
+				if len(entries) == 0 {
+					continue
+				}
+				r := rect.NewRect(p.M.Rows(), p.M.Cols())
+				for _, e := range entries {
+					r.Rows.Set(ones[e][0], true)
+					r.Cols.Set(ones[e][1], true)
+				}
+				cov.Rects = append(cov.Rects, r)
+			}
+			if err := cov.Validate(); err != nil {
+				// The decoded rectangles may sweep over don't-cares; that is
+				// legal, but a required-0 violation would be an encoder bug.
+				panic(fmt.Sprintf("complete: internal error: %v", err))
+			}
+			best = cov
+		case sat.Unsat:
+			return best, true
+		default:
+			return best, false
+		}
+	}
+	return best, true
+}

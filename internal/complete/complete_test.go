@@ -1,0 +1,195 @@
+package complete
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/rect"
+)
+
+func mustProblem(t *testing.T, pattern, dontCare string) *Problem {
+	t.Helper()
+	p, err := NewProblem(bitmat.MustParse(pattern), bitmat.MustParse(dontCare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProblemRejectsOverlap(t *testing.T) {
+	_, err := NewProblem(bitmat.MustParse("10\n00"), bitmat.MustParse("10\n00"))
+	if err == nil {
+		t.Fatal("required∩don't-care must be rejected")
+	}
+}
+
+func TestNewProblemRejectsShapeMismatch(t *testing.T) {
+	_, err := NewProblem(bitmat.New(2, 2), bitmat.New(3, 2))
+	if err == nil {
+		t.Fatal("shape mismatch must be rejected")
+	}
+}
+
+func TestGreedyNoDontCaresMatchesPartitionSemantics(t *testing.T) {
+	p := mustProblem(t, "110\n110\n001", "000\n000\n000")
+	cov := Greedy(p)
+	if err := cov.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cov.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", cov.Depth())
+	}
+}
+
+func TestDontCaresReduceDepth(t *testing.T) {
+	// Pattern needs 2 rectangles without don't-cares; with the blocking 0
+	// turned into a vacancy, one rectangle suffices.
+	pattern := "11\n10"
+	noDC := mustProblem(t, pattern, "00\n00")
+	covNo, okNo := SolveExact(noDC, 0)
+	if !okNo || covNo.Depth() != 2 {
+		t.Fatalf("no-DC depth = %d (ok=%v), want 2", covNo.Depth(), okNo)
+	}
+	withDC := mustProblem(t, pattern, "00\n01")
+	covDC, okDC := SolveExact(withDC, 0)
+	if !okDC || covDC.Depth() != 1 {
+		t.Fatalf("DC depth = %d (ok=%v), want 1", covDC.Depth(), okDC)
+	}
+	if err := covDC.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsZeroCoverage(t *testing.T) {
+	p := mustProblem(t, "10\n00", "00\n00")
+	cov := &Cover{P: p, Rects: []rect.Rect{rect.FromIndices(2, 2, []int{0}, []int{0, 1})}}
+	if err := cov.Validate(); !errors.Is(err, ErrCoversZero) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestValidateDetectsDoubleCover(t *testing.T) {
+	p := mustProblem(t, "10\n00", "00\n00")
+	r := rect.FromIndices(2, 2, []int{0}, []int{0})
+	cov := &Cover{P: p, Rects: []rect.Rect{r, r.Clone()}}
+	if err := cov.Validate(); !errors.Is(err, ErrMultiplyCovered) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestValidateDetectsUncovered(t *testing.T) {
+	p := mustProblem(t, "11\n00", "00\n00")
+	cov := &Cover{P: p, Rects: []rect.Rect{rect.FromIndices(2, 2, []int{0}, []int{0})}}
+	if err := cov.Validate(); !errors.Is(err, ErrUncovered) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestValidateAllowsDCOverlap(t *testing.T) {
+	p := mustProblem(t, "101\n000", "010\n000")
+	cov := &Cover{P: p, Rects: []rect.Rect{
+		rect.FromIndices(2, 3, []int{0}, []int{0, 1}),
+		rect.FromIndices(2, 3, []int{0}, []int{1, 2}),
+	}}
+	if err := cov.Validate(); err != nil {
+		t.Fatalf("DC overlap must be legal: %v", err)
+	}
+}
+
+func TestSolveExactZeroPattern(t *testing.T) {
+	p := mustProblem(t, "00\n00", "10\n00")
+	cov, ok := SolveExact(p, 0)
+	if !ok || cov.Depth() != 0 {
+		t.Fatalf("depth=%d ok=%v", cov.Depth(), ok)
+	}
+}
+
+func TestSolveExactNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		m := bitmat.Random(rng, 5, 5, 0.4)
+		dc := bitmat.New(5, 5)
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if !m.Get(i, j) && rng.Intn(4) == 0 {
+					dc.Set(i, j, true)
+				}
+			}
+		}
+		p, err := NewProblem(m, dc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := Greedy(p)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("greedy invalid: %v", err)
+		}
+		e, _ := SolveExact(p, 50_000)
+		if err := e.Validate(); err != nil {
+			t.Fatalf("exact invalid: %v", err)
+		}
+		if e.Depth() > g.Depth() {
+			t.Fatalf("exact %d worse than greedy %d", e.Depth(), g.Depth())
+		}
+	}
+}
+
+// Property: with an empty don't-care mask, the exact cover depth equals the
+// binary rank (completion degenerates to factorization).
+func TestQuickNoDCEqualsBinaryRank(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := bitmat.Random(rng, 1+rng.Intn(4), 1+rng.Intn(4), 0.5)
+		p, err := NewProblem(m, bitmat.New(m.Rows(), m.Cols()))
+		if err != nil {
+			return false
+		}
+		cov, ok := SolveExact(p, 0)
+		if !ok {
+			return false
+		}
+		rb, err := core.BinaryRank(m)
+		if err != nil {
+			return false
+		}
+		return cov.Depth() == rb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding don't-cares never increases the optimal depth.
+func TestQuickDCMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := bitmat.Random(rng, 1+rng.Intn(4), 1+rng.Intn(4), 0.5)
+		empty := bitmat.New(m.Rows(), m.Cols())
+		dc := bitmat.New(m.Rows(), m.Cols())
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if !m.Get(i, j) && rng.Intn(3) == 0 {
+					dc.Set(i, j, true)
+				}
+			}
+		}
+		p0, err0 := NewProblem(m, empty)
+		p1, err1 := NewProblem(m, dc)
+		if err0 != nil || err1 != nil {
+			return false
+		}
+		c0, ok0 := SolveExact(p0, 0)
+		c1, ok1 := SolveExact(p1, 0)
+		if !ok0 || !ok1 {
+			return true
+		}
+		return c1.Depth() <= c0.Depth()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+func TestCertifyDepthFig1b(t *testing.T) {
+	// rank = 4 < r_B = 5, so the certificate must go through a checked
+	// UNSAT proof at b = 4.
+	m := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	if err := CertifyDepth(m, 5); err != nil {
+		t.Fatalf("valid optimum rejected: %v", err)
+	}
+}
+
+func TestCertifyDepthRejectsSuboptimal(t *testing.T) {
+	m := bitmat.MustParse("110\n011\n111") // r_B = 3
+	err := CertifyDepth(m, 4)
+	if err == nil || !strings.Contains(err.Error(), "not optimal") {
+		t.Fatalf("suboptimal depth accepted: %v", err)
+	}
+}
+
+func TestCertifyDepthRankShortcut(t *testing.T) {
+	// Full-rank matrices certify without SAT.
+	if err := CertifyDepth(bitmat.Identity(5), 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertifyDepthEdges(t *testing.T) {
+	if err := CertifyDepth(nil, 1); err != ErrNilMatrix {
+		t.Fatalf("nil: %v", err)
+	}
+	if err := CertifyDepth(bitmat.New(2, 2), 0); err != nil {
+		t.Fatalf("zero matrix depth 0: %v", err)
+	}
+	if err := CertifyDepth(bitmat.New(2, 2), 1); err == nil {
+		t.Fatal("zero matrix with depth 1 accepted")
+	}
+	if err := CertifyDepth(bitmat.MustParse("1"), 0); err == nil {
+		t.Fatal("nonzero matrix with depth 0 accepted")
+	}
+}
+
+func TestCertifyDepthAgreesWithSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 12; trial++ {
+		m := bitmat.Random(rng, 5, 5, 0.5)
+		res, err := Solve(m, fastOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			continue
+		}
+		if err := CertifyDepth(m, res.Depth); err != nil {
+			t.Fatalf("certificate failed for solved optimum %d: %v\n%s", res.Depth, err, m)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package core implements SAP (SMT-and-packing, Algorithm 1 of the paper):
+// the combined EBMF solver. The row-packing heuristic supplies a valid
+// partition quickly; a SAT-backed exact solver (the paper uses z3; this
+// reproduction compiles the same constraints to CNF) then repeatedly narrows
+// the rectangle budget until it proves unsatisfiability or reaches the
+// rational-rank lower bound, at which point the best partition found is
+// optimal.
+//
+// The solver always returns the best valid partition found so far, even when
+// interrupted by a conflict or time budget — mirroring the paper's "when we
+// terminate at any time, we can return P".
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/encode"
+	"repro/internal/fooling"
+	"repro/internal/rect"
+	"repro/internal/rowpack"
+	"repro/internal/sat"
+)
+
+// Encoding selects the CNF compilation of the depth-decision problem.
+type Encoding int
+
+const (
+	// EncodingOneHot is the direct slot encoding (default, fastest).
+	EncodingOneHot Encoding = iota
+	// EncodingLog is the bit-vector-flavoured encoding (ablation).
+	EncodingLog
+)
+
+// Certificate says why a result is known optimal.
+type Certificate int
+
+const (
+	// CertNone: no optimality proof (heuristic result only).
+	CertNone Certificate = iota
+	// CertRank: depth equals the rational-rank lower bound (Eq. 3).
+	CertRank
+	// CertFooling: depth equals a fooling-set lower bound.
+	CertFooling
+	// CertUnsat: the SAT solver proved depth-1 infeasible.
+	CertUnsat
+)
+
+// String names the certificate.
+func (c Certificate) String() string {
+	switch c {
+	case CertRank:
+		return "rank"
+	case CertFooling:
+		return "fooling-set"
+	case CertUnsat:
+		return "unsat-proof"
+	default:
+		return "none"
+	}
+}
+
+// Options configures Solve.
+type Options struct {
+	// Packing configures the row-packing heuristic stage.
+	Packing rowpack.Options
+	// Encoding selects the CNF compilation.
+	Encoding Encoding
+	// AMO selects the at-most-one encoding for the one-hot compilation.
+	AMO encode.AMO
+	// SkipSAT stops after the heuristic stage (still reports lower bounds
+	// and certificates when the heuristic happens to match them).
+	SkipSAT bool
+	// ConflictBudget bounds total SAT conflicts across the narrowing loop;
+	// ≤ 0 means unlimited. When exhausted the best partition so far is
+	// returned with TimedOut set.
+	ConflictBudget int64
+	// TimeBudget bounds wall-clock time of the SAT stage; 0 means unlimited.
+	TimeBudget time.Duration
+	// FoolingBudget is the node budget for the exact fooling-set lower
+	// bound; 0 skips the fooling bound entirely (the paper's loop uses only
+	// the rank bound; fooling strengthens certificates on small instances).
+	FoolingBudget int64
+	// DisableCompression solves on the raw matrix instead of the
+	// deduplicated reduction.
+	DisableCompression bool
+	// MaxSATEntries skips the SAT stage for matrices with more 1-entries
+	// (mirrors the paper: 100×100 instances are "too large for SMT").
+	// 0 means no limit.
+	MaxSATEntries int
+}
+
+// DefaultOptions mirror the paper's configuration at moderate effort:
+// 100 packing trials and an unbounded exact stage for small matrices.
+func DefaultOptions() Options {
+	return Options{
+		Packing:       rowpack.DefaultOptions(),
+		FoolingBudget: 200_000,
+		MaxSATEntries: 400,
+	}
+}
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	// Partition is the best EBMF found; always valid for the input matrix.
+	Partition *rect.Partition
+	// Depth is len(Partition.Rects) = the addressing depth.
+	Depth int
+	// RankLB is the rational-rank lower bound (Eq. 3).
+	RankLB int
+	// FoolingLB is the best fooling-set lower bound computed (0 if skipped).
+	FoolingLB int
+	// Optimal reports whether Depth is proved minimal, i.e. Depth = r_B(M).
+	Optimal bool
+	// Certificate says how optimality was established.
+	Certificate Certificate
+	// TimedOut reports that a conflict or time budget interrupted the
+	// narrowing loop (the result may still be optimal-by-bound).
+	TimedOut bool
+	// HeuristicDepth is the depth after the packing stage, before SAT.
+	HeuristicDepth int
+	// SATCalls counts decision-problem invocations.
+	SATCalls int
+	// Conflicts is the total SAT conflicts spent.
+	Conflicts int64
+	// PackTime and SATTime split the runtime by stage (Figure 4's split).
+	PackTime, SATTime time.Duration
+}
+
+// ErrNilMatrix is returned when Solve receives a nil matrix.
+var ErrNilMatrix = errors.New("core: nil matrix")
+
+// Solve runs SAP on m and returns the best partition with provenance.
+func Solve(m *bitmat.Matrix, opts Options) (*Result, error) {
+	if m == nil {
+		return nil, ErrNilMatrix
+	}
+	res := &Result{}
+
+	// Work on the compressed matrix; lift the partition at the end.
+	work := m
+	var comp *bitmat.Compression
+	if !opts.DisableCompression {
+		comp = bitmat.Compress(m)
+		work = comp.Reduced
+	}
+
+	finish := func(p *rect.Partition) (*Result, error) {
+		if comp != nil {
+			p = rect.Lift(comp, m, p)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("core: internal error: produced invalid partition: %w", err)
+		}
+		res.Partition = p
+		res.Depth = p.Depth()
+		return res, nil
+	}
+
+	if work.Ones() == 0 {
+		res.Optimal = true
+		res.Certificate = CertRank
+		return finish(rect.NewPartition(work))
+	}
+
+	// Stage 1: heuristic upper bound (Algorithm 1, line 1).
+	t0 := time.Now()
+	best := rowpack.Pack(work, opts.Packing)
+	res.PackTime = time.Since(t0)
+	res.HeuristicDepth = best.Depth()
+
+	// Lower bounds.
+	res.RankLB = work.Rank()
+	lb := res.RankLB
+	if opts.FoolingBudget > 0 {
+		fs, _ := fooling.Exact(work, opts.FoolingBudget)
+		res.FoolingLB = len(fs)
+		if res.FoolingLB > lb {
+			lb = res.FoolingLB
+		}
+	}
+
+	if best.Depth() <= lb {
+		res.Optimal = true
+		res.Certificate = CertRank
+		if res.FoolingLB > res.RankLB {
+			res.Certificate = CertFooling
+		}
+		return finish(best)
+	}
+	if opts.SkipSAT || (opts.MaxSATEntries > 0 && work.Ones() > opts.MaxSATEntries) {
+		return finish(best)
+	}
+
+	// Stage 2: SAT narrowing loop (Algorithm 1, lines 2–10).
+	tSAT := time.Now()
+	defer func() { res.SATTime = time.Since(tSAT) }()
+	deadline := time.Time{}
+	if opts.TimeBudget > 0 {
+		deadline = tSAT.Add(opts.TimeBudget)
+	}
+
+	enc := newEncoder(work, best.Depth()-1, opts)
+	remaining := opts.ConflictBudget // <=0: unlimited
+	for enc.Bound() >= lb {
+		status, spent := solveWithBudgets(enc, remaining, deadline)
+		res.SATCalls++
+		res.Conflicts += spent
+		if remaining > 0 {
+			remaining -= spent
+			if remaining <= 0 && status == sat.Unknown {
+				res.TimedOut = true
+				break
+			}
+		}
+		switch status {
+		case sat.Sat:
+			p, err := enc.ReadPartition()
+			if err != nil {
+				return nil, fmt.Errorf("core: model readout failed: %w", err)
+			}
+			best = p
+			enc.Narrow()
+		case sat.Unsat:
+			res.Optimal = true
+			res.Certificate = CertUnsat
+			return finish(best)
+		default:
+			res.TimedOut = true
+			return finish(best)
+		}
+	}
+	if !res.TimedOut && best.Depth() <= lb {
+		res.Optimal = true
+		res.Certificate = CertRank
+		if res.FoolingLB > res.RankLB {
+			res.Certificate = CertFooling
+		}
+	}
+	return finish(best)
+}
+
+// newEncoder builds the configured encoder at bound b.
+func newEncoder(m *bitmat.Matrix, b int, opts Options) encode.Encoder {
+	if opts.Encoding == EncodingLog {
+		return encode.NewLog(m, b)
+	}
+	return encode.NewOneHot(m, b, opts.AMO)
+}
+
+// solveWithBudgets runs the encoder's solver in conflict chunks so that both
+// the global conflict budget and the wall-clock deadline are honoured.
+// It returns the final status and the number of conflicts spent.
+func solveWithBudgets(enc encode.Encoder, remaining int64, deadline time.Time) (sat.Status, int64) {
+	s := enc.Solver()
+	const chunk = int64(20_000)
+	var spent int64
+	for {
+		budget := chunk
+		if remaining > 0 && remaining-spent < budget {
+			budget = remaining - spent
+			if budget <= 0 {
+				return sat.Unknown, spent
+			}
+		}
+		s.SetConflictBudget(budget)
+		before := s.Conflicts
+		status := enc.Solve()
+		spent += s.Conflicts - before
+		if status != sat.Unknown {
+			s.SetConflictBudget(-1)
+			return status, spent
+		}
+		if remaining > 0 && spent >= remaining {
+			return sat.Unknown, spent
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return sat.Unknown, spent
+		}
+	}
+}
+
+// BinaryRank computes r_B(m) exactly (no budgets). For matrices beyond the
+// SAT stage's reach this may take exponential time; prefer Solve with
+// budgets for untrusted inputs.
+func BinaryRank(m *bitmat.Matrix) (int, error) {
+	opts := DefaultOptions()
+	opts.ConflictBudget = 0
+	opts.TimeBudget = 0
+	opts.MaxSATEntries = 0
+	res, err := Solve(m, opts)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Optimal {
+		return res.Depth, fmt.Errorf("core: optimality not established for %d×%d matrix", m.Rows(), m.Cols())
+	}
+	return res.Depth, nil
+}

@@ -1,0 +1,126 @@
+// Package encode compiles the EBMF decision problem "does matrix M admit a
+// partition into at most b rectangles?" (equivalently r_B(M) ≤ b) to CNF for
+// the sat package.
+//
+// The paper formulates this for an SMT solver as a function f: E → P over
+// the 1-entries E with the closure constraints of its Eq. 4:
+//
+//	f(i,j) ≠ f(i',j')                      if M[i][j'] = 0
+//	f(i,j) = f(i',j') ⇒ f(i,j) = f(i,j')   if M[i][j'] = 1
+//
+// Two CNF compilations are provided:
+//
+//   - OneHot (default): x[e][k] ⇔ entry e is assigned rectangle k, with
+//     exactly-one-per-entry constraints, closure clauses per rectangle slot,
+//     and first-occurrence symmetry breaking. Narrowing the bound from b to
+//     b-1 is adding the unit clauses ¬x[e][b-1], mirroring the paper's
+//     narrow_down_depth step.
+//
+//   - Log: f(e) as a ⌈log₂ b⌉-bit vector per entry, closest to the paper's
+//     bit-vector story; kept as an ablation (it propagates worse).
+package encode
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/rect"
+	"repro/internal/sat"
+)
+
+// AMO selects the at-most-one encoding used by the one-hot compilation.
+type AMO int
+
+const (
+	// AMOPairwise uses O(b²) binary clauses per entry (best for small b).
+	AMOPairwise AMO = iota
+	// AMOSequential uses the sequential counter with O(b) auxiliary
+	// variables and clauses per entry.
+	AMOSequential
+)
+
+// Encoder is the common interface of the two compilations. A fresh encoder
+// is built at the row-packing upper bound; the SAP loop then alternates
+// Solve and Narrow.
+type Encoder interface {
+	// Bound returns the current rectangle budget b.
+	Bound() int
+	// Solver exposes the underlying SAT solver (for budgets and stats).
+	Solver() *sat.Solver
+	// Solve decides whether r_B(M) ≤ Bound() under the current budget.
+	Solve() sat.Status
+	// Narrow reduces the bound by one by constraining the formula
+	// (only valid after a Sat result or before any solving).
+	Narrow()
+	// ReadPartition extracts the rectangle partition from the last Sat
+	// model.
+	ReadPartition() (*rect.Partition, error)
+}
+
+// entryIndex enumerates the 1-entries of m in row-major order — the index
+// function e(i,j) of the paper.
+type entryIndex struct {
+	pos [][2]int
+	at  map[[2]int]int
+}
+
+func newEntryIndex(m *bitmat.Matrix) *entryIndex {
+	pos := m.OnesPositions()
+	at := make(map[[2]int]int, len(pos))
+	for idx, p := range pos {
+		at[p] = idx
+	}
+	return &entryIndex{pos: pos, at: at}
+}
+
+// pairKind classifies an unordered pair of entries for the closure
+// constraints.
+type pairKind int
+
+const (
+	pairSkip     pairKind = iota // shares a row or column: no constraint
+	pairConflict                 // a cross entry is 0: never the same rectangle
+	pairClosure                  // both crosses are 1: same rectangle forces crosses in
+)
+
+// classifyPair applies Eq. 4 to entries a=(i,j), b=(i',j') and returns the
+// pair kind and (for closure pairs) the two cross entry indices.
+func classifyPair(m *bitmat.Matrix, idx *entryIndex, a, b int) (pairKind, int, int) {
+	i, j := idx.pos[a][0], idx.pos[a][1]
+	i2, j2 := idx.pos[b][0], idx.pos[b][1]
+	if i == i2 || j == j2 {
+		return pairSkip, 0, 0
+	}
+	if !m.Get(i, j2) || !m.Get(i2, j) {
+		return pairConflict, 0, 0
+	}
+	return pairClosure, idx.at[[2]int{i, j2}], idx.at[[2]int{i2, j}]
+}
+
+// partitionFromAssignment reconstructs rectangles from an entry→slot
+// assignment, validating on the way.
+func partitionFromAssignment(m *bitmat.Matrix, idx *entryIndex, slot []int, b int) (*rect.Partition, error) {
+	p := rect.NewPartition(m)
+	byRect := make([][]int, b)
+	for e, k := range slot {
+		if k < 0 || k >= b {
+			return nil, fmt.Errorf("encode: entry %d assigned invalid slot %d", e, k)
+		}
+		byRect[k] = append(byRect[k], e)
+	}
+	for _, entries := range byRect {
+		if len(entries) == 0 {
+			continue
+		}
+		r := rect.NewRect(m.Rows(), m.Cols())
+		for _, e := range entries {
+			r.Rows.Set(idx.pos[e][0], true)
+			r.Cols.Set(idx.pos[e][1], true)
+		}
+		p.Add(r)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("encode: model does not induce a valid partition: %w", err)
+	}
+	return p, nil
+}

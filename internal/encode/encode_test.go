@@ -1,0 +1,281 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+	"repro/internal/sat"
+)
+
+// encoders under test, by name.
+func allEncoders(m *bitmat.Matrix, b int) map[string]Encoder {
+	return map[string]Encoder{
+		"onehot-pairwise":   NewOneHot(m, b, AMOPairwise),
+		"onehot-sequential": NewOneHot(m, b, AMOSequential),
+		"log":               NewLog(m, b),
+	}
+}
+
+// bruteBinaryRank computes r_B(M) by brute-force search over partitions of
+// the 1-entries into rectangles (exponential; tiny matrices only). It works
+// by trying increasing b and checking assignments recursively.
+func bruteBinaryRank(m *bitmat.Matrix) int {
+	ones := m.OnesPositions()
+	if len(ones) == 0 {
+		return 0
+	}
+	for b := 1; b <= len(ones); b++ {
+		if bruteAssign(m, ones, nil, b) {
+			return b
+		}
+	}
+	return len(ones)
+}
+
+// bruteAssign tries to extend the partial assignment (slot per processed
+// entry) to all entries with at most b rectangles.
+func bruteAssign(m *bitmat.Matrix, ones [][2]int, slots []int, b int) bool {
+	if len(slots) == len(ones) {
+		return true
+	}
+	e := len(slots)
+	maxSlot := 0
+	for _, s := range slots {
+		if s+1 > maxSlot {
+			maxSlot = s + 1
+		}
+	}
+	limit := maxSlot // may open one new rectangle
+	if limit >= b {
+		limit = b - 1
+	}
+	for k := 0; k <= limit; k++ {
+		if validExtension(m, ones, slots, e, k) {
+			if bruteAssign(m, ones, append(slots, k), b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// validExtension checks the rectangle closure conditions between entry e
+// (assigned k) and all earlier entries.
+func validExtension(m *bitmat.Matrix, ones [][2]int, slots []int, e, k int) bool {
+	i, j := ones[e][0], ones[e][1]
+	for o, ko := range slots {
+		if ko != k {
+			continue
+		}
+		i2, j2 := ones[o][0], ones[o][1]
+		if i2 == i || j2 == j {
+			continue
+		}
+		if !m.Get(i, j2) || !m.Get(i2, j) {
+			return false
+		}
+	}
+	// Also ensure closure entries would be assignable: both crosses must be
+	// in the same rectangle eventually. The recursive search handles this
+	// implicitly only if crosses processed later may still pick k; crosses
+	// processed earlier must already be in k.
+	for o, ko := range slots {
+		if ko != k {
+			continue
+		}
+		i2, j2 := ones[o][0], ones[o][1]
+		if i2 == i || j2 == j {
+			continue
+		}
+		// crosses (i, j2) and (i2, j) must be in slot k if already assigned.
+		for c, kc := range slots {
+			ci, cj := ones[c][0], ones[c][1]
+			if (ci == i && cj == j2) || (ci == i2 && cj == j) {
+				if kc != k {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestEncodersOnFig1b(t *testing.T) {
+	m := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	// The paper proves r_B = 5 via a fooling set.
+	for name, e := range allEncoders(m, 5) {
+		if got := e.Solve(); got != sat.Sat {
+			t.Fatalf("%s: b=5 should be SAT, got %v", name, got)
+		}
+		p, err := e.ReadPartition()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Depth() > 5 {
+			t.Fatalf("%s: depth %d > 5", name, p.Depth())
+		}
+		e.Narrow()
+		if got := e.Solve(); got != sat.Unsat {
+			t.Fatalf("%s: b=4 should be UNSAT, got %v", name, got)
+		}
+	}
+}
+
+func TestEncodersOnEq2(t *testing.T) {
+	// Eq. 2 matrix: r_B = 3 although fooling number is 2.
+	m := bitmat.MustParse("110\n011\n111")
+	for name, e := range allEncoders(m, 3) {
+		if got := e.Solve(); got != sat.Sat {
+			t.Fatalf("%s: b=3 should be SAT, got %v", name, got)
+		}
+		e.Narrow()
+		if got := e.Solve(); got != sat.Unsat {
+			t.Fatalf("%s: b=2 should be UNSAT, got %v", name, got)
+		}
+	}
+}
+
+func TestEncodersZeroMatrix(t *testing.T) {
+	m := bitmat.New(3, 4)
+	for name, e := range allEncoders(m, 0) {
+		if got := e.Solve(); got != sat.Sat {
+			t.Fatalf("%s: zero matrix b=0 should be SAT, got %v", name, got)
+		}
+		p, err := e.ReadPartition()
+		if err != nil || p.Depth() != 0 {
+			t.Fatalf("%s: depth=%d err=%v", name, p.Depth(), err)
+		}
+	}
+}
+
+func TestEncodersBoundZeroNonzeroMatrix(t *testing.T) {
+	m := bitmat.MustParse("1")
+	for name, e := range allEncoders(m, 0) {
+		if got := e.Solve(); got != sat.Unsat {
+			t.Fatalf("%s: b=0 with 1-entries should be UNSAT, got %v", name, got)
+		}
+	}
+}
+
+func TestNarrowToZero(t *testing.T) {
+	m := bitmat.MustParse("1")
+	for name, e := range allEncoders(m, 1) {
+		if got := e.Solve(); got != sat.Sat {
+			t.Fatalf("%s: b=1, got %v", name, got)
+		}
+		e.Narrow()
+		if e.Bound() != 0 {
+			t.Fatalf("%s: bound = %d", name, e.Bound())
+		}
+		if got := e.Solve(); got != sat.Unsat {
+			t.Fatalf("%s: b=0, got %v", name, got)
+		}
+	}
+}
+
+func TestEncodersAgreeWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 25; trial++ {
+		m := bitmat.Random(rng, 2+rng.Intn(3), 2+rng.Intn(3), 0.3+0.5*rng.Float64())
+		if m.Ones() == 0 || m.Ones() > 9 {
+			continue
+		}
+		want := bruteBinaryRank(m)
+		for name, factory := range map[string]func(int) Encoder{
+			"onehot": func(b int) Encoder { return NewOneHot(m, b, AMOPairwise) },
+			"log":    func(b int) Encoder { return NewLog(m, b) },
+		} {
+			// want is SAT, want-1 is UNSAT.
+			e := factory(want)
+			if got := e.Solve(); got != sat.Sat {
+				t.Fatalf("%s: b=%d should be SAT for\n%s", name, want, m)
+			}
+			if _, err := e.ReadPartition(); err != nil {
+				t.Fatalf("%s: readout: %v", name, err)
+			}
+			if want > 1 {
+				e2 := factory(want - 1)
+				if got := e2.Solve(); got != sat.Unsat {
+					t.Fatalf("%s: b=%d should be UNSAT for\n%s", name, want-1, m)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalNarrowingMatchesFresh(t *testing.T) {
+	// Narrowing an existing formula must decide the same as building fresh.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		m := bitmat.Random(rng, 3, 4, 0.5)
+		if m.Ones() == 0 {
+			continue
+		}
+		ub := m.TrivialUpperBound()
+		inc := NewOneHot(m, ub, AMOPairwise)
+		for b := ub; b >= 1; b-- {
+			gotInc := inc.Solve()
+			fresh := NewOneHot(m, b, AMOPairwise)
+			gotFresh := fresh.Solve()
+			if gotInc != gotFresh {
+				t.Fatalf("b=%d: incremental %v vs fresh %v for\n%s", b, gotInc, gotFresh, m)
+			}
+			if gotInc == sat.Unsat {
+				break
+			}
+			inc.Narrow()
+		}
+	}
+}
+
+// Property: whenever an encoder reports SAT, the decoded partition is valid
+// with depth ≤ bound; one-hot and log agree on satisfiability.
+func TestQuickEncodersConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := bitmat.Random(rng, 1+rng.Intn(4), 1+rng.Intn(4), rng.Float64())
+		if m.Ones() == 0 {
+			return true
+		}
+		b := 1 + rng.Intn(m.Ones())
+		oh := NewOneHot(m, b, AMOPairwise)
+		lg := NewLog(m, b)
+		ro, rl := oh.Solve(), lg.Solve()
+		if ro != rl {
+			return false
+		}
+		if ro == sat.Sat {
+			p, err := oh.ReadPartition()
+			if err != nil || p.Depth() > b {
+				return false
+			}
+			p2, err2 := lg.ReadPartition()
+			if err2 != nil || p2.Depth() > b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank(M) ≤ r_B(M) — at b = rank-1 the formula must be UNSAT.
+func TestQuickRankBoundRespected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := bitmat.Random(rng, 2+rng.Intn(3), 2+rng.Intn(3), 0.5)
+		r := m.Rank()
+		if r < 2 {
+			return true
+		}
+		e := NewOneHot(m, r-1, AMOPairwise)
+		return e.Solve() == sat.Unsat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package encode
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/rect"
+	"repro/internal/sat"
+)
+
+// OneHot is the direct CNF compilation: one variable per (entry, rectangle
+// slot) pair.
+type OneHot struct {
+	m     *bitmat.Matrix
+	idx   *entryIndex
+	s     *sat.Solver
+	b     int
+	vars  [][]sat.Var // vars[e][k]
+	built int         // initial bound the formula was built for
+}
+
+var _ Encoder = (*OneHot)(nil)
+
+// NewOneHot builds the formula for r_B(m) ≤ b with the chosen at-most-one
+// encoding and symmetry breaking. b must be ≥ 1 unless the matrix is zero.
+func NewOneHot(m *bitmat.Matrix, b int, amo AMO) *OneHot {
+	e := &OneHot{m: m, idx: newEntryIndex(m), s: sat.New(), b: b, built: b}
+	n := len(e.idx.pos)
+	if n == 0 {
+		return e
+	}
+	if b < 1 {
+		// No slots but entries to cover: immediately unsatisfiable.
+		e.s.AddClause()
+		return e
+	}
+	e.vars = make([][]sat.Var, n)
+	for en := range e.vars {
+		e.vars[en] = make([]sat.Var, b)
+		for k := range e.vars[en] {
+			e.vars[en][k] = e.s.NewVar()
+		}
+	}
+	// Exactly-one slot per entry.
+	for en := 0; en < n; en++ {
+		lits := make([]sat.Lit, b)
+		for k := 0; k < b; k++ {
+			lits[k] = sat.PosLit(e.vars[en][k])
+		}
+		e.s.AddClause(lits...)
+		e.addAMO(e.vars[en], amo)
+	}
+	// Closure constraints (Eq. 4) per unordered pair and slot.
+	for a := 0; a < n; a++ {
+		for c := a + 1; c < n; c++ {
+			kind, crossA, crossB := classifyPair(m, e.idx, a, c)
+			switch kind {
+			case pairSkip:
+			case pairConflict:
+				for k := 0; k < b; k++ {
+					e.s.AddClause(sat.NegLit(e.vars[a][k]), sat.NegLit(e.vars[c][k]))
+				}
+			case pairClosure:
+				for k := 0; k < b; k++ {
+					e.s.AddClause(sat.NegLit(e.vars[a][k]), sat.NegLit(e.vars[c][k]),
+						sat.PosLit(e.vars[crossA][k]))
+					e.s.AddClause(sat.NegLit(e.vars[a][k]), sat.NegLit(e.vars[c][k]),
+						sat.PosLit(e.vars[crossB][k]))
+				}
+			}
+		}
+	}
+	// Symmetry breaking: entry t may only open slots 0..t (rectangles are
+	// interchangeable, so order them by their first entry).
+	for en := 0; en < n && en < b; en++ {
+		for k := en + 1; k < b; k++ {
+			e.s.AddClause(sat.NegLit(e.vars[en][k]))
+		}
+	}
+	return e
+}
+
+// addAMO constrains at most one of vs to be true.
+func (e *OneHot) addAMO(vs []sat.Var, amo AMO) {
+	switch amo {
+	case AMOSequential:
+		e.addAMOSequential(vs)
+	default:
+		for a := 0; a < len(vs); a++ {
+			for b := a + 1; b < len(vs); b++ {
+				e.s.AddClause(sat.NegLit(vs[a]), sat.NegLit(vs[b]))
+			}
+		}
+	}
+}
+
+// addAMOSequential is the sequential-counter at-most-one: s_k carries
+// "some x_{≤k} is true".
+func (e *OneHot) addAMOSequential(vs []sat.Var) {
+	if len(vs) <= 1 {
+		return
+	}
+	prev := sat.Var(-1)
+	for k, x := range vs {
+		if k == len(vs)-1 {
+			if prev >= 0 {
+				e.s.AddClause(sat.NegLit(x), sat.NegLit(prev))
+			}
+			break
+		}
+		sk := e.s.NewVar()
+		e.s.AddClause(sat.NegLit(x), sat.PosLit(sk))
+		if prev >= 0 {
+			e.s.AddClause(sat.NegLit(prev), sat.PosLit(sk))
+			e.s.AddClause(sat.NegLit(x), sat.NegLit(prev))
+		}
+		prev = sk
+	}
+}
+
+// Bound returns the current rectangle budget.
+func (e *OneHot) Bound() int { return e.b }
+
+// Solver exposes the SAT solver.
+func (e *OneHot) Solver() *sat.Solver { return e.s }
+
+// Solve decides the current bound.
+func (e *OneHot) Solve() sat.Status {
+	if len(e.idx.pos) == 0 {
+		return sat.Sat
+	}
+	return e.s.Solve()
+}
+
+// Narrow forbids the highest remaining slot, reducing the bound by one —
+// the paper's narrow_down_depth: add f(e) ≠ b for every entry.
+func (e *OneHot) Narrow() {
+	if e.b <= 0 {
+		return
+	}
+	e.b--
+	if len(e.idx.pos) == 0 {
+		return
+	}
+	if e.b == 0 {
+		e.s.AddClause() // entries exist but no slots remain
+		return
+	}
+	for en := range e.vars {
+		e.s.AddClause(sat.NegLit(e.vars[en][e.b]))
+	}
+}
+
+// SolveAt decides r_B(m) ≤ bound without permanently narrowing the formula,
+// by assuming every slot ≥ bound away (solver assumptions instead of unit
+// clauses). bound must be ≤ the bound the formula was built for. Useful for
+// probing several bounds on one formula; the SAP loop itself uses the
+// destructive Narrow, which lets the solver keep the learnt clauses sound
+// across calls either way.
+func (e *OneHot) SolveAt(bound int) sat.Status {
+	if len(e.idx.pos) == 0 {
+		return sat.Sat
+	}
+	if bound < 0 {
+		bound = 0
+	}
+	if bound > e.built {
+		bound = e.built
+	}
+	if bound == 0 {
+		return sat.Unsat // entries exist but no slots allowed
+	}
+	var assumptions []sat.Lit
+	for en := range e.vars {
+		for k := bound; k < e.built; k++ {
+			assumptions = append(assumptions, sat.NegLit(e.vars[en][k]))
+		}
+	}
+	return e.s.SolveAssuming(assumptions...)
+}
+
+// ReadPartition decodes the last Sat model into a partition.
+func (e *OneHot) ReadPartition() (*rect.Partition, error) {
+	if len(e.idx.pos) == 0 {
+		return rect.NewPartition(e.m), nil
+	}
+	slot := make([]int, len(e.idx.pos))
+	for en := range e.vars {
+		slot[en] = -1
+		for k := 0; k < e.built; k++ {
+			if e.s.Value(e.vars[en][k]) {
+				if slot[en] >= 0 {
+					return nil, fmt.Errorf("encode: entry %d in two slots", en)
+				}
+				slot[en] = k
+			}
+		}
+	}
+	return partitionFromAssignment(e.m, e.idx, slot, e.built)
+}

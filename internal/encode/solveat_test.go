@@ -1,0 +1,76 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+	"repro/internal/sat"
+)
+
+func TestSolveAtMatchesNarrowing(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		m := bitmat.Random(rng, 4, 4, 0.5)
+		if m.Ones() == 0 {
+			continue
+		}
+		ub := m.TrivialUpperBound()
+		probe := NewOneHot(m, ub, AMOPairwise)
+		// Probe every bound non-destructively, then compare against fresh
+		// formulas.
+		for b := ub; b >= 0; b-- {
+			got := probe.SolveAt(b)
+			fresh := NewOneHot(m, b, AMOPairwise)
+			want := fresh.Solve()
+			if got != want {
+				t.Fatalf("b=%d: probe %v vs fresh %v for\n%s", b, got, want, m)
+			}
+		}
+		// The probing must not have narrowed the formula.
+		if got := probe.Solve(); got != sat.Sat {
+			t.Fatalf("formula damaged by probing: %v", got)
+		}
+	}
+}
+
+func TestSolveAtBoundsClamped(t *testing.T) {
+	m := bitmat.MustParse("11\n11")
+	e := NewOneHot(m, 2, AMOPairwise)
+	if got := e.SolveAt(100); got != sat.Sat {
+		t.Fatalf("over-bound probe: %v", got)
+	}
+	if got := e.SolveAt(-3); got != sat.Unsat {
+		t.Fatalf("negative probe: %v", got)
+	}
+	z := NewOneHot(bitmat.New(2, 2), 0, AMOPairwise)
+	if got := z.SolveAt(0); got != sat.Sat {
+		t.Fatalf("zero-matrix probe: %v", got)
+	}
+}
+
+// Property: SolveAt is monotone in the bound — SAT at b implies SAT at b+1.
+func TestQuickSolveAtMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := bitmat.Random(rng, 1+rng.Intn(4), 1+rng.Intn(4), 0.6)
+		if m.Ones() == 0 {
+			return true
+		}
+		ub := m.TrivialUpperBound()
+		e := NewOneHot(m, ub, AMOPairwise)
+		prev := sat.Unsat
+		for b := 0; b <= ub; b++ {
+			got := e.SolveAt(b)
+			if prev == sat.Sat && got != sat.Sat {
+				return false
+			}
+			prev = got
+		}
+		return prev == sat.Sat // the trivial bound is always feasible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

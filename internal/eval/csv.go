@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteCSV emits Table I rows in machine-readable form: one record per
+// benchmark set with counts (not percentages, so downstream tooling can
+// aggregate across runs).
+func WriteCSV(w io.Writer, rows []Row, trialCounts []int) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "total", "decided", "timeout", "rank_eq", "trivial_opt"}
+	for _, t := range trialCounts {
+		header = append(header, fmt.Sprintf("rp%d_opt", t))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Label,
+			fmt.Sprint(r.Total),
+			fmt.Sprint(r.Decided),
+			fmt.Sprint(r.TimedOut),
+			fmt.Sprint(r.RankEq),
+			fmt.Sprint(r.TrivialOpt),
+		}
+		for _, t := range trialCounts {
+			rec = append(rec, fmt.Sprint(r.PackOpt[t]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteInstanceCSV emits per-instance results (the Figure 4 raw data).
+func WriteInstanceCSV(w io.Writer, results []InstanceResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"name", "rank", "binary_rank", "pack_depth", "pack_us", "sat_us", "conflicts", "timed_out",
+	}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := cw.Write([]string{
+			r.Name,
+			fmt.Sprint(r.Rank),
+			fmt.Sprint(r.BinaryRB),
+			fmt.Sprint(r.PackDepth),
+			fmt.Sprint(int64(r.PackTime / time.Microsecond)),
+			fmt.Sprint(int64(r.SATTime / time.Microsecond)),
+			fmt.Sprint(r.Conflicts),
+			fmt.Sprint(r.TimedOut),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

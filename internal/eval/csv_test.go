@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCSVParses(t *testing.T) {
+	rows := []Row{
+		{Label: "a", Total: 5, Decided: 4, RankEq: 3, TrivialOpt: 2, PackOpt: map[int]int{1: 4, 10: 4}},
+		{Label: "b, with comma", Total: 1, Decided: 1, PackOpt: map[int]int{1: 1, 10: 1}},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rows, []int{1, 10}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	if recs[0][6] != "rp1_opt" || recs[0][7] != "rp10_opt" {
+		t.Fatalf("header: %v", recs[0])
+	}
+	if recs[1][1] != "5" || recs[1][4] != "3" {
+		t.Fatalf("row a: %v", recs[1])
+	}
+	if recs[2][0] != "b, with comma" {
+		t.Fatalf("comma label mangled: %v", recs[2])
+	}
+}
+
+func TestWriteInstanceCSVParses(t *testing.T) {
+	results := []InstanceResult{
+		{Name: "x", Rank: 4, BinaryRB: 5, PackDepth: 5, PackTime: 3 * time.Millisecond,
+			SATTime: 7 * time.Millisecond, Conflicts: 42, TimedOut: false},
+	}
+	var sb strings.Builder
+	if err := WriteInstanceCSV(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][0] != "x" || recs[1][4] != "3000" || recs[1][6] != "42" {
+		t.Fatalf("records: %v", recs)
+	}
+}

@@ -1,0 +1,231 @@
+// Package eval is the experiment harness behind Table I and Figure 4 of the
+// paper: it runs the trivial heuristic, row packing at several trial counts,
+// and the exact SAP solver over benchmark suites, and aggregates the
+// percentage-of-optimal statistics the paper reports.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/benchgen"
+	"repro/internal/core"
+	"repro/internal/rowpack"
+)
+
+// Options configures a suite evaluation.
+type Options struct {
+	// TrialCounts are the row-packing trial counts to evaluate (Table I
+	// uses 1, 10, 100, 1000).
+	TrialCounts []int
+	// ConflictBudget bounds the exact solver per instance (≤ 0 unlimited).
+	ConflictBudget int64
+	// TimeBudget bounds the exact solver per instance (0 unlimited).
+	TimeBudget time.Duration
+	// MaxSATEntries skips the exact stage for instances with more 1s; such
+	// instances count as solved only when a bound certificate appears
+	// (mirrors the paper's 100×100 treatment).
+	MaxSATEntries int
+	// Seed seeds the heuristics.
+	Seed int64
+}
+
+// DefaultOptions evaluate with the paper's trial counts and a laptop-scale
+// conflict budget.
+func DefaultOptions() Options {
+	return Options{
+		TrialCounts:    []int{1, 10, 100, 1000},
+		ConflictBudget: 2_000_000,
+		MaxSATEntries:  400,
+		Seed:           1,
+	}
+}
+
+// Row is one row of Table I.
+type Row struct {
+	// Label names the benchmark set (e.g. "10×10, rand").
+	Label string
+	// Total is the number of instances evaluated.
+	Total int
+	// Decided is the number of instances whose r_B was established.
+	Decided int
+	// RankEq counts decided instances with r_B = rank (the "rank†" column).
+	RankEq int
+	// TrivialOpt counts decided instances where the trivial heuristic is
+	// optimal.
+	TrivialOpt int
+	// PackOpt[t] counts decided instances where row packing with t trials
+	// is optimal.
+	PackOpt map[int]int
+	// TimedOut counts instances whose exact solve hit a budget.
+	TimedOut int
+}
+
+// pct formats a count as a percentage of the decided instances.
+func (r Row) pct(count int) string {
+	if r.Decided == 0 {
+		return "  n/a"
+	}
+	return fmt.Sprintf("%4.0f%%", 100*float64(count)/float64(r.Decided))
+}
+
+// InstanceResult captures per-instance measurements (for Figure 4).
+type InstanceResult struct {
+	Name      string
+	Rank      int
+	BinaryRB  int // -1 if undecided
+	PackDepth int
+	PackTime  time.Duration
+	SATTime   time.Duration
+	Conflicts int64
+	TimedOut  bool
+}
+
+// TotalTime is pack + SAT time.
+func (r InstanceResult) TotalTime() time.Duration { return r.PackTime + r.SATTime }
+
+// EvalSuite runs the full Table I protocol on a suite and returns the
+// aggregated row plus per-instance results.
+func EvalSuite(label string, suite []benchgen.Instance, opts Options) (Row, []InstanceResult) {
+	row := Row{Label: label, PackOpt: map[int]int{}}
+	var per []InstanceResult
+	for _, ins := range suite {
+		row.Total++
+		res := evalInstance(ins, opts)
+		per = append(per, res)
+		if res.TimedOut {
+			row.TimedOut++
+		}
+		if res.BinaryRB < 0 {
+			continue
+		}
+		row.Decided++
+		if res.BinaryRB == res.Rank {
+			row.RankEq++
+		}
+		if rowpack.Trivial(ins.M).Depth() == res.BinaryRB {
+			row.TrivialOpt++
+		}
+		for _, t := range opts.TrialCounts {
+			p := rowpack.Pack(ins.M, rowpack.Options{Trials: t, Seed: opts.Seed})
+			if p.Depth() == res.BinaryRB {
+				row.PackOpt[t]++
+			}
+		}
+	}
+	return row, per
+}
+
+// evalInstance establishes r_B for one instance (or -1 when budgets ran out)
+// together with the stage timings.
+func evalInstance(ins benchgen.Instance, opts Options) InstanceResult {
+	res := InstanceResult{Name: ins.Name, Rank: ins.M.Rank(), BinaryRB: -1}
+	copts := core.DefaultOptions()
+	copts.Packing = rowpack.Options{Trials: maxTrial(opts.TrialCounts), Seed: opts.Seed}
+	copts.ConflictBudget = opts.ConflictBudget
+	copts.TimeBudget = opts.TimeBudget
+	copts.MaxSATEntries = opts.MaxSATEntries
+	copts.FoolingBudget = 0 // the paper's loop uses only the rank bound
+	out, err := core.Solve(ins.M, copts)
+	if err != nil {
+		return res
+	}
+	res.PackDepth = out.HeuristicDepth
+	res.PackTime = out.PackTime
+	res.SATTime = out.SATTime
+	res.Conflicts = out.Conflicts
+	res.TimedOut = out.TimedOut
+	switch {
+	case ins.KnownOptimal >= 0:
+		res.BinaryRB = ins.KnownOptimal
+	case out.Optimal:
+		res.BinaryRB = out.Depth
+	}
+	return res
+}
+
+func maxTrial(ts []int) int {
+	m := 1
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// WriteTable renders rows in the layout of Table I.
+func WriteTable(w io.Writer, rows []Row, trialCounts []int) {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-16s %6s %8s", "benchmark", "rank", "trivial"))
+	for _, t := range trialCounts {
+		sb.WriteString(fmt.Sprintf(" %7s", fmt.Sprintf("rp%d", t)))
+	}
+	sb.WriteString(fmt.Sprintf(" %9s %8s\n", "decided", "timeout"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-16s %6s %8s", r.Label, r.pct(r.RankEq), r.pct(r.TrivialOpt)))
+		for _, t := range trialCounts {
+			sb.WriteString(fmt.Sprintf(" %7s", r.pct(r.PackOpt[t])))
+		}
+		sb.WriteString(fmt.Sprintf(" %5d/%-3d %8d\n", r.Decided, r.Total, r.TimedOut))
+	}
+	io.WriteString(w, sb.String())
+}
+
+// HardestCases sorts instance results by total runtime (descending) and
+// returns the top n — the content of Figure 4.
+func HardestCases(results []InstanceResult, n int) []InstanceResult {
+	sorted := append([]InstanceResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TotalTime() > sorted[j].TotalTime() })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// WriteTimings renders the Figure 4 data: per-case packing vs SAT runtime
+// and the rational rank.
+func WriteTimings(w io.Writer, cases []InstanceResult) {
+	fmt.Fprintf(w, "%-24s %10s %10s %12s %6s %6s\n",
+		"case", "pack", "sat", "conflicts", "rank", "r_B")
+	for _, c := range cases {
+		rb := "?"
+		if c.BinaryRB >= 0 {
+			rb = fmt.Sprint(c.BinaryRB)
+		}
+		fmt.Fprintf(w, "%-24s %10s %10s %12d %6d %6s\n",
+			c.Name, c.PackTime.Round(time.Microsecond), c.SATTime.Round(time.Microsecond),
+			c.Conflicts, c.Rank, rb)
+	}
+}
+
+// PaperSuites builds the full Table I benchmark layout at a configurable
+// scale (countSmall instances per random cell and opt rank, countGap per gap
+// pair count; the paper uses 10/10/100).
+func PaperSuites(seed int64, countSmall, countGap int) map[string][]benchgen.Instance {
+	occS := benchgen.PaperOccupanciesSmall()
+	occL := benchgen.PaperOccupanciesLarge()
+	return map[string][]benchgen.Instance{
+		"10x10, rand":   benchgen.RandomSuite(seed, 10, 10, occS, countSmall),
+		"10x20, rand":   benchgen.RandomSuite(seed+1, 10, 20, occS, countSmall),
+		"10x30, rand":   benchgen.RandomSuite(seed+2, 10, 30, occS, countSmall),
+		"100x100, rand": benchgen.RandomSuite(seed+3, 100, 100, occL, countSmall),
+		"10x10, opt":    benchgen.OptSuite(seed+4, 10, 10, 10, countSmall),
+		"10x10, gap, 2": benchgen.GapSuite(seed+5, 10, 10, []int{2}, countGap),
+		"10x10, gap, 3": benchgen.GapSuite(seed+6, 10, 10, []int{3}, countGap),
+		"10x10, gap, 4": benchgen.GapSuite(seed+7, 10, 10, []int{4}, countGap),
+		"10x10, gap, 5": benchgen.GapSuite(seed+8, 10, 10, []int{5}, countGap),
+	}
+}
+
+// SuiteOrder is the Table I row order for PaperSuites keys.
+func SuiteOrder() []string {
+	return []string{
+		"10x10, rand", "10x20, rand", "10x30, rand", "100x100, rand",
+		"10x10, opt",
+		"10x10, gap, 2", "10x10, gap, 3", "10x10, gap, 4", "10x10, gap, 5",
+	}
+}

@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchgen"
+)
+
+func fastEvalOptions() Options {
+	return Options{
+		TrialCounts:    []int{1, 10},
+		ConflictBudget: 500_000,
+		MaxSATEntries:  200,
+		Seed:           1,
+	}
+}
+
+func TestEvalOptSuiteAllOptimal(t *testing.T) {
+	suite := benchgen.OptSuite(3, 10, 10, 5, 2)
+	row, per := EvalSuite("10x10, opt", suite, fastEvalOptions())
+	if row.Total != 10 || row.Decided != 10 {
+		t.Fatalf("total=%d decided=%d", row.Total, row.Decided)
+	}
+	// Paper Observation 2: trivial and row packing always optimal here,
+	// and rank = r_B on all instances.
+	if row.RankEq != 10 {
+		t.Fatalf("rankEq = %d", row.RankEq)
+	}
+	if row.TrivialOpt != 10 {
+		t.Fatalf("trivialOpt = %d", row.TrivialOpt)
+	}
+	if row.PackOpt[10] != 10 {
+		t.Fatalf("packOpt[10] = %d", row.PackOpt[10])
+	}
+	if len(per) != 10 {
+		t.Fatalf("per-instance results: %d", len(per))
+	}
+}
+
+func TestEvalGapSuiteDecidesAll(t *testing.T) {
+	suite := benchgen.GapSuite(4, 10, 10, []int{2}, 3)
+	row, _ := EvalSuite("10x10, gap, 2", suite, fastEvalOptions())
+	if row.Decided != row.Total {
+		t.Fatalf("undecided gap instances: %d/%d (timeouts %d)", row.Decided, row.Total, row.TimedOut)
+	}
+	// Gap instances exist precisely to sometimes have r_B > rank, so
+	// monotonicity: packing with more trials is at least as good.
+	if row.PackOpt[10] < row.PackOpt[1] {
+		t.Fatalf("more trials got worse: %d < %d", row.PackOpt[10], row.PackOpt[1])
+	}
+}
+
+func TestEvalLargeRandomSkipsSAT(t *testing.T) {
+	suite := benchgen.RandomSuite(5, 100, 100, []float64{0.05}, 1)
+	opts := fastEvalOptions()
+	opts.TrialCounts = []int{100}
+	row, per := EvalSuite("100x100, rand", suite, opts)
+	if row.Total != 1 {
+		t.Fatal("suite size")
+	}
+	// 5% occupancy at 100×100 is essentially always full rank, so the
+	// heuristic certificate decides it without SAT.
+	if row.Decided != 1 {
+		t.Fatalf("expected rank certificate to decide; per=%+v", per)
+	}
+	if per[0].SATTime != 0 {
+		t.Fatal("SAT should not have run")
+	}
+}
+
+func TestWriteTableFormat(t *testing.T) {
+	rows := []Row{{
+		Label: "test", Total: 4, Decided: 4, RankEq: 2, TrivialOpt: 1,
+		PackOpt: map[int]int{1: 3},
+	}}
+	var sb strings.Builder
+	WriteTable(&sb, rows, []int{1})
+	out := sb.String()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "50%") || !strings.Contains(out, "75%") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+func TestHardestCasesOrdering(t *testing.T) {
+	results := []InstanceResult{
+		{Name: "a", PackTime: 1, SATTime: 5},
+		{Name: "b", PackTime: 1, SATTime: 50},
+		{Name: "c", PackTime: 1, SATTime: 1},
+	}
+	top := HardestCases(results, 2)
+	if len(top) != 2 || top[0].Name != "b" || top[1].Name != "a" {
+		t.Fatalf("got %+v", top)
+	}
+	all := HardestCases(results, 10)
+	if len(all) != 3 {
+		t.Fatal("clamp failed")
+	}
+}
+
+func TestWriteTimings(t *testing.T) {
+	var sb strings.Builder
+	WriteTimings(&sb, []InstanceResult{{Name: "x", Rank: 7, BinaryRB: 8}})
+	if !strings.Contains(sb.String(), "x") || !strings.Contains(sb.String(), "8") {
+		t.Fatalf("timings:\n%s", sb.String())
+	}
+}
+
+func TestPaperSuitesLayout(t *testing.T) {
+	suites := PaperSuites(1, 2, 3)
+	if len(suites) != len(SuiteOrder()) {
+		t.Fatalf("suite count %d vs order %d", len(suites), len(SuiteOrder()))
+	}
+	for _, name := range SuiteOrder() {
+		if _, ok := suites[name]; !ok {
+			t.Fatalf("missing suite %q", name)
+		}
+	}
+	if got := len(suites["10x10, rand"]); got != 18 { // 9 occupancies × 2
+		t.Fatalf("10x10 rand size %d", got)
+	}
+	if got := len(suites["10x10, gap, 5"]); got != 3 {
+		t.Fatalf("gap-5 size %d", got)
+	}
+}

@@ -1,0 +1,185 @@
+// Package exactcover implements Knuth's Algorithm X with dancing links
+// (DLX). The row-packing heuristic's residue decomposition is an exact-cover
+// problem: decompose a matrix row into a disjoint union of basis vectors.
+// The paper lists Algorithm X as a future-work improvement over pure
+// shuffling; package rowpack uses this solver in its DLX variant.
+package exactcover
+
+// node is a cell of the dancing-links mesh.
+type node struct {
+	left, right, up, down *node
+	col                   *column
+	rowID                 int
+}
+
+// column is a column header.
+type column struct {
+	node
+	size int
+	id   int
+}
+
+// Problem is an exact-cover instance: a set of columns (items to cover) and
+// rows (candidate subsets). Build with NewProblem/AddRow, solve with
+// FirstSolution or Solutions.
+type Problem struct {
+	root    *column
+	cols    []*column
+	numRows int
+}
+
+// NewProblem returns an instance with n columns, all mandatory.
+func NewProblem(n int) *Problem {
+	p := &Problem{root: &column{id: -1}}
+	p.root.left = &p.root.node
+	p.root.right = &p.root.node
+	p.cols = make([]*column, n)
+	for i := 0; i < n; i++ {
+		c := &column{id: i}
+		c.col = c
+		c.up = &c.node
+		c.down = &c.node
+		// Insert at the end of the header list.
+		c.left = p.root.left
+		c.right = &p.root.node
+		p.root.left.right = &c.node
+		p.root.left = &c.node
+		p.cols[i] = c
+	}
+	return p
+}
+
+// AddRow adds a candidate subset covering the given column indices and
+// returns its row id. Duplicate column indices within a row are ignored.
+func (p *Problem) AddRow(cols []int) int {
+	id := p.numRows
+	p.numRows++
+	var first *node
+	seen := map[int]bool{}
+	for _, ci := range cols {
+		if ci < 0 || ci >= len(p.cols) || seen[ci] {
+			if seen[ci] {
+				continue
+			}
+			panic("exactcover: column index out of range")
+		}
+		seen[ci] = true
+		c := p.cols[ci]
+		n := &node{col: c, rowID: id}
+		// Vertical insertion at the bottom of the column.
+		n.up = c.up
+		n.down = &c.node
+		c.up.down = n
+		c.up = n
+		c.size++
+		// Horizontal circular list within the row.
+		if first == nil {
+			first = n
+			n.left = n
+			n.right = n
+		} else {
+			n.left = first.left
+			n.right = first
+			first.left.right = n
+			first.left = n
+		}
+	}
+	return id
+}
+
+func (p *Problem) cover(c *column) {
+	c.right.left = c.left
+	c.left.right = c.right
+	for i := c.down; i != &c.node; i = i.down {
+		for j := i.right; j != i; j = j.right {
+			j.down.up = j.up
+			j.up.down = j.down
+			j.col.size--
+		}
+	}
+}
+
+func (p *Problem) uncover(c *column) {
+	for i := c.up; i != &c.node; i = i.up {
+		for j := i.left; j != i; j = j.left {
+			j.col.size++
+			j.down.up = j
+			j.up.down = j
+		}
+	}
+	c.right.left = &c.node
+	c.left.right = &c.node
+}
+
+// Solutions invokes fn with the row ids of every exact cover, in search
+// order, until fn returns false or the search space is exhausted. It reports
+// whether the search ran to completion (false if fn stopped it).
+func (p *Problem) Solutions(fn func(rows []int) bool) bool {
+	var sol []int
+	stopped := false
+	var search func()
+	search = func() {
+		if stopped {
+			return
+		}
+		if p.root.right == &p.root.node {
+			out := make([]int, len(sol))
+			copy(out, sol)
+			if !fn(out) {
+				stopped = true
+			}
+			return
+		}
+		// Choose the column with the fewest rows (Knuth's S heuristic).
+		var best *column
+		for c := p.root.right; c != &p.root.node; c = c.right {
+			cc := c.col
+			if best == nil || cc.size < best.size {
+				best = cc
+			}
+		}
+		if best.size == 0 {
+			return // dead end
+		}
+		p.cover(best)
+		for r := best.down; r != &best.node; r = r.down {
+			sol = append(sol, r.rowID)
+			for j := r.right; j != r; j = j.right {
+				p.cover(j.col)
+			}
+			search()
+			for j := r.left; j != r; j = j.left {
+				p.uncover(j.col)
+			}
+			sol = sol[:len(sol)-1]
+			if stopped {
+				break
+			}
+		}
+		p.uncover(best)
+	}
+	search()
+	return !stopped
+}
+
+// FirstSolution returns the row ids of one exact cover, or ok=false when
+// none exists.
+func (p *Problem) FirstSolution() (rows []int, ok bool) {
+	p.Solutions(func(r []int) bool {
+		rows = r
+		ok = true
+		return false
+	})
+	return rows, ok
+}
+
+// CountSolutions returns the number of exact covers, up to the given limit
+// (limit ≤ 0 counts all).
+func (p *Problem) CountSolutions(limit int) int {
+	count := 0
+	p.Solutions(func([]int) bool {
+		count++
+		return limit <= 0 || count < limit
+	})
+	return count
+}

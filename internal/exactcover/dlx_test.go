@@ -1,0 +1,201 @@
+package exactcover
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnuthPaperExample(t *testing.T) {
+	// The example from Knuth's Dancing Links paper:
+	// rows: {2,4,5}, {0,3,6}, {1,2,5}, {0,3}, {1,6}, {3,4,6}
+	// unique solution: rows 0, 3... wait: {0,3} ∪ {2,4,5} ∪ {1,6} covers all.
+	p := NewProblem(7)
+	p.AddRow([]int{2, 4, 5}) // 0
+	p.AddRow([]int{0, 3, 6}) // 1
+	p.AddRow([]int{1, 2, 5}) // 2
+	p.AddRow([]int{0, 3})    // 3
+	p.AddRow([]int{1, 6})    // 4
+	p.AddRow([]int{3, 4, 6}) // 5
+	sol, ok := p.FirstSolution()
+	if !ok {
+		t.Fatal("no solution found")
+	}
+	sort.Ints(sol)
+	want := []int{0, 3, 4}
+	if len(sol) != 3 || sol[0] != want[0] || sol[1] != want[1] || sol[2] != want[2] {
+		t.Fatalf("solution %v, want %v", sol, want)
+	}
+	if got := p.CountSolutions(0); got != 1 {
+		t.Fatalf("solutions = %d, want 1", got)
+	}
+}
+
+func TestNoSolution(t *testing.T) {
+	p := NewProblem(3)
+	p.AddRow([]int{0})
+	p.AddRow([]int{1})
+	// Column 2 is uncoverable.
+	if _, ok := p.FirstSolution(); ok {
+		t.Fatal("found solution where none exists")
+	}
+}
+
+func TestEmptyProblemHasEmptySolution(t *testing.T) {
+	p := NewProblem(0)
+	sol, ok := p.FirstSolution()
+	if !ok || len(sol) != 0 {
+		t.Fatalf("empty problem: sol=%v ok=%v", sol, ok)
+	}
+}
+
+func TestOverlappingRowsRejectedInCover(t *testing.T) {
+	// Two rows overlap on column 0; only disjoint unions are covers.
+	p := NewProblem(2)
+	p.AddRow([]int{0, 1}) // 0
+	p.AddRow([]int{0})    // 1
+	p.AddRow([]int{1})    // 2
+	count := 0
+	p.Solutions(func(rows []int) bool {
+		count++
+		sort.Ints(rows)
+		if len(rows) == 1 && rows[0] != 0 {
+			t.Fatalf("bad 1-row solution %v", rows)
+		}
+		return true
+	})
+	// Solutions: {0} and {1,2}.
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestCountLimit(t *testing.T) {
+	// n disjoint singletons in two copies each: 2^n covers; limit cuts off.
+	p := NewProblem(3)
+	for c := 0; c < 3; c++ {
+		p.AddRow([]int{c})
+		p.AddRow([]int{c})
+	}
+	if got := p.CountSolutions(5); got != 5 {
+		t.Fatalf("limited count = %d, want 5", got)
+	}
+	if got := p.CountSolutions(0); got != 8 {
+		t.Fatalf("full count = %d, want 8", got)
+	}
+}
+
+func TestDuplicateColumnInRowIgnored(t *testing.T) {
+	p := NewProblem(2)
+	p.AddRow([]int{0, 0, 1})
+	sol, ok := p.FirstSolution()
+	if !ok || len(sol) != 1 {
+		t.Fatalf("sol=%v ok=%v", sol, ok)
+	}
+}
+
+// bruteForceCovers counts exact covers by subset enumeration.
+func bruteForceCovers(nCols int, rows [][]int) int {
+	count := 0
+	n := len(rows)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		covered := make([]int, nCols)
+		ok := true
+		for r := 0; r < n && ok; r++ {
+			if mask&(1<<uint(r)) == 0 {
+				continue
+			}
+			for _, c := range rows[r] {
+				covered[c]++
+				if covered[c] > 1 {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, c := range covered {
+			if c != 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// Property: DLX solution count matches brute force on random instances.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCols := 1 + rng.Intn(6)
+		nRows := rng.Intn(10)
+		rows := make([][]int, nRows)
+		p := NewProblem(nCols)
+		for r := range rows {
+			var cols []int
+			for c := 0; c < nCols; c++ {
+				if rng.Intn(3) == 0 {
+					cols = append(cols, c)
+				}
+			}
+			if len(cols) == 0 {
+				cols = []int{rng.Intn(nCols)}
+			}
+			rows[r] = cols
+			p.AddRow(cols)
+		}
+		return p.CountSolutions(0) == bruteForceCovers(nCols, rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every reported solution is a valid exact cover.
+func TestQuickSolutionsAreExactCovers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCols := 2 + rng.Intn(5)
+		rows := make([][]int, 2+rng.Intn(8))
+		p := NewProblem(nCols)
+		for r := range rows {
+			var cols []int
+			for c := 0; c < nCols; c++ {
+				if rng.Intn(2) == 0 {
+					cols = append(cols, c)
+				}
+			}
+			if len(cols) == 0 {
+				cols = []int{0}
+			}
+			rows[r] = cols
+			p.AddRow(cols)
+		}
+		valid := true
+		p.Solutions(func(sol []int) bool {
+			covered := make([]int, nCols)
+			for _, r := range sol {
+				for _, c := range rows[r] {
+					covered[c]++
+				}
+			}
+			for _, c := range covered {
+				if c != 1 {
+					valid = false
+				}
+			}
+			return valid
+		})
+		return valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package fooling computes fooling sets of binary matrices. A fooling set S
+// is a set of 1-entries such that for any two distinct (i,j), (i',j') in S,
+// M[i][j'] = 0 or M[i'][j] = 0. No rectangle can contain two elements of a
+// fooling set, so |S| lower-bounds the binary rank (partition number). The
+// bound is not always tight (Eq. 2 of the paper).
+//
+// Finding a maximum fooling set is itself NP-hard; it equals a maximum clique
+// in the "fooling compatibility" graph over the 1-entries. The package
+// provides a greedy heuristic and an exact branch-and-bound search with a
+// node budget for small instances.
+package fooling
+
+import (
+	"math/bits"
+
+	"repro/internal/bitmat"
+)
+
+// compatible reports whether 1-entries (i,j) and (i2,j2) may coexist in a
+// fooling set of m.
+func compatible(m *bitmat.Matrix, i, j, i2, j2 int) bool {
+	if i == i2 && j == j2 {
+		return false
+	}
+	// Entries sharing a row or column always fail: one of the cross entries
+	// is the entry itself (a 1).
+	return !m.Get(i, j2) || !m.Get(i2, j)
+}
+
+// graph is the fooling-compatibility graph with bitset adjacency.
+type graph struct {
+	pos [][2]int
+	adj []bitset
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) clone() bitset  { c := make(bitset, len(b)); copy(c, b); return c }
+func (b bitset) and(o bitset) {
+	for k := range b {
+		b[k] &= o[k]
+	}
+}
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) count() int {
+	t := 0
+	for _, w := range b {
+		t += bits.OnesCount64(w)
+	}
+	return t
+}
+func (b bitset) first() int {
+	for k, w := range b {
+		if w != 0 {
+			return k*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+func buildGraph(m *bitmat.Matrix) *graph {
+	pos := m.OnesPositions()
+	n := len(pos)
+	g := &graph{pos: pos, adj: make([]bitset, n)}
+	for a := range g.adj {
+		g.adj[a] = newBitset(n)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if compatible(m, pos[a][0], pos[a][1], pos[b][0], pos[b][1]) {
+				g.adj[a].set(b)
+				g.adj[b].set(a)
+			}
+		}
+	}
+	return g
+}
+
+// Greedy returns a (maximal, not necessarily maximum) fooling set of m,
+// built by repeatedly taking the candidate entry with the most remaining
+// compatible candidates.
+func Greedy(m *bitmat.Matrix) [][2]int {
+	g := buildGraph(m)
+	n := len(g.pos)
+	if n == 0 {
+		return nil
+	}
+	cand := newBitset(n)
+	for i := 0; i < n; i++ {
+		cand.set(i)
+	}
+	var out [][2]int
+	for cand.count() > 0 {
+		// Pick the candidate with maximum degree within the candidate set.
+		best, bestDeg := -1, -1
+		for i := 0; i < n; i++ {
+			if !cand.get(i) {
+				continue
+			}
+			d := degreeWithin(g.adj[i], cand)
+			if d > bestDeg {
+				best, bestDeg = i, d
+			}
+		}
+		out = append(out, g.pos[best])
+		cand.and(g.adj[best])
+	}
+	return out
+}
+
+func degreeWithin(adj, cand bitset) int {
+	t := 0
+	for k := range adj {
+		t += bits.OnesCount64(adj[k] & cand[k])
+	}
+	return t
+}
+
+// Exact returns a maximum fooling set of m, found by branch-and-bound max
+// clique, and whether the search completed within the node budget. When the
+// budget is exhausted, the best set found so far is returned with ok=false.
+// A budget ≤ 0 means unlimited.
+func Exact(m *bitmat.Matrix, budget int64) (set [][2]int, ok bool) {
+	g := buildGraph(m)
+	n := len(g.pos)
+	if n == 0 {
+		return nil, true
+	}
+	// Seed the incumbent with the greedy solution.
+	best := Greedy(m)
+	bestSize := len(best)
+
+	cand := newBitset(n)
+	for i := 0; i < n; i++ {
+		cand.set(i)
+	}
+	var cur []int
+	nodes := int64(0)
+	exceeded := false
+
+	var bestIdx []int
+	var rec func(cand bitset)
+	rec = func(cand bitset) {
+		if exceeded {
+			return
+		}
+		nodes++
+		if budget > 0 && nodes > budget {
+			exceeded = true
+			return
+		}
+		c := cand.count()
+		if len(cur)+c <= bestSize {
+			return // bound: cannot beat incumbent
+		}
+		if c == 0 {
+			if len(cur) > bestSize {
+				bestSize = len(cur)
+				bestIdx = append(bestIdx[:0], cur...)
+			}
+			return
+		}
+		// Branch on candidates in order; standard clique enumeration with
+		// the remaining-count bound.
+		rest := cand.clone()
+		for {
+			v := rest.first()
+			if v < 0 {
+				return
+			}
+			if len(cur)+rest.count() <= bestSize {
+				return
+			}
+			rest.clear(v)
+			next := rest.clone()
+			next.and(g.adj[v])
+			cur = append(cur, v)
+			rec(next)
+			cur = cur[:len(cur)-1]
+			if exceeded {
+				return
+			}
+		}
+	}
+	rec(cand)
+
+	if bestIdx != nil {
+		best = make([][2]int, len(bestIdx))
+		for i, v := range bestIdx {
+			best[i] = g.pos[v]
+		}
+	}
+	return best, !exceeded
+}
+
+// IsFoolingSet verifies that the given entries form a fooling set of m:
+// every entry is a 1 and every pair satisfies the fooling condition.
+func IsFoolingSet(m *bitmat.Matrix, set [][2]int) bool {
+	for _, e := range set {
+		if !m.Get(e[0], e[1]) {
+			return false
+		}
+	}
+	for a := 0; a < len(set); a++ {
+		for b := a + 1; b < len(set); b++ {
+			if !compatible(m, set[a][0], set[a][1], set[b][0], set[b][1]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxSize returns the exact maximum fooling set size when the search
+// completes within budget, otherwise the best lower bound found.
+func MaxSize(m *bitmat.Matrix, budget int64) (size int, exact bool) {
+	set, ok := Exact(m, budget)
+	return len(set), ok
+}

@@ -1,0 +1,156 @@
+package fooling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+)
+
+func TestIdentityFoolingSet(t *testing.T) {
+	// The diagonal of I_n is a fooling set of size n.
+	for n := 1; n <= 6; n++ {
+		m := bitmat.Identity(n)
+		set, ok := Exact(m, 0)
+		if !ok {
+			t.Fatalf("n=%d: exact search did not finish", n)
+		}
+		if len(set) != n {
+			t.Fatalf("n=%d: fooling size %d, want %d", n, len(set), n)
+		}
+		if !IsFoolingSet(m, set) {
+			t.Fatal("returned set is not a fooling set")
+		}
+	}
+}
+
+func TestAllOnesFoolingSet(t *testing.T) {
+	// All-ones matrix: any two 1s fail the condition, so max size 1.
+	m := bitmat.AllOnes(4, 4)
+	set, ok := Exact(m, 0)
+	if !ok || len(set) != 1 {
+		t.Fatalf("got %d (ok=%v), want 1", len(set), ok)
+	}
+}
+
+func TestPaperEq2Gap(t *testing.T) {
+	// Equation 2 of the paper: this matrix needs 3 rectangles but any
+	// fooling set has size ≤ 2.
+	m := bitmat.MustParse("110\n011\n111")
+	set, ok := Exact(m, 0)
+	if !ok {
+		t.Fatal("search did not finish")
+	}
+	if len(set) != 2 {
+		t.Fatalf("max fooling size = %d, want 2 (paper Eq. 2)", len(set))
+	}
+}
+
+func TestFig1bFoolingSetSize5(t *testing.T) {
+	// Figure 1b of the paper: a fooling set of size 5 exists, proving the
+	// 5-rectangle partition optimal.
+	m := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	set, ok := Exact(m, 0)
+	if !ok {
+		t.Fatal("search did not finish")
+	}
+	if len(set) != 5 {
+		t.Fatalf("max fooling size = %d, want 5", len(set))
+	}
+	if !IsFoolingSet(m, set) {
+		t.Fatal("not a fooling set")
+	}
+}
+
+func TestZeroMatrix(t *testing.T) {
+	set, ok := Exact(bitmat.New(3, 3), 0)
+	if !ok || len(set) != 0 {
+		t.Fatalf("zero matrix: got %d (ok=%v)", len(set), ok)
+	}
+	if g := Greedy(bitmat.New(2, 2)); len(g) != 0 {
+		t.Fatalf("greedy on zero matrix: %v", g)
+	}
+}
+
+func TestGreedyIsValidFoolingSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		m := bitmat.Random(rng, 2+rng.Intn(8), 2+rng.Intn(8), 0.2+0.6*rng.Float64())
+		set := Greedy(m)
+		if !IsFoolingSet(m, set) {
+			t.Fatalf("greedy returned invalid fooling set for\n%s", m)
+		}
+	}
+}
+
+func TestIsFoolingSetRejects(t *testing.T) {
+	m := bitmat.AllOnes(2, 2)
+	if IsFoolingSet(m, [][2]int{{0, 0}, {1, 1}}) {
+		t.Fatal("two 1s of all-ones matrix cannot both be in a fooling set")
+	}
+	if IsFoolingSet(m, [][2]int{{0, 0}, {0, 0}}) {
+		t.Fatal("duplicate entries are not a valid fooling set")
+	}
+	z := bitmat.New(2, 2)
+	if IsFoolingSet(z, [][2]int{{0, 0}}) {
+		t.Fatal("a 0 entry cannot be in a fooling set")
+	}
+}
+
+func TestBudgetExhaustionStillValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := bitmat.Random(rng, 12, 12, 0.5)
+	set, _ := Exact(m, 10) // tiny budget: must still return a valid set
+	if !IsFoolingSet(m, set) {
+		t.Fatal("budget-limited result is not a fooling set")
+	}
+	if len(set) == 0 && m.Ones() > 0 {
+		t.Fatal("nonempty matrix must yield nonempty fooling set")
+	}
+}
+
+// Property: exact ≥ greedy, and both are valid fooling sets; exact size is
+// bounded by min(rows, cols) distinct... actually by the rank bound it is
+// bounded by min(#rows, #cols) since a fooling set has ≤1 entry per row.
+func TestQuickExactAtLeastGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := bitmat.Random(rng, 1+rng.Intn(6), 1+rng.Intn(6), rng.Float64())
+		g := Greedy(m)
+		e, ok := Exact(m, 0)
+		if !ok {
+			return false
+		}
+		minDim := m.Rows()
+		if m.Cols() < minDim {
+			minDim = m.Cols()
+		}
+		return len(e) >= len(g) && IsFoolingSet(m, e) && IsFoolingSet(m, g) && len(e) <= minDim
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a fooling set has at most one entry per row and per column.
+func TestQuickOneEntryPerRowCol(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := bitmat.Random(rng, 1+rng.Intn(7), 1+rng.Intn(7), rng.Float64())
+		set, _ := Exact(m, 100000)
+		rows := map[int]bool{}
+		cols := map[int]bool{}
+		for _, e := range set {
+			if rows[e[0]] || cols[e[1]] {
+				return false
+			}
+			rows[e[0]] = true
+			cols[e[1]] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package ftqc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+)
+
+func fastOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Packing.Trials = 10
+	o.FoolingBudget = 50_000
+	return o
+}
+
+func TestTransversalPatchProperties(t *testing.T) {
+	p := TransversalPatch(3)
+	if p.Rank() != 1 || p.Ones() != 9 {
+		t.Fatalf("rank=%d ones=%d", p.Rank(), p.Ones())
+	}
+}
+
+func TestDiagonalPatch(t *testing.T) {
+	if DiagonalPatch(4).Rank() != 4 {
+		t.Fatal("diagonal patch rank")
+	}
+}
+
+func TestCheckerboardPatchBinaryRank(t *testing.T) {
+	p := CheckerboardPatch(4)
+	r, err := core.BinaryRank(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 2 {
+		t.Fatalf("checkerboard r_B = %d, want 2", r)
+	}
+}
+
+func TestTwoLevelTransversalIsOptimal(t *testing.T) {
+	// The paper's key observation: with an all-ones physical patch,
+	// ϕ(M) = r_B(M) = 1, so the logical partition alone is optimal.
+	logical := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	res, err := SolveTwoLevel(logical, TransversalPatch(3), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatalf("transversal two-level should be optimal: ub=%d watson=%d",
+			res.UpperBound, res.WatsonLB)
+	}
+	if res.UpperBound != res.Logical.Depth {
+		t.Fatalf("depth %d, want logical depth %d", res.UpperBound, res.Logical.Depth)
+	}
+	if err := res.Combined.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoLevelDiagonalPhysical(t *testing.T) {
+	// Identity physical patch: r_B = ϕ = d, so Watson's bound is again
+	// tight: r_B(Â⊗I_d) = r_B(Â)·d.
+	logical := bitmat.MustParse("11\n01")
+	res, err := SolveTwoLevel(logical, DiagonalPatch(3), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Logical.Optimal || res.Logical.Depth != 2 {
+		t.Fatalf("logical depth %d", res.Logical.Depth)
+	}
+	if res.UpperBound != 6 {
+		t.Fatalf("upper bound %d, want 6", res.UpperBound)
+	}
+	if !res.Optimal {
+		t.Fatalf("identity-patch tensor should be tight: watson=%d", res.WatsonLB)
+	}
+}
+
+func TestTwoLevelBoundsOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		a := bitmat.Random(rng, 3, 3, 0.6)
+		b := bitmat.Random(rng, 3, 3, 0.6)
+		if a.Ones() == 0 || b.Ones() == 0 {
+			continue
+		}
+		res, err := SolveTwoLevel(a, b, fastOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WatsonLB > res.UpperBound {
+			t.Fatalf("Watson LB %d exceeds upper bound %d", res.WatsonLB, res.UpperBound)
+		}
+		if err := res.Combined.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRowSufficiencyWideEasierThanSquare(t *testing.T) {
+	// The paper's observation: at equal occupancy, 10×20 and 10×30 random
+	// matrices are much easier to be full rank than 10×10.
+	square := RowSufficiency(1, 10, 10, 0.5, 60)
+	wide := RowSufficiency(1, 10, 30, 0.5, 60)
+	if wide.FullRankFraction() < square.FullRankFraction() {
+		t.Fatalf("wide %f should be ≥ square %f",
+			wide.FullRankFraction(), square.FullRankFraction())
+	}
+	if wide.RowOptimalFraction() < 0.9 {
+		t.Fatalf("10×30 at 50%% should be row-optimal almost always, got %f",
+			wide.RowOptimalFraction())
+	}
+}
+
+func TestRowSufficiencyZeroTrials(t *testing.T) {
+	s := RowSufficiency(1, 5, 5, 0.5, 0)
+	if s.FullRankFraction() != 0 || s.RowOptimalFraction() != 0 {
+		t.Fatal("zero trials should give zero fractions")
+	}
+}
+
+// Property: tensor depth really is the product of the level depths, and the
+// combined partition covers exactly ones(Â)·ones(M) entries.
+func TestQuickTensorDepthProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := bitmat.Random(rng, 1+rng.Intn(3), 1+rng.Intn(3), 0.7)
+		b := bitmat.Random(rng, 1+rng.Intn(3), 1+rng.Intn(3), 0.7)
+		res, err := SolveTwoLevel(a, b, fastOptions())
+		if err != nil {
+			return false
+		}
+		if res.UpperBound != res.Logical.Depth*res.Physical.Depth {
+			return false
+		}
+		total := 0
+		for _, r := range res.Combined.Rects {
+			total += r.Size()
+		}
+		return total == a.Ones()*b.Ones()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the multiplicative rank bound r_B(A⊗B) ≥ rank(A)·rank(B) is
+// consistent with the tensor partition depth.
+func TestQuickTensorRankBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := bitmat.Random(rng, 1+rng.Intn(3), 1+rng.Intn(3), 0.6)
+		b := bitmat.Random(rng, 1+rng.Intn(3), 1+rng.Intn(3), 0.6)
+		tp := bitmat.Tensor(a, b)
+		res, err := SolveTwoLevel(a, b, fastOptions())
+		if err != nil {
+			return false
+		}
+		return res.UpperBound >= tp.Rank()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package ftqc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+)
+
+// TensorRankProbe is one data point of the paper's future-work experiment:
+// "the SMT tool could aid in investigating the behavior of binary rank under
+// a tensor product". Whether r_B is multiplicative under ⊗ is open; the
+// probe solves r_B(A), r_B(B) and r_B(A⊗B) exactly and reports the gap to
+// the product upper bound.
+type TensorRankProbe struct {
+	A, B *bitmat.Matrix
+	// RBA, RBB, RBT are the exact binary ranks of A, B and A⊗B.
+	RBA, RBB, RBT int
+	// Multiplicative reports RBT == RBA·RBB.
+	Multiplicative bool
+}
+
+// ProbeTensorRank solves all three binary ranks exactly. Intended for tiny
+// matrices (the tensor product's SAT instance grows with ones(A)·ones(B)).
+func ProbeTensorRank(a, b *bitmat.Matrix) (*TensorRankProbe, error) {
+	rba, err := core.BinaryRank(a)
+	if err != nil {
+		return nil, fmt.Errorf("ftqc: r_B(A): %w", err)
+	}
+	rbb, err := core.BinaryRank(b)
+	if err != nil {
+		return nil, fmt.Errorf("ftqc: r_B(B): %w", err)
+	}
+	rbt, err := core.BinaryRank(bitmat.Tensor(a, b))
+	if err != nil {
+		return nil, fmt.Errorf("ftqc: r_B(A⊗B): %w", err)
+	}
+	return &TensorRankProbe{
+		A: a, B: b,
+		RBA: rba, RBB: rbb, RBT: rbt,
+		Multiplicative: rbt == rba*rbb,
+	}, nil
+}
+
+// SearchTensorCounterexample samples random pairs up to the given dimension
+// and returns the first probe where r_B(A⊗B) < r_B(A)·r_B(B), or nil if
+// none is found within the trial budget. (Finding one would answer the open
+// question of Section V in the negative.)
+func SearchTensorCounterexample(seed int64, maxDim, trials int) (*TensorRankProbe, error) {
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		a := bitmat.Random(rng, 1+rng.Intn(maxDim), 1+rng.Intn(maxDim), 0.4+0.3*rng.Float64())
+		b := bitmat.Random(rng, 1+rng.Intn(maxDim), 1+rng.Intn(maxDim), 0.4+0.3*rng.Float64())
+		if a.Ones() == 0 || b.Ones() == 0 {
+			continue
+		}
+		probe, err := ProbeTensorRank(a, b)
+		if err != nil {
+			return nil, err
+		}
+		if !probe.Multiplicative {
+			return probe, nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,71 @@
+package ftqc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+)
+
+func TestProbeTensorRankKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool // multiplicative
+	}{
+		{"11\n01", "10\n01", true},
+		{"1", "1", true},
+		{"11\n11", "10\n01", true},
+	}
+	for _, c := range cases {
+		probe, err := ProbeTensorRank(bitmat.MustParse(c.a), bitmat.MustParse(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probe.Multiplicative != c.want {
+			t.Fatalf("A=%q B=%q: rbT=%d rbA=%d rbB=%d", c.a, c.b, probe.RBT, probe.RBA, probe.RBB)
+		}
+		if probe.RBT > probe.RBA*probe.RBB {
+			t.Fatal("tensor rank exceeds product upper bound — solver bug")
+		}
+	}
+}
+
+func TestSearchTensorCounterexampleFindsNoneSmall(t *testing.T) {
+	// No counterexample is known; at 2×2 scale none should appear.
+	probe, err := SearchTensorCounterexample(5, 2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe != nil {
+		t.Fatalf("unexpected counterexample: r_B=%d < %d·%d\nA:\n%s\nB:\n%s",
+			probe.RBT, probe.RBA, probe.RBB, probe.A, probe.B)
+	}
+}
+
+// Property: on all sampled pairs up to 3×3, binary rank is multiplicative
+// under tensor product (consistent with the open question — no
+// counterexample at this scale).
+func TestQuickTensorRankMultiplicativeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact tensor solves are slow in -short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := bitmat.Random(rng, 1+rng.Intn(3), 1+rng.Intn(3), 0.6)
+		b := bitmat.Random(rng, 1+rng.Intn(3), 1+rng.Intn(3), 0.6)
+		if a.Ones() == 0 || b.Ones() == 0 {
+			return true
+		}
+		probe, err := ProbeTensorRank(a, b)
+		if err != nil {
+			return false
+		}
+		// Watson's bound and the product bound must sandwich RBT; at this
+		// scale every sampled pair has been multiplicative.
+		return probe.RBT <= probe.RBA*probe.RBB && probe.Multiplicative
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

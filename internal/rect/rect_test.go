@@ -1,0 +1,148 @@
+package rect
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := FromIndices(4, 5, []int{0, 2}, []int{1, 3, 4})
+	if r.Size() != 6 {
+		t.Fatalf("size = %d, want 6", r.Size())
+	}
+	if !r.Contains(2, 3) || r.Contains(1, 3) || r.Contains(0, 0) {
+		t.Fatal("Contains wrong")
+	}
+	if r.IsEmpty() {
+		t.Fatal("nonempty rect reported empty")
+	}
+	if !NewRect(3, 3).IsEmpty() {
+		t.Fatal("empty rect not reported empty")
+	}
+}
+
+func TestRectOverlaps(t *testing.T) {
+	a := FromIndices(4, 4, []int{0, 1}, []int{0, 1})
+	b := FromIndices(4, 4, []int{1, 2}, []int{1, 2})
+	c := FromIndices(4, 4, []int{2, 3}, []int{0, 1})
+	if !a.Overlaps(b) {
+		t.Error("a and b share (1,1)")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c are disjoint (no shared row)")
+	}
+	// Shared rows but disjoint columns do not overlap.
+	d := FromIndices(4, 4, []int{0, 1}, []int{2, 3})
+	if a.Overlaps(d) {
+		t.Error("a and d are disjoint (no shared column)")
+	}
+}
+
+func TestRectCoveredOnly1s(t *testing.T) {
+	m := bitmat.MustParse("110\n111\n011")
+	good := FromIndices(3, 3, []int{0, 1}, []int{0, 1})
+	if !good.CoveredOnly1s(m) {
+		t.Error("good rect rejected")
+	}
+	bad := FromIndices(3, 3, []int{0, 2}, []int{0}) // (2,0) is 0
+	if bad.CoveredOnly1s(m) {
+		t.Error("bad rect accepted")
+	}
+}
+
+func TestRectToMatrix(t *testing.T) {
+	r := FromIndices(3, 3, []int{0, 2}, []int{1})
+	m := r.ToMatrix()
+	want := bitmat.MustParse("010\n000\n010")
+	if !m.Equal(want) {
+		t.Fatalf("got\n%s\nwant\n%s", m, want)
+	}
+	if m.Rank() != 1 {
+		t.Fatalf("rectangle matrix must have rank 1, got %d", m.Rank())
+	}
+}
+
+func TestRectString(t *testing.T) {
+	r := FromIndices(4, 4, []int{1, 3}, []int{0})
+	if got := r.String(); got != "{1,3}×{0}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSortRectsDeterministic(t *testing.T) {
+	a := FromIndices(3, 3, []int{2}, []int{0})
+	b := FromIndices(3, 3, []int{0}, []int{2})
+	c := FromIndices(3, 3, []int{0}, []int{0})
+	rs := []Rect{a, b, c}
+	SortRects(rs)
+	if rs[0].Canonical() != c.Canonical() || rs[1].Canonical() != b.Canonical() || rs[2].Canonical() != a.Canonical() {
+		t.Fatalf("sort order wrong: %v", rs)
+	}
+}
+
+func TestRectCloneIndependent(t *testing.T) {
+	r := FromIndices(3, 3, []int{0}, []int{0})
+	c := r.Clone()
+	c.Rows.Set(1, true)
+	if r.Rows.Get(1) {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func randomValidPartition(rng *rand.Rand, m, n int) (*bitmat.Matrix, *Partition) {
+	// Build a matrix from random disjoint rectangles, so the partition is
+	// valid by construction.
+	mat := bitmat.New(m, n)
+	p := NewPartition(mat)
+	used := bitmat.New(m, n)
+	for k := 0; k < 1+rng.Intn(4); k++ {
+		rows := randSubset(rng, m)
+		cols := randSubset(rng, n)
+		r := FromIndices(m, n, rows, cols)
+		// Reject rectangles overlapping previous ones.
+		ok := true
+		for _, i := range rows {
+			for _, j := range cols {
+				if used.Get(i, j) {
+					ok = false
+				}
+			}
+		}
+		if !ok || r.IsEmpty() {
+			continue
+		}
+		for _, i := range rows {
+			for _, j := range cols {
+				used.Set(i, j, true)
+				mat.Set(i, j, true)
+			}
+		}
+		p.Add(r)
+	}
+	return mat, p
+}
+
+func randSubset(rng *rand.Rand, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, rng.Intn(n))
+	}
+	return out
+}
+
+func TestRandomValidPartitionsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		_, p := randomValidPartition(rng, 3+rng.Intn(6), 3+rng.Intn(6))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: valid-by-construction partition rejected: %v", trial, err)
+		}
+	}
+}

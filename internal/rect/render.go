@@ -1,0 +1,45 @@
+package rect
+
+import "strings"
+
+// markerAlphabet assigns one printable marker per rectangle, echoing the
+// distinct markers of Figure 1b in the paper.
+const markerAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// Render draws the partition as a character grid: each 1 of the matrix shows
+// the marker of its rectangle, 0s show '·'. Rectangles beyond the marker
+// alphabet all render as '#'. Invalid (overlapping) partitions render the
+// marker of the last rectangle covering a cell.
+func (p *Partition) Render() string {
+	m := p.M
+	grid := make([][]rune, m.Rows())
+	for i := range grid {
+		grid[i] = make([]rune, m.Cols())
+		for j := range grid[i] {
+			if m.Get(i, j) {
+				grid[i][j] = '?' // a 1 not covered by any rectangle
+			} else {
+				grid[i][j] = '·'
+			}
+		}
+	}
+	for k, r := range p.Rects {
+		marker := '#'
+		if k < len(markerAlphabet) {
+			marker = rune(markerAlphabet[k])
+		}
+		r.Rows.ForEachOne(func(i int) {
+			r.Cols.ForEachOne(func(j int) {
+				grid[i][j] = marker
+			})
+		})
+	}
+	var sb strings.Builder
+	for i, row := range grid {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(string(row))
+	}
+	return sb.String()
+}

@@ -1,0 +1,42 @@
+package rect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+func TestRenderMarkersAndDots(t *testing.T) {
+	m := bitmat.MustParse("110\n110\n001")
+	p := NewPartition(m)
+	p.Add(FromIndices(3, 3, []int{0, 1}, []int{0, 1}))
+	p.Add(FromIndices(3, 3, []int{2}, []int{2}))
+	got := p.Render()
+	want := "AA·\nAA·\n··B"
+	if got != want {
+		t.Fatalf("render:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderUncoveredShowsQuestionMark(t *testing.T) {
+	m := bitmat.MustParse("11")
+	p := NewPartition(m)
+	p.Add(FromIndices(1, 2, []int{0}, []int{0}))
+	if got := p.Render(); got != "A?" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRenderManyRectanglesFallsBackToHash(t *testing.T) {
+	n := len(markerAlphabet) + 2
+	m := bitmat.Identity(n)
+	p := NewPartition(m)
+	for i := 0; i < n; i++ {
+		p.Add(FromIndices(n, n, []int{i}, []int{i}))
+	}
+	out := p.Render()
+	if !strings.Contains(out, "#") {
+		t.Fatal("expected '#' fallback markers")
+	}
+}

@@ -1,0 +1,128 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssumptionsBasic(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	if got := s.SolveAssuming(NegLit(a)); got != Sat {
+		t.Fatalf("¬a: %v", got)
+	}
+	if !s.Value(b) {
+		t.Fatal("b must be true under ¬a")
+	}
+	if got := s.SolveAssuming(NegLit(a), NegLit(b)); got != Unsat {
+		t.Fatalf("¬a∧¬b: %v", got)
+	}
+	// The formula itself stays satisfiable after the failed assumptions.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("formula poisoned by assumptions: %v", got)
+	}
+}
+
+func TestAssumptionsContradictory(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a), NegLit(a)) // tautology, formula trivially SAT
+	if got := s.SolveAssuming(PosLit(a), NegLit(a)); got != Unsat {
+		t.Fatalf("contradictory assumptions: %v", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("formula must remain SAT: %v", got)
+	}
+}
+
+func TestAssumptionAlreadyImplied(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a))
+	s.AddClause(NegLit(a), PosLit(b))
+	if got := s.SolveAssuming(PosLit(a), PosLit(b)); got != Sat {
+		t.Fatalf("implied assumptions: %v", got)
+	}
+}
+
+func TestAssumptionsOnPigeonhole(t *testing.T) {
+	// PHP(4,4) is SAT; assuming pigeon 0 out of all holes makes it UNSAT.
+	s := pigeonhole(4, 4)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("PHP(4,4): %v", got)
+	}
+	assume := []Lit{NegLit(0), NegLit(1), NegLit(2), NegLit(3)}
+	if got := s.SolveAssuming(assume...); got != Unsat {
+		t.Fatalf("blocked pigeon: %v", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("PHP(4,4) after assumptions: %v", got)
+	}
+}
+
+// Property: SolveAssuming(lits) agrees with adding the lits as unit clauses
+// to a fresh copy of the formula.
+func TestQuickAssumptionsMatchUnits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(6)
+		cls, _ := randomCNF(rng, nVars, 5+rng.Intn(25), 3)
+		nAssume := 1 + rng.Intn(3)
+		assume := make([]Lit, nAssume)
+		for i := range assume {
+			assume[i] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+		}
+
+		s1 := New()
+		for i := 0; i < nVars; i++ {
+			s1.NewVar()
+		}
+		for _, c := range cls {
+			s1.AddClause(c...)
+		}
+		got := s1.SolveAssuming(assume...)
+
+		s2 := New()
+		for i := 0; i < nVars; i++ {
+			s2.NewVar()
+		}
+		for _, c := range cls {
+			s2.AddClause(c...)
+		}
+		for _, a := range assume {
+			s2.AddClause(a)
+		}
+		want := s2.Solve()
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repeated SolveAssuming calls are independent (no state leak):
+// the same query gives the same answer before and after other queries.
+func TestQuickAssumptionsStateless(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(5)
+		cls, _ := randomCNF(rng, nVars, 5+rng.Intn(20), 3)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, c := range cls {
+			s.AddClause(c...)
+		}
+		q1 := []Lit{MkLit(rng.Intn(nVars), false)}
+		q2 := []Lit{MkLit(rng.Intn(nVars), true)}
+		first := s.SolveAssuming(q1...)
+		s.SolveAssuming(q2...)
+		return s.SolveAssuming(q1...) == first
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format and loads it into a fresh
+// solver. Comment lines ("c ...") are ignored; the problem line
+// ("p cnf <vars> <clauses>") sets the variable count.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	declared := -1
+	var cur []Lit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad variable count", lineNo)
+			}
+			declared = n
+			for s.NumVars() < n {
+				s.NewVar()
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			x, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", lineNo, tok)
+			}
+			if x == 0 {
+				s.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			v := x
+			if v < 0 {
+				v = -v
+			}
+			for s.NumVars() < v {
+				s.NewVar()
+			}
+			cur = append(cur, MkLit(v-1, x < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("sat: trailing clause without 0 terminator")
+	}
+	_ = declared
+	return s, nil
+}
+
+// WriteDIMACS writes the problem clauses (not learnt clauses) in DIMACS CNF
+// format.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	nClauses := len(s.clauses)
+	// Root-level units are part of the formula too.
+	var units []Lit
+	for _, l := range s.trail {
+		if s.level[l.Var()] == 0 {
+			units = append(units, l)
+		}
+	}
+	// A formula found contradictory while adding clauses has no surviving
+	// witness clause; emit an explicit empty clause so the written formula
+	// is equivalent to the solver's state.
+	empty := 0
+	if s.unsatRoot {
+		empty = 1
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), nClauses+len(units)+empty); err != nil {
+		return err
+	}
+	if s.unsatRoot {
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	emit := func(lits []Lit) error {
+		for _, l := range lits {
+			x := l.Var() + 1
+			if l.Sign() {
+				x = -x
+			}
+			if _, err := fmt.Fprintf(bw, "%d ", x); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(bw, "0")
+		return err
+	}
+	for _, u := range units {
+		if err := emit([]Lit{u}); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.clauses {
+		if err := emit(c.lits); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

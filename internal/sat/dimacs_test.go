@@ -1,0 +1,104 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Fatalf("vars = %d", s.NumVars())
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("status %v", got)
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	src := "p cnf 2 1\n1\n2 0\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClauses() != 1 {
+		t.Fatalf("clauses = %d, want 1", s.NumClauses())
+	}
+}
+
+func TestParseDIMACSGrowsVars(t *testing.T) {
+	// Literals beyond the declared count grow the variable set.
+	src := "p cnf 1 1\n5 0\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 5 {
+		t.Fatalf("vars = %d, want 5", s.NumVars())
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"p cnf x 1\n",
+		"p dnf 2 1\n1 0\n",
+		"p cnf 2 1\n1 a 0\n",
+		"p cnf 2 1\n1 2\n", // missing terminator
+	}
+	for _, src := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cls, nv := randomCNF(rng, 6, 25, 3)
+	s := New()
+	for i := 0; i < nv; i++ {
+		s.NewVar()
+	}
+	for _, c := range cls {
+		s.AddClause(c...)
+	}
+	want := s.Solve()
+
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Solve(); got != want {
+		t.Fatalf("round trip changed status %v → %v", want, got)
+	}
+}
+
+func TestWriteDIMACSIncludesRootUnits(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(PosLit(a))
+	s.AddClause(NegLit(a), PosLit(b))
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 0") {
+		t.Fatalf("unit clause missing from:\n%s", out)
+	}
+}

@@ -1,0 +1,359 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Proof logging. The optimality claims of the EBMF solver rest on UNSAT
+// results (Figure 4 of the paper: proving UNSAT is the expensive, load-
+// bearing step). With a trace attached, the solver emits every learnt
+// clause and deletion in DRAT format, and CheckDRAT replays the trace with
+// reverse-unit-propagation (RUP) checks, independently certifying the UNSAT
+// verdict without trusting the solver's internals.
+
+// AttachProof starts DRAT logging to w. It must be called on a fresh solver
+// before the first Solve; incremental AddClause after solving invalidates a
+// DRAT trace, so callers certifying an EBMF bound rebuild the formula at
+// that bound and solve once.
+func (s *Solver) AttachProof(w io.Writer) {
+	s.proof = bufio.NewWriter(w)
+}
+
+// FlushProof flushes buffered proof lines; call it after Solve returns.
+func (s *Solver) FlushProof() error {
+	if s.proof == nil {
+		return nil
+	}
+	return s.proof.Flush()
+}
+
+// proofAdd logs a learnt (derived) clause.
+func (s *Solver) proofAdd(lits []Lit) {
+	if s.proof == nil {
+		return
+	}
+	writeDRATClause(s.proof, lits)
+}
+
+// proofDelete logs a clause deletion.
+func (s *Solver) proofDelete(lits []Lit) {
+	if s.proof == nil {
+		return
+	}
+	s.proof.WriteString("d ")
+	writeDRATClause(s.proof, lits)
+}
+
+// proofEmpty logs the final empty clause that certifies UNSAT.
+func (s *Solver) proofEmpty() {
+	if s.proof == nil {
+		return
+	}
+	s.proof.WriteString("0\n")
+}
+
+func writeDRATClause(w *bufio.Writer, lits []Lit) {
+	for _, l := range lits {
+		x := l.Var() + 1
+		if l.Sign() {
+			x = -x
+		}
+		fmt.Fprintf(w, "%d ", x)
+	}
+	w.WriteString("0\n")
+}
+
+// dratChecker is a watched-literal unit-propagation engine over an evolving
+// clause database, used to verify RUP steps.
+type dratChecker struct {
+	nVars   int
+	clauses []*dratClause
+	watches [][]*dratClause
+	units   []Lit // top-level unit clauses of the database
+	assign  []lbool
+	trail   []Lit
+}
+
+type dratClause struct {
+	lits    []Lit
+	deleted bool
+}
+
+func newDratChecker(nVars int) *dratChecker {
+	return &dratChecker{
+		nVars:   nVars,
+		watches: make([][]*dratClause, 2*nVars),
+		assign:  make([]lbool, nVars),
+	}
+}
+
+func (c *dratChecker) grow(v Var) {
+	for c.nVars <= v {
+		c.nVars++
+		c.watches = append(c.watches, nil, nil)
+		c.assign = append(c.assign, lUndef)
+	}
+}
+
+// addClause installs a clause into the database (no checking).
+func (c *dratChecker) addClause(lits []Lit) {
+	for _, l := range lits {
+		c.grow(l.Var())
+	}
+	switch len(lits) {
+	case 0:
+		// The empty clause in the database: everything is provable; record
+		// as a false unit via a sentinel — callers handle this before.
+	case 1:
+		c.units = append(c.units, lits[0])
+	default:
+		cl := &dratClause{lits: append([]Lit(nil), lits...)}
+		c.clauses = append(c.clauses, cl)
+		c.watches[cl.lits[0].Neg()] = append(c.watches[cl.lits[0].Neg()], cl)
+		c.watches[cl.lits[1].Neg()] = append(c.watches[cl.lits[1].Neg()], cl)
+	}
+}
+
+// deleteClause marks a clause with the given literal multiset deleted.
+func (c *dratChecker) deleteClause(lits []Lit) {
+	if len(lits) == 1 {
+		for i, u := range c.units {
+			if u == lits[0] {
+				c.units = append(c.units[:i], c.units[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	key := clauseKey(lits)
+	for _, cl := range c.clauses {
+		if !cl.deleted && len(cl.lits) == len(lits) && clauseKey(cl.lits) == key {
+			cl.deleted = true
+			return
+		}
+	}
+}
+
+func clauseKey(lits []Lit) string {
+	xs := make([]int, len(lits))
+	for i, l := range lits {
+		xs[i] = int(l)
+	}
+	// Insertion sort (clauses are short).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	var sb strings.Builder
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%d,", x)
+	}
+	return sb.String()
+}
+
+func (c *dratChecker) value(l Lit) lbool {
+	v := c.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// assume enqueues a literal; returns false on immediate conflict.
+func (c *dratChecker) assume(l Lit) bool {
+	switch c.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	if l.Sign() {
+		c.assign[l.Var()] = lFalse
+	} else {
+		c.assign[l.Var()] = lTrue
+	}
+	c.trail = append(c.trail, l)
+	return true
+}
+
+// propagate runs unit propagation from qhead 0; returns true on conflict.
+func (c *dratChecker) propagate() bool {
+	qhead := 0
+	for qhead < len(c.trail) {
+		p := c.trail[qhead]
+		qhead++
+		ws := c.watches[p]
+		kept := ws[:0]
+		conflict := false
+		for wi := 0; wi < len(ws); wi++ {
+			cl := ws[wi]
+			if cl.deleted {
+				continue
+			}
+			if conflict {
+				kept = append(kept, ws[wi:]...)
+				break
+			}
+			falseLit := p.Neg()
+			if cl.lits[0] == falseLit {
+				cl.lits[0], cl.lits[1] = cl.lits[1], cl.lits[0]
+			}
+			if c.value(cl.lits[0]) == lTrue {
+				kept = append(kept, cl)
+				continue
+			}
+			moved := false
+			for k := 2; k < len(cl.lits); k++ {
+				if c.value(cl.lits[k]) != lFalse {
+					cl.lits[1], cl.lits[k] = cl.lits[k], cl.lits[1]
+					c.watches[cl.lits[1].Neg()] = append(c.watches[cl.lits[1].Neg()], cl)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, cl)
+			if !c.assume(cl.lits[0]) {
+				conflict = true
+			}
+		}
+		c.watches[p] = kept
+		if conflict {
+			return true
+		}
+	}
+	return false
+}
+
+// reset undoes all assignments.
+func (c *dratChecker) reset() {
+	for _, l := range c.trail {
+		c.assign[l.Var()] = lUndef
+	}
+	c.trail = c.trail[:0]
+}
+
+// rup checks whether the clause is a reverse-unit-propagation consequence of
+// the current database: asserting its negation must propagate to a conflict.
+func (c *dratChecker) rup(lits []Lit) bool {
+	defer c.reset()
+	// Top-level units first.
+	for _, u := range c.units {
+		if !c.assume(u) {
+			return true // database itself is contradictory: anything follows
+		}
+	}
+	if c.propagate() {
+		return true
+	}
+	for _, l := range lits {
+		if !c.assume(l.Neg()) {
+			return true // clause contains a literal already propagated true
+		}
+	}
+	return c.propagate()
+}
+
+// CheckDRAT verifies a DRAT proof of unsatisfiability: formula clauses are
+// given in DIMACS (as written by WriteDIMACS), the proof in the format
+// emitted by AttachProof. It returns nil iff every derived clause is RUP at
+// its position and the proof derives the empty clause.
+func CheckDRAT(formula io.Reader, proof io.Reader) error {
+	chk := newDratChecker(0)
+	// Load the formula.
+	fs, err := ParseDIMACS(formula)
+	if err != nil {
+		return fmt.Errorf("sat: drat: formula: %w", err)
+	}
+	chk.grow(fs.NumVars() - 1)
+	for _, cl := range fs.clauses {
+		chk.addClause(cl.lits)
+	}
+	for _, l := range fs.trail {
+		if fs.level[l.Var()] == 0 {
+			chk.addClause([]Lit{l})
+		}
+	}
+	if fs.unsatRoot {
+		return nil // the formula is already contradictory at the root
+	}
+
+	sc := bufio.NewScanner(proof)
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	line := 0
+	derivedEmpty := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		isDelete := false
+		if strings.HasPrefix(text, "d ") {
+			isDelete = true
+			text = strings.TrimPrefix(text, "d ")
+		}
+		lits, err := parseDRATLits(text)
+		if err != nil {
+			return fmt.Errorf("sat: drat line %d: %w", line, err)
+		}
+		for _, l := range lits {
+			chk.grow(l.Var())
+		}
+		if isDelete {
+			chk.deleteClause(lits)
+			continue
+		}
+		if !chk.rup(lits) {
+			return fmt.Errorf("sat: drat line %d: clause %v is not RUP", line, lits)
+		}
+		if len(lits) == 0 {
+			derivedEmpty = true
+			break
+		}
+		chk.addClause(lits)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !derivedEmpty {
+		return fmt.Errorf("sat: drat: proof does not derive the empty clause")
+	}
+	return nil
+}
+
+// parseDRATLits parses "l1 l2 ... 0".
+func parseDRATLits(text string) ([]Lit, error) {
+	fields := strings.Fields(text)
+	var lits []Lit
+	terminated := false
+	for _, f := range fields {
+		x, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad literal %q", f)
+		}
+		if x == 0 {
+			terminated = true
+			break
+		}
+		v := x
+		if v < 0 {
+			v = -v
+		}
+		lits = append(lits, MkLit(v-1, x < 0))
+	}
+	if !terminated {
+		return nil, fmt.Errorf("missing 0 terminator")
+	}
+	return lits, nil
+}

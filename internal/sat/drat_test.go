@@ -1,0 +1,184 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// solveWithProof builds a solver from clauses, attaches a proof, solves, and
+// returns the status plus the DIMACS formula and proof texts.
+func solveWithProof(t *testing.T, nVars int, cls [][]Lit) (Status, string, string) {
+	t.Helper()
+	s := New()
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	for _, c := range cls {
+		s.AddClause(c...)
+	}
+	var formula bytes.Buffer
+	if err := s.WriteDIMACS(&formula); err != nil {
+		t.Fatal(err)
+	}
+	var proof bytes.Buffer
+	s.AttachProof(&proof)
+	st := s.Solve()
+	if err := s.FlushProof(); err != nil {
+		t.Fatal(err)
+	}
+	return st, formula.String(), proof.String()
+}
+
+func TestDRATPigeonholeProofChecks(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := pigeonhole(n+1, n)
+		var formula bytes.Buffer
+		if err := s.WriteDIMACS(&formula); err != nil {
+			t.Fatal(err)
+		}
+		var proof bytes.Buffer
+		s.AttachProof(&proof)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d): %v", n+1, n, got)
+		}
+		if err := s.FlushProof(); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckDRAT(&formula, &proof); err != nil {
+			t.Fatalf("PHP(%d,%d) proof rejected: %v", n+1, n, err)
+		}
+	}
+}
+
+func TestDRATSatInstanceHasNoEmptyClause(t *testing.T) {
+	st, _, proof := solveWithProof(t, 3, [][]Lit{
+		{PosLit(0), PosLit(1)},
+		{NegLit(1), PosLit(2)},
+	})
+	if st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if strings.Contains(proof, "\n0\n") || proof == "0\n" {
+		t.Fatal("SAT run must not derive the empty clause")
+	}
+}
+
+func TestDRATTamperedProofRejected(t *testing.T) {
+	s := pigeonhole(4, 3)
+	var formula bytes.Buffer
+	if err := s.WriteDIMACS(&formula); err != nil {
+		t.Fatal(err)
+	}
+	var proof bytes.Buffer
+	s.AttachProof(&proof)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("status %v", got)
+	}
+	if err := s.FlushProof(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop everything but the final empty clause: it is no longer RUP.
+	lines := strings.Split(strings.TrimSpace(proof.String()), "\n")
+	tampered := lines[len(lines)-1]
+	if tampered != "0" {
+		t.Fatalf("last proof line %q, want empty clause", tampered)
+	}
+	err := CheckDRAT(strings.NewReader(formula.String()), strings.NewReader(tampered+"\n"))
+	if err == nil {
+		t.Fatal("checker accepted a truncated proof")
+	}
+}
+
+func TestDRATForeignClauseRejected(t *testing.T) {
+	// A proof asserting an arbitrary non-implied unit must be rejected.
+	formula := "p cnf 2 1\n1 2 0\n"
+	proof := "-1 0\n-2 0\n0\n"
+	err := CheckDRAT(strings.NewReader(formula), strings.NewReader(proof))
+	if err == nil {
+		t.Fatal("checker accepted a bogus derivation")
+	}
+}
+
+func TestDRATProofWithDeletions(t *testing.T) {
+	// Force reduceDB so deletion lines appear, then check the proof still
+	// verifies (deletions never hurt soundness of later RUP steps in our
+	// forward checker).
+	s := pigeonhole(6, 5)
+	s.maxLearnts = 5 // aggressive deletion
+	var formula bytes.Buffer
+	if err := s.WriteDIMACS(&formula); err != nil {
+		t.Fatal(err)
+	}
+	var proof bytes.Buffer
+	s.AttachProof(&proof)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("status %v", got)
+	}
+	if err := s.FlushProof(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(proof.String(), "d ") {
+		t.Log("note: no deletions emitted at this size")
+	}
+	if err := CheckDRAT(&formula, &proof); err != nil {
+		t.Fatalf("proof with deletions rejected: %v", err)
+	}
+}
+
+func TestDRATMalformedProofLines(t *testing.T) {
+	formula := "p cnf 2 1\n1 2 0\n" // satisfiable, so the proof is parsed
+	cases := []string{
+		"1 x 0\n", // bad literal
+		"1 2\n",   // missing terminator
+	}
+	for _, p := range cases {
+		if err := CheckDRAT(strings.NewReader(formula), strings.NewReader(p)); err == nil {
+			t.Errorf("accepted malformed proof %q", p)
+		}
+	}
+}
+
+func TestDRATRootContradictoryFormula(t *testing.T) {
+	// A formula already contradictory at the root needs no proof.
+	formula := "p cnf 1 2\n1 0\n-1 0\n"
+	if err := CheckDRAT(strings.NewReader(formula), strings.NewReader("")); err != nil {
+		t.Fatalf("root-unsat formula rejected: %v", err)
+	}
+}
+
+// Property: every UNSAT verdict on random instances carries a checkable
+// proof; SAT verdicts never derive the empty clause.
+func TestQuickDRATSoundOnRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(6)
+		cls, _ := randomCNF(rng, nVars, 10+rng.Intn(40), 2)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, c := range cls {
+			s.AddClause(c...)
+		}
+		var formula bytes.Buffer
+		if s.WriteDIMACS(&formula) != nil {
+			return false
+		}
+		var proof bytes.Buffer
+		s.AttachProof(&proof)
+		st := s.Solve()
+		if s.FlushProof() != nil {
+			return false
+		}
+		if st == Unsat {
+			return CheckDRAT(&formula, &proof) == nil
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

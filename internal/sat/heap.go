@@ -1,0 +1,96 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by VSIDS activity, with an
+// index table for O(log n) updates. A variable may be absent (popped); it is
+// re-inserted on backtracking.
+type varHeap struct {
+	activity *[]float64
+	heap     []Var
+	indices  []int // position in heap, -1 if absent
+}
+
+func newVarHeap(activity *[]float64) *varHeap {
+	return &varHeap{activity: activity}
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) contains(v Var) bool {
+	return v < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return (*h.activity)[a] > (*h.activity)[b]
+}
+
+// insert adds v if absent.
+func (h *varHeap) insert(v Var) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.indices[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.siftUp(h.indices[v])
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v Var) {
+	if h.contains(v) {
+		h.siftUp(h.indices[v])
+	}
+}
+
+// pop removes and returns the most active variable.
+func (h *varHeap) pop() Var {
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap[0] = last
+	h.indices[last] = 0
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[v] = -1
+	if len(h.heap) > 0 {
+		h.siftDown(0)
+	}
+	return v
+}
+
+func (h *varHeap) siftUp(i int) {
+	x := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(x, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = x
+	h.indices[x] = i
+}
+
+func (h *varHeap) siftDown(i int) {
+	x := h.heap[i]
+	n := len(h.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && h.less(h.heap[r], h.heap[l]) {
+			c = r
+		}
+		if !h.less(h.heap[c], x) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = x
+	h.indices[x] = i
+}

@@ -1,0 +1,91 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT solver
+// from scratch on the standard library. It is the decision engine behind the
+// EBMF optimality proofs, substituting for the z3 SMT solver used in the
+// paper: the paper's uninterpreted-function formula over a finite domain is
+// compiled to CNF by package encode and decided here.
+//
+// Features: two-watched-literal propagation, VSIDS decision heuristic with a
+// binary heap, first-UIP clause learning with basic minimization, Luby
+// restarts, phase saving, learnt-clause database reduction, incremental
+// clause addition between Solve calls, and conflict budgets so callers can
+// bound worst-case runtime (the problem is NP-hard; Figure 4 of the paper is
+// all about UNSAT proofs being expensive).
+package sat
+
+import "fmt"
+
+// Var is a propositional variable index, starting at 0.
+type Var = int
+
+// Lit is a literal: variable 2*v encodes v, 2*v+1 encodes ¬v.
+type Lit int32
+
+// LitUndef is the sentinel "no literal".
+const LitUndef Lit = -1
+
+// MkLit returns the literal for variable v, negated if neg.
+func MkLit(v Var, neg bool) Lit {
+	if neg {
+		return Lit(2*v + 1)
+	}
+	return Lit(2 * v)
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(2 * v) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(2*v + 1) }
+
+// Var returns the variable of the literal.
+func (l Lit) Var() Var { return int(l) >> 1 }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// String renders the literal as v or ¬v (1-based, DIMACS style).
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	if l.Sign() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// lbool is a three-valued boolean.
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver exhausted its budget before deciding.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found (see Solver.Value).
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}

@@ -1,0 +1,48 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: deep and basic minimization agree with brute force (and hence
+// with each other) on random instances.
+func TestQuickMinimizationModesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(8)
+		cls, _ := randomCNF(rng, nVars, 5+rng.Intn(40), 3)
+		want := bruteForceSat(nVars, cls)
+		for _, deep := range []bool{true, false} {
+			s := New()
+			s.DeepMinimize = deep
+			for i := 0; i < nVars; i++ {
+				s.NewVar()
+			}
+			for _, c := range cls {
+				s.AddClause(c...)
+			}
+			got := s.Solve()
+			if (got == Sat) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepMinimizationOnPigeonhole(t *testing.T) {
+	// Both modes must prove PHP(7,6) UNSAT; deep minimization usually
+	// learns shorter clauses (not asserted — just decided correctly).
+	for _, deep := range []bool{true, false} {
+		s := pigeonhole(7, 6)
+		s.DeepMinimize = deep
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("deep=%v: %v", deep, got)
+		}
+	}
+}

@@ -1,0 +1,617 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+)
+
+// clause is a disjunction of literals. lits[0] and lits[1] are the watched
+// literals of non-unit clauses.
+type clause struct {
+	lits     []Lit
+	activity float64
+	learnt   bool
+	deleted  bool
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+// Clauses may be added between Solve calls (the solver restarts from decision
+// level 0), which is how the EBMF loop narrows the rectangle budget.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learnt clauses
+	watches [][]*clause
+
+	assign   []lbool // current assignment per variable
+	level    []int   // decision level per assigned variable
+	reason   []*clause
+	trail    []Lit
+	trailLim []int // trail index per decision level
+	qhead    int
+
+	activity   []float64
+	varInc     float64
+	heap       *varHeap
+	phase      []bool // saved polarity per variable
+	seen       []bool // scratch for analyze
+	analyzeBuf []Lit
+	clearBuf   []Lit // literals whose seen flag must be reset after analyze
+
+	unsatRoot bool // formula already false at level 0
+
+	// DeepMinimize enables recursive learnt-clause minimization (default
+	// on; switch off to fall back to one-step self-subsumption).
+	DeepMinimize bool
+
+	proof *bufio.Writer // DRAT trace (nil when disabled)
+
+	// Statistics.
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learned      int64
+
+	maxLearnts   float64
+	learntAdjust int64
+
+	budgetConflicts int64 // <0 means unlimited
+}
+
+// New returns an empty solver with no variables.
+func New() *Solver {
+	s := &Solver{
+		varInc:          1.0,
+		budgetConflicts: -1,
+		DeepMinimize:    true,
+	}
+	s.heap = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar introduces a fresh variable and returns its index.
+func (s *Solver) NewVar() Var {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, -1)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(v)
+	return v
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NumClauses returns the number of problem clauses (excluding learnt ones).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of retained learnt clauses.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// SetConflictBudget bounds the number of conflicts of subsequent Solve calls;
+// a negative value removes the bound. When the budget is exhausted Solve
+// returns Unknown.
+func (s *Solver) SetConflictBudget(n int64) { s.budgetConflicts = n }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// Value returns the model value of variable v after a Sat result.
+func (s *Solver) Value(v Var) bool { return s.assign[v] == lTrue }
+
+// AddClause adds a clause over the given literals. It must be called at
+// decision level 0 (i.e. not from within Solve). Adding an empty or
+// root-falsified clause marks the instance unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) {
+	if s.unsatRoot {
+		return
+	}
+	// A previous Solve may have left the trail at a high decision level
+	// (e.g. after Sat); incremental clause addition happens at the root.
+	s.cancelUntil(0)
+	// Sort + dedupe, drop root-false literals, detect tautologies and
+	// root-true clauses.
+	ls := make([]Lit, len(lits))
+	copy(ls, lits)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = LitUndef
+	for _, l := range ls {
+		if l.Var() >= s.NumVars() {
+			panic(fmt.Sprintf("sat: literal %v references undeclared variable", l))
+		}
+		if l == prev {
+			continue
+		}
+		if prev != LitUndef && l == prev.Neg() {
+			return // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return // already satisfied at root
+		case lFalse:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.unsatRoot = true
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.unsatRoot = true
+			return
+		}
+		if s.propagate() != nil {
+			s.unsatRoot = true
+		}
+	default:
+		c := &clause{lits: append([]Lit(nil), out...)}
+		s.clauses = append(s.clauses, c)
+		s.watchClause(c)
+	}
+}
+
+func (s *Solver) watchClause(c *clause) {
+	// Watch the negations: when lits[0] or lits[1] becomes false we visit c.
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], c)
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue assigns literal l with the given reason clause. It returns false
+// on an immediate conflict with the current assignment.
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; visit clauses watching ¬p
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			if c.deleted {
+				continue
+			}
+			if confl != nil {
+				kept = append(kept, ws[wi:]...)
+				break
+			}
+			// Normalize so the false literal (¬p ... i.e. the one whose
+			// negation is p) is lits[1].
+			falseLit := p.Neg()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If lits[0] is true the clause is satisfied.
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				confl = c
+				s.qhead = len(s.trail)
+			}
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze derives a first-UIP learnt clause from the conflict and returns it
+// together with the backtrack level. learnt[0] is the asserting literal.
+func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int) {
+	learnt = append(s.analyzeBuf[:0], LitUndef) // slot for asserting literal
+	counter := 0
+	p := LitUndef
+	index := len(s.trail) - 1
+
+	for {
+		start := 0
+		if p != LitUndef {
+			start = 1 // lits[0] is the asserted literal p itself
+		}
+		for i := start; i < len(confl.lits); i++ {
+			q := confl.lits[i]
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to expand from the trail.
+		for !s.seen[s.trail[index].Var()] {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	// Remember every literal whose seen flag is still set so the cleanup
+	// below also covers literals dropped by minimization (leaking a seen
+	// flag corrupts counting in later conflicts).
+	s.clearBuf = append(s.clearBuf[:0], learnt[1:]...)
+
+	// Clause minimization: drop literals implied by the rest of the learnt
+	// clause. Deep mode follows implication chains recursively (MiniSat's
+	// ccmin-mode=2); basic mode checks one step only.
+	j := 1
+	if s.DeepMinimize {
+		cache := map[Var]bool{}
+		for i := 1; i < len(learnt); i++ {
+			if !s.litRedundantDeep(learnt[i], cache) {
+				learnt[j] = learnt[i]
+				j++
+			}
+		}
+	} else {
+		for i := 1; i < len(learnt); i++ {
+			if !s.litRedundantBasic(learnt[i]) {
+				learnt[j] = learnt[i]
+				j++
+			}
+		}
+	}
+	learnt = learnt[:j]
+
+	// Find backtrack level: the second-highest decision level in the clause.
+	btLevel = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+
+	// Clear all seen flags, including those of minimized-away literals.
+	s.seen[learnt[0].Var()] = false
+	for _, l := range s.clearBuf {
+		s.seen[l.Var()] = false
+	}
+	s.analyzeBuf = learnt
+	return learnt, btLevel
+}
+
+// litRedundantDeep reports whether literal l is implied by the seen literals
+// of the learnt clause through any chain of reason clauses. cache memoizes
+// per-variable verdicts within one analyze call; s.seen is never modified,
+// so a failed exploration needs no rollback.
+func (s *Solver) litRedundantDeep(l Lit, cache map[Var]bool) bool {
+	if v, ok := cache[l.Var()]; ok {
+		return v
+	}
+	r := s.reason[l.Var()]
+	if r == nil {
+		cache[l.Var()] = false
+		return false
+	}
+	// Tentatively mark to cut cycles (a cycle through reasons means the
+	// literal is supported by the marked set, which is sound to treat as
+	// redundant only if every other path checks out; be conservative and
+	// treat in-progress vars as not-redundant to avoid circular proofs).
+	cache[l.Var()] = false
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if s.seen[q.Var()] || s.level[q.Var()] == 0 {
+			continue
+		}
+		if !s.litRedundantDeep(q, cache) {
+			return false
+		}
+	}
+	cache[l.Var()] = true
+	return true
+}
+
+// litRedundantBasic reports whether literal l of a learnt clause is implied
+// by the remaining literals via its reason clause (one-step self-subsumption).
+func (s *Solver) litRedundantBasic(l Lit) bool {
+	r := s.reason[l.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if !s.seen[q.Var()] && s.level[q.Var()] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) decayVarActivity() { s.varInc /= 0.95 }
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.level[v] = -1
+		s.heap.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// pickBranchVar returns the unassigned variable with the highest activity.
+func (s *Solver) pickBranchVar() Var {
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// recordLearnt installs a learnt clause and asserts its first literal.
+func (s *Solver) recordLearnt(lits []Lit) {
+	s.Learned++
+	s.proofAdd(lits)
+	if len(lits) == 1 {
+		// Asserting unit at level 0.
+		if !s.enqueue(lits[0], nil) {
+			s.unsatRoot = true
+			s.proofEmpty()
+		}
+		return
+	}
+	c := &clause{lits: append([]Lit(nil), lits...), learnt: true, activity: s.varInc}
+	s.learnts = append(s.learnts, c)
+	s.watchClause(c)
+	s.enqueue(lits[0], c)
+}
+
+// reduceDB removes roughly half of the learnt clauses, keeping binary
+// clauses, reason clauses and the most active ones.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].activity > s.learnts[j].activity
+	})
+	locked := func(c *clause) bool {
+		v := c.lits[0].Var()
+		return s.assign[v] != lUndef && s.reason[v] == c
+	}
+	kept := s.learnts[:0]
+	for i, c := range s.learnts {
+		if len(c.lits) <= 2 || locked(c) || i < len(s.learnts)/2 {
+			kept = append(kept, c)
+		} else {
+			c.deleted = true
+			s.proofDelete(c.lits)
+		}
+	}
+	s.learnts = kept
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// scaled by base.
+func luby(base int64, i int64) int64 {
+	// Find the finite subsequence containing index i and its position.
+	var size, seq int64 = 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	return base << uint(seq)
+}
+
+// Solve runs the CDCL search until the formula is decided or the conflict
+// budget is exhausted. It may be called repeatedly, interleaved with
+// AddClause.
+func (s *Solver) Solve() Status { return s.solve(nil) }
+
+// SolveAssuming solves under the given assumption literals, tried as the
+// first decisions. Unsat means unsatisfiable *under the assumptions* (the
+// formula itself is not marked unsatisfiable unless it conflicts at the
+// root with no assumption involved). Assumptions leave no permanent
+// constraints behind, unlike AddClause.
+func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
+	return s.solve(assumptions)
+}
+
+func (s *Solver) solve(assumptions []Lit) Status {
+	if s.unsatRoot {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.unsatRoot = true
+		s.proofEmpty()
+		return Unsat
+	}
+
+	if s.maxLearnts == 0 {
+		s.maxLearnts = float64(len(s.clauses)) / 3
+		if s.maxLearnts < 1000 {
+			s.maxLearnts = 1000
+		}
+		s.learntAdjust = 100
+	}
+
+	startConflicts := s.Conflicts
+	budget := s.budgetConflicts
+	var restartNum int64
+	conflictsThisRestart := int64(0)
+	restartLimit := luby(100, restartNum)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflictsThisRestart++
+			if s.decisionLevel() == 0 {
+				s.unsatRoot = true
+				s.proofEmpty()
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			s.recordLearnt(learnt)
+			if s.unsatRoot {
+				return Unsat
+			}
+			s.decayVarActivity()
+			s.learntAdjust--
+			if s.learntAdjust <= 0 {
+				s.learntAdjust = 100
+				s.maxLearnts *= 1.05
+			}
+			if budget >= 0 && s.Conflicts-startConflicts >= budget {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+
+		// No conflict.
+		if conflictsThisRestart >= restartLimit {
+			restartNum++
+			s.Restarts++
+			conflictsThisRestart = 0
+			restartLimit = luby(100, restartNum)
+			s.cancelUntil(0)
+			continue
+		}
+		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
+			s.reduceDB()
+		}
+
+		// Assumption literals come before free decisions: one per level.
+		if dl := s.decisionLevel(); dl < len(assumptions) {
+			a := assumptions[dl]
+			if a.Var() >= s.NumVars() {
+				panic(fmt.Sprintf("sat: assumption %v references undeclared variable", a))
+			}
+			switch s.value(a) {
+			case lTrue:
+				// Already implied: open an empty level so indices line up.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				// Conflicts with the formula under earlier assumptions.
+				s.cancelUntil(0)
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, nil)
+			continue
+		}
+
+		v := s.pickBranchVar()
+		if v < 0 {
+			return Sat // all variables assigned
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(MkLit(v, !s.phase[v]), nil)
+	}
+}
+
+// Model returns a copy of the satisfying assignment after a Sat result.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.NumVars())
+	for v := range m {
+		m[v] = s.Value(v)
+	}
+	return m
+}

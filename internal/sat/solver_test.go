@@ -1,0 +1,386 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("status %v", got)
+	}
+	if !s.Value(a) {
+		t.Fatal("unit clause not honored")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	s.AddClause(NegLit(a))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("status %v", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	s.AddClause()
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("status %v", got)
+	}
+}
+
+func TestEmptyFormulaSat(t *testing.T) {
+	s := New()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("empty formula: %v", got)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(PosLit(a), NegLit(a))
+	s.AddClause(PosLit(b))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("status %v", got)
+	}
+	if !s.Value(b) {
+		t.Fatal("b must be true")
+	}
+}
+
+func TestDuplicateLiteralsCollapsed(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a), PosLit(a), PosLit(a))
+	if got := s.Solve(); got != Sat || !s.Value(a) {
+		t.Fatalf("status %v value %v", got, s.Value(a))
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// x0 ∧ (x0→x1) ∧ (x1→x2) ∧ ... all must be true.
+	s := New()
+	const n = 50
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddClause(PosLit(vars[0]))
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(NegLit(vars[i]), PosLit(vars[i+1]))
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("status %v", got)
+	}
+	for i, v := range vars {
+		if !s.Value(v) {
+			t.Fatalf("x%d false", i)
+		}
+	}
+}
+
+func TestXorChainUnsat(t *testing.T) {
+	// x0 ⊕ x1, x1 ⊕ x2, x0 ⊕ x2 with odd parity forced is UNSAT:
+	// encode x0≠x1, x1≠x2, x0=x2 ... then force contradiction x0≠x2.
+	s := New()
+	x0, x1, x2 := s.NewVar(), s.NewVar(), s.NewVar()
+	neq := func(a, b Var) {
+		s.AddClause(PosLit(a), PosLit(b))
+		s.AddClause(NegLit(a), NegLit(b))
+	}
+	neq(x0, x1)
+	neq(x1, x2)
+	neq(x0, x2) // x0≠x1≠x2≠x0 over booleans is impossible
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("status %v", got)
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons into n holes — classic hard
+// UNSAT family, exercises clause learning.
+func pigeonhole(pigeons, holes int) *Solver {
+	s := New()
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	return s
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := pigeonhole(n+1, n)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d): %v", n+1, n, got)
+		}
+	}
+}
+
+func TestPigeonholeSatWhenEnoughHoles(t *testing.T) {
+	s := pigeonhole(5, 5)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("PHP(5,5): %v", got)
+	}
+}
+
+func TestConflictBudgetReturnsUnknown(t *testing.T) {
+	s := pigeonhole(9, 8) // hard enough to exceed a 10-conflict budget
+	s.SetConflictBudget(10)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("status %v, want Unknown", got)
+	}
+	// Removing the budget must finish the proof.
+	s.SetConflictBudget(-1)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("status %v, want Unsat after removing budget", got)
+	}
+}
+
+func TestIncrementalAddClause(t *testing.T) {
+	// Solve, then constrain the found model away repeatedly; counts models
+	// of a 3-variable free formula: must enumerate 8 and then UNSAT.
+	s := New()
+	vars := []Var{s.NewVar(), s.NewVar(), s.NewVar()}
+	count := 0
+	for {
+		st := s.Solve()
+		if st == Unsat {
+			break
+		}
+		if st != Sat {
+			t.Fatalf("unexpected %v", st)
+		}
+		count++
+		if count > 8 {
+			t.Fatal("more than 8 models of 3 free variables")
+		}
+		// Block this model.
+		block := make([]Lit, len(vars))
+		for i, v := range vars {
+			block[i] = MkLit(v, s.Value(v))
+		}
+		s.AddClause(block...)
+	}
+	if count != 8 {
+		t.Fatalf("enumerated %d models, want 8", count)
+	}
+}
+
+func TestModelSatisfiesFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		cls, nv := randomCNF(rng, 8, 30, 3)
+		s := New()
+		for i := 0; i < nv; i++ {
+			s.NewVar()
+		}
+		for _, c := range cls {
+			s.AddClause(c...)
+		}
+		if s.Solve() != Sat {
+			continue
+		}
+		for _, c := range cls {
+			if !clauseSatisfied(s, c) {
+				t.Fatalf("model does not satisfy clause %v", c)
+			}
+		}
+	}
+}
+
+func clauseSatisfied(s *Solver, c []Lit) bool {
+	for _, l := range c {
+		if s.Value(l.Var()) != l.Sign() {
+			return true
+		}
+	}
+	return false
+}
+
+// randomCNF generates a random k-CNF instance.
+func randomCNF(rng *rand.Rand, nVars, nClauses, k int) ([][]Lit, int) {
+	cls := make([][]Lit, nClauses)
+	for i := range cls {
+		c := make([]Lit, k)
+		for j := range c {
+			c[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+		}
+		cls[i] = c
+	}
+	return cls, nVars
+}
+
+// bruteForceSat decides satisfiability by enumeration (≤ 20 vars).
+func bruteForceSat(nVars int, cls [][]Lit) bool {
+	for mask := 0; mask < 1<<uint(nVars); mask++ {
+		ok := true
+		for _, c := range cls {
+			sat := false
+			for _, l := range c {
+				val := mask&(1<<uint(l.Var())) != 0
+				if val != l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: CDCL agrees with brute force on random small instances.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(3)
+		cls, _ := randomCNF(rng, nVars, nClauses, k)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, c := range cls {
+			s.AddClause(c...)
+		}
+		got := s.Solve()
+		want := bruteForceSat(nVars, cls)
+		if want {
+			return got == Sat
+		}
+		return got == Unsat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding clauses is monotone — a formula that was UNSAT stays
+// UNSAT after more clauses.
+func TestQuickMonotoneUnsat(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(5)
+		cls, _ := randomCNF(rng, nVars, 20+rng.Intn(30), 2)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, c := range cls {
+			s.AddClause(c...)
+		}
+		if s.Solve() != Unsat {
+			return true // only testing UNSAT persistence
+		}
+		extra, _ := randomCNF(rng, nVars, 5, 2)
+		for _, c := range extra {
+			s.AddClause(c...)
+		}
+		return s.Solve() == Unsat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(1, int64(i)); got != w {
+			t.Fatalf("luby(1,%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := MkLit(3, false)
+	if l.Var() != 3 || l.Sign() {
+		t.Fatal("positive literal wrong")
+	}
+	n := l.Neg()
+	if n.Var() != 3 || !n.Sign() {
+		t.Fatal("negation wrong")
+	}
+	if n.Neg() != l {
+		t.Fatal("double negation")
+	}
+	if PosLit(2).String() != "3" || NegLit(2).String() != "-3" {
+		t.Fatalf("String: %s %s", PosLit(2), NegLit(2))
+	}
+	if LitUndef.String() != "undef" {
+		t.Fatal("undef string")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Fatal("status strings")
+	}
+}
+
+func TestGraphColoring(t *testing.T) {
+	// C5 (odd cycle) is 3-colorable but not 2-colorable.
+	color := func(nColors int) Status {
+		s := New()
+		n := 5
+		vars := make([][]Var, n)
+		for i := range vars {
+			vars[i] = make([]Var, nColors)
+			for c := range vars[i] {
+				vars[i][c] = s.NewVar()
+			}
+			lits := make([]Lit, nColors)
+			for c := range lits {
+				lits[c] = PosLit(vars[i][c])
+			}
+			s.AddClause(lits...)
+		}
+		for i := 0; i < n; i++ {
+			j := (i + 1) % n
+			for c := 0; c < nColors; c++ {
+				s.AddClause(NegLit(vars[i][c]), NegLit(vars[j][c]))
+			}
+		}
+		return s.Solve()
+	}
+	if got := color(2); got != Unsat {
+		t.Fatalf("C5 2-coloring: %v", got)
+	}
+	if got := color(3); got != Sat {
+		t.Fatalf("C5 3-coloring: %v", got)
+	}
+}

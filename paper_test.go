@@ -1,0 +1,346 @@
+// paper_test.go asserts, one by one, the concrete mathematical claims made
+// in the paper's text. Each test cites the claim it checks. These tests are
+// the ground truth the reproduction is judged against.
+package ebmf_test
+
+import (
+	"math/rand"
+	"testing"
+
+	ebmf "repro"
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/fooling"
+	"repro/internal/rowpack"
+	"repro/internal/sat"
+)
+
+// fig1b is the running example of Figures 1b and 2a.
+const fig1b = `101100
+010011
+101010
+010101
+111000
+000111`
+
+// Claim (Fig. 1b): "This matrix can be partitioned into five rectangles."
+func TestPaperFig1bPartitionsIntoFive(t *testing.T) {
+	m := ebmf.MustParse(fig1b)
+	rb, err := ebmf.BinaryRank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb != 5 {
+		t.Fatalf("r_B = %d, want 5", rb)
+	}
+}
+
+// Claim (Fig. 1b): "the shaded markers identify such a fooling set of size
+// 5, implying that our partition into 5 rectangles is optimal."
+func TestPaperFig1bFoolingSetFive(t *testing.T) {
+	m := ebmf.MustParse(fig1b)
+	size, exact := fooling.MaxSize(m, 0)
+	if !exact || size != 5 {
+		t.Fatalf("max fooling size = %d (exact=%v), want 5", size, exact)
+	}
+}
+
+// Claim (Fig. 2a): "the basis is {{0,2},{1},{3},{4},{5}}, with the first set
+// on the left decomposed into {0,2} ⊔ {3}" — i.e. the column-side normal set
+// basis has 5 sets and row 0's support {0,2,3} splits as {0,2} ∪ {3}.
+func TestPaperFig2aNormalSetBasis(t *testing.T) {
+	m := ebmf.MustParse(fig1b)
+	row0 := m.Row(0)
+	if got := row0.OnesPositions(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("row 0 support = %v, want [0 2 3]", got)
+	}
+	// The claimed basis sets, as column vectors of length 6.
+	basis := [][]int{{0, 2}, {1}, {3}, {4}, {5}}
+	// They are disjoint and decompose every row's support.
+	for i := 0; i < m.Rows(); i++ {
+		support := map[int]bool{}
+		m.Row(i).ForEachOne(func(j int) { support[j] = true })
+		covered := map[int]bool{}
+		for _, set := range basis {
+			in := 0
+			for _, c := range set {
+				if support[c] {
+					in++
+				}
+			}
+			if in != 0 && in != len(set) {
+				t.Fatalf("row %d splits basis set %v", i, set)
+			}
+			if in == len(set) {
+				for _, c := range set {
+					covered[c] = true
+				}
+			}
+		}
+		if len(covered) != len(support) {
+			t.Fatalf("row %d not decomposed by the basis", i)
+		}
+	}
+}
+
+// Claim (Eq. 2): "3 rectangles are needed to partition [the matrix] but the
+// size of any fooling set is ≤ 2."
+func TestPaperEq2FoolingGap(t *testing.T) {
+	m := ebmf.MustParse("110\n011\n111")
+	rb, err := ebmf.BinaryRank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb != 3 {
+		t.Fatalf("r_B = %d, want 3", rb)
+	}
+	size, exact := fooling.MaxSize(m, 0)
+	if !exact || size > 2 {
+		t.Fatalf("max fooling = %d (exact=%v), want ≤ 2", size, exact)
+	}
+}
+
+// Claim (Sec. II): the EBMF counterexample — the 3×3 triangle matrix is NOT
+// the real-addition sum of those two rectangles (top-left entry appears in
+// both), although over GF(2) the equality would hold.
+func TestPaperEBMFCounterexample(t *testing.T) {
+	m := ebmf.MustParse("011\n101\n110")
+	// The claimed (wrong) factorization: rects {0,2}×{0,1}... in paper
+	// terms, H columns (1,0,1) and (1,1,0), W rows (1,1,0) and (1,0,1).
+	h := ebmf.MustParse("11\n01\n10")
+	w := ebmf.MustParse("110\n101")
+	// Over the integers, entry (0,0) of H·W is 2, so H·W ≠ M.
+	sum := 0
+	for k := 0; k < 2; k++ {
+		if h.Get(0, k) && w.Get(k, 0) {
+			sum++
+		}
+	}
+	if sum != 2 {
+		t.Fatalf("top-left of H·W = %d, expected the double cover 2", sum)
+	}
+	// And indeed r_B of the triangle matrix is 3, not 2.
+	rb, err := ebmf.BinaryRank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb != 3 {
+		t.Fatalf("r_B(triangle) = %d, want 3", rb)
+	}
+}
+
+// Claim (Eq. 3): rank_ℝ(M) ≤ r_B(M) for all binary M. Spot-checked
+// exhaustively on all 3×3 binary matrices.
+func TestPaperEq3RankLowerBoundExhaustive(t *testing.T) {
+	for mask := 0; mask < 512; mask++ {
+		m := ebmf.New(3, 3)
+		for b := 0; b < 9; b++ {
+			if mask&(1<<b) != 0 {
+				m.Set(b/3, b%3, true)
+			}
+		}
+		rb, err := ebmf.BinaryRank(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Rank() > rb {
+			t.Fatalf("mask %d: rank %d > r_B %d", mask, m.Rank(), rb)
+		}
+	}
+}
+
+// Claim (Fig. 3): the 5×5 example needs 5 rectangles under one row order
+// but only 4 under another; 4 is optimal (it equals the rank).
+func TestPaperFig3OrderDependence(t *testing.T) {
+	m := ebmf.MustParse("11000\n00110\n01100\n10011\n11111")
+	idDepth := rowpack.Pack(m, rowpack.Options{
+		Trials: 1, Order: rowpack.OrderIdentity, SkipTranspose: true,
+	}).Depth()
+	if idDepth != 5 {
+		t.Fatalf("identity order depth = %d, want 5", idDepth)
+	}
+	rb, err := ebmf.BinaryRank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb != 4 || m.Rank() != 4 {
+		t.Fatalf("r_B = %d rank = %d, want 4 and 4", rb, m.Rank())
+	}
+}
+
+// Claim (Sec. III-B): "the algorithm introduces at most one rectangle for
+// each non-repeating row, ensuring that the result is no worse than the
+// trivial heuristic."
+func TestPaperRowPackingNoWorseThanTrivial(t *testing.T) {
+	// Exhaustive over all 3×4 binary matrices would be 4096 cases; sample
+	// the full space of 3×3 instead (512 cases).
+	for mask := 0; mask < 512; mask++ {
+		m := ebmf.New(3, 3)
+		for b := 0; b < 9; b++ {
+			if mask&(1<<b) != 0 {
+				m.Set(b/3, b%3, true)
+			}
+		}
+		p := rowpack.Pack(m, rowpack.Options{Trials: 1, Seed: int64(mask)})
+		if p.Depth() > m.TrivialUpperBound() {
+			t.Fatalf("mask %d: packing %d worse than trivial %d", mask, p.Depth(), m.TrivialUpperBound())
+		}
+	}
+}
+
+// Claim (Sec. III-A / Eq. 4): the SMT formulation with narrowing decides
+// r_B exactly. Cross-checked here on the two named matrices by driving the
+// encoder directly through the full narrowing loop.
+func TestPaperEq4NarrowingLoop(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want int
+	}{
+		{fig1b, 5},
+		{"110\n011\n111", 3},
+	} {
+		m := ebmf.MustParse(tc.src)
+		ub := rowpack.Pack(m, rowpack.DefaultOptions()).Depth()
+		enc := encode.NewOneHot(m, ub, encode.AMOPairwise)
+		best := ub + 1
+		for enc.Bound() >= 1 {
+			if enc.Solve() != sat.Sat {
+				break
+			}
+			best = enc.Bound()
+			enc.Narrow()
+		}
+		if best > ub {
+			best = ub
+		}
+		if best != tc.want {
+			t.Fatalf("narrowing loop found %d, want %d", best, tc.want)
+		}
+	}
+}
+
+// Claim (Sec. V): "The real rank is multiplicative under a tensor product"
+// and "rB(M̂ ⊗ M) ≤ rB(M̂)·rB(M)"; with an all-ones patch both collapse.
+func TestPaperSectionVTensorClaims(t *testing.T) {
+	a := ebmf.MustParse("110\n011\n111") // r_B = 3, rank = 3
+	b := ebmf.AllOnes(2, 2)              // r_B = 1
+	tp := ebmf.Tensor(a, b)
+	if tp.Rank() != a.Rank()*b.Rank() {
+		t.Fatalf("rank not multiplicative: %d vs %d·%d", tp.Rank(), a.Rank(), b.Rank())
+	}
+	rb, err := ebmf.BinaryRank(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb > 3*1 {
+		t.Fatalf("r_B(⊗) = %d exceeds product bound 3", rb)
+	}
+	if rb != 3 {
+		t.Fatalf("with all-ones patch r_B(⊗) = %d, want 3", rb)
+	}
+}
+
+// Claim (Eq. 5, Watson): max(rB(Â)·ϕ(M), rB(M)·ϕ(Â)) ≤ rB(Â⊗M).
+// Verified on small exactly-solved pairs.
+func TestPaperEq5WatsonBound(t *testing.T) {
+	pairs := [][2]string{
+		{"11\n01", "10\n01"},
+		{"110\n011\n111", "11\n11"},
+		{"10\n01", "11\n01"},
+	}
+	for _, pr := range pairs {
+		a := ebmf.MustParse(pr[0])
+		b := ebmf.MustParse(pr[1])
+		rbA, err := ebmf.BinaryRank(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rbB, err := ebmf.BinaryRank(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fA, _ := fooling.MaxSize(a, 0)
+		fB, _ := fooling.MaxSize(b, 0)
+		lower := rbA * fB
+		if alt := rbB * fA; alt > lower {
+			lower = alt
+		}
+		rbT, err := ebmf.BinaryRank(ebmf.Tensor(a, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rbT < lower || rbT > rbA*rbB {
+			t.Fatalf("r_B(⊗)=%d outside [watson %d, product %d]", rbT, lower, rbA*rbB)
+		}
+	}
+}
+
+// Claim (Observation 2): on the known-optimal benchmarks even the trivial
+// heuristic finds optimal solutions, "because ... the columns may be reduced
+// by recognizing duplication" — checked on the paper's own 3×3 example.
+func TestPaperObservation2Example(t *testing.T) {
+	// (1,1,0)ᵀ(1,1,0) + (0,1,1)ᵀ(0,0,1) from the paper's Observation 2.
+	m := ebmf.MustParse("110\n111\n001")
+	// Column dedup: columns 0 and 1 are equal, so the trivial bound is
+	// min(3 distinct rows, 2 distinct cols) = 2 = r_B.
+	if got := m.TrivialUpperBound(); got != 2 {
+		t.Fatalf("trivial bound = %d, want 2", got)
+	}
+	rb, err := ebmf.BinaryRank(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb != 2 {
+		t.Fatalf("r_B = %d, want 2", rb)
+	}
+}
+
+// Claim (Observation 5): "the most time consuming cases are proving UNSAT"
+// — structurally: for a gap matrix solved exactly, the UNSAT proof at
+// depth r_B−1 costs more conflicts than all the SAT calls above it.
+func TestPaperObservation5UnsatDominates(t *testing.T) {
+	// A deterministic matrix with rank 3 < r_B: the triangle matrix ⊕ a
+	// small block forces one UNSAT call below the packing depth.
+	m := ebmf.MustParse("0110\n1010\n1100\n0001")
+	opts := core.DefaultOptions()
+	opts.FoolingBudget = 0 // force the SAT stage to do the proving
+	res, err := core.Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("must be decided")
+	}
+	if res.Certificate != core.CertUnsat && res.Depth != res.RankLB {
+		t.Fatalf("expected an UNSAT certificate or rank match, got %v", res.Certificate)
+	}
+}
+
+// Claim (Sec. V conjecture): "given the same occupancy, the 10×20 and 10×30
+// random matrices are much easier to be full rank than the 10×10 matrices."
+func TestPaperWideMatricesEasierFullRank(t *testing.T) {
+	// Deterministic sampling; compare full-rank rates.
+	countFullRank := func(cols int) int {
+		n := 0
+		for seed := int64(0); seed < 40; seed++ {
+			m := randomMatrix(seed, 10, cols, 0.5)
+			if m.Rank() == 10 {
+				n++
+			}
+		}
+		return n
+	}
+	narrow := countFullRank(10)
+	wide := countFullRank(30)
+	if wide <= narrow {
+		t.Fatalf("10×30 full-rank count %d should exceed 10×10 count %d", wide, narrow)
+	}
+}
+
+func randomMatrix(seed int64, rows, cols int, occ float64) *bitmat.Matrix {
+	rng := newRand(seed)
+	return bitmat.Random(rng, rows, cols, occ)
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -288,6 +288,88 @@ func BenchmarkAblationPackDLX(b *testing.B) {
 	benchPackVariant(b, rowpack.Options{Trials: 20, Seed: 1, UseDLX: true})
 }
 
+// --- Solver / SAP benchmarks: the perf-tracked set (DESIGN.md §6). These
+// isolate the CDCL core and the SAP narrowing loop on the Table I suites so
+// the solver's trajectory across PRs is visible without packing/fooling
+// noise; cmd/timing -json snapshots the same workloads. ---
+
+// BenchmarkSolverTableIGapNarrowing drives the incremental narrowing loop —
+// encode once at the heuristic bound, SolveAssuming per depth — over the
+// Table I gap suites, down to the rank bound or UNSAT. The job list and
+// loop live in internal/eval so cmd/timing -json measures the identical
+// workload.
+func BenchmarkSolverTableIGapNarrowing(b *testing.B) {
+	jobs := eval.TableIGapSolverJobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			eval.NarrowToRank(j, true)
+		}
+	}
+}
+
+// BenchmarkSolverTableIGapDestructive is the ablation twin of the above:
+// narrowing by unit clauses on one solver (the pre-incremental strategy).
+func BenchmarkSolverTableIGapDestructive(b *testing.B) {
+	jobs := eval.TableIGapSolverJobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			eval.NarrowToRank(j, false)
+		}
+	}
+}
+
+// BenchmarkSolverFig1bUnsat is the single hardest paper instance's final
+// UNSAT proof, solver only.
+func BenchmarkSolverFig1bUnsat(b *testing.B) {
+	m := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := encode.NewOneHot(m, 4, encode.AMOPairwise)
+		if enc.Solve() != sat.Unsat {
+			b.Fatal("b=4 must be UNSAT")
+		}
+	}
+}
+
+// BenchmarkSAPTableIGap runs the full SAP pipeline (pack + narrowing +
+// certificates) over the Table I gap suites — the end-to-end number the
+// paper's Table I reports.
+func BenchmarkSAPTableIGap(b *testing.B) {
+	var suite []benchgen.Instance
+	for pairs := 2; pairs <= 5; pairs++ {
+		suite = append(suite, benchgen.GapSuite(14+int64(pairs), 10, 10, []int{pairs}, 5)...)
+	}
+	opts := core.DefaultOptions()
+	opts.FoolingBudget = 0
+	opts.ConflictBudget = 2_000_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ins := range suite {
+			if _, err := core.Solve(ins.M, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSAPTableIRandom is the same over the small random suites.
+func BenchmarkSAPTableIRandom(b *testing.B) {
+	suite := benchgen.RandomSuite(11, 10, 10, benchgen.PaperOccupanciesSmall(), 1)
+	opts := core.DefaultOptions()
+	opts.FoolingBudget = 0
+	opts.ConflictBudget = 2_000_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ins := range suite {
+			if _, err := core.Solve(ins.M, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // --- micro-benchmarks of the substrates ---
 
 func BenchmarkRowPack100x100(b *testing.B) {

@@ -6,18 +6,108 @@
 //
 // Usage:
 //
-//	timing [-top N] [-seed S] [-gap N] [-rand N] [-budget N]
+//	timing [-top N] [-seed S] [-gap N] [-rand N] [-budget N] [-json]
+//
+// With -json the command additionally runs the perf-tracked solver and SAP
+// workloads (the same ones as `go test -bench 'Solver|SAP'`) and writes a
+// BENCH_solver.json snapshot, so the solver's speed trajectory is recorded
+// across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/benchgen"
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/encode"
 	"repro/internal/eval"
+	"repro/internal/sat"
 )
+
+// benchEntry is one measured workload in the JSON snapshot.
+type benchEntry struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Iters   int    `json:"iters"`
+}
+
+type benchSnapshot struct {
+	GoVersion string       `json:"go_version"`
+	GOARCH    string       `json:"goarch"`
+	When      string       `json:"when"`
+	Benches   []benchEntry `json:"benches"`
+}
+
+// measure times fn over iters runs after one warm-up.
+func measure(name string, iters int, fn func()) benchEntry {
+	fn() // warm-up
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return benchEntry{
+		Name:    name,
+		NsPerOp: time.Since(start).Nanoseconds() / int64(iters),
+		Iters:   iters,
+	}
+}
+
+// writeBenchJSON runs the perf-tracked workloads (shared with bench_test.go
+// via internal/eval) and writes the snapshot.
+func writeBenchJSON(path string) error {
+	jobs := eval.TableIGapSolverJobs()
+	fig1b := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	narrow := func(incremental bool) func() {
+		return func() {
+			for _, j := range jobs {
+				eval.NarrowToRank(j, incremental)
+			}
+		}
+	}
+	sapOpts := core.DefaultOptions()
+	sapOpts.FoolingBudget = 0
+	sapOpts.ConflictBudget = 2_000_000
+	snap := benchSnapshot{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		When:      time.Now().UTC().Format(time.RFC3339),
+		Benches: []benchEntry{
+			measure("SolverTableIGapNarrowing", 3, narrow(true)),
+			measure("SolverTableIGapDestructive", 3, narrow(false)),
+			measure("SolverFig1bUnsat", 20, func() {
+				if encode.NewOneHot(fig1b, 4, encode.AMOPairwise).Solve() != sat.Unsat {
+					panic("b=4 must be UNSAT")
+				}
+			}),
+			measure("SAPTableIGap", 3, func() {
+				for _, j := range jobs {
+					if _, err := core.Solve(j.M, sapOpts); err != nil {
+						panic(err)
+					}
+				}
+			}),
+			measure("CertifiedFig1bProof", 10, func() {
+				if err := core.CertifyDepth(fig1b, 5); err != nil {
+					panic(err)
+				}
+			}),
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
 
 func main() {
 	top := flag.Int("top", 7, "number of hardest cases to show (Figure 4 shows 7)")
@@ -26,7 +116,16 @@ func main() {
 	randCount := flag.Int("rand", 5, "random 10×10 instances per occupancy")
 	budget := flag.Int64("budget", 5_000_000, "SAT conflict budget per instance (0 = unlimited)")
 	csvPath := flag.String("csv", "", "also write all per-instance results as CSV to this file")
+	jsonOut := flag.Bool("json", false, "run the Solver/SAP perf workloads and write BENCH_solver.json")
 	flag.Parse()
+
+	if *jsonOut {
+		if err := writeBenchJSON("BENCH_solver.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "timing:", err)
+			os.Exit(1)
+		}
+		fmt.Println("solver perf snapshot written to BENCH_solver.json")
+	}
 
 	opts := eval.Options{
 		TrialCounts:    []int{100},

@@ -19,11 +19,21 @@
 //
 // The heavy lifting lives in the internal packages: bitmat (bitset linear
 // algebra), rowpack (the paper's Algorithm 2 heuristic), sat + encode (a
-// from-scratch CDCL solver replacing z3, with the paper's Eq.-4 constraints
-// compiled to CNF), core (the SAP loop, Algorithm 1), fooling (lower
-// bounds), aod (pulse-schedule simulation), ftqc (Section V), benchgen +
-// eval (the paper's benchmark suites and Table I / Figure 4 harness), and
-// complete (the don't-care extension).
+// from-scratch arena-based CDCL solver replacing z3, with the paper's Eq.-4
+// constraints compiled to CNF), core (the SAP loop, Algorithm 1), fooling
+// (lower bounds), aod (pulse-schedule simulation), ftqc (Section V),
+// benchgen + eval (the paper's benchmark suites and Table I / Figure 4
+// harness), and complete (the don't-care extension).
+//
+// The SAP loop solves incrementally: the decision formula is encoded once
+// at the heuristic upper bound and each depth bound is tried by switching
+// rectangle slots off with selector assumptions, so learnt clauses, VSIDS
+// activities and saved phases carry over from bound to bound instead of
+// re-encoding per depth. Options exposes the ablation knobs —
+// DisableIncremental (unit-clause narrowing), DisablePhaseSaving, and
+// LBDCap (glue-clause retention threshold) — alongside the existing
+// encoding, budget and heuristic settings; see DESIGN.md for the measured
+// trade-offs.
 package ebmf
 
 import (

@@ -39,4 +39,15 @@ func main() {
 	// sharing a rectangle, so no partition can use fewer rectangles).
 	set, exact := ebmf.FoolingSet(m, 0)
 	fmt.Printf("\nfooling set (exact=%v): %v\n", exact, set)
+
+	// The exact stage solves incrementally by default: one CNF encoding at
+	// the heuristic bound, narrowed depth by depth with selector
+	// assumptions so the solver keeps its learnt clauses warm. The Options
+	// knobs expose the ablations (see DESIGN.md §5):
+	//
+	//	opts := ebmf.DefaultOptions()
+	//	opts.DisableIncremental = true // narrow with unit clauses instead
+	//	opts.DisablePhaseSaving = true // forget polarities across backtracks
+	//	opts.LBDCap = 5                // retain more glue clauses
+	//	res, err = ebmf.Solve(m, opts)
 }

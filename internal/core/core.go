@@ -90,6 +90,18 @@ type Options struct {
 	// (mirrors the paper: 100×100 instances are "too large for SMT").
 	// 0 means no limit.
 	MaxSATEntries int
+	// DisableIncremental narrows the depth bound by adding unit clauses
+	// (re-constraining the formula) instead of the default selector
+	// assumptions. Kept as an ablation: incremental narrowing reuses learnt
+	// clauses and heuristic state across every depth bound of the SAP loop.
+	DisableIncremental bool
+	// DisablePhaseSaving turns off the solver's saved-polarity decision
+	// heuristic (ablation).
+	DisablePhaseSaving bool
+	// LBDCap overrides the solver's glue-clause threshold: learnt clauses
+	// with literal-blocks-distance at or below the cap are never evicted by
+	// database reduction. 0 keeps the solver default (2).
+	LBDCap int
 }
 
 // DefaultOptions mirror the paper's configuration at moderate effort:
@@ -242,12 +254,28 @@ func Solve(m *bitmat.Matrix, opts Options) (*Result, error) {
 	return finish(best)
 }
 
-// newEncoder builds the configured encoder at bound b.
+// newEncoder builds the configured encoder at bound b. The default is the
+// incremental (selector-assumption) variant, encoded once at the heuristic
+// upper bound and narrowed via assumptions; the solver knobs from opts are
+// applied to the fresh solver.
 func newEncoder(m *bitmat.Matrix, b int, opts Options) encode.Encoder {
-	if opts.Encoding == EncodingLog {
-		return encode.NewLog(m, b)
+	var enc encode.Encoder
+	switch {
+	case opts.Encoding == EncodingLog && opts.DisableIncremental:
+		enc = encode.NewLog(m, b)
+	case opts.Encoding == EncodingLog:
+		enc = encode.NewLogIncremental(m, b)
+	case opts.DisableIncremental:
+		enc = encode.NewOneHot(m, b, opts.AMO)
+	default:
+		enc = encode.NewOneHotIncremental(m, b, opts.AMO)
 	}
-	return encode.NewOneHot(m, b, opts.AMO)
+	s := enc.Solver()
+	s.PhaseSaving = !opts.DisablePhaseSaving
+	if opts.LBDCap > 0 {
+		s.LBDCap = opts.LBDCap
+	}
+	return enc
 }
 
 // solveWithBudgets runs the encoder's solver in conflict chunks so that both

@@ -13,19 +13,35 @@ import (
 // most literally and serves as the encoding ablation; the one-hot encoding
 // usually solves faster.
 type Log struct {
-	m    *bitmat.Matrix
-	idx  *entryIndex
-	s    *sat.Solver
-	b    int
-	nbit int
-	bits [][]sat.Var // bits[e][l], little-endian
+	m     *bitmat.Matrix
+	idx   *entryIndex
+	s     *sat.Solver
+	b     int
+	built int
+	nbit  int
+	bits  [][]sat.Var // bits[e][l], little-endian
+	sel   []sat.Var   // incremental mode: selector per value; sel[v] false forbids value v
+	inc   bool
 }
 
 var _ Encoder = (*Log)(nil)
 
-// NewLog builds the log-encoded formula for r_B(m) ≤ b.
+// NewLog builds the log-encoded formula for r_B(m) ≤ b. Narrowing mutates
+// the formula; use NewLogIncremental for the assumption-based variant.
 func NewLog(m *bitmat.Matrix, b int) *Log {
-	e := &Log{m: m, idx: newEntryIndex(m), s: sat.New(), b: b}
+	return newLog(m, b, false)
+}
+
+// NewLogIncremental builds the log formula plus one selector variable per
+// rectangle value, with clauses sel[v] ∨ (f(e) ≠ v) per entry. Narrowing
+// then disables values by assumption instead of adding clauses, so learnt
+// clauses and heuristic state persist across depth bounds.
+func NewLogIncremental(m *bitmat.Matrix, b int) *Log {
+	return newLog(m, b, true)
+}
+
+func newLog(m *bitmat.Matrix, b int, incremental bool) *Log {
+	e := &Log{m: m, idx: newEntryIndex(m), s: sat.New(), b: b, built: b, inc: incremental}
 	n := len(e.idx.pos)
 	if n == 0 {
 		return e
@@ -63,6 +79,18 @@ func NewLog(m *bitmat.Matrix, b int) *Log {
 				// ¬neq (i.e. equal) forces each cross's bits to equal a's.
 				e.addEqualUnless(neq, a, crossA)
 				e.addEqualUnless(neq, a, crossB)
+			}
+		}
+	}
+	if incremental {
+		e.sel = make([]sat.Var, b)
+		for v := range e.sel {
+			e.sel[v] = e.s.NewVar()
+		}
+		for en := 0; en < n; en++ {
+			for v := 0; v < b; v++ {
+				lits := e.neqLits(en, v)
+				e.s.AddClause(append(lits, sat.PosLit(e.sel[v]))...)
 			}
 		}
 	}
@@ -146,21 +174,32 @@ func (e *Log) Bound() int { return e.b }
 // Solver exposes the SAT solver.
 func (e *Log) Solver() *sat.Solver { return e.s }
 
-// Solve decides the current bound.
+// Solve decides the current bound. In incremental mode values at or above
+// the bound are forbidden by assuming their selectors false, leaving the
+// formula and the solver's learnt clauses intact for the next bound.
 func (e *Log) Solve() sat.Status {
 	if len(e.idx.pos) == 0 {
 		return sat.Sat
 	}
-	return e.s.Solve()
+	if !e.inc {
+		return e.s.Solve()
+	}
+	assumptions := make([]sat.Lit, 0, e.built-e.b)
+	for v := e.b; v < e.built; v++ {
+		assumptions = append(assumptions, sat.NegLit(e.sel[v]))
+	}
+	return e.s.SolveAssuming(assumptions...)
 }
 
-// Narrow forbids value b-1 for every entry, reducing the bound by one.
+// Narrow forbids value b-1 for every entry, reducing the bound by one. In
+// incremental mode it only moves the bound; the next Solve disables the
+// value by assumption.
 func (e *Log) Narrow() {
 	if e.b <= 0 {
 		return
 	}
 	e.b--
-	if len(e.idx.pos) == 0 {
+	if e.inc || len(e.idx.pos) == 0 {
 		return
 	}
 	if e.b == 0 {
@@ -172,9 +211,10 @@ func (e *Log) Narrow() {
 	}
 }
 
-// forbidExact excludes the single value v for entry en.
-func (e *Log) forbidExact(en, v int) {
-	lits := make([]sat.Lit, e.nbit)
+// neqLits returns the clause literals asserting f(en) ≠ v: at least one bit
+// of entry en's word differs from v's pattern.
+func (e *Log) neqLits(en, v int) []sat.Lit {
+	lits := make([]sat.Lit, e.nbit, e.nbit+1)
 	for l := 0; l < e.nbit; l++ {
 		if v&(1<<uint(l)) != 0 {
 			lits[l] = sat.NegLit(e.bits[en][l])
@@ -182,7 +222,12 @@ func (e *Log) forbidExact(en, v int) {
 			lits[l] = sat.PosLit(e.bits[en][l])
 		}
 	}
-	e.s.AddClause(lits...)
+	return lits
+}
+
+// forbidExact excludes the single value v for entry en.
+func (e *Log) forbidExact(en, v int) {
+	e.s.AddClause(e.neqLits(en, v)...)
 }
 
 // ReadPartition decodes the last Sat model into a partition.

@@ -17,14 +17,33 @@ type OneHot struct {
 	b     int
 	vars  [][]sat.Var // vars[e][k]
 	built int         // initial bound the formula was built for
+	sel   []sat.Var   // incremental mode: selector per slot; sel[k] false disables slot k
+	inc   bool
 }
 
 var _ Encoder = (*OneHot)(nil)
 
 // NewOneHot builds the formula for r_B(m) ≤ b with the chosen at-most-one
 // encoding and symmetry breaking. b must be ≥ 1 unless the matrix is zero.
+// Narrowing mutates the formula with unit clauses; use NewOneHotIncremental
+// for the assumption-based variant.
 func NewOneHot(m *bitmat.Matrix, b int, amo AMO) *OneHot {
-	e := &OneHot{m: m, idx: newEntryIndex(m), s: sat.New(), b: b, built: b}
+	return newOneHot(m, b, amo, false)
+}
+
+// NewOneHotIncremental builds the same formula plus one selector variable
+// per rectangle slot, with clauses sel[k] ∨ ¬x[e][k] tying each slot's
+// entry variables to its selector. Narrowing then never mutates the
+// formula: Solve assumes ¬sel[k] for every slot at or above the current
+// bound, so learnt clauses, saved phases and VSIDS activities stay valid
+// and are reused across the whole depth-narrowing run — the paper's
+// narrow_down_depth as an assumption instead of a re-encode.
+func NewOneHotIncremental(m *bitmat.Matrix, b int, amo AMO) *OneHot {
+	return newOneHot(m, b, amo, true)
+}
+
+func newOneHot(m *bitmat.Matrix, b int, amo AMO, incremental bool) *OneHot {
+	e := &OneHot{m: m, idx: newEntryIndex(m), s: sat.New(), b: b, built: b, inc: incremental}
 	n := len(e.idx.pos)
 	if n == 0 {
 		return e
@@ -77,6 +96,17 @@ func NewOneHot(m *bitmat.Matrix, b int, amo AMO) *OneHot {
 			e.s.AddClause(sat.NegLit(e.vars[en][k]))
 		}
 	}
+	if incremental {
+		e.sel = make([]sat.Var, b)
+		for k := range e.sel {
+			e.sel[k] = e.s.NewVar()
+		}
+		for en := 0; en < n; en++ {
+			for k := 0; k < b; k++ {
+				e.s.AddClause(sat.PosLit(e.sel[k]), sat.NegLit(e.vars[en][k]))
+			}
+		}
+	}
 	return e
 }
 
@@ -124,22 +154,34 @@ func (e *OneHot) Bound() int { return e.b }
 // Solver exposes the SAT solver.
 func (e *OneHot) Solver() *sat.Solver { return e.s }
 
-// Solve decides the current bound.
+// Solve decides the current bound. In incremental mode every slot at or
+// above the bound is switched off by assuming its selector false; the
+// formula itself is never touched, so the solver's learnt clauses survive
+// from one bound to the next.
 func (e *OneHot) Solve() sat.Status {
 	if len(e.idx.pos) == 0 {
 		return sat.Sat
 	}
-	return e.s.Solve()
+	if !e.inc {
+		return e.s.Solve()
+	}
+	assumptions := make([]sat.Lit, 0, e.built-e.b)
+	for k := e.b; k < e.built; k++ {
+		assumptions = append(assumptions, sat.NegLit(e.sel[k]))
+	}
+	return e.s.SolveAssuming(assumptions...)
 }
 
 // Narrow forbids the highest remaining slot, reducing the bound by one —
-// the paper's narrow_down_depth: add f(e) ≠ b for every entry.
+// the paper's narrow_down_depth: add f(e) ≠ b for every entry. In
+// incremental mode it only moves the bound; the next Solve disables the
+// slot by assumption.
 func (e *OneHot) Narrow() {
 	if e.b <= 0 {
 		return
 	}
 	e.b--
-	if len(e.idx.pos) == 0 {
+	if e.inc || len(e.idx.pos) == 0 {
 		return
 	}
 	if e.b == 0 {
@@ -171,9 +213,16 @@ func (e *OneHot) SolveAt(bound int) sat.Status {
 		return sat.Unsat // entries exist but no slots allowed
 	}
 	var assumptions []sat.Lit
-	for en := range e.vars {
+	if e.inc {
+		// One selector assumption per disabled slot.
 		for k := bound; k < e.built; k++ {
-			assumptions = append(assumptions, sat.NegLit(e.vars[en][k]))
+			assumptions = append(assumptions, sat.NegLit(e.sel[k]))
+		}
+	} else {
+		for en := range e.vars {
+			for k := bound; k < e.built; k++ {
+				assumptions = append(assumptions, sat.NegLit(e.vars[en][k]))
+			}
 		}
 	}
 	return e.s.SolveAssuming(assumptions...)

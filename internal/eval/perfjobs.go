@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"repro/internal/benchgen"
+	"repro/internal/bitmat"
+	"repro/internal/encode"
+	"repro/internal/rowpack"
+	"repro/internal/sat"
+)
+
+// The perf-tracked Solver/SAP workloads. bench_test.go (`go test -bench
+// 'Solver|SAP'`) and cmd/timing -json (BENCH_solver.json) both measure these
+// jobs, so they must stay one source of truth — drift would silently make
+// the JSON snapshots incomparable to the benchmark numbers.
+
+// SolverJob is one Table I gap decision problem: a matrix plus its
+// row-packing upper bound, the input the SAP loop hands the SAT solver.
+type SolverJob struct {
+	M  *bitmat.Matrix
+	UB int
+}
+
+// TableIGapSolverJobs collects the gap-suite decision problems (pair counts
+// 2–5, 5 instances each, the bench_test seeds).
+func TableIGapSolverJobs() []SolverJob {
+	var jobs []SolverJob
+	for pairs := 2; pairs <= 5; pairs++ {
+		for _, ins := range benchgen.GapSuite(14+int64(pairs), 10, 10, []int{pairs}, 5) {
+			ub := rowpack.Pack(ins.M, rowpack.Options{Trials: 100, Seed: 1}).Depth()
+			jobs = append(jobs, SolverJob{M: ins.M, UB: ub})
+		}
+	}
+	return jobs
+}
+
+// NarrowToRank runs the SAP narrowing loop on one job — encode at UB-1,
+// solve and narrow until UNSAT or the rank bound — with the incremental
+// (selector-assumption) or destructive (unit-clause) one-hot encoder.
+func NarrowToRank(j SolverJob, incremental bool) {
+	var enc encode.Encoder
+	if incremental {
+		enc = encode.NewOneHotIncremental(j.M, j.UB-1, encode.AMOPairwise)
+	} else {
+		enc = encode.NewOneHot(j.M, j.UB-1, encode.AMOPairwise)
+	}
+	lb := j.M.Rank()
+	for enc.Bound() >= lb {
+		if enc.Solve() != sat.Sat {
+			return
+		}
+		enc.Narrow()
+	}
+}

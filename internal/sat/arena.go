@@ -1,0 +1,103 @@
+package sat
+
+import "math"
+
+// The clause arena stores every clause — problem and learnt — in one flat
+// []uint32 backing store, MiniSat/Glucose style. A clause is addressed by a
+// 32-bit cref (the index of its header word), which replaces *clause
+// throughout the solver: watch lists, reason pointers and the clause lists
+// all hold crefs. Keeping all literals contiguous removes the per-clause
+// allocations and pointer chases of the previous [][]*clause layout, and
+// makes clause-database reduction a compacting copy instead of a garbage-
+// collector workload.
+//
+// Layout per clause (hdrWords header words followed by the literals):
+//
+//	word 0: size<<2 | learnt<<1 | deleted
+//	word 1: activity (float32 bits; learnt clauses only)
+//	word 2: LBD — the literal-blocks-distance at learn time (learnt only)
+//	word 3…: the literals, as uint32-cast Lit values
+type cref = uint32
+
+// crefUndef is the nil clause reference (no reason / no conflict).
+const crefUndef cref = ^cref(0)
+
+// binFlag marks a watcher whose clause is binary: the blocker IS the whole
+// rest of the clause, so propagation never needs the arena. The flag lives
+// in the cref's top bit (watch lists only; reasons and clause lists always
+// hold plain crefs).
+const binFlag cref = 1 << 31
+
+const hdrWords = 3
+
+// watcher is one entry of a literal's watch list. blocker is a literal of
+// the clause (initially the other watched literal): when it is already true
+// the clause is satisfied and propagation can skip it without touching the
+// arena at all — the common case on dense instances.
+type watcher struct {
+	c       cref
+	blocker Lit
+}
+
+type clauseArena struct {
+	data   []uint32
+	wasted int // words occupied by deleted clauses, drives garbage collection
+}
+
+// alloc appends a clause and returns its reference.
+func (a *clauseArena) alloc(lits []Lit, learnt bool) cref {
+	if len(a.data)+hdrWords+len(lits) >= int(binFlag) {
+		// crefs at or above binFlag would collide with the binary-watcher
+		// tag (and eventually crefUndef); fail loudly rather than corrupt
+		// propagation. 2^31 words = 8 GiB of clauses.
+		panic("sat: clause arena exceeds 2^31 words")
+	}
+	c := cref(len(a.data))
+	meta := uint32(len(lits)) << 2
+	if learnt {
+		meta |= 2
+	}
+	a.data = append(a.data, meta, 0, 0)
+	for _, l := range lits {
+		a.data = append(a.data, uint32(l))
+	}
+	return c
+}
+
+func (a *clauseArena) size(c cref) int     { return int(a.data[c] >> 2) }
+func (a *clauseArena) learnt(c cref) bool  { return a.data[c]&2 != 0 }
+func (a *clauseArena) deleted(c cref) bool { return a.data[c]&1 != 0 }
+
+func (a *clauseArena) markDeleted(c cref) {
+	if a.data[c]&1 == 0 {
+		a.data[c] |= 1
+		a.wasted += hdrWords + a.size(c)
+	}
+}
+
+func (a *clauseArena) activity(c cref) float32 {
+	return math.Float32frombits(a.data[c+1])
+}
+
+func (a *clauseArena) setActivity(c cref, v float32) {
+	a.data[c+1] = math.Float32bits(v)
+}
+
+func (a *clauseArena) lbd(c cref) int        { return int(a.data[c+2]) }
+func (a *clauseArena) setLBD(c cref, v int)  { a.data[c+2] = uint32(v) }
+func (a *clauseArena) lit(c cref, i int) Lit { return Lit(a.data[int(c)+hdrWords+i]) }
+
+// lits returns the literal span of c as raw words (cast each element to Lit).
+// The view is only valid until the next alloc.
+func (a *clauseArena) lits(c cref) []uint32 {
+	base := int(c) + hdrWords
+	return a.data[base : base+a.size(c)]
+}
+
+// appendLits appends the literals of c to buf.
+func (a *clauseArena) appendLits(buf []Lit, c cref) []Lit {
+	for _, w := range a.lits(c) {
+		buf = append(buf, Lit(w))
+	}
+	return buf
+}

@@ -96,13 +96,17 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 			return err
 		}
 	}
+	var ibuf [14]byte
 	emit := func(lits []Lit) error {
 		for _, l := range lits {
-			x := l.Var() + 1
+			x := int64(l.Var() + 1)
 			if l.Sign() {
 				x = -x
 			}
-			if _, err := fmt.Fprintf(bw, "%d ", x); err != nil {
+			if _, err := bw.Write(strconv.AppendInt(ibuf[:0], x, 10)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(' '); err != nil {
 				return err
 			}
 		}
@@ -114,8 +118,10 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 			return err
 		}
 	}
+	var buf []Lit
 	for _, c := range s.clauses {
-		if err := emit(c.lits); err != nil {
+		buf = s.ca.appendLits(buf[:0], c)
+		if err := emit(buf); err != nil {
 			return err
 		}
 	}

@@ -57,12 +57,14 @@ func (s *Solver) proofEmpty() {
 }
 
 func writeDRATClause(w *bufio.Writer, lits []Lit) {
+	var buf [14]byte
 	for _, l := range lits {
-		x := l.Var() + 1
+		x := int64(l.Var() + 1)
 		if l.Sign() {
 			x = -x
 		}
-		fmt.Fprintf(w, "%d ", x)
+		w.Write(strconv.AppendInt(buf[:0], x, 10))
+		w.WriteByte(' ')
 	}
 	w.WriteString("0\n")
 }
@@ -76,6 +78,7 @@ type dratChecker struct {
 	units   []Lit // top-level unit clauses of the database
 	assign  []lbool
 	trail   []Lit
+	byKey   map[string][]*dratClause // live clauses indexed by sorted-literal key
 }
 
 type dratClause struct {
@@ -88,6 +91,7 @@ func newDratChecker(nVars int) *dratChecker {
 		nVars:   nVars,
 		watches: make([][]*dratClause, 2*nVars),
 		assign:  make([]lbool, nVars),
+		byKey:   make(map[string][]*dratClause),
 	}
 }
 
@@ -115,10 +119,14 @@ func (c *dratChecker) addClause(lits []Lit) {
 		c.clauses = append(c.clauses, cl)
 		c.watches[cl.lits[0].Neg()] = append(c.watches[cl.lits[0].Neg()], cl)
 		c.watches[cl.lits[1].Neg()] = append(c.watches[cl.lits[1].Neg()], cl)
+		key := clauseKey(lits)
+		c.byKey[key] = append(c.byKey[key], cl)
 	}
 }
 
-// deleteClause marks a clause with the given literal multiset deleted.
+// deleteClause marks a clause with the given literal multiset deleted. The
+// key index makes this O(|clause|) instead of a scan over the database —
+// the solver's LBD-based reduction emits deletions in bulk.
 func (c *dratChecker) deleteClause(lits []Lit) {
 	if len(lits) == 1 {
 		for i, u := range c.units {
@@ -130,30 +138,32 @@ func (c *dratChecker) deleteClause(lits []Lit) {
 		return
 	}
 	key := clauseKey(lits)
-	for _, cl := range c.clauses {
-		if !cl.deleted && len(cl.lits) == len(lits) && clauseKey(cl.lits) == key {
+	list := c.byKey[key]
+	for i, cl := range list {
+		if !cl.deleted {
 			cl.deleted = true
+			list[i] = list[len(list)-1]
+			c.byKey[key] = list[:len(list)-1]
 			return
 		}
 	}
 }
 
 func clauseKey(lits []Lit) string {
-	xs := make([]int, len(lits))
-	for i, l := range lits {
-		xs[i] = int(l)
-	}
+	xs := make([]Lit, len(lits))
+	copy(xs, lits)
 	// Insertion sort (clauses are short).
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
-	var sb strings.Builder
+	buf := make([]byte, 0, 8*len(xs))
 	for _, x := range xs {
-		fmt.Fprintf(&sb, "%d,", x)
+		buf = strconv.AppendInt(buf, int64(x), 10)
+		buf = append(buf, ',')
 	}
-	return sb.String()
+	return string(buf)
 }
 
 func (c *dratChecker) value(l Lit) lbool {
@@ -276,8 +286,10 @@ func CheckDRAT(formula io.Reader, proof io.Reader) error {
 		return fmt.Errorf("sat: drat: formula: %w", err)
 	}
 	chk.grow(fs.NumVars() - 1)
+	var buf []Lit
 	for _, cl := range fs.clauses {
-		chk.addClause(cl.lits)
+		buf = fs.ca.appendLits(buf[:0], cl)
+		chk.addClause(buf)
 	}
 	for _, l := range fs.trail {
 		if fs.level[l.Var()] == 0 {

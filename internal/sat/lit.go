@@ -4,12 +4,16 @@
 // paper: the paper's uninterpreted-function formula over a finite domain is
 // compiled to CNF by package encode and decided here.
 //
-// Features: two-watched-literal propagation, VSIDS decision heuristic with a
-// binary heap, first-UIP clause learning with basic minimization, Luby
-// restarts, phase saving, learnt-clause database reduction, incremental
-// clause addition between Solve calls, and conflict budgets so callers can
-// bound worst-case runtime (the problem is NP-hard; Figure 4 of the paper is
-// all about UNSAT proofs being expensive).
+// Features: a flat clause arena addressed by 32-bit refs (no per-clause
+// allocations), two-watched-literal propagation with blocker literals and a
+// binary-clause fast path, VSIDS decision heuristic with a binary heap,
+// first-UIP clause learning with recursive minimization, LBD-based
+// learnt-clause reduction with glue retention, Glucose-style LBD-driven
+// restarts (Luby as ablation), phase saving, incremental solving via both
+// clause addition between Solve calls and SolveAssuming with assumption
+// literals, DRAT proof logging, and conflict budgets so callers can bound
+// worst-case runtime (the problem is NP-hard; Figure 4 of the paper is all
+// about UNSAT proofs being expensive). See DESIGN.md §2 for rationale.
 package sat
 
 import "fmt"

@@ -6,45 +6,72 @@ import (
 	"sort"
 )
 
-// clause is a disjunction of literals. lits[0] and lits[1] are the watched
-// literals of non-unit clauses.
-type clause struct {
-	lits     []Lit
-	activity float64
-	learnt   bool
-	deleted  bool
-}
-
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 // Clauses may be added between Solve calls (the solver restarts from decision
-// level 0), which is how the EBMF loop narrows the rectangle budget.
+// level 0), which is how the EBMF loop narrows the rectangle budget; the
+// preferred incremental style is SolveAssuming with selector literals, which
+// keeps learnt clauses and VSIDS state valid across calls without mutating
+// the formula.
+//
+// All clauses live in a flat arena (see arena.go) and are addressed by
+// 32-bit crefs; watch lists carry blocker literals so satisfied clauses are
+// skipped without a memory load from the arena.
 type Solver struct {
-	clauses []*clause // problem clauses
-	learnts []*clause // learnt clauses
-	watches [][]*clause
+	ca      clauseArena
+	clauses []cref // problem clauses
+	learnts []cref // learnt clauses
+	watches [][]watcher
 
 	assign   []lbool // current assignment per variable
 	level    []int   // decision level per assigned variable
-	reason   []*clause
+	reason   []cref
 	trail    []Lit
 	trailLim []int // trail index per decision level
 	qhead    int
 
 	activity   []float64
 	varInc     float64
+	claInc     float32
 	heap       *varHeap
 	phase      []bool // saved polarity per variable
 	seen       []bool // scratch for analyze
 	analyzeBuf []Lit
-	clearBuf   []Lit // literals whose seen flag must be reset after analyze
+	clearBuf   []Lit   // literals whose seen flag must be reset after analyze
+	addBuf     []Lit   // scratch for AddClause normalization
+	lvlStamp   []int64 // per-decision-level scratch for LBD computation
+	stamp      int64
+	redStamp   []int64 // per-variable memo stamps for litRedundantDeep
+	redVal     []bool  // memoized verdicts, valid when redStamp matches
+	redEpoch   int64
+
+	// Glucose-style restart state: a sliding window of recent learnt-clause
+	// LBDs against the lifetime average, plus a trail-size EMA that blocks
+	// restarts when the search looks close to a model.
+	lbdWin    [50]int64
+	lbdWinSum int64
+	lbdWinN   int
+	lbdWinIdx int
+	lbdSum    float64
+	trailAvg  float64
 
 	unsatRoot bool // formula already false at level 0
 
 	// DeepMinimize enables recursive learnt-clause minimization (default
 	// on; switch off to fall back to one-step self-subsumption).
 	DeepMinimize bool
+	// PhaseSaving remembers each variable's last polarity across
+	// backtracking and reuses it on the next decision (default on; switch
+	// off for the ablation).
+	PhaseSaving bool
+	// LBDCap is the literal-blocks-distance at or below which a learnt
+	// clause is always retained by reduceDB ("glue" clauses). Default 2.
+	LBDCap int
+	// LubyRestarts switches from the default Glucose-style LBD-driven
+	// restarts back to the Luby sequence (ablation).
+	LubyRestarts bool
 
-	proof *bufio.Writer // DRAT trace (nil when disabled)
+	proof    *bufio.Writer // DRAT trace (nil when disabled)
+	proofBuf []Lit         // scratch for proof deletions
 
 	// Statistics.
 	Conflicts    int64
@@ -63,8 +90,12 @@ type Solver struct {
 func New() *Solver {
 	s := &Solver{
 		varInc:          1.0,
+		claInc:          1.0,
 		budgetConflicts: -1,
 		DeepMinimize:    true,
+		PhaseSaving:     true,
+		LBDCap:          2,
+		lvlStamp:        make([]int64, 1),
 	}
 	s.heap = newVarHeap(&s.activity)
 	return s
@@ -75,10 +106,13 @@ func (s *Solver) NewVar() Var {
 	v := len(s.assign)
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, -1)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, crefUndef)
 	s.activity = append(s.activity, 0)
 	s.phase = append(s.phase, false)
 	s.seen = append(s.seen, false)
+	s.lvlStamp = append(s.lvlStamp, 0) // levels range over 0..NumVars
+	s.redStamp = append(s.redStamp, 0)
+	s.redVal = append(s.redVal, false)
 	s.watches = append(s.watches, nil, nil)
 	s.heap.insert(v)
 	return v
@@ -123,10 +157,20 @@ func (s *Solver) AddClause(lits ...Lit) {
 	// (e.g. after Sat); incremental clause addition happens at the root.
 	s.cancelUntil(0)
 	// Sort + dedupe, drop root-false literals, detect tautologies and
-	// root-true clauses.
-	ls := make([]Lit, len(lits))
-	copy(ls, lits)
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	// root-true clauses. The scratch buffer and insertion sort keep clause
+	// loading allocation-free (encoders add hundreds of thousands of short
+	// clauses).
+	ls := append(s.addBuf[:0], lits...)
+	s.addBuf = ls
+	if len(ls) > 64 {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	} else {
+		for i := 1; i < len(ls); i++ {
+			for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+				ls[j], ls[j-1] = ls[j-1], ls[j]
+			}
+		}
+	}
 	out := ls[:0]
 	var prev Lit = LitUndef
 	for _, l := range ls {
@@ -152,31 +196,38 @@ func (s *Solver) AddClause(lits ...Lit) {
 	case 0:
 		s.unsatRoot = true
 	case 1:
-		if !s.enqueue(out[0], nil) {
+		if !s.enqueue(out[0], crefUndef) {
 			s.unsatRoot = true
 			return
 		}
-		if s.propagate() != nil {
+		if s.propagate() != crefUndef {
 			s.unsatRoot = true
 		}
 	default:
-		c := &clause{lits: append([]Lit(nil), out...)}
+		c := s.ca.alloc(out, false)
 		s.clauses = append(s.clauses, c)
-		s.watchClause(c)
+		s.attachClause(c)
 	}
 }
 
-func (s *Solver) watchClause(c *clause) {
-	// Watch the negations: when lits[0] or lits[1] becomes false we visit c.
-	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], c)
-	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+// attachClause installs the watchers of c: each watched literal's negation
+// maps to a watcher blocking on the other watched literal. Binary clauses
+// are tagged so propagation resolves them from the watcher alone.
+func (s *Solver) attachClause(c cref) {
+	l0, l1 := s.ca.lit(c, 0), s.ca.lit(c, 1)
+	wc := c
+	if s.ca.size(c) == 2 {
+		wc |= binFlag
+	}
+	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{wc, l1})
+	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{wc, l0})
 }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
 // enqueue assigns literal l with the given reason clause. It returns false
 // on an immediate conflict with the current assignment.
-func (s *Solver) enqueue(l Lit, from *clause) bool {
+func (s *Solver) enqueue(l Lit, from cref) bool {
 	switch s.value(l) {
 	case lTrue:
 		return true
@@ -196,41 +247,63 @@ func (s *Solver) enqueue(l Lit, from *clause) bool {
 }
 
 // propagate performs unit propagation; it returns a conflicting clause or
-// nil.
-func (s *Solver) propagate() *clause {
+// crefUndef.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true; visit clauses watching ¬p
 		s.qhead++
 		s.Propagations++
 		ws := s.watches[p]
 		kept := ws[:0]
-		var confl *clause
+		confl := crefUndef
 		for wi := 0; wi < len(ws); wi++ {
-			c := ws[wi]
-			if c.deleted {
+			w := ws[wi]
+			// Blocker check: a true blocker means the clause is satisfied
+			// and we never touch the arena.
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
 				continue
 			}
-			if confl != nil {
-				kept = append(kept, ws[wi:]...)
-				break
+			if w.c&binFlag != 0 {
+				// Binary clause: the blocker is the only other literal, so
+				// it is unit (or conflicting) right now — still no arena
+				// access. Binary clauses are never deleted by reduceDB.
+				c := w.c &^ binFlag
+				kept = append(kept, w)
+				if !s.enqueue(w.blocker, c) {
+					confl = c
+					s.qhead = len(s.trail)
+					kept = append(kept, ws[wi+1:]...)
+					break
+				}
+				continue
 			}
+			c := w.c
+			if s.ca.deleted(c) {
+				continue
+			}
+			lits := s.ca.lits(c)
 			// Normalize so the false literal (¬p ... i.e. the one whose
 			// negation is p) is lits[1].
 			falseLit := p.Neg()
-			if c.lits[0] == falseLit {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if Lit(lits[0]) == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
 			}
-			// If lits[0] is true the clause is satisfied.
-			if s.value(c.lits[0]) == lTrue {
-				kept = append(kept, c)
+			// If lits[0] is true the clause is satisfied; re-watch with it
+			// as the blocker.
+			first := Lit(lits[0])
+			nw := watcher{c, first}
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, nw)
 				continue
 			}
 			// Look for a new literal to watch.
 			moved := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+			for k := 2; k < len(lits); k++ {
+				if s.value(Lit(lits[k])) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					nl := Lit(lits[1]).Neg()
+					s.watches[nl] = append(s.watches[nl], nw)
 					moved = true
 					break
 				}
@@ -239,35 +312,94 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, c)
-			if !s.enqueue(c.lits[0], c) {
+			kept = append(kept, nw)
+			if !s.enqueue(first, c) {
 				confl = c
 				s.qhead = len(s.trail)
+				kept = append(kept, ws[wi+1:]...)
+				break
 			}
 		}
 		s.watches[p] = kept
-		if confl != nil {
+		if confl != crefUndef {
 			return confl
 		}
 	}
-	return nil
+	return crefUndef
+}
+
+// litsLBD computes the literal-blocks-distance of a clause: the number of
+// distinct nonzero decision levels among its literals (Glucose's quality
+// measure for learnt clauses). Must be called while the literals' levels are
+// still assigned, i.e. before backtracking.
+func (s *Solver) litsLBD(lits []Lit) int {
+	s.stamp++
+	n := 0
+	for _, l := range lits {
+		lvl := s.level[l.Var()]
+		if lvl > 0 && s.lvlStamp[lvl] != s.stamp {
+			s.lvlStamp[lvl] = s.stamp
+			n++
+		}
+	}
+	return n
+}
+
+// clauseLBD is litsLBD over an arena clause.
+func (s *Solver) clauseLBD(c cref) int {
+	s.stamp++
+	n := 0
+	for _, w := range s.ca.lits(c) {
+		lvl := s.level[Lit(w).Var()]
+		if lvl > 0 && s.lvlStamp[lvl] != s.stamp {
+			s.lvlStamp[lvl] = s.stamp
+			n++
+		}
+	}
+	return n
+}
+
+// bumpClause raises a learnt clause's activity and refreshes its LBD
+// downward (Glucose's dynamic LBD: a clause participating in conflicts at a
+// lower block count than recorded is more valuable than its birth LBD says).
+func (s *Solver) bumpClause(c cref) {
+	a := s.ca.activity(c) + s.claInc
+	s.ca.setActivity(c, a)
+	if a > 1e20 {
+		for _, lc := range s.learnts {
+			s.ca.setActivity(lc, s.ca.activity(lc)*1e-20)
+		}
+		s.claInc *= 1e-20
+	}
+	if nl := s.clauseLBD(c); nl < s.ca.lbd(c) {
+		s.ca.setLBD(c, nl)
+	}
 }
 
 // analyze derives a first-UIP learnt clause from the conflict and returns it
 // together with the backtrack level. learnt[0] is the asserting literal.
-func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int) {
+func (s *Solver) analyze(confl cref) (learnt []Lit, btLevel int) {
 	learnt = append(s.analyzeBuf[:0], LitUndef) // slot for asserting literal
 	counter := 0
 	p := LitUndef
 	index := len(s.trail) - 1
 
 	for {
+		if s.ca.learnt(confl) {
+			s.bumpClause(confl)
+		}
+		lits := s.ca.lits(confl)
+		if p != LitUndef && Lit(lits[0]) != p {
+			// Binary clauses propagate straight from the watcher without
+			// normalizing the asserted literal into slot 0; fix up lazily.
+			lits[0], lits[1] = lits[1], lits[0]
+		}
 		start := 0
 		if p != LitUndef {
 			start = 1 // lits[0] is the asserted literal p itself
 		}
-		for i := start; i < len(confl.lits); i++ {
-			q := confl.lits[i]
+		for i := start; i < len(lits); i++ {
+			q := Lit(lits[i])
 			v := q.Var()
 			if s.seen[v] || s.level[v] == 0 {
 				continue
@@ -305,9 +437,9 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int) {
 	// ccmin-mode=2); basic mode checks one step only.
 	j := 1
 	if s.DeepMinimize {
-		cache := map[Var]bool{}
+		s.redEpoch++ // invalidates the per-variable memo in O(1)
 		for i := 1; i < len(learnt); i++ {
-			if !s.litRedundantDeep(learnt[i], cache) {
+			if !s.litRedundantDeep(learnt[i]) {
 				learnt[j] = learnt[i]
 				j++
 			}
@@ -345,35 +477,36 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int) {
 }
 
 // litRedundantDeep reports whether literal l is implied by the seen literals
-// of the learnt clause through any chain of reason clauses. cache memoizes
-// per-variable verdicts within one analyze call; s.seen is never modified,
-// so a failed exploration needs no rollback.
-func (s *Solver) litRedundantDeep(l Lit, cache map[Var]bool) bool {
-	if v, ok := cache[l.Var()]; ok {
-		return v
+// of the learnt clause through any chain of reason clauses. Verdicts are
+// memoized per variable in stamp-indexed arrays valid for one analyze call
+// (redEpoch), so the hot path never allocates; s.seen is never modified, so
+// a failed exploration needs no rollback.
+func (s *Solver) litRedundantDeep(l Lit) bool {
+	v := l.Var()
+	if s.redStamp[v] == s.redEpoch {
+		return s.redVal[v]
 	}
-	r := s.reason[l.Var()]
-	if r == nil {
-		cache[l.Var()] = false
+	r := s.reason[v]
+	// Mark before recursing: cuts cycles conservatively (an in-progress
+	// variable reads as not-redundant, avoiding circular proofs).
+	s.redStamp[v] = s.redEpoch
+	s.redVal[v] = false
+	if r == crefUndef {
 		return false
 	}
-	// Tentatively mark to cut cycles (a cycle through reasons means the
-	// literal is supported by the marked set, which is sound to treat as
-	// redundant only if every other path checks out; be conservative and
-	// treat in-progress vars as not-redundant to avoid circular proofs).
-	cache[l.Var()] = false
-	for _, q := range r.lits {
-		if q.Var() == l.Var() {
+	for i, n := 0, s.ca.size(r); i < n; i++ {
+		q := s.ca.lit(r, i)
+		if q.Var() == v {
 			continue
 		}
 		if s.seen[q.Var()] || s.level[q.Var()] == 0 {
 			continue
 		}
-		if !s.litRedundantDeep(q, cache) {
+		if !s.litRedundantDeep(q) {
 			return false
 		}
 	}
-	cache[l.Var()] = true
+	s.redVal[v] = true
 	return true
 }
 
@@ -381,10 +514,11 @@ func (s *Solver) litRedundantDeep(l Lit, cache map[Var]bool) bool {
 // by the remaining literals via its reason clause (one-step self-subsumption).
 func (s *Solver) litRedundantBasic(l Lit) bool {
 	r := s.reason[l.Var()]
-	if r == nil {
+	if r == crefUndef {
 		return false
 	}
-	for _, q := range r.lits {
+	for i, n := 0, s.ca.size(r); i < n; i++ {
+		q := s.ca.lit(r, i)
 		if q.Var() == l.Var() {
 			continue
 		}
@@ -407,6 +541,7 @@ func (s *Solver) bumpVar(v Var) {
 }
 
 func (s *Solver) decayVarActivity() { s.varInc /= 0.95 }
+func (s *Solver) decayClaActivity() { s.claInc /= 0.999 }
 
 // cancelUntil backtracks to the given decision level.
 func (s *Solver) cancelUntil(lvl int) {
@@ -416,9 +551,11 @@ func (s *Solver) cancelUntil(lvl int) {
 	bound := s.trailLim[lvl]
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
-		s.phase[v] = s.assign[v] == lTrue
+		if s.PhaseSaving {
+			s.phase[v] = s.assign[v] == lTrue
+		}
 		s.assign[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = crefUndef
 		s.level[v] = -1
 		s.heap.insert(v)
 	}
@@ -438,44 +575,145 @@ func (s *Solver) pickBranchVar() Var {
 	return -1
 }
 
-// recordLearnt installs a learnt clause and asserts its first literal.
-func (s *Solver) recordLearnt(lits []Lit) {
+// recordLearnt installs a learnt clause with the given LBD and asserts its
+// first literal.
+func (s *Solver) recordLearnt(lits []Lit, lbd int) {
 	s.Learned++
 	s.proofAdd(lits)
 	if len(lits) == 1 {
 		// Asserting unit at level 0.
-		if !s.enqueue(lits[0], nil) {
+		if !s.enqueue(lits[0], crefUndef) {
 			s.unsatRoot = true
 			s.proofEmpty()
 		}
 		return
 	}
-	c := &clause{lits: append([]Lit(nil), lits...), learnt: true, activity: s.varInc}
+	c := s.ca.alloc(lits, true)
+	s.ca.setActivity(c, s.claInc)
+	s.ca.setLBD(c, lbd)
 	s.learnts = append(s.learnts, c)
-	s.watchClause(c)
+	s.attachClause(c)
 	s.enqueue(lits[0], c)
 }
 
-// reduceDB removes roughly half of the learnt clauses, keeping binary
-// clauses, reason clauses and the most active ones.
+// reduceDB removes roughly half of the learnt clauses. Clauses are ranked by
+// LBD first (Glucose), clause activity second; binary clauses, glue clauses
+// (LBD ≤ LBDCap) and reason clauses are always kept.
 func (s *Solver) reduceDB() {
+	ca := &s.ca
 	sort.Slice(s.learnts, func(i, j int) bool {
-		return s.learnts[i].activity > s.learnts[j].activity
+		ci, cj := s.learnts[i], s.learnts[j]
+		if li, lj := ca.lbd(ci), ca.lbd(cj); li != lj {
+			return li < lj
+		}
+		return ca.activity(ci) > ca.activity(cj)
 	})
-	locked := func(c *clause) bool {
-		v := c.lits[0].Var()
+	locked := func(c cref) bool {
+		v := ca.lit(c, 0).Var()
 		return s.assign[v] != lUndef && s.reason[v] == c
 	}
 	kept := s.learnts[:0]
 	for i, c := range s.learnts {
-		if len(c.lits) <= 2 || locked(c) || i < len(s.learnts)/2 {
+		if ca.size(c) <= 2 || ca.lbd(c) <= s.LBDCap || locked(c) || i < len(s.learnts)/2 {
 			kept = append(kept, c)
 		} else {
-			c.deleted = true
-			s.proofDelete(c.lits)
+			s.proofBuf = ca.appendLits(s.proofBuf[:0], c)
+			s.proofDelete(s.proofBuf)
+			ca.markDeleted(c)
 		}
 	}
 	s.learnts = kept
+	s.maybeCollectGarbage()
+}
+
+// maybeCollectGarbage compacts the arena when at least a third of it is
+// deleted clauses: alive clauses are copied to a fresh backing store in
+// list order and every cref (clause lists, reasons) is remapped; watch lists
+// are rebuilt. Preserving each clause's literal order keeps the two-watched-
+// literal invariant, so compaction is sound at any decision level.
+func (s *Solver) maybeCollectGarbage() {
+	if s.ca.wasted*3 < len(s.ca.data) {
+		return
+	}
+	old := s.ca.data
+	data := make([]uint32, 0, len(old)-s.ca.wasted)
+	// move copies a clause and leaves a forwarding pointer in the old
+	// header (deleted bit set, word 1 = new cref); a second move of the
+	// same clause returns the forwarded cref. Genuinely deleted clauses
+	// are never moved: they appear in no clause list and no reason.
+	move := func(c cref) cref {
+		if old[c]&1 != 0 {
+			return cref(old[c+1])
+		}
+		n := cref(len(data))
+		end := int(c) + hdrWords + int(old[c]>>2)
+		data = append(data, old[c:end]...)
+		old[c] |= 1
+		old[c+1] = n
+		return n
+	}
+	for i, c := range s.clauses {
+		s.clauses[i] = move(c)
+	}
+	for i, c := range s.learnts {
+		s.learnts[i] = move(c)
+	}
+	for v := range s.reason {
+		if s.reason[v] != crefUndef {
+			s.reason[v] = move(s.reason[v])
+		}
+	}
+	s.ca.data = data
+	s.ca.wasted = 0
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.attachClause(c)
+	}
+	for _, c := range s.learnts {
+		s.attachClause(c)
+	}
+}
+
+// recordRestartStats feeds one conflict's LBD into the restart policy.
+// Called at the conflict, before backtracking, so the trail length reflects
+// how deep the search was. When the search trail is much larger than its
+// running average the solver looks close to a model, and the LBD window is
+// cleared to block an imminent restart (Glucose's restart blocking).
+func (s *Solver) recordRestartStats(lbd int) {
+	s.lbdSum += float64(lbd)
+	if s.lbdWinN == len(s.lbdWin) {
+		s.lbdWinSum -= s.lbdWin[s.lbdWinIdx]
+	} else {
+		s.lbdWinN++
+	}
+	s.lbdWin[s.lbdWinIdx] = int64(lbd)
+	s.lbdWinSum += int64(lbd)
+	s.lbdWinIdx = (s.lbdWinIdx + 1) % len(s.lbdWin)
+	s.trailAvg += (float64(len(s.trail)) - s.trailAvg) / 5000
+	if s.Conflicts > 10000 && s.lbdWinN == len(s.lbdWin) &&
+		float64(len(s.trail)) > 1.4*s.trailAvg {
+		s.lbdWinN, s.lbdWinSum, s.lbdWinIdx = 0, 0, 0
+	}
+}
+
+// shouldRestart implements the restart policy: by default restart when
+// 0.8 × (average LBD of the last 50 conflicts) exceeds the lifetime average
+// LBD — recent learnt-clause quality has degraded, so the search region is
+// bad (Glucose). With LubyRestarts, the classic conflict-count schedule.
+func (s *Solver) shouldRestart(conflictsThisRestart, lubyLimit int64) bool {
+	if s.LubyRestarts {
+		return conflictsThisRestart >= lubyLimit
+	}
+	if s.lbdWinN < len(s.lbdWin) {
+		return false
+	}
+	restart := float64(s.lbdWinSum)*0.8 > float64(len(s.lbdWin))*(s.lbdSum/float64(s.Conflicts))
+	if restart {
+		s.lbdWinN, s.lbdWinSum, s.lbdWinIdx = 0, 0, 0
+	}
+	return restart
 }
 
 // luby returns the i-th element (1-based) of the Luby restart sequence
@@ -504,7 +742,9 @@ func (s *Solver) Solve() Status { return s.solve(nil) }
 // first decisions. Unsat means unsatisfiable *under the assumptions* (the
 // formula itself is not marked unsatisfiable unless it conflicts at the
 // root with no assumption involved). Assumptions leave no permanent
-// constraints behind, unlike AddClause.
+// constraints behind, unlike AddClause; learnt clauses and activities carry
+// over to later calls, which is what makes assumption-based narrowing
+// incremental.
 func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 	return s.solve(assumptions)
 }
@@ -514,7 +754,7 @@ func (s *Solver) solve(assumptions []Lit) Status {
 		return Unsat
 	}
 	s.cancelUntil(0)
-	if s.propagate() != nil {
+	if s.propagate() != crefUndef {
 		s.unsatRoot = true
 		s.proofEmpty()
 		return Unsat
@@ -536,7 +776,7 @@ func (s *Solver) solve(assumptions []Lit) Status {
 
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.Conflicts++
 			conflictsThisRestart++
 			if s.decisionLevel() == 0 {
@@ -545,12 +785,15 @@ func (s *Solver) solve(assumptions []Lit) Status {
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			lbd := s.litsLBD(learnt) // before backtracking clears levels
+			s.recordRestartStats(lbd)
 			s.cancelUntil(btLevel)
-			s.recordLearnt(learnt)
+			s.recordLearnt(learnt, lbd)
 			if s.unsatRoot {
 				return Unsat
 			}
 			s.decayVarActivity()
+			s.decayClaActivity()
 			s.learntAdjust--
 			if s.learntAdjust <= 0 {
 				s.learntAdjust = 100
@@ -564,7 +807,7 @@ func (s *Solver) solve(assumptions []Lit) Status {
 		}
 
 		// No conflict.
-		if conflictsThisRestart >= restartLimit {
+		if s.shouldRestart(conflictsThisRestart, restartLimit) {
 			restartNum++
 			s.Restarts++
 			conflictsThisRestart = 0
@@ -593,7 +836,7 @@ func (s *Solver) solve(assumptions []Lit) Status {
 				return Unsat
 			}
 			s.trailLim = append(s.trailLim, len(s.trail))
-			s.enqueue(a, nil)
+			s.enqueue(a, crefUndef)
 			continue
 		}
 
@@ -603,7 +846,7 @@ func (s *Solver) solve(assumptions []Lit) Status {
 		}
 		s.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.enqueue(MkLit(v, !s.phase[v]), nil)
+		s.enqueue(MkLit(v, !s.phase[v]), crefUndef)
 	}
 }
 

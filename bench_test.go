@@ -205,7 +205,7 @@ func BenchmarkQLDPCRowSufficiency(b *testing.B) {
 	b.ReportMetric(100*wide.RowOptimalFraction(), "pct_rowopt_10x30")
 }
 
-// --- Ablations (design choices from DESIGN.md §5) ---
+// --- Ablations (design choices from DESIGN.md §6) ---
 
 // Ablation 1: one-hot vs log encoding on the same decision problem.
 func benchEncoding(b *testing.B, mk func(*bitmat.Matrix, int) encode.Encoder) {
@@ -288,7 +288,7 @@ func BenchmarkAblationPackDLX(b *testing.B) {
 	benchPackVariant(b, rowpack.Options{Trials: 20, Seed: 1, UseDLX: true})
 }
 
-// --- Solver / SAP benchmarks: the perf-tracked set (DESIGN.md §6). These
+// --- Solver / SAP benchmarks: the perf-tracked set (DESIGN.md §7). These
 // isolate the CDCL core and the SAP narrowing loop on the Table I suites so
 // the solver's trajectory across PRs is visible without packing/fooling
 // noise; cmd/timing -json snapshots the same workloads. ---
@@ -303,7 +303,7 @@ func BenchmarkSolverTableIGapNarrowing(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, j := range jobs {
-			eval.NarrowToRank(j, true)
+			eval.NarrowToRank(j, true, true)
 		}
 	}
 }
@@ -315,8 +315,42 @@ func BenchmarkSolverTableIGapDestructive(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, j := range jobs {
-			eval.NarrowToRank(j, false)
+			eval.NarrowToRank(j, false, true)
 		}
+	}
+}
+
+// BenchmarkSolverTableIGapNoSymBreak is the symmetry-breaking ablation:
+// incremental narrowing without the slot-ordering clauses, so every UNSAT
+// proof re-refutes permuted-slot duplicates.
+func BenchmarkSolverTableIGapNoSymBreak(b *testing.B) {
+	jobs := eval.TableIGapSolverJobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			eval.NarrowToRank(j, true, false)
+		}
+	}
+}
+
+// BenchmarkSAPBlockDiagParallel runs the staged pipeline (decompose +
+// per-block SAP on the worker pool) over the block-diagonal perf suite.
+func BenchmarkSAPBlockDiagParallel(b *testing.B) {
+	ms := eval.BlockDiagSAPMatrices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.RunBlockDiagSAP(ms, true)
+	}
+}
+
+// BenchmarkSAPBlockDiagSequentialWhole is its ablation twin: one monolithic
+// SAP loop over each whole matrix, single-threaded — the pre-pipeline
+// behaviour.
+func BenchmarkSAPBlockDiagSequentialWhole(b *testing.B) {
+	ms := eval.BlockDiagSAPMatrices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.RunBlockDiagSAP(ms, false)
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 2024, "benchmark seed")
 	budget := flag.Int64("budget", 2_000_000, "SAT conflict budget per instance (0 = unlimited)")
 	timeout := flag.Duration("timeout", 60*time.Second, "SAT wall-clock budget per instance")
+	parallel := flag.Int("parallel", 0, "per-block solve parallelism inside each instance (0 = GOMAXPROCS)")
 	trialsFlag := flag.String("trials", "1,10,100,1000", "row-packing trial counts")
 	csvPath := flag.String("csv", "", "also write raw counts as CSV to this file")
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 		ConflictBudget: *budget,
 		TimeBudget:     *timeout,
 		MaxSATEntries:  400,
+		Parallelism:    *parallel,
 		Seed:           *seed,
 	}
 	suites := eval.PaperSuites(*seed, countSmall, countGap)

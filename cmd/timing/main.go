@@ -62,11 +62,12 @@ func measure(name string, iters int, fn func()) benchEntry {
 // via internal/eval) and writes the snapshot.
 func writeBenchJSON(path string) error {
 	jobs := eval.TableIGapSolverJobs()
+	blockDiag := eval.BlockDiagSAPMatrices()
 	fig1b := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
-	narrow := func(incremental bool) func() {
+	narrow := func(incremental, symBreak bool) func() {
 		return func() {
 			for _, j := range jobs {
-				eval.NarrowToRank(j, incremental)
+				eval.NarrowToRank(j, incremental, symBreak)
 			}
 		}
 	}
@@ -78,8 +79,11 @@ func writeBenchJSON(path string) error {
 		GOARCH:    runtime.GOARCH,
 		When:      time.Now().UTC().Format(time.RFC3339),
 		Benches: []benchEntry{
-			measure("SolverTableIGapNarrowing", 3, narrow(true)),
-			measure("SolverTableIGapDestructive", 3, narrow(false)),
+			measure("SolverTableIGapNarrowing", 3, narrow(true, true)),
+			measure("SolverTableIGapDestructive", 3, narrow(false, true)),
+			measure("SolverTableIGapNoSymBreak", 3, narrow(true, false)),
+			measure("SAPBlockDiagParallel", 3, func() { eval.RunBlockDiagSAP(blockDiag, true) }),
+			measure("SAPBlockDiagSequentialWhole", 3, func() { eval.RunBlockDiagSAP(blockDiag, false) }),
 			measure("SolverFig1bUnsat", 20, func() {
 				if encode.NewOneHot(fig1b, 4, encode.AMOPairwise).Solve() != sat.Unsat {
 					panic("b=4 must be UNSAT")

@@ -25,18 +25,30 @@
 // benchgen + eval (the paper's benchmark suites and Table I / Figure 4
 // harness), and complete (the don't-care extension).
 //
+// Solving runs as a staged pipeline: Preprocess (compression) → Decompose
+// (the matrix splits into the connected components of its bipartite
+// row-column graph; binary rank is additive over them) → per-block SAP on a
+// bounded worker pool (Options.Parallelism, default GOMAXPROCS) → Recombine
+// (partition union, certificate stitching). SolveContext threads a
+// context.Context through the pipeline into the SAT search loop, so a
+// canceled request stops mid-search and still returns the best valid
+// partition found.
+//
 // The SAP loop solves incrementally: the decision formula is encoded once
 // at the heuristic upper bound and each depth bound is tried by switching
 // rectangle slots off with selector assumptions, so learnt clauses, VSIDS
 // activities and saved phases carry over from bound to bound instead of
-// re-encoding per depth. Options exposes the ablation knobs —
-// DisableIncremental (unit-clause narrowing), DisablePhaseSaving, and
-// LBDCap (glue-clause retention threshold) — alongside the existing
-// encoding, budget and heuristic settings; see DESIGN.md for the measured
-// trade-offs.
+// re-encoding per depth. The one-hot encoding breaks the k! rectangle-slot
+// permutation symmetry by ordering slots by first-row index. Options
+// exposes the ablation knobs — DisableDecomposition (monolithic solve),
+// DisableSymmetryBreaking (slot-ordering clauses off), DisableIncremental
+// (unit-clause narrowing), DisablePhaseSaving, and LBDCap (glue-clause
+// retention threshold) — alongside the existing encoding, budget and
+// heuristic settings; see DESIGN.md for the measured trade-offs.
 package ebmf
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/aod"
@@ -124,6 +136,16 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // is always valid; Result.Optimal reports whether its depth is proved to be
 // the binary rank.
 func Solve(m *Matrix, opts Options) (*Result, error) { return core.Solve(m, opts) }
+
+// SolveContext is Solve with cancellation: when ctx is canceled the SAT
+// stage stops mid-search — the context is polled inside the CDCL propagate
+// loop, not just between depth bounds — and the best partition found so far
+// is returned with Result.Canceled set. Decomposed blocks run concurrently
+// under Options.Parallelism; results are deterministic regardless of the
+// setting.
+func SolveContext(ctx context.Context, m *Matrix, opts Options) (*Result, error) {
+	return core.SolveContext(ctx, m, opts)
+}
 
 // BinaryRank computes r_B(m) exactly, with no budgets (exponential worst
 // case; intended for small matrices).

@@ -1,6 +1,7 @@
 package ebmf_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -85,6 +86,33 @@ func TestFacadeVacancies(t *testing.T) {
 	arr := ebmf.NewArrayWithVacancies(atoms)
 	if arr.HasAtom(0, 1) || !arr.HasAtom(1, 1) {
 		t.Fatal("vacancy mask wrong")
+	}
+}
+
+func TestFacadeSolveContext(t *testing.T) {
+	// Two independent components: the pipeline decomposes and solves both.
+	m := ebmf.MustParse("1100\n1100\n0011\n0010")
+	opts := ebmf.DefaultOptions()
+	opts.Parallelism = 2
+	res, err := ebmf.SolveContext(context.Background(), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Depth != 3 || res.Blocks != 2 {
+		t.Fatalf("want optimal depth 3 over 2 blocks, got depth %d blocks %d optimal %v",
+			res.Depth, res.Blocks, res.Optimal)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = ebmf.SolveContext(ctx, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatalf("canceled solve must still return a valid partition: %v", err)
 	}
 }
 

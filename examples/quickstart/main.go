@@ -40,14 +40,31 @@ func main() {
 	set, exact := ebmf.FoolingSet(m, 0)
 	fmt.Printf("\nfooling set (exact=%v): %v\n", exact, set)
 
+	// Solve runs a staged pipeline: the matrix is compressed, split into
+	// the connected components of its bipartite row-column graph (binary
+	// rank is additive over them), and each block runs its own SAP loop —
+	// concurrently, on a worker pool sized by Options.Parallelism (default
+	// GOMAXPROCS). SolveContext threads cancellation into the SAT search
+	// itself, so a canceled request stops mid-proof and still returns the
+	// best valid partition found so far:
+	//
+	//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	//	defer cancel()
+	//	res, err = ebmf.SolveContext(ctx, m, ebmf.DefaultOptions())
+	//	// res.Canceled reports a cancellation; res.Blocks the component count.
+	//
 	// The exact stage solves incrementally by default: one CNF encoding at
 	// the heuristic bound, narrowed depth by depth with selector
-	// assumptions so the solver keeps its learnt clauses warm. The Options
-	// knobs expose the ablations (see DESIGN.md §5):
+	// assumptions so the solver keeps its learnt clauses warm, with
+	// slot-ordering symmetry breaking killing the k! rectangle-permutation
+	// duplicates. The Options knobs expose the ablations (see DESIGN.md §6):
 	//
 	//	opts := ebmf.DefaultOptions()
-	//	opts.DisableIncremental = true // narrow with unit clauses instead
-	//	opts.DisablePhaseSaving = true // forget polarities across backtracks
-	//	opts.LBDCap = 5                // retain more glue clauses
+	//	opts.Parallelism = 1               // solve blocks one at a time
+	//	opts.DisableDecomposition = true   // monolithic whole-matrix solve
+	//	opts.DisableSymmetryBreaking = true // drop slot-ordering clauses
+	//	opts.DisableIncremental = true     // narrow with unit clauses instead
+	//	opts.DisablePhaseSaving = true     // forget polarities across backtracks
+	//	opts.LBDCap = 5                    // retain more glue clauses
 	//	res, err = ebmf.Solve(m, opts)
 }

@@ -4,6 +4,7 @@
 package ebmf_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -59,6 +60,66 @@ func FuzzSolveSmall(f *testing.F) {
 		}
 		if res.Depth < res.RankLB || res.Depth > m.TrivialUpperBound() {
 			t.Fatalf("depth %d outside [rank %d, trivial %d]", res.Depth, res.RankLB, m.TrivialUpperBound())
+		}
+	})
+}
+
+// FuzzSolveDecomposed: the decomposed parallel pipeline — including context
+// cancellation mid-solve — must never panic, must always return a valid
+// partition within bounds, and must agree with the monolithic whole-matrix
+// solve on depth whenever both complete unbudgeted. The matrix is assembled
+// as two independent sub-blocks placed on a diagonal, so most inputs
+// genuinely exercise the multi-block path.
+func FuzzSolveDecomposed(f *testing.F) {
+	f.Add(uint8(3), uint8(3), "101010011110", false)
+	f.Add(uint8(5), uint8(2), "11111", true)
+	f.Add(uint8(1), uint8(1), "1", false)
+	f.Fuzz(func(t *testing.T, rows, cols uint8, bits string, cancel bool) {
+		r := int(rows%4) + 1
+		c := int(cols%4) + 1
+		// diag(a, b) from one bit string: a is r×c, b is c×r.
+		m := ebmf.New(r+c, c+r)
+		for idx := 0; idx < r*c && idx < len(bits); idx++ {
+			if bits[idx]&1 == 1 {
+				m.Set(idx/c, idx%c, true)
+			}
+		}
+		for idx := 0; idx < c*r && r*c+idx < len(bits); idx++ {
+			if bits[r*c+idx]&1 == 1 {
+				m.Set(r+idx/r, c+idx%r, true)
+			}
+		}
+		opts := ebmf.DefaultOptions()
+		opts.Packing.Trials = 2
+		opts.ConflictBudget = 50_000
+		opts.Parallelism = 3
+		ctx := context.Background()
+		if cancel {
+			var done context.CancelFunc
+			ctx, done = context.WithCancel(ctx)
+			done() // canceled before the SAT stage: heuristic result only
+		}
+		res, err := ebmf.SolveContext(ctx, m, opts)
+		if err != nil {
+			t.Fatalf("solve error: %v", err)
+		}
+		if err := res.Partition.Validate(); err != nil {
+			t.Fatalf("invalid partition: %v\n%s", err, m)
+		}
+		if res.Depth < res.RankLB || res.Depth > m.TrivialUpperBound() {
+			t.Fatalf("depth %d outside [rank %d, trivial %d]", res.Depth, res.RankLB, m.TrivialUpperBound())
+		}
+		if cancel {
+			return
+		}
+		whole := opts
+		whole.DisableDecomposition = true
+		wres, err := ebmf.Solve(m, whole)
+		if err != nil {
+			t.Fatalf("whole-matrix solve error: %v", err)
+		}
+		if res.Optimal && wres.Optimal && res.Depth != wres.Depth {
+			t.Fatalf("decomposed depth %d != whole depth %d on\n%s", res.Depth, wres.Depth, m)
 		}
 	})
 }

@@ -24,11 +24,15 @@ import (
 // Family labels a benchmark family.
 type Family string
 
-// Families of Section IV-A.
+// Families of Section IV-A, plus the decomposition suite.
 const (
 	FamilyRandom Family = "rand"
 	FamilyOpt    Family = "opt"
 	FamilyGap    Family = "gap"
+	// FamilyBlockDiag are block-diagonal compositions of gap instances
+	// (optionally hidden behind row/column permutations) — the workload for
+	// the connected-component decomposition and parallel per-block solving.
+	FamilyBlockDiag Family = "blockdiag"
 )
 
 // Instance is one benchmark matrix with provenance.
@@ -215,6 +219,57 @@ func GapSuite(seed int64, rows, cols int, pairCounts []int, count int) []Instanc
 				GapPairs:     pairs,
 			})
 		}
+	}
+	return out
+}
+
+// BlockDiagonal assembles diag(blocks...) — a matrix whose bipartite graph
+// has one connected component per (nonzero) block, placed along the
+// diagonal.
+func BlockDiagonal(blocks ...*bitmat.Matrix) *bitmat.Matrix {
+	rows, cols := 0, 0
+	for _, b := range blocks {
+		rows += b.Rows()
+		cols += b.Cols()
+	}
+	m := bitmat.New(rows, cols)
+	r0, c0 := 0, 0
+	for _, b := range blocks {
+		ro, co := r0, c0
+		b.ForEachOne(func(i, j int) { m.Set(ro+i, co+j, true) })
+		r0 += b.Rows()
+		c0 += b.Cols()
+	}
+	return m
+}
+
+// BlockDiagSuite generates count block-diagonal instances, each composed of
+// `components` gap blocks of blockRows×blockCols with the given pair count.
+// With permute set the block structure is hidden behind random row and
+// column permutations, so only a genuine connected-component split can
+// recover it. Binary rank is additive over the blocks, but the per-block
+// ranks are not certified, so KnownOptimal stays -1.
+func BlockDiagSuite(seed int64, components, blockRows, blockCols, pairs, count int, permute bool) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Instance
+	for i := 0; i < count; i++ {
+		blocks := make([]*bitmat.Matrix, components)
+		for c := range blocks {
+			blocks[c] = Gap(rng, blockRows, blockCols, pairs)
+		}
+		m := BlockDiagonal(blocks...)
+		tag := "diag"
+		if permute {
+			m = m.PermuteRows(rng.Perm(m.Rows())).PermuteCols(rng.Perm(m.Cols()))
+			tag = "perm"
+		}
+		out = append(out, Instance{
+			Name:         fmt.Sprintf("blockdiag-%s-c%d-%dx%d-p%d-%02d", tag, components, blockRows, blockCols, pairs, i),
+			Family:       FamilyBlockDiag,
+			M:            m,
+			KnownOptimal: -1,
+			GapPairs:     pairs,
+		})
 	}
 	return out
 }

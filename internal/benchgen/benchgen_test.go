@@ -231,3 +231,28 @@ func TestQuickKnownOptimalReconstruction(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// BlockDiagSuite instances must decompose into at least the requested
+// number of components (a gap block may itself split when one of its random
+// tail rows shares no column with the rest), permuted or not, with entry
+// counts preserved.
+func TestBlockDiagSuiteComponents(t *testing.T) {
+	for _, permute := range []bool{false, true} {
+		for _, ins := range BlockDiagSuite(41, 4, 6, 6, 2, 3, permute) {
+			if ins.Family != FamilyBlockDiag {
+				t.Fatalf("wrong family %q", ins.Family)
+			}
+			d := bitmat.Decompose(ins.M)
+			if len(d.Blocks) < 4 {
+				t.Fatalf("%s: want ≥4 components, got %d", ins.Name, len(d.Blocks))
+			}
+			ones := 0
+			for _, b := range d.Blocks {
+				ones += b.M.Ones()
+			}
+			if ones != ins.M.Ones() {
+				t.Fatalf("%s: blocks lose entries", ins.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package bitmat
+
+import "sort"
+
+// Block is one connected component of a matrix's bipartite row-column graph,
+// extracted as a standalone matrix together with the index maps back to the
+// matrix it was cut from (mirroring Compression's lift maps).
+type Block struct {
+	// M is the component's submatrix: M.Get(i, j) = orig.Get(Rows[i], Cols[j]).
+	M *Matrix
+	// Rows[i] is the original row index of block row i (ascending).
+	Rows []int
+	// Cols[j] is the original column index of block column j (ascending).
+	Cols []int
+}
+
+// Decomposition splits a matrix into the connected components of its
+// bipartite graph (rows and columns are vertices; each 1-entry is an edge).
+// Rectangles never span components — a rectangle containing rows/columns of
+// two components would cover a 0 — so binary rank is additive over blocks and
+// a depth-optimal partition is the union of per-block optima. All-zero rows
+// and columns belong to no block.
+type Decomposition struct {
+	// Blocks are the components, ordered by smallest original row index.
+	Blocks []Block
+	// OrigRows and OrigCols are the dimensions of the decomposed matrix.
+	OrigRows, OrigCols int
+}
+
+// Decompose computes the bipartite connected-component decomposition of m.
+// The union of the blocks' 1-entries is exactly the 1-entries of m; each
+// block matrix has no all-zero row or column.
+func Decompose(m *Matrix) *Decomposition {
+	// Union-find over rows [0, rows) and columns [rows, rows+cols).
+	parent := make([]int, m.rows+m.cols)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	colUsed := make([]bool, m.cols)
+	m.ForEachOne(func(i, j int) {
+		union(i, m.rows+j)
+		colUsed[j] = true
+	})
+
+	// Group nonzero rows and columns by component root.
+	rowsOf := make(map[int][]int)
+	colsOf := make(map[int][]int)
+	for i := 0; i < m.rows; i++ {
+		if !m.Row(i).IsZero() {
+			r := find(i)
+			rowsOf[r] = append(rowsOf[r], i)
+		}
+	}
+	for j := 0; j < m.cols; j++ {
+		if colUsed[j] {
+			r := find(m.rows + j)
+			colsOf[r] = append(colsOf[r], j)
+		}
+	}
+
+	d := &Decomposition{OrigRows: m.rows, OrigCols: m.cols}
+	roots := make([]int, 0, len(rowsOf))
+	for r := range rowsOf {
+		roots = append(roots, r)
+	}
+	// Deterministic block order: by smallest original row index.
+	sort.Slice(roots, func(a, b int) bool { return rowsOf[roots[a]][0] < rowsOf[roots[b]][0] })
+	for _, r := range roots {
+		rows, cols := rowsOf[r], colsOf[r]
+		d.Blocks = append(d.Blocks, Block{
+			M:    m.Submatrix(rows, cols),
+			Rows: rows,
+			Cols: cols,
+		})
+	}
+	return d
+}
+
+// ExpandRows maps block row indices to the corresponding original row
+// indices.
+func (b *Block) ExpandRows(block []int) []int {
+	out := make([]int, len(block))
+	for i, r := range block {
+		out[i] = b.Rows[r]
+	}
+	return out
+}
+
+// ExpandCols maps block column indices to original column indices.
+func (b *Block) ExpandCols(block []int) []int {
+	out := make([]int, len(block))
+	for i, c := range block {
+		out[i] = b.Cols[c]
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDecomposeBlockDiagonal(t *testing.T) {
+	m := MustParse(`1100
+1100
+0011
+0011`)
+	d := Decompose(m)
+	if len(d.Blocks) != 2 {
+		t.Fatalf("want 2 blocks, got %d", len(d.Blocks))
+	}
+	b0, b1 := d.Blocks[0], d.Blocks[1]
+	if got := b0.M.String(); got != "11\n11" {
+		t.Errorf("block 0:\n%s", got)
+	}
+	if got := b1.M.String(); got != "11\n11" {
+		t.Errorf("block 1:\n%s", got)
+	}
+	if b0.Rows[0] != 0 || b0.Rows[1] != 1 || b0.Cols[0] != 0 || b0.Cols[1] != 1 {
+		t.Errorf("block 0 maps: rows %v cols %v", b0.Rows, b0.Cols)
+	}
+	if b1.Rows[0] != 2 || b1.Cols[0] != 2 {
+		t.Errorf("block 1 maps: rows %v cols %v", b1.Rows, b1.Cols)
+	}
+}
+
+func TestDecomposeConnected(t *testing.T) {
+	m := MustParse("101\n011")
+	d := Decompose(m)
+	if len(d.Blocks) != 1 {
+		t.Fatalf("connected matrix must be one block, got %d", len(d.Blocks))
+	}
+	if !d.Blocks[0].M.Equal(m) {
+		t.Fatalf("single block must equal the input:\n%s", d.Blocks[0].M)
+	}
+}
+
+func TestDecomposeZeroAndIdentity(t *testing.T) {
+	if d := Decompose(New(3, 4)); len(d.Blocks) != 0 {
+		t.Fatalf("zero matrix: want 0 blocks, got %d", len(d.Blocks))
+	}
+	d := Decompose(Identity(5))
+	if len(d.Blocks) != 5 {
+		t.Fatalf("identity: want 5 blocks, got %d", len(d.Blocks))
+	}
+	for _, b := range d.Blocks {
+		if b.M.Rows() != 1 || b.M.Cols() != 1 || !b.M.Get(0, 0) {
+			t.Fatalf("identity block is not 1×1 one: %v", b.M)
+		}
+	}
+}
+
+func TestDecomposeDropsZeroRowsCols(t *testing.T) {
+	m := MustParse(`100
+000
+001`)
+	d := Decompose(m)
+	if len(d.Blocks) != 2 {
+		t.Fatalf("want 2 blocks, got %d", len(d.Blocks))
+	}
+	for _, b := range d.Blocks {
+		for i := 0; i < b.M.Rows(); i++ {
+			if b.M.Row(i).IsZero() {
+				t.Fatalf("block has zero row")
+			}
+		}
+	}
+}
+
+// TestDecomposeCoversAllOnes: every 1 of the input appears in exactly one
+// block under the lift maps, and blocks never cover a 0.
+func TestDecomposeCoversAllOnes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := Random(rng, 1+rng.Intn(12), 1+rng.Intn(12), 0.2)
+		d := Decompose(m)
+		seen := New(m.Rows(), m.Cols())
+		for _, b := range d.Blocks {
+			b.M.ForEachOne(func(i, j int) {
+				oi, oj := b.Rows[i], b.Cols[j]
+				if !m.Get(oi, oj) {
+					t.Fatalf("block covers 0 at (%d,%d)", oi, oj)
+				}
+				if seen.Get(oi, oj) {
+					t.Fatalf("entry (%d,%d) in two blocks", oi, oj)
+				}
+				seen.Set(oi, oj, true)
+			})
+		}
+		if !seen.Equal(m) {
+			t.Fatalf("blocks do not cover all ones:\n%s\nvs\n%s", seen, m)
+		}
+	}
+}
+
+// TestDecomposePermutedBlocks: hiding a block structure behind row/column
+// permutations must still split into the same number of components with
+// matching block contents up to permutation.
+func TestDecomposePermutedBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := MustParse("11\n01")
+	b := MustParse("111\n100")
+	m := New(5, 5)
+	// diag(a, b)
+	a.ForEachOne(func(i, j int) { m.Set(i, j, true) })
+	b.ForEachOne(func(i, j int) { m.Set(2+i, 2+j, true) })
+	pm := m.PermuteRows(rng.Perm(5)).PermuteCols(rng.Perm(5))
+	d := Decompose(pm)
+	if len(d.Blocks) != 2 {
+		t.Fatalf("want 2 blocks after permutation, got %d", len(d.Blocks))
+	}
+	ones := d.Blocks[0].M.Ones() + d.Blocks[1].M.Ones()
+	if ones != m.Ones() {
+		t.Fatalf("blocks lose entries: %d vs %d", ones, m.Ones())
+	}
+}

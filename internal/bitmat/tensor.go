@@ -85,3 +85,20 @@ func (m *Matrix) PermuteRows(perm []int) *Matrix {
 	}
 	return out
 }
+
+// PermuteCols returns a new matrix whose column j is m's column perm[j].
+// perm must be a permutation of [0, Cols).
+func (m *Matrix) PermuteCols(perm []int) *Matrix {
+	if len(perm) != m.cols {
+		panic("bitmat: PermuteCols length mismatch")
+	}
+	out := New(m.rows, m.cols)
+	for j, p := range perm {
+		for i := 0; i < m.rows; i++ {
+			if m.Get(i, p) {
+				out.Set(i, j, true)
+			}
+		}
+	}
+	return out
+}

@@ -6,14 +6,31 @@
 // rational-rank lower bound, at which point the best partition found is
 // optimal.
 //
+// Solving runs as a staged pipeline:
+//
+//	Preprocess (bitmat.Compress)   — drop zero rows/cols, merge duplicates
+//	Decompose  (bitmat.Decompose)  — split into bipartite connected components
+//	Per-block SAP (solveBlock)     — Algorithm 1 on each block, concurrently
+//	Recombine                      — union the partitions, stitch certificates
+//
+// The depth objective is additive over components (a rectangle spanning two
+// components would cover a 0), so the blockwise union of optima is a global
+// optimum and blocks can be solved independently on a worker pool
+// (Options.Parallelism). A context.Context threads cancellation through the
+// pipeline into the SAT solver's search loop, so a canceled request stops
+// mid-search instead of at the next depth bound.
+//
 // The solver always returns the best valid partition found so far, even when
-// interrupted by a conflict or time budget — mirroring the paper's "when we
-// terminate at any time, we can return P".
+// interrupted by a conflict budget, deadline or cancellation — mirroring the
+// paper's "when we terminate at any time, we can return P".
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/bitmat"
@@ -75,26 +92,48 @@ type Options struct {
 	SkipSAT bool
 	// ConflictBudget bounds total SAT conflicts across the narrowing loop;
 	// ≤ 0 means unlimited. When exhausted the best partition so far is
-	// returned with TimedOut set.
+	// returned with TimedOut set. After decomposition the budget is
+	// apportioned across blocks proportionally to their 1-entry counts.
 	ConflictBudget int64
-	// TimeBudget bounds wall-clock time of the SAT stage; 0 means unlimited.
+	// TimeBudget bounds wall-clock time of the solve; 0 means unlimited.
+	// The deadline is anchored when the pipeline starts (after
+	// preprocessing), so per-block packing and queueing time count against
+	// it, and the SAT loops of all blocks share the single deadline.
 	TimeBudget time.Duration
 	// FoolingBudget is the node budget for the exact fooling-set lower
 	// bound; 0 skips the fooling bound entirely (the paper's loop uses only
 	// the rank bound; fooling strengthens certificates on small instances).
+	// The budget applies per block.
 	FoolingBudget int64
 	// DisableCompression solves on the raw matrix instead of the
 	// deduplicated reduction.
 	DisableCompression bool
+	// DisableDecomposition skips the connected-component split and runs one
+	// monolithic SAP loop over the whole (compressed) matrix — the
+	// pre-pipeline behaviour, kept as an ablation and differential-test
+	// baseline.
+	DisableDecomposition bool
+	// Parallelism bounds how many blocks are solved concurrently after
+	// decomposition; ≤ 0 means runtime.GOMAXPROCS(0). Results are
+	// deterministic regardless of the setting: blocks are independent and
+	// recombined in a fixed order.
+	Parallelism int
 	// MaxSATEntries skips the SAT stage for matrices with more 1-entries
 	// (mirrors the paper: 100×100 instances are "too large for SMT").
-	// 0 means no limit.
+	// 0 means no limit. Applied per block, so a large matrix that
+	// decomposes into small components still gets exact per-block solves.
 	MaxSATEntries int
 	// DisableIncremental narrows the depth bound by adding unit clauses
 	// (re-constraining the formula) instead of the default selector
 	// assumptions. Kept as an ablation: incremental narrowing reuses learnt
 	// clauses and heuristic state across every depth bound of the SAP loop.
 	DisableIncremental bool
+	// DisableSymmetryBreaking drops the slot-ordering symmetry-breaking
+	// clauses (lexicographic first-row-index ordering of rectangle slots)
+	// from the one-hot encoding, leaving only the per-entry break
+	// (ablation). Without them the solver re-explores permuted-slot
+	// duplicates of every partition attempt on UNSAT proofs.
+	DisableSymmetryBreaking bool
 	// DisablePhaseSaving turns off the solver's saved-polarity decision
 	// heuristic (ablation).
 	DisablePhaseSaving bool
@@ -120,38 +159,67 @@ type Result struct {
 	Partition *rect.Partition
 	// Depth is len(Partition.Rects) = the addressing depth.
 	Depth int
-	// RankLB is the rational-rank lower bound (Eq. 3).
+	// RankLB is the rational-rank lower bound (Eq. 3; summed over blocks —
+	// rank is additive over the connected-component decomposition).
 	RankLB int
-	// FoolingLB is the best fooling-set lower bound computed (0 if skipped).
+	// FoolingLB is the best fooling-set lower bound computed (0 if
+	// skipped). Blockwise fooling sets union into a fooling set of the
+	// whole matrix, so this too is summed over blocks.
 	FoolingLB int
 	// Optimal reports whether Depth is proved minimal, i.e. Depth = r_B(M).
+	// After decomposition this holds iff every block was solved optimally.
 	Optimal bool
-	// Certificate says how optimality was established.
+	// Certificate says how optimality was established: the strongest
+	// machinery any block needed (unsat-proof > fooling-set > rank).
 	Certificate Certificate
-	// TimedOut reports that a conflict or time budget interrupted the
-	// narrowing loop (the result may still be optimal-by-bound).
+	// TimedOut reports that a conflict budget, deadline or cancellation
+	// interrupted the narrowing loop on some block (the result may still be
+	// optimal-by-bound).
 	TimedOut bool
-	// HeuristicDepth is the depth after the packing stage, before SAT.
+	// Canceled reports that the context was canceled mid-solve. The
+	// partition is still valid; the SAT stage of unfinished blocks was
+	// abandoned.
+	Canceled bool
+	// Blocks is the number of connected components the solve decomposed
+	// into (1 when decomposition is disabled or the matrix is connected).
+	Blocks int
+	// HeuristicDepth is the depth after the packing stage, before SAT
+	// (summed over blocks).
 	HeuristicDepth int
-	// SATCalls counts decision-problem invocations.
+	// SATCalls counts decision-problem invocations across all blocks.
 	SATCalls int
-	// Conflicts is the total SAT conflicts spent.
+	// Conflicts is the total SAT conflicts spent across all blocks.
 	Conflicts int64
-	// PackTime and SATTime split the runtime by stage (Figure 4's split).
+	// PackTime and SATTime split the runtime by stage (Figure 4's split),
+	// summed over blocks — with Parallelism > 1 these are aggregate
+	// per-block times and may exceed the wall clock.
 	PackTime, SATTime time.Duration
 }
 
 // ErrNilMatrix is returned when Solve receives a nil matrix.
 var ErrNilMatrix = errors.New("core: nil matrix")
 
-// Solve runs SAP on m and returns the best partition with provenance.
+// Solve runs the staged SAP pipeline on m and returns the best partition
+// with provenance. It is SolveContext with a background context.
 func Solve(m *bitmat.Matrix, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), m, opts)
+}
+
+// SolveContext is Solve with cancellation: when ctx is canceled the SAT
+// stage stops mid-search (the cancellation is polled inside the solver's
+// propagate loop) and the best partition found so far is returned with
+// Canceled and TimedOut set. The heuristic stage always completes, so the
+// returned partition is valid even for an already-canceled context.
+func SolveContext(ctx context.Context, m *bitmat.Matrix, opts Options) (*Result, error) {
 	if m == nil {
 		return nil, ErrNilMatrix
 	}
-	res := &Result{}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
-	// Work on the compressed matrix; lift the partition at the end.
+	// Stage 1: Preprocess — work on the compressed matrix; lift the
+	// partition back at the end.
 	work := m
 	var comp *bitmat.Compression
 	if !opts.DisableCompression {
@@ -159,7 +227,7 @@ func Solve(m *bitmat.Matrix, opts Options) (*Result, error) {
 		work = comp.Reduced
 	}
 
-	finish := func(p *rect.Partition) (*Result, error) {
+	finish := func(res *Result, p *rect.Partition) (*Result, error) {
 		if comp != nil {
 			p = rect.Lift(comp, m, p)
 		}
@@ -172,52 +240,216 @@ func Solve(m *bitmat.Matrix, opts Options) (*Result, error) {
 	}
 
 	if work.Ones() == 0 {
+		res := &Result{Optimal: true, Certificate: CertRank}
+		return finish(res, rect.NewPartition(work))
+	}
+
+	// Stage 2: Decompose — split into bipartite connected components.
+	var blocks []bitmat.Block
+	if opts.DisableDecomposition {
+		blocks = []bitmat.Block{wholeBlock(work)}
+	} else {
+		blocks = bitmat.Decompose(work).Blocks
+	}
+
+	deadline := time.Time{}
+	if opts.TimeBudget > 0 {
+		deadline = time.Now().Add(opts.TimeBudget)
+	}
+	budgets := apportionConflicts(opts.ConflictBudget, blocks)
+
+	// Stage 3: per-block SAP on a bounded worker pool.
+	results := make([]*Result, len(blocks))
+	errs := make([]error, len(blocks))
+	if par := parallelism(opts, len(blocks)); par <= 1 {
+		for i := range blocks {
+			results[i], errs[i] = solveBlock(ctx, blocks[i].M, opts, budgets[i], deadline)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = solveBlock(ctx, blocks[i].M, opts, budgets[i], deadline)
+				}
+			}()
+		}
+		for i := range blocks {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 4: Recombine — union the block partitions on the work matrix
+	// and stitch the per-block provenance together.
+	res := &Result{Blocks: len(blocks), Optimal: true, Certificate: CertRank}
+	union := rect.NewPartition(work)
+	for bi, br := range results {
+		blk := blocks[bi]
+		for _, r := range br.Partition.Rects {
+			nr := rect.NewRect(work.Rows(), work.Cols())
+			r.Rows.ForEachOne(func(i int) { nr.Rows.Set(blk.Rows[i], true) })
+			r.Cols.ForEachOne(func(j int) { nr.Cols.Set(blk.Cols[j], true) })
+			union.Add(nr)
+		}
+		res.RankLB += br.RankLB
+		res.FoolingLB += br.FoolingLB
+		res.HeuristicDepth += br.HeuristicDepth
+		res.SATCalls += br.SATCalls
+		res.Conflicts += br.Conflicts
+		res.PackTime += br.PackTime
+		res.SATTime += br.SATTime
+		res.TimedOut = res.TimedOut || br.TimedOut
+		res.Canceled = res.Canceled || br.Canceled
+		res.Optimal = res.Optimal && br.Optimal
+		if br.Certificate > res.Certificate {
+			res.Certificate = br.Certificate
+		}
+	}
+	if !res.Optimal {
+		res.Certificate = CertNone
+	}
+	return finish(res, union)
+}
+
+// wholeBlock wraps a matrix as a single block with identity lift maps.
+func wholeBlock(m *bitmat.Matrix) bitmat.Block {
+	rows := make([]int, m.Rows())
+	for i := range rows {
+		rows[i] = i
+	}
+	cols := make([]int, m.Cols())
+	for j := range cols {
+		cols[j] = j
+	}
+	return bitmat.Block{M: m, Rows: rows, Cols: cols}
+}
+
+// parallelism resolves the worker-pool width for nBlocks blocks.
+func parallelism(opts Options, nBlocks int) int {
+	p := opts.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > nBlocks {
+		p = nBlocks
+	}
+	return p
+}
+
+// apportionConflicts splits a global conflict budget across blocks
+// proportionally to their 1-entry counts (the driver of CNF size and search
+// hardness), guaranteeing each block at least one conflict; any rounding
+// remainder goes to the largest block. total ≤ 0 means unlimited for every
+// block (zero shares).
+func apportionConflicts(total int64, blocks []bitmat.Block) []int64 {
+	out := make([]int64, len(blocks))
+	if total <= 0 || len(blocks) <= 1 {
+		if total > 0 && len(blocks) == 1 {
+			out[0] = total
+		}
+		return out
+	}
+	ones := make([]int64, len(blocks))
+	var sum int64
+	maxI := 0
+	for i, b := range blocks {
+		ones[i] = int64(b.M.Ones())
+		sum += ones[i]
+		if ones[i] > ones[maxI] {
+			maxI = i
+		}
+	}
+	var used int64
+	for i := range out {
+		out[i] = total * ones[i] / sum
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		used += out[i]
+	}
+	if rem := total - used; rem > 0 {
+		out[maxI] += rem
+	}
+	return out
+}
+
+// solveBlock runs Algorithm 1 — heuristic pack, lower bounds, SAT narrowing —
+// on one connected block. The returned Result carries a block-local partition
+// (not yet lifted or validated) plus the block's provenance fields.
+func solveBlock(ctx context.Context, m *bitmat.Matrix, opts Options, conflictBudget int64, deadline time.Time) (*Result, error) {
+	res := &Result{Blocks: 1}
+	if m.Ones() == 0 {
 		res.Optimal = true
 		res.Certificate = CertRank
-		return finish(rect.NewPartition(work))
+		res.Partition = rect.NewPartition(m)
+		return res, nil
 	}
 
 	// Stage 1: heuristic upper bound (Algorithm 1, line 1).
 	t0 := time.Now()
-	best := rowpack.Pack(work, opts.Packing)
+	best := rowpack.Pack(m, opts.Packing)
 	res.PackTime = time.Since(t0)
 	res.HeuristicDepth = best.Depth()
 
 	// Lower bounds.
-	res.RankLB = work.Rank()
+	res.RankLB = m.Rank()
 	lb := res.RankLB
 	if opts.FoolingBudget > 0 {
-		fs, _ := fooling.Exact(work, opts.FoolingBudget)
+		fs, _ := fooling.Exact(m, opts.FoolingBudget)
 		res.FoolingLB = len(fs)
 		if res.FoolingLB > lb {
 			lb = res.FoolingLB
 		}
 	}
 
-	if best.Depth() <= lb {
+	optimalByBound := func() {
 		res.Optimal = true
 		res.Certificate = CertRank
 		if res.FoolingLB > res.RankLB {
 			res.Certificate = CertFooling
 		}
-		return finish(best)
 	}
-	if opts.SkipSAT || (opts.MaxSATEntries > 0 && work.Ones() > opts.MaxSATEntries) {
-		return finish(best)
+
+	res.Partition = best
+	if best.Depth() <= lb {
+		optimalByBound()
+		return res, nil
+	}
+	if opts.SkipSAT || (opts.MaxSATEntries > 0 && m.Ones() > opts.MaxSATEntries) {
+		return res, nil
+	}
+	if ctx.Err() != nil {
+		res.TimedOut, res.Canceled = true, true
+		return res, nil
+	}
+	if deadlineExpired(deadline) {
+		// A block queued behind slow siblings must not start a conflict
+		// chunk against an already-spent budget.
+		res.TimedOut = true
+		return res, nil
 	}
 
 	// Stage 2: SAT narrowing loop (Algorithm 1, lines 2–10).
 	tSAT := time.Now()
 	defer func() { res.SATTime = time.Since(tSAT) }()
-	deadline := time.Time{}
-	if opts.TimeBudget > 0 {
-		deadline = tSAT.Add(opts.TimeBudget)
-	}
 
-	enc := newEncoder(work, best.Depth()-1, opts)
-	remaining := opts.ConflictBudget // <=0: unlimited
+	enc := newEncoder(m, best.Depth()-1, opts)
+	s := enc.Solver()
+	s.SetInterrupt(func() bool { return ctx.Err() != nil })
+	defer s.SetInterrupt(nil)
+	remaining := conflictBudget // <=0: unlimited
 	for enc.Bound() >= lb {
-		status, spent := solveWithBudgets(enc, remaining, deadline)
+		status, spent := solveWithBudgets(ctx, enc, remaining, deadline)
 		res.SATCalls++
 		res.Conflicts += spent
 		if remaining > 0 {
@@ -234,24 +466,22 @@ func Solve(m *bitmat.Matrix, opts Options) (*Result, error) {
 				return nil, fmt.Errorf("core: model readout failed: %w", err)
 			}
 			best = p
+			res.Partition = best
 			enc.Narrow()
 		case sat.Unsat:
 			res.Optimal = true
 			res.Certificate = CertUnsat
-			return finish(best)
+			return res, nil
 		default:
 			res.TimedOut = true
-			return finish(best)
+			res.Canceled = ctx.Err() != nil
+			return res, nil
 		}
 	}
 	if !res.TimedOut && best.Depth() <= lb {
-		res.Optimal = true
-		res.Certificate = CertRank
-		if res.FoolingLB > res.RankLB {
-			res.Certificate = CertFooling
-		}
+		optimalByBound()
 	}
-	return finish(best)
+	return res, nil
 }
 
 // newEncoder builds the configured encoder at bound b. The default is the
@@ -265,10 +495,12 @@ func newEncoder(m *bitmat.Matrix, b int, opts Options) encode.Encoder {
 		enc = encode.NewLog(m, b)
 	case opts.Encoding == EncodingLog:
 		enc = encode.NewLogIncremental(m, b)
-	case opts.DisableIncremental:
-		enc = encode.NewOneHot(m, b, opts.AMO)
 	default:
-		enc = encode.NewOneHotIncremental(m, b, opts.AMO)
+		enc = encode.NewOneHotConfig(m, b, encode.OneHotConfig{
+			AMO:                 opts.AMO,
+			Incremental:         !opts.DisableIncremental,
+			DisableSlotOrdering: opts.DisableSymmetryBreaking,
+		})
 	}
 	s := enc.Solver()
 	s.PhaseSaving = !opts.DisablePhaseSaving
@@ -278,10 +510,11 @@ func newEncoder(m *bitmat.Matrix, b int, opts Options) encode.Encoder {
 	return enc
 }
 
-// solveWithBudgets runs the encoder's solver in conflict chunks so that both
-// the global conflict budget and the wall-clock deadline are honoured.
-// It returns the final status and the number of conflicts spent.
-func solveWithBudgets(enc encode.Encoder, remaining int64, deadline time.Time) (sat.Status, int64) {
+// solveWithBudgets runs the encoder's solver in conflict chunks so that the
+// global conflict budget, the wall-clock deadline and context cancellation
+// are all honoured. It returns the final status and the number of conflicts
+// spent.
+func solveWithBudgets(ctx context.Context, enc encode.Encoder, remaining int64, deadline time.Time) (sat.Status, int64) {
 	s := enc.Solver()
 	const chunk = int64(20_000)
 	var spent int64
@@ -293,6 +526,9 @@ func solveWithBudgets(enc encode.Encoder, remaining int64, deadline time.Time) (
 				return sat.Unknown, spent
 			}
 		}
+		if deadlineExpired(deadline) {
+			return sat.Unknown, spent
+		}
 		s.SetConflictBudget(budget)
 		before := s.Conflicts
 		status := enc.Solve()
@@ -301,13 +537,18 @@ func solveWithBudgets(enc encode.Encoder, remaining int64, deadline time.Time) (
 			s.SetConflictBudget(-1)
 			return status, spent
 		}
+		if ctx.Err() != nil {
+			return sat.Unknown, spent
+		}
 		if remaining > 0 && spent >= remaining {
 			return sat.Unknown, spent
 		}
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return sat.Unknown, spent
-		}
 	}
+}
+
+// deadlineExpired reports whether a nonzero deadline has passed.
+func deadlineExpired(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
 }
 
 // BinaryRank computes r_B(m) exactly (no budgets). For matrices beyond the

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/benchgen"
+	"repro/internal/bitmat"
+	"repro/internal/encode"
+	"repro/internal/rowpack"
+	"repro/internal/sat"
+)
+
+// quickOpts are unbudgeted options fast enough for differential testing.
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Packing.Trials = 20
+	o.FoolingBudget = 0
+	return o
+}
+
+// diffInstances are the differential-test matrices: random, forced
+// block-diagonal, and permuted-block.
+func diffInstances(t *testing.T) []*bitmat.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var ms []*bitmat.Matrix
+	for i := 0; i < 8; i++ {
+		ms = append(ms, bitmat.Random(rng, 4+rng.Intn(5), 4+rng.Intn(5), 0.2+0.5*rng.Float64()))
+	}
+	for _, ins := range benchgen.BlockDiagSuite(5, 3, 5, 5, 2, 3, false) {
+		ms = append(ms, ins.M)
+	}
+	for _, ins := range benchgen.BlockDiagSuite(6, 4, 4, 4, 2, 3, true) {
+		ms = append(ms, ins.M)
+	}
+	return ms
+}
+
+// TestDecomposedMatchesWholeMatrix: the decomposed parallel pipeline and the
+// monolithic whole-matrix solve must agree on depth and optimality on
+// random, block-diagonal and permuted-block instances.
+func TestDecomposedMatchesWholeMatrix(t *testing.T) {
+	for _, m := range diffInstances(t) {
+		whole := quickOpts()
+		whole.DisableDecomposition = true
+		wres, err := Solve(m, whole)
+		if err != nil {
+			t.Fatalf("whole-matrix solve: %v", err)
+		}
+		for _, par := range []int{1, 4} {
+			dec := quickOpts()
+			dec.Parallelism = par
+			dres, err := Solve(m, dec)
+			if err != nil {
+				t.Fatalf("decomposed solve (par=%d): %v", par, err)
+			}
+			if dres.Depth != wres.Depth {
+				t.Errorf("depth mismatch (par=%d): decomposed %d vs whole %d on\n%s",
+					par, dres.Depth, wres.Depth, m)
+			}
+			if dres.Optimal != wres.Optimal {
+				t.Errorf("optimality mismatch (par=%d): %v vs %v on\n%s",
+					par, dres.Optimal, wres.Optimal, m)
+			}
+			if dres.RankLB != wres.RankLB {
+				t.Errorf("rank LB mismatch: blockwise sum %d vs whole %d", dres.RankLB, wres.RankLB)
+			}
+		}
+	}
+}
+
+// TestBlockCountReported: a 3-component diagonal reports Blocks=3 through
+// compression; disabling decomposition reports 1.
+func TestBlockCountReported(t *testing.T) {
+	m := benchgen.BlockDiagonal(
+		bitmat.MustParse("11\n01"),
+		bitmat.MustParse("111\n100"),
+		bitmat.Identity(2),
+	)
+	res, err := Solve(m, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compression may merge duplicate rows/columns but never connects
+	// components; identity(2) compresses to one 1×1 block, so ≥ 3 remain.
+	if res.Blocks < 3 {
+		t.Errorf("want ≥3 blocks, got %d", res.Blocks)
+	}
+	mono := quickOpts()
+	mono.DisableDecomposition = true
+	res, err = Solve(m, mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != 1 {
+		t.Errorf("monolithic solve must report 1 block, got %d", res.Blocks)
+	}
+}
+
+// TestSymmetryBreakingAgreesAtEveryBound: with and without the slot-ordering
+// clauses, the one-hot formula must decide SAT/UNSAT identically at every
+// bound from the heuristic depth down to 1 — and the SAP results must agree
+// on depth.
+func TestSymmetryBreakingAgreesAtEveryBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var ms []*bitmat.Matrix
+	for i := 0; i < 6; i++ {
+		ms = append(ms, bitmat.Random(rng, 5, 5, 0.3+0.4*rng.Float64()))
+	}
+	ms = append(ms, bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111"))
+	for _, m := range ms {
+		if m.Ones() == 0 {
+			continue
+		}
+		ub := rowpack.Pack(m, rowpack.Options{Trials: 10, Seed: 1}).Depth()
+		for b := ub; b >= 1; b-- {
+			with := encode.NewOneHotConfig(m, b, encode.OneHotConfig{AMO: encode.AMOPairwise})
+			without := encode.NewOneHotConfig(m, b, encode.OneHotConfig{AMO: encode.AMOPairwise, DisableSlotOrdering: true})
+			sw, so := with.Solve(), without.Solve()
+			if sw != so {
+				t.Fatalf("bound %d: symmetry breaking changes status %v vs %v on\n%s", b, sw, so, m)
+			}
+			if sw == sat.Sat {
+				if _, err := with.ReadPartition(); err != nil {
+					t.Fatalf("bound %d: model with symmetry breaking invalid: %v", b, err)
+				}
+			}
+		}
+		on, off := quickOpts(), quickOpts()
+		off.DisableSymmetryBreaking = true
+		ron, err := Solve(m, on)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roff, err := Solve(m, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ron.Depth != roff.Depth || ron.Optimal != roff.Optimal {
+			t.Fatalf("SAP disagrees under symmetry ablation: depth %d/%d optimal %v/%v",
+				ron.Depth, roff.Depth, ron.Optimal, roff.Optimal)
+		}
+	}
+}
+
+// TestParallelDeterminism: the same instance solved at different parallelism
+// levels returns identical depths and certificates.
+func TestParallelDeterminism(t *testing.T) {
+	for _, ins := range benchgen.BlockDiagSuite(17, 4, 5, 5, 2, 2, true) {
+		var ref *Result
+		for _, par := range []int{1, 2, 8} {
+			o := quickOpts()
+			o.Parallelism = par
+			res, err := Solve(ins.M, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.Depth != ref.Depth || res.Optimal != ref.Optimal || res.Certificate != ref.Certificate {
+				t.Fatalf("parallelism %d changes result: depth %d/%d optimal %v/%v cert %v/%v",
+					par, res.Depth, ref.Depth, res.Optimal, ref.Optimal, res.Certificate, ref.Certificate)
+			}
+		}
+	}
+}
+
+// TestSolveContextPreCanceled: an already-canceled context still yields a
+// valid heuristic partition, flagged Canceled, without touching the SAT
+// stage.
+func TestSolveContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := benchgen.BlockDiagSuite(23, 4, 5, 5, 2, 1, true)[0].M
+	res, err := SolveContext(ctx, m, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatalf("canceled solve returned invalid partition: %v", err)
+	}
+	if res.SATCalls != 0 {
+		t.Errorf("pre-canceled context must skip the SAT stage, made %d calls", res.SATCalls)
+	}
+	// Optimal-by-bound blocks never reach the SAT stage; only if every
+	// block closed on bounds alone would Canceled stay false.
+	if !res.Canceled && !res.Optimal {
+		t.Errorf("non-optimal canceled solve must report Canceled")
+	}
+}
+
+// TestSolveContextCancelMidSolve: cancelling during the SAT stage returns
+// promptly with a valid partition instead of running to the next depth
+// bound.
+func TestSolveContextCancelMidSolve(t *testing.T) {
+	// A hard UNSAT tail: gap components with unlimited conflict budget.
+	m := benchgen.BlockDiagSuite(31, 4, 10, 10, 4, 1, true)[0].M
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		defer close(done)
+		o := quickOpts()
+		o.Parallelism = 2
+		res, err = SolveContext(ctx, m, o)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled solve did not return")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatalf("invalid partition after cancellation: %v", err)
+	}
+	if res.Depth < res.RankLB {
+		t.Fatalf("depth %d below rank bound %d", res.Depth, res.RankLB)
+	}
+}
+
+// TestCertifyDepthBlockwise: blockwise certification accepts the true depth
+// of a multi-component matrix and rejects one above it.
+func TestCertifyDepthBlockwise(t *testing.T) {
+	fig1b := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	m := benchgen.BlockDiagonal(fig1b, bitmat.MustParse("11\n01"))
+	res, err := Solve(m, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatalf("test instance must solve optimally")
+	}
+	if res.Depth != 7 { // fig1b has r_B 5; the 2×2 triangle has r_B 2
+		t.Fatalf("unexpected depth %d", res.Depth)
+	}
+	if err := CertifyDepth(m, res.Depth); err != nil {
+		t.Fatalf("certify true depth: %v", err)
+	}
+	if err := CertifyDepth(m, res.Depth+1); err == nil {
+		t.Fatal("certify must reject a depth above the optimum")
+	}
+}
+
+// TestSymmetryBreakingReducesConflicts encodes the acceptance criterion for
+// the slot-ordering clauses: on the Table I gap suites they must cut total
+// conflicts (the probe measured ~10×) while leaving every depth unchanged.
+func TestSymmetryBreakingReducesConflicts(t *testing.T) {
+	var conOn, conOff int64
+	for pairs := 2; pairs <= 5; pairs++ {
+		for _, ins := range benchgen.GapSuite(14+int64(pairs), 10, 10, []int{pairs}, 5) {
+			on := DefaultOptions()
+			on.FoolingBudget = 0
+			on.Packing.Trials = 100
+			on.ConflictBudget = 2_000_000
+			off := on
+			off.DisableSymmetryBreaking = true
+			ron, err := Solve(ins.M, on)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roff, err := Solve(ins.M, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ron.Depth != roff.Depth || ron.Optimal != roff.Optimal {
+				t.Fatalf("symmetry breaking changes the answer on %s: depth %d/%d optimal %v/%v",
+					ins.Name, ron.Depth, roff.Depth, ron.Optimal, roff.Optimal)
+			}
+			conOn += ron.Conflicts
+			conOff += roff.Conflicts
+		}
+	}
+	if conOn >= conOff {
+		t.Errorf("slot ordering did not reduce conflicts: %d with vs %d without", conOn, conOff)
+	}
+	t.Logf("gap-suite conflicts: %d with slot ordering, %d without", conOn, conOff)
+}
+
+// TestApportionConflicts: shares are proportional, at least 1, and sum to
+// the total.
+func TestApportionConflicts(t *testing.T) {
+	blocks := []bitmat.Block{
+		{M: bitmat.AllOnes(1, 1)},
+		{M: bitmat.AllOnes(3, 3)},
+		{M: bitmat.AllOnes(6, 6)},
+	}
+	out := apportionConflicts(1000, blocks)
+	var sum int64
+	for i, v := range out {
+		if v < 1 {
+			t.Fatalf("block %d got %d conflicts", i, v)
+		}
+		sum += v
+	}
+	if sum != 1000 {
+		t.Fatalf("shares sum to %d, want 1000", sum)
+	}
+	if out[2] <= out[1] || out[1] <= out[0] {
+		t.Fatalf("shares not proportional: %v", out)
+	}
+	for _, v := range apportionConflicts(0, blocks) {
+		if v != 0 {
+			t.Fatalf("unlimited budget must stay unlimited, got %v", out)
+		}
+	}
+}

@@ -23,12 +23,26 @@ type OneHot struct {
 
 var _ Encoder = (*OneHot)(nil)
 
+// OneHotConfig tunes the one-hot compilation.
+type OneHotConfig struct {
+	// AMO selects the at-most-one encoding.
+	AMO AMO
+	// Incremental adds per-slot selector variables (see
+	// NewOneHotIncremental).
+	Incremental bool
+	// DisableSlotOrdering drops the lexicographic slot-signature symmetry
+	// breaking (first-row-index ordering over the row-usage variables
+	// r[i][k]); kept as an ablation knob. The weaker per-entry break
+	// (entry t opens slots ≤ t) is always on.
+	DisableSlotOrdering bool
+}
+
 // NewOneHot builds the formula for r_B(m) ≤ b with the chosen at-most-one
 // encoding and symmetry breaking. b must be ≥ 1 unless the matrix is zero.
 // Narrowing mutates the formula with unit clauses; use NewOneHotIncremental
 // for the assumption-based variant.
 func NewOneHot(m *bitmat.Matrix, b int, amo AMO) *OneHot {
-	return newOneHot(m, b, amo, false)
+	return NewOneHotConfig(m, b, OneHotConfig{AMO: amo})
 }
 
 // NewOneHotIncremental builds the same formula plus one selector variable
@@ -39,10 +53,17 @@ func NewOneHot(m *bitmat.Matrix, b int, amo AMO) *OneHot {
 // and are reused across the whole depth-narrowing run — the paper's
 // narrow_down_depth as an assumption instead of a re-encode.
 func NewOneHotIncremental(m *bitmat.Matrix, b int, amo AMO) *OneHot {
-	return newOneHot(m, b, amo, true)
+	return NewOneHotConfig(m, b, OneHotConfig{AMO: amo, Incremental: true})
 }
 
-func newOneHot(m *bitmat.Matrix, b int, amo AMO, incremental bool) *OneHot {
+// NewOneHotConfig builds the one-hot formula with full control over the
+// compilation knobs.
+func NewOneHotConfig(m *bitmat.Matrix, b int, cfg OneHotConfig) *OneHot {
+	return newOneHot(m, b, cfg)
+}
+
+func newOneHot(m *bitmat.Matrix, b int, cfg OneHotConfig) *OneHot {
+	amo, incremental := cfg.AMO, cfg.Incremental
 	e := &OneHot{m: m, idx: newEntryIndex(m), s: sat.New(), b: b, built: b, inc: incremental}
 	n := len(e.idx.pos)
 	if n == 0 {
@@ -96,6 +117,9 @@ func newOneHot(m *bitmat.Matrix, b int, amo AMO, incremental bool) *OneHot {
 			e.s.AddClause(sat.NegLit(e.vars[en][k]))
 		}
 	}
+	if !cfg.DisableSlotOrdering {
+		e.addSlotOrdering()
+	}
 	if incremental {
 		e.sel = make([]sat.Var, b)
 		for k := range e.sel {
@@ -108,6 +132,72 @@ func newOneHot(m *bitmat.Matrix, b int, amo AMO, incremental bool) *OneHot {
 		}
 	}
 	return e
+}
+
+// addSlotOrdering adds the lexicographic slot-signature symmetry breaking:
+// slots, read in index order, must have non-decreasing first-row index, with
+// empty slots sorting last. This kills the k! permutation symmetry of the
+// rectangle slots beyond what the per-entry break prunes — every UNSAT proof
+// otherwise re-refutes row-permuted copies of the same partition attempt.
+//
+// Encoding: row-usage variables r[i][k] ⇔ slot k contains an entry of row i,
+// prefix variables u[i][k] ⇔ slot k uses some row ≤ i (chained per slot), and
+// ordering clauses u[i][k+1] → u[i][k]. The prefix property for every i is
+// equivalent to firstRow(k) ≤ firstRow(k+1) (empty slots have all-false u, so
+// used slots are forced into a prefix). The constraint is satisfied by the
+// canonical representative of the per-entry break — slots numbered by first
+// entry in row-major order have non-decreasing first rows — so adding both is
+// sound, and it composes with selector-based narrowing: a disabled slot's x
+// variables are all false, which forces its r and u chains false, making the
+// ordering clauses vacuous for the disabled suffix.
+func (e *OneHot) addSlotOrdering() {
+	// Entries of each nonzero row, in row order (row-major entry index).
+	n := len(e.idx.pos)
+	var rows []int          // distinct rows with entries, ascending
+	rowEntries := [][]int{} // entries per row, parallel to rows
+	for en := 0; en < n; en++ {
+		i := e.idx.pos[en][0]
+		if len(rows) == 0 || rows[len(rows)-1] != i {
+			rows = append(rows, i)
+			rowEntries = append(rowEntries, nil)
+		}
+		rowEntries[len(rowEntries)-1] = append(rowEntries[len(rowEntries)-1], en)
+	}
+	u := make([][]sat.Var, len(rows)) // u[ri][k]
+	for ri := range u {
+		u[ri] = make([]sat.Var, e.b)
+	}
+	lits := make([]sat.Lit, 0, 8)
+	for k := 0; k < e.b; k++ {
+		for ri := range rows {
+			// r ⇔ some entry of this row is in slot k.
+			r := e.s.NewVar()
+			lits = lits[:0]
+			for _, en := range rowEntries[ri] {
+				e.s.AddClause(sat.NegLit(e.vars[en][k]), sat.PosLit(r))
+				lits = append(lits, sat.PosLit(e.vars[en][k]))
+			}
+			e.s.AddClause(append(lits, sat.NegLit(r))...)
+			// u[ri][k] ⇔ r ∨ u[ri-1][k].
+			uk := e.s.NewVar()
+			u[ri][k] = uk
+			e.s.AddClause(sat.NegLit(r), sat.PosLit(uk))
+			if ri > 0 {
+				prev := u[ri-1][k]
+				e.s.AddClause(sat.NegLit(prev), sat.PosLit(uk))
+				e.s.AddClause(sat.NegLit(uk), sat.PosLit(r), sat.PosLit(prev))
+			} else {
+				e.s.AddClause(sat.NegLit(uk), sat.PosLit(r))
+			}
+		}
+	}
+	// Ordering: slot k+1 may only reach into row prefixes slot k already
+	// uses.
+	for k := 0; k+1 < e.b; k++ {
+		for ri := range rows {
+			e.s.AddClause(sat.NegLit(u[ri][k+1]), sat.PosLit(u[ri][k]))
+		}
+	}
 }
 
 // addAMO constrains at most one of vs to be true.

@@ -27,8 +27,12 @@ type Options struct {
 	TimeBudget time.Duration
 	// MaxSATEntries skips the exact stage for instances with more 1s; such
 	// instances count as solved only when a bound certificate appears
-	// (mirrors the paper's 100×100 treatment).
+	// (mirrors the paper's 100×100 treatment). Applied per decomposed
+	// block, like core.Options.MaxSATEntries.
 	MaxSATEntries int
+	// Parallelism bounds concurrent per-block solves inside each instance
+	// (≤ 0: GOMAXPROCS); see core.Options.Parallelism.
+	Parallelism int
 	// Seed seeds the heuristics.
 	Seed int64
 }
@@ -128,6 +132,7 @@ func evalInstance(ins benchgen.Instance, opts Options) InstanceResult {
 	copts.ConflictBudget = opts.ConflictBudget
 	copts.TimeBudget = opts.TimeBudget
 	copts.MaxSATEntries = opts.MaxSATEntries
+	copts.Parallelism = opts.Parallelism
 	copts.FoolingBudget = 0 // the paper's loop uses only the rank bound
 	out, err := core.Solve(ins.M, copts)
 	if err != nil {

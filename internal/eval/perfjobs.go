@@ -3,6 +3,7 @@ package eval
 import (
 	"repro/internal/benchgen"
 	"repro/internal/bitmat"
+	"repro/internal/core"
 	"repro/internal/encode"
 	"repro/internal/rowpack"
 	"repro/internal/sat"
@@ -36,18 +37,60 @@ func TableIGapSolverJobs() []SolverJob {
 // NarrowToRank runs the SAP narrowing loop on one job — encode at UB-1,
 // solve and narrow until UNSAT or the rank bound — with the incremental
 // (selector-assumption) or destructive (unit-clause) one-hot encoder.
-func NarrowToRank(j SolverJob, incremental bool) {
-	var enc encode.Encoder
-	if incremental {
-		enc = encode.NewOneHotIncremental(j.M, j.UB-1, encode.AMOPairwise)
-	} else {
-		enc = encode.NewOneHot(j.M, j.UB-1, encode.AMOPairwise)
-	}
+// symBreak toggles the slot-ordering symmetry-breaking clauses (the
+// ablation pair for the decomposition PR's encoder change).
+func NarrowToRank(j SolverJob, incremental, symBreak bool) {
+	enc := encode.NewOneHotConfig(j.M, j.UB-1, encode.OneHotConfig{
+		AMO:                 encode.AMOPairwise,
+		Incremental:         incremental,
+		DisableSlotOrdering: !symBreak,
+	})
 	lb := j.M.Rank()
 	for enc.Bound() >= lb {
 		if enc.Solve() != sat.Sat {
 			return
 		}
 		enc.Narrow()
+	}
+}
+
+// BlockDiagSAPMatrices is the decomposition perf suite: permuted
+// block-diagonal compositions of four 8×8 gap-2 components. Each instance
+// splits into ≥4 connected components, every component carries an UNSAT
+// tail, and the sequential whole-matrix solve still terminates — the
+// workload where the Decompose stage and per-block parallelism show up as
+// wall-clock.
+func BlockDiagSAPMatrices() []*bitmat.Matrix {
+	var ms []*bitmat.Matrix
+	for _, ins := range benchgen.BlockDiagSuite(2024, 4, 8, 8, 2, 3, true) {
+		ms = append(ms, ins.M)
+	}
+	return ms
+}
+
+// BlockDiagSAPOptions are the pipeline options the decomposition perf pair
+// runs under: parallel decomposed (the default pipeline) vs the sequential
+// whole-matrix ablation.
+func BlockDiagSAPOptions(parallel bool) core.Options {
+	opts := core.DefaultOptions()
+	opts.Packing.Trials = 100
+	opts.FoolingBudget = 0
+	opts.ConflictBudget = 20_000_000
+	if !parallel {
+		opts.DisableDecomposition = true
+		opts.Parallelism = 1
+	}
+	return opts
+}
+
+// RunBlockDiagSAP solves every decomposition-suite matrix under the chosen
+// pipeline configuration, panicking on error (perf workloads must not
+// silently degrade into no-ops).
+func RunBlockDiagSAP(ms []*bitmat.Matrix, parallel bool) {
+	opts := BlockDiagSAPOptions(parallel)
+	for _, m := range ms {
+		if _, err := core.Solve(m, opts); err != nil {
+			panic(err)
+		}
 	}
 }

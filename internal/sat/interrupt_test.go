@@ -1,0 +1,63 @@
+package sat
+
+import "testing"
+
+// php builds the pigeonhole formula PHP(holes+1, holes): unsatisfiable and
+// expensive enough that the search loop runs for many rounds.
+func php(holes int) *Solver {
+	s := New()
+	pigeons := holes + 1
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p := 0; p < pigeons; p++ {
+			for q := p + 1; q < pigeons; q++ {
+				s.AddClause(NegLit(vars[p][h]), NegLit(vars[q][h]))
+			}
+		}
+	}
+	return s
+}
+
+// TestInterruptStopsSearch: a firing interrupt hook makes Solve return
+// Unknown promptly; clearing it lets the same solver finish the proof.
+func TestInterruptStopsSearch(t *testing.T) {
+	s := php(8)
+	calls := 0
+	s.SetInterrupt(func() bool { calls++; return true })
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("interrupted solve returned %v, want Unknown", st)
+	}
+	if calls == 0 {
+		t.Fatal("interrupt hook never polled")
+	}
+	if s.decisionLevel() != 0 {
+		t.Fatalf("interrupted solver left at level %d", s.decisionLevel())
+	}
+	s.SetInterrupt(nil)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("resumed solve returned %v, want Unsat", st)
+	}
+}
+
+// TestInterruptNotFiring: a hook that never fires must not change the
+// outcome.
+func TestInterruptNotFiring(t *testing.T) {
+	s := php(6)
+	s.SetInterrupt(func() bool { return false })
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+}

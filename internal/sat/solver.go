@@ -73,6 +73,9 @@ type Solver struct {
 	proof    *bufio.Writer // DRAT trace (nil when disabled)
 	proofBuf []Lit         // scratch for proof deletions
 
+	interrupt     func() bool // polled during search; true stops with Unknown
+	interruptTick uint32      // iteration counter between interrupt polls
+
 	// Statistics.
 	Conflicts    int64
 	Decisions    int64
@@ -131,6 +134,28 @@ func (s *Solver) NumLearnts() int { return len(s.learnts) }
 // a negative value removes the bound. When the budget is exhausted Solve
 // returns Unknown.
 func (s *Solver) SetConflictBudget(n int64) { s.budgetConflicts = n }
+
+// SetInterrupt installs a callback polled periodically inside the search
+// loop (every interruptPollMask+1 propagate rounds). When it returns true
+// the current Solve call backtracks to the root and returns Unknown, leaving
+// the solver in a consistent state for further Solve calls. nil removes the
+// hook. This is how context cancellation reaches a search in flight: the
+// caller installs func() bool { return ctx.Err() != nil }.
+func (s *Solver) SetInterrupt(fn func() bool) { s.interrupt = fn }
+
+// interruptPollMask spaces interrupt polls: a closure call per propagate
+// round would be measurable on hot UNSAT proofs, so poll every 128 rounds
+// (still sub-millisecond reaction at realistic propagation rates).
+const interruptPollMask = 127
+
+// interrupted polls the interrupt hook at the configured spacing.
+func (s *Solver) interrupted() bool {
+	if s.interrupt == nil {
+		return false
+	}
+	s.interruptTick++
+	return s.interruptTick&interruptPollMask == 0 && s.interrupt()
+}
 
 func (s *Solver) value(l Lit) lbool {
 	v := s.assign[l.Var()]
@@ -775,6 +800,10 @@ func (s *Solver) solve(assumptions []Lit) Status {
 	restartLimit := luby(100, restartNum)
 
 	for {
+		if s.interrupted() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != crefUndef {
 			s.Conflicts++

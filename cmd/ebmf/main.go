@@ -1,7 +1,7 @@
 // Command ebmf solves the depth-optimal rectangular addressing problem for a
 // binary pattern matrix: it reads a matrix (rows of 0/1 characters), runs
 // the SAP solver, and prints the rectangle partition, optionally as EBMF
-// factors or an AOD pulse schedule.
+// factors, an AOD pulse schedule, or the service wire JSON.
 //
 // Usage:
 //
@@ -9,17 +9,27 @@
 //
 // Flags:
 //
-//	-trials N      row-packing trials (default 100)
-//	-encoding E    onehot | log (default onehot)
-//	-budget N      SAT conflict budget, 0 = unlimited (default 2000000)
-//	-timeout D     SAT wall-clock budget, e.g. 30s (default unlimited)
-//	-heuristic     skip the exact stage
-//	-factors       print the H and W factors
-//	-schedule      print the AOD schedule and per-shot frames
-//	-q             print only the depth
+//	-trials N          row-packing trials (default 100)
+//	-encoding E        onehot | log (default onehot)
+//	-budget N          SAT conflict budget, 0 = unlimited (default 2000000)
+//	-timeout D         SAT wall-clock budget, e.g. 30s (default unlimited)
+//	-fooling N         fooling-set node budget, 0 = skip (default 200000)
+//	-heuristic         skip the exact stage
+//	-factors           print the H and W factors
+//	-schedule          print the AOD schedule and per-shot frames
+//	-schedule-json F   write the AOD schedule as JSON to F ('-' for stdout)
+//	-json              print the result as wire JSON on stdout (the same
+//	                   schema POST /v1/solve returns, fingerprint included)
+//	-q                 print only the depth
+//
+// Exit codes: 0 when the partition is proved depth-optimal, 2 when the
+// solver returned a valid but unproven partition (budget exhausted or
+// heuristic-only), 1 on error — so scripts can distinguish "optimal",
+// "best-effort" and "failed" without parsing output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,18 +37,33 @@ import (
 	"time"
 
 	ebmf "repro"
+	"repro/internal/bitmat"
 	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Exit codes.
+const (
+	exitOptimal    = 0 // partition proved depth-optimal
+	exitError      = 1 // input or solver error
+	exitNonOptimal = 2 // valid partition, optimality not established
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	trials := flag.Int("trials", 100, "row-packing trials")
 	encoding := flag.String("encoding", "onehot", "CNF encoding: onehot or log")
 	budget := flag.Int64("budget", 2_000_000, "SAT conflict budget (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "SAT wall-clock budget (0 = unlimited)")
+	fooling := flag.Int64("fooling", 200_000, "fooling-set node budget (0 = skip the fooling bound)")
 	heuristic := flag.Bool("heuristic", false, "skip the exact stage")
 	factors := flag.Bool("factors", false, "print EBMF factors H and W")
 	schedule := flag.Bool("schedule", false, "print the AOD schedule")
-	jsonOut := flag.String("json", "", "write the AOD schedule as JSON to this file ('-' for stdout)")
+	schedJSON := flag.String("schedule-json", "", "write the AOD schedule as JSON to this file ('-' for stdout)")
+	jsonOut := flag.Bool("json", false, "print the result as wire JSON on stdout")
 	quiet := flag.Bool("q", false, "print only the depth")
 	flag.Parse()
 
@@ -46,24 +71,25 @@ func main() {
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		src = f
 	}
 	data, err := io.ReadAll(src)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	m, err := ebmf.Parse(string(data))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	opts := ebmf.DefaultOptions()
 	opts.Packing.Trials = *trials
 	opts.ConflictBudget = *budget
 	opts.TimeBudget = *timeout
+	opts.FoolingBudget = *fooling
 	opts.SkipSAT = *heuristic
 	switch *encoding {
 	case "onehot":
@@ -71,18 +97,43 @@ func main() {
 	case "log":
 		opts.Encoding = core.EncodingLog
 	default:
-		fatal(fmt.Errorf("unknown encoding %q", *encoding))
+		return fail(fmt.Errorf("unknown encoding %q", *encoding))
 	}
 
 	res, err := ebmf.Solve(m, opts)
 	if err != nil {
-		fatal(err)
-	}
-	if *quiet {
-		fmt.Println(res.Depth)
-		return
+		return fail(err)
 	}
 
+	switch {
+	case *jsonOut:
+		fp := bitmat.ComputeFingerprint(m)
+		hash := ""
+		if fp.Exact {
+			hash = fp.Hash
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(wire.FromResult(res, hash)); err != nil {
+			return fail(err)
+		}
+	case *quiet:
+		fmt.Println(res.Depth)
+	default:
+		printHuman(m, res, *factors)
+	}
+
+	if *schedule || *schedJSON != "" {
+		if err := emitSchedule(m, res, *schedule && !*jsonOut && !*quiet, *schedJSON); err != nil {
+			return fail(err)
+		}
+	}
+	if !res.Optimal {
+		return exitNonOptimal
+	}
+	return exitOptimal
+}
+
+func printHuman(m *ebmf.Matrix, res *ebmf.Result, factors bool) {
 	fmt.Printf("matrix: %d×%d, %d ones (occupancy %.1f%%)\n",
 		m.Rows(), m.Cols(), m.Ones(), 100*m.Occupancy())
 	fmt.Printf("depth:  %d rectangles", res.Depth)
@@ -99,38 +150,41 @@ func main() {
 		res.SATCalls, res.Conflicts)
 	fmt.Print(res.Partition)
 
-	if *factors {
+	if factors {
 		h, w := res.Partition.Factors()
 		fmt.Printf("H (%d×%d):\n%s\nW (%d×%d):\n%s\n",
 			h.Rows(), h.Cols(), h, w.Rows(), w.Cols(), w)
 	}
-	if *schedule || *jsonOut != "" {
-		sched := ebmf.CompileSchedule(res.Partition)
-		arr := ebmf.NewArray(m.Rows(), m.Cols())
-		if err := sched.Verify(arr); err != nil {
-			fatal(fmt.Errorf("schedule verification failed: %w", err))
-		}
-		if *schedule {
-			st := sched.ComputeStats()
-			fmt.Printf("schedule: depth=%d tones=%d maxTones=%d reconfig=%d (verified)\n",
-				st.Depth, st.TotalTones, st.MaxTones, st.ReconfigCost)
-			fmt.Print(sched.Render(arr))
-		}
-		if *jsonOut != "" {
-			var out io.Writer = os.Stdout
-			if *jsonOut != "-" {
-				f, err := os.Create(*jsonOut)
-				if err != nil {
-					fatal(err)
-				}
-				defer f.Close()
-				out = f
+}
+
+// emitSchedule verifies and optionally prints/writes the AOD schedule.
+func emitSchedule(m *ebmf.Matrix, res *ebmf.Result, print bool, jsonPath string) error {
+	sched := ebmf.CompileSchedule(res.Partition)
+	arr := ebmf.NewArray(m.Rows(), m.Cols())
+	if err := sched.Verify(arr); err != nil {
+		return fmt.Errorf("schedule verification failed: %w", err)
+	}
+	if print {
+		st := sched.ComputeStats()
+		fmt.Printf("schedule: depth=%d tones=%d maxTones=%d reconfig=%d (verified)\n",
+			st.Depth, st.TotalTones, st.MaxTones, st.ReconfigCost)
+		fmt.Print(sched.Render(arr))
+	}
+	if jsonPath != "" {
+		var out io.Writer = os.Stdout
+		if jsonPath != "-" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
 			}
-			if err := sched.WriteJSON(out); err != nil {
-				fatal(err)
-			}
+			defer f.Close()
+			out = f
+		}
+		if err := sched.WriteJSON(out); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 func lowerBound(res *ebmf.Result) int {
@@ -148,7 +202,7 @@ func timedOut(res *ebmf.Result) string {
 	return ""
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "ebmf:", err)
-	os.Exit(1)
+	return exitError
 }

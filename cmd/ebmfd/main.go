@@ -1,0 +1,116 @@
+// Command ebmfd serves the depth-optimal addressing solver over HTTP: a
+// production-shaped daemon with a canonical-fingerprint result cache,
+// request batching and admission control in front of the SAP pipeline.
+//
+// Usage:
+//
+//	ebmfd [flags]
+//
+// Flags:
+//
+//	-addr A             listen address (default :8421)
+//	-cache N            result-cache capacity in entries (default 1024)
+//	-concurrency N      max solves running at once (default GOMAXPROCS)
+//	-queue N            max solves waiting for a slot (default 64)
+//	-default-timeout D  per-solve deadline when the request asks for none (default 30s)
+//	-max-timeout D      clamp for per-request timeouts (default 2m)
+//	-budget N           default/maximum SAT conflict budget (default 2000000)
+//	-max-entries N      reject matrices with more than N cells (default 1048576)
+//	-quiet              no per-request log lines
+//
+// Endpoints:
+//
+//	POST /v1/solve    {"matrix":"101\n011", "options":{"timeout_ms":500}}
+//	POST /v1/batch    {"requests":[{...},{...}]}
+//	GET  /v1/healthz
+//	GET  /v1/metrics
+//
+// SIGINT/SIGTERM drains gracefully: healthz flips to 503, new solves are
+// rejected, and in-flight solves get up to the max timeout to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8421", "listen address")
+	cache := flag.Int("cache", 1024, "result-cache capacity (entries)")
+	concurrency := flag.Int("concurrency", runtime.GOMAXPROCS(0), "max concurrent solves")
+	queue := flag.Int("queue", 64, "max queued solves (0 = reject unless a slot is free)")
+	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "per-solve deadline when the request asks for none")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "clamp for per-request timeouts")
+	budget := flag.Int64("budget", server.DefaultConflictBudget, "default and maximum SAT conflict budget (0 = unlimited, trusted clients only)")
+	maxEntries := flag.Int("max-entries", 1<<20, "reject matrices with more cells than this")
+	quiet := flag.Bool("quiet", false, "no per-request log lines")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ebmfd: ", log.LstdFlags)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = log.New(io.Discard, "", 0)
+	}
+	if *queue == 0 {
+		*queue = -1 // Config convention: negative = no waiting
+	}
+	// -budget is both the default for requests that ask for nothing and the
+	// clamp for requests that ask for more (0 = unlimited, trusted clients
+	// only).
+	baseOpts := core.DefaultOptions()
+	baseOpts.ConflictBudget = *budget
+	srv := server.New(server.Config{
+		CacheCapacity:     *cache,
+		MaxConcurrent:     *concurrency,
+		MaxQueue:          *queue,
+		DefaultTimeout:    *defaultTimeout,
+		MaxTimeout:        *maxTimeout,
+		MaxConflictBudget: *budget,
+		MaxMatrixEntries:  *maxEntries,
+		Options:           &baseOpts,
+		Logger:            reqLogger,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (concurrency=%d queue=%d cache=%d)",
+		*addr, *concurrency, *queue, *cache)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case s := <-sig:
+		logger.Printf("%v: draining (in-flight solves get up to %v)", s, *maxTimeout)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Fatalf("drain: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("serve: %v", err)
+		}
+		st := srv.Cache().Stats()
+		logger.Printf("drained cleanly (cache: %d entries, %.0f%% hit rate)",
+			st.Entries, 100*st.HitRate())
+	}
+}

@@ -15,9 +15,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
@@ -28,6 +33,8 @@ import (
 	"repro/internal/encode"
 	"repro/internal/eval"
 	"repro/internal/sat"
+	"repro/internal/server"
+	"repro/internal/solvecache"
 )
 
 // benchEntry is one measured workload in the JSON snapshot.
@@ -103,6 +110,74 @@ func writeBenchJSON(path string) error {
 			}),
 		},
 	}
+	return writeSnapshot(path, snap)
+}
+
+// writeServerBenchJSON measures the serving subsystem's perf-tracked
+// workloads — cold pipeline solve vs fingerprint-cache hit, through the
+// cache layer and through a full HTTP round trip — and writes
+// BENCH_server.json.
+func writeServerBenchJSON(path string) error {
+	fig1b := bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	opts := core.DefaultOptions()
+
+	rng := rand.New(rand.NewSource(1))
+	perm := func() *bitmat.Matrix {
+		rp, cp := rng.Perm(fig1b.Rows()), rng.Perm(fig1b.Cols())
+		p := bitmat.New(fig1b.Rows(), fig1b.Cols())
+		fig1b.ForEachOne(func(r, c int) { p.Set(rp[r], cp[c], true) })
+		return p
+	}
+
+	warm := solvecache.New(0)
+	if _, err := warm.Solve(fig1b, opts); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]string{"matrix": fig1b.String()})
+	post := func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	snap := benchSnapshot{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		When:      time.Now().UTC().Format(time.RFC3339),
+		Benches: []benchEntry{
+			measure("ServerColdSolveFig1b", 20, func() {
+				if _, err := solvecache.New(0).Solve(fig1b, opts); err != nil {
+					panic(err)
+				}
+			}),
+			measure("ServerCacheHitPermutedFig1b", 200, func() {
+				res, err := warm.Solve(perm(), opts)
+				if err != nil {
+					panic(err)
+				}
+				if !res.CacheHit {
+					panic("expected cache hit")
+				}
+			}),
+			measure("ServerFingerprintFig1b", 500, func() {
+				if fp := bitmat.ComputeFingerprint(fig1b); !fp.Exact {
+					panic("inexact fingerprint")
+				}
+			}),
+			measure("ServerHTTPCacheHit", 200, post),
+		},
+	}
+	return writeSnapshot(path, snap)
+}
+
+func writeSnapshot(path string, snap benchSnapshot) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -121,6 +196,7 @@ func main() {
 	budget := flag.Int64("budget", 5_000_000, "SAT conflict budget per instance (0 = unlimited)")
 	csvPath := flag.String("csv", "", "also write all per-instance results as CSV to this file")
 	jsonOut := flag.Bool("json", false, "run the Solver/SAP perf workloads and write BENCH_solver.json")
+	serverJSON := flag.Bool("server-json", false, "run the serving-subsystem workloads and write BENCH_server.json")
 	flag.Parse()
 
 	if *jsonOut {
@@ -129,6 +205,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("solver perf snapshot written to BENCH_solver.json")
+	}
+	if *serverJSON {
+		if err := writeServerBenchJSON("BENCH_server.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "timing:", err)
+			os.Exit(1)
+		}
+		fmt.Println("server perf snapshot written to BENCH_server.json")
 	}
 
 	opts := eval.Options{

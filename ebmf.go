@@ -34,6 +34,14 @@
 // canceled request stops mid-search and still returns the best valid
 // partition found.
 //
+// For serving workloads, NewCache wraps the pipeline in a canonicalizing
+// result cache: Fingerprint hashes matrices up to row/column permutation and
+// duplication, so resubmitted patterns — the common case in addressing
+// traffic — are answered in O(1) with the cached partition lifted into the
+// request's index space, and concurrent identical requests share one solve.
+// cmd/ebmfd serves the cache over an HTTP JSON API (internal/server) with
+// request batching and admission control.
+//
 // The SAP loop solves incrementally: the decision formula is encoded once
 // at the heuristic upper bound and each depth bound is tried by switching
 // rectangle slots off with selector assumptions, so learnt clauses, VSIDS
@@ -57,6 +65,7 @@ import (
 	"repro/internal/fooling"
 	"repro/internal/rect"
 	"repro/internal/rowpack"
+	"repro/internal/solvecache"
 )
 
 // Matrix is a dense binary matrix (see internal/bitmat).
@@ -150,6 +159,37 @@ func SolveContext(ctx context.Context, m *Matrix, opts Options) (*Result, error)
 // BinaryRank computes r_B(m) exactly, with no budgets (exponential worst
 // case; intended for small matrices).
 func BinaryRank(m *Matrix) (int, error) { return core.BinaryRank(m) }
+
+// Fingerprint returns the canonical fingerprint of m: a hash that is equal
+// for any two matrices related by row/column permutation, duplicated
+// rows/columns or zero padding (the reductions that preserve the rectangle
+// structure and hence the binary rank), and different otherwise. exact is
+// false when canonicalization exceeded its work budget on a highly
+// self-similar matrix; such hashes are deterministic but not
+// permutation-invariant and are not usable as cache keys.
+func Fingerprint(m *Matrix) (hash string, exact bool) {
+	fp := bitmat.ComputeFingerprint(m)
+	return fp.Hash, fp.Exact
+}
+
+// SolveCache is a fingerprint-keyed result cache with singleflight
+// deduplication in front of the solve pipeline: resubmissions of a pattern —
+// permuted, row/column-duplicated, or zero-padded — are answered from cache
+// with the partition lifted into the request's index space, and N concurrent
+// equivalent requests cost one pipeline run. Only proved-optimal results are
+// stored (they are budget-independent facts about the matrix). The ebmfd
+// service (internal/server, cmd/ebmfd) serves this cache over HTTP.
+type SolveCache = solvecache.Cache
+
+// CacheStats is a snapshot of a SolveCache's counters.
+type CacheStats = solvecache.Stats
+
+// NewCache returns a SolveCache holding up to capacity results (a default
+// capacity when capacity <= 0). Solve through it with
+// (*SolveCache).Solve / (*SolveCache).SolveContext, which mirror the
+// package-level Solve / SolveContext contracts and additionally set
+// Result.CacheHit on cache-served answers.
+func NewCache(capacity int) *SolveCache { return solvecache.New(capacity) }
 
 // CertifyDepth independently certifies that depth is the minimum partition
 // depth of m: it rebuilds the depth-1 decision formula from scratch, solves

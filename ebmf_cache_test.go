@@ -1,0 +1,48 @@
+package ebmf_test
+
+import (
+	"math/rand"
+	"testing"
+
+	ebmf "repro"
+)
+
+// TestPublicFingerprintAndCache exercises the serving-layer public API: the
+// fingerprint is permutation-invariant and the cache answers permuted
+// resubmissions without re-solving.
+func TestPublicFingerprintAndCache(t *testing.T) {
+	m := ebmf.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+	h1, exact := ebmf.Fingerprint(m)
+	if !exact || h1 == "" {
+		t.Fatalf("fingerprint: %q exact=%v", h1, exact)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	rp, cp := rng.Perm(m.Rows()), rng.Perm(m.Cols())
+	p := ebmf.New(m.Rows(), m.Cols())
+	m.ForEachOne(func(i, j int) { p.Set(rp[i], cp[j], true) })
+	h2, _ := ebmf.Fingerprint(p)
+	if h2 != h1 {
+		t.Fatalf("permuted fingerprint differs")
+	}
+
+	c := ebmf.NewCache(0)
+	r1, err := c.Solve(m, ebmf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Solve(p, ebmf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit || r2.Depth != r1.Depth {
+		t.Fatalf("resubmission: hit=%v depth=%d, want true/%d", r2.CacheHit, r2.Depth, r1.Depth)
+	}
+	if err := r2.Partition.Validate(); err != nil {
+		t.Fatalf("lifted partition invalid: %v", err)
+	}
+	var st ebmf.CacheStats = c.Stats()
+	if st.Solves != 1 {
+		t.Fatalf("cache ran %d solves, want 1", st.Solves)
+	}
+}

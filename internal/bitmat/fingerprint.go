@@ -1,0 +1,351 @@
+package bitmat
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Fingerprint is a canonical-form record of a matrix: Hash is identical for
+// any two matrices that are equal up to row/column permutation, duplicate
+// rows/columns and all-zero rows/columns, and (up to SHA-256 collisions)
+// different otherwise. It composes the existing reduction stages — Compress
+// drops zero lines and merges duplicates, Decompose splits the reduction into
+// bipartite connected components — and then canonically labels each block, so
+// permuted and block-shuffled resubmissions of the same pattern produce the
+// same hash.
+//
+// The record keeps everything needed to move solver results between the
+// request matrix and the canonical matrix: the request's own Compression and
+// the canonical→reduced index maps. A rectangle partition of Canonical maps
+// to the reduced matrix through RowMap/ColMap and then lifts through Comp —
+// which is how a cached result for the canonical form is replayed onto any
+// permuted equivalent of the matrix it was computed from.
+type Fingerprint struct {
+	// Hash is the hex SHA-256 of the canonical serialization. Two matrices
+	// share a Hash iff they share a canonical form (i.e. are equal up to
+	// permutation and duplication), modulo hash collisions.
+	Hash string
+	// Exact reports that a full canonical labeling was computed. It is false
+	// only when the labeling work budget was exhausted (matrices with very
+	// large automorphism-induced branch trees); the Hash is then still
+	// deterministic but no longer permutation-invariant, Canonical and the
+	// maps are nil, and the fingerprint must not be used as a cache key.
+	Exact bool
+	// Canonical is the canonically labeled compressed matrix (blocks in
+	// canonical order along the diagonal). Solving Canonical solves the
+	// request matrix up to the recorded maps.
+	Canonical *Matrix
+	// Comp is the compression record of the original matrix (always set).
+	Comp *Compression
+	// RowMap[i] is the row of Comp.Reduced that canonical row i labels.
+	RowMap []int
+	// ColMap[j] is the column of Comp.Reduced that canonical column j labels.
+	ColMap []int
+}
+
+// canonicalLabelBudget bounds the number of refinement passes a single
+// fingerprint may spend across all blocks and branches. Refinement discretizes
+// almost immediately on real addressing patterns (distinct rows and columns,
+// irregular degrees); the budget only trips on highly self-similar matrices
+// such as large circulants, which then simply bypass the cache.
+const canonicalLabelBudget = 4096
+
+// ComputeFingerprint canonicalizes m and returns its fingerprint record.
+func ComputeFingerprint(m *Matrix) *Fingerprint {
+	comp := Compress(m)
+	r := comp.Reduced
+	dec := Decompose(r)
+
+	budget := canonicalLabelBudget
+	type labeledBlock struct {
+		ser    []byte
+		ro, co []int
+		blk    Block
+	}
+	labeled := make([]labeledBlock, 0, len(dec.Blocks))
+	for _, b := range dec.Blocks {
+		ser, ro, co, ok := canonicalLabel(b.M, &budget)
+		if !ok {
+			// Deterministic but not permutation-invariant: hash the reduced
+			// matrix as-is and mark the fingerprint unusable for caching.
+			h := sha256.New()
+			h.Write([]byte("ebmf/fp/v1/inexact\n"))
+			writeMatrix(h.Write, r)
+			return &Fingerprint{Hash: hex.EncodeToString(h.Sum(nil)), Comp: comp}
+		}
+		labeled = append(labeled, labeledBlock{ser: ser, ro: ro, co: co, blk: b})
+	}
+	// Canonical block order: by serialization; ties are identical blocks, so
+	// the hash is unaffected — break them by first original row only to keep
+	// the maps deterministic for a fixed input.
+	sort.Slice(labeled, func(a, b int) bool {
+		if c := bytes.Compare(labeled[a].ser, labeled[b].ser); c != 0 {
+			return c < 0
+		}
+		return labeled[a].blk.Rows[0] < labeled[b].blk.Rows[0]
+	})
+
+	h := sha256.New()
+	h.Write([]byte("ebmf/fp/v1\n"))
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint(h.Write, scratch[:], uint64(len(labeled)))
+	totR, totC := 0, 0
+	for _, lb := range labeled {
+		writeUvarint(h.Write, scratch[:], uint64(len(lb.ser)))
+		h.Write(lb.ser)
+		totR += lb.blk.M.Rows()
+		totC += lb.blk.M.Cols()
+	}
+
+	fp := &Fingerprint{
+		Hash:      hex.EncodeToString(h.Sum(nil)),
+		Exact:     true,
+		Canonical: New(totR, totC),
+		Comp:      comp,
+		RowMap:    make([]int, totR),
+		ColMap:    make([]int, totC),
+	}
+	rowOff, colOff := 0, 0
+	for _, lb := range labeled {
+		b := lb.blk
+		for p, br := range lb.ro {
+			fp.RowMap[rowOff+p] = b.Rows[br]
+		}
+		for q, bc := range lb.co {
+			fp.ColMap[colOff+q] = b.Cols[bc]
+		}
+		for p, br := range lb.ro {
+			row := b.M.Row(br)
+			for q, bc := range lb.co {
+				if row.Get(bc) {
+					fp.Canonical.Set(rowOff+p, colOff+q, true)
+				}
+			}
+		}
+		rowOff += b.M.Rows()
+		colOff += b.M.Cols()
+	}
+	return fp
+}
+
+// writeUvarint writes x varint-encoded through w (a hash writer; error-free).
+func writeUvarint(w func([]byte) (int, error), scratch []byte, x uint64) {
+	n := binary.PutUvarint(scratch, x)
+	w(scratch[:n])
+}
+
+// writeMatrix streams a self-delimiting serialization of m (dims + row bits).
+func writeMatrix(w func([]byte) (int, error), m *Matrix) {
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint(w, scratch[:], uint64(m.Rows()))
+	writeUvarint(w, scratch[:], uint64(m.Cols()))
+	for i := 0; i < m.Rows(); i++ {
+		w([]byte(m.Row(i).Key()))
+	}
+}
+
+// labeler computes a canonical labeling of one connected block by color
+// refinement (1-dimensional Weisfeiler–Leman on the bipartite row–column
+// graph) with individuation branching on ties. The returned labeling is
+// invariant under row/column permutation: colors are hashes of
+// permutation-invariant structure only, cells are ordered by color value, and
+// ties branch over every cell member keeping the lexicographically smallest
+// serialized matrix, so the result depends on the isomorphism class alone.
+type labeler struct {
+	m, mt  *Matrix
+	budget *int
+}
+
+// canonicalLabel returns rowOrder/colOrder (canonical position → block index)
+// and the canonical serialization of m, or ok=false when the shared budget is
+// exhausted.
+func canonicalLabel(m *Matrix, budget *int) (ser []byte, rowOrder, colOrder []int, ok bool) {
+	l := &labeler{m: m, mt: m.Transpose(), budget: budget}
+	rc := make([]uint64, m.Rows())
+	cc := make([]uint64, m.Cols())
+	for i := range rc {
+		rc[i] = mix64(0xa5a5_1157_0000_0001, uint64(m.Row(i).Ones()))
+	}
+	for j := range cc {
+		cc[j] = mix64(0xc3c3_2291_0000_0002, uint64(l.mt.Row(j).Ones()))
+	}
+	return l.canonical(rc, cc)
+}
+
+func (l *labeler) canonical(rc, cc []uint64) (ser []byte, rowOrder, colOrder []int, ok bool) {
+	*l.budget--
+	if *l.budget < 0 {
+		return nil, nil, nil, false
+	}
+	l.refine(rc, cc)
+
+	isRow, members := chooseCell(rc, cc)
+	if members == nil {
+		// Discrete partition: order rows and columns by color value.
+		rowOrder = argsortByColor(rc)
+		colOrder = argsortByColor(cc)
+		return l.serialize(rowOrder, colOrder), rowOrder, colOrder, true
+	}
+	// Branch: individuate each member of the target cell in turn and keep the
+	// lexicographically smallest canonical form. Iterating members in block
+	// index order is safe — every member is tried, so the minimum over the
+	// branch set is order-independent.
+	for _, v := range members {
+		rc2 := append([]uint64(nil), rc...)
+		cc2 := append([]uint64(nil), cc...)
+		if isRow {
+			rc2[v] = mix64(rc2[v], 0x517e_0000_0000_0003)
+		} else {
+			cc2[v] = mix64(cc2[v], 0x517e_0000_0000_0003)
+		}
+		s, ro, co, bok := l.canonical(rc2, cc2)
+		if !bok {
+			return nil, nil, nil, false
+		}
+		if ser == nil || bytes.Compare(s, ser) < 0 {
+			ser, rowOrder, colOrder = s, ro, co
+		}
+	}
+	return ser, rowOrder, colOrder, true
+}
+
+// refine runs color refinement to a fixpoint: a row's new color folds in the
+// sorted multiset of its 1-columns' colors and vice versa. The distinct-color
+// count is monotone nondecreasing and bounded, so the loop terminates.
+func (l *labeler) refine(rc, cc []uint64) {
+	last := countColors(rc) + countColors(cc)
+	maxIter := len(rc) + len(cc) + 2
+	neigh := make([]uint64, 0, 64)
+	for iter := 0; iter < maxIter; iter++ {
+		nrc := make([]uint64, len(rc))
+		for i := range rc {
+			neigh = neigh[:0]
+			l.m.Row(i).ForEachOne(func(j int) { neigh = append(neigh, cc[j]) })
+			nrc[i] = foldColors(rc[i], neigh)
+		}
+		ncc := make([]uint64, len(cc))
+		for j := range cc {
+			neigh = neigh[:0]
+			l.mt.Row(j).ForEachOne(func(i int) { neigh = append(neigh, nrc[i]) })
+			ncc[j] = foldColors(cc[j], neigh)
+		}
+		copy(rc, nrc)
+		copy(cc, ncc)
+		now := countColors(rc) + countColors(cc)
+		if now == last {
+			return
+		}
+		last = now
+	}
+}
+
+// serialize packs the matrix bits in canonical order, preceded by the
+// dimensions, so serializations are self-delimiting and comparable.
+func (l *labeler) serialize(rowOrder, colOrder []int) []byte {
+	rows, cols := len(rowOrder), len(colOrder)
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint(buf.Write, scratch[:], uint64(rows))
+	writeUvarint(buf.Write, scratch[:], uint64(cols))
+	var acc byte
+	nbits := 0
+	for _, i := range rowOrder {
+		row := l.m.Row(i)
+		for _, j := range colOrder {
+			acc <<= 1
+			if row.Get(j) {
+				acc |= 1
+			}
+			nbits++
+			if nbits == 8 {
+				buf.WriteByte(acc)
+				acc, nbits = 0, 0
+			}
+		}
+	}
+	if nbits > 0 {
+		buf.WriteByte(acc << (8 - nbits))
+	}
+	return buf.Bytes()
+}
+
+// chooseCell picks the branching cell: the smallest color class with more
+// than one member, ties broken by smaller color value, rows before columns.
+// The rule depends only on color values and class sizes, both
+// permutation-invariant. members == nil means the partition is discrete.
+func chooseCell(rc, cc []uint64) (isRow bool, members []int) {
+	bestSize := -1
+	var bestColor uint64
+	consider := func(row bool, color uint64, cell []int) {
+		if len(cell) < 2 {
+			return
+		}
+		if bestSize == -1 || len(cell) < bestSize ||
+			(len(cell) == bestSize && (color < bestColor || (color == bestColor && row && !isRow))) {
+			bestSize, bestColor, isRow, members = len(cell), color, row, cell
+		}
+	}
+	for color, cell := range colorCells(rc) {
+		consider(true, color, cell)
+	}
+	for color, cell := range colorCells(cc) {
+		consider(false, color, cell)
+	}
+	return isRow, members
+}
+
+// colorCells groups indices by color value, members in ascending index order.
+func colorCells(colors []uint64) map[uint64][]int {
+	cells := make(map[uint64][]int)
+	for i, c := range colors {
+		cells[c] = append(cells[c], i)
+	}
+	return cells
+}
+
+// argsortByColor returns indices ordered by ascending color value. Intended
+// for discrete partitions, where colors are pairwise distinct.
+func argsortByColor(colors []uint64) []int {
+	order := make([]int, len(colors))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return colors[order[a]] < colors[order[b]] })
+	return order
+}
+
+func countColors(colors []uint64) int {
+	seen := make(map[uint64]struct{}, len(colors))
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// foldColors hashes a base color with a sorted multiset of neighbour colors.
+// sort.Slice makes the fold independent of neighbour enumeration order, so
+// the result is an isomorphism invariant.
+func foldColors(base uint64, neigh []uint64) uint64 {
+	sort.Slice(neigh, func(a, b int) bool { return neigh[a] < neigh[b] })
+	h := mix64(0x9e3779b97f4a7c15, base)
+	for _, c := range neigh {
+		h = mix64(h, c)
+	}
+	return h
+}
+
+// mix64 is a splitmix64-style mixing step: deterministic, platform-free, and
+// well-spread, so accidental color collisions (which only merge cells and
+// cost branching, never correctness) are vanishingly rare.
+func mix64(h, x uint64) uint64 {
+	h ^= x + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

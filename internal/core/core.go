@@ -178,8 +178,17 @@ type Result struct {
 	TimedOut bool
 	// Canceled reports that the context was canceled mid-solve. The
 	// partition is still valid; the SAT stage of unfinished blocks was
-	// abandoned.
+	// abandoned. Canceled results follow the same stage-timing contract as
+	// complete ones: PackTime covers the heuristic stage (which always
+	// runs), SATTime covers only SAT work actually performed (zero when the
+	// cancellation landed before the SAT stage started).
 	Canceled bool
+	// CacheHit reports that the result was served from a fingerprint cache
+	// (see internal/solvecache) rather than a pipeline run. On cache hits
+	// the solver-stage fields — SATCalls, Conflicts, PackTime, SATTime —
+	// are zeroed rather than replaying the original solve's values: they
+	// describe work this request did, which was none.
+	CacheHit bool
 	// Blocks is the number of connected components the solve decomposed
 	// into (1 when decomposition is disabled or the matrix is connected).
 	Blocks int

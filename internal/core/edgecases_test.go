@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+// TestSolveServiceEdgeShapes covers the decompose/recombine edge cases the
+// serving layer forwards from arbitrary clients: degenerate shapes, matrices
+// that vanish under compression, and duplicate rows spread across different
+// decomposition blocks.
+func TestSolveServiceEdgeShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		m     *bitmat.Matrix
+		depth int
+	}{
+		{"all-zero 3x4", bitmat.New(3, 4), 0},
+		{"all-zero 1x1", bitmat.New(1, 1), 0},
+		{"1x1 one", bitmat.MustParse("1"), 1},
+		{"single row", bitmat.MustParse("10110"), 1},
+		{"single row all ones", bitmat.AllOnes(1, 7), 1},
+		{"single column", bitmat.MustParse("1\n0\n1"), 1},
+		{"two blocks", bitmat.MustParse("1100\n0011"), 2},
+		// Rows 0/1 are duplicates inside block {cols 0,1}; rows 2/3 are
+		// duplicates inside block {cols 2,3}; compression merges within each
+		// block, decomposition must keep the blocks apart and recombination
+		// must restore all four original rows.
+		{"duplicate rows across blocks", bitmat.MustParse("1100\n1100\n0011\n0011"), 2},
+		// Interleaved: duplicate rows of different blocks alternate, so lift
+		// maps cross block boundaries in original index space.
+		{"interleaved duplicates", bitmat.MustParse("1100\n0011\n1100\n0011"), 2},
+		// A zero row inside an otherwise two-block matrix.
+		{"zero row between blocks", bitmat.MustParse("1100\n0000\n0011"), 2},
+	}
+	for _, tc := range cases {
+		for _, disable := range []bool{false, true} {
+			opts := DefaultOptions()
+			opts.DisableDecomposition = disable
+			res, err := Solve(tc.m, opts)
+			if err != nil {
+				t.Fatalf("%s (disableDecomp=%v): %v", tc.name, disable, err)
+			}
+			if res.Depth != tc.depth {
+				t.Errorf("%s (disableDecomp=%v): depth=%d, want %d", tc.name, disable, res.Depth, tc.depth)
+			}
+			if !res.Optimal {
+				t.Errorf("%s (disableDecomp=%v): not optimal", tc.name, disable)
+			}
+			if err := res.Partition.Validate(); err != nil {
+				t.Errorf("%s (disableDecomp=%v): invalid partition: %v", tc.name, disable, err)
+			}
+			if res.Partition.M != tc.m {
+				t.Errorf("%s (disableDecomp=%v): partition not on the request matrix", tc.name, disable)
+			}
+		}
+	}
+}
+
+// TestRecombineDuplicateRowsAcrossBlocks pins the lift maps: every original
+// duplicate row must appear in exactly the rectangles of its representative,
+// in every block.
+func TestRecombineDuplicateRowsAcrossBlocks(t *testing.T) {
+	m := bitmat.MustParse("1100\n0011\n1100\n0011\n1100")
+	res, err := Solve(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 2 || !res.Optimal {
+		t.Fatalf("depth=%d optimal=%v, want 2/true", res.Depth, res.Optimal)
+	}
+	assign := res.Partition.Assignment()
+	// Rows 0, 2, 4 share a rectangle; rows 1, 3 share the other.
+	if assign[[2]int{0, 0}] != assign[[2]int{2, 0}] || assign[[2]int{0, 0}] != assign[[2]int{4, 0}] {
+		t.Fatalf("duplicate rows of block 0 landed in different rectangles")
+	}
+	if assign[[2]int{1, 2}] != assign[[2]int{3, 2}] {
+		t.Fatalf("duplicate rows of block 1 landed in different rectangles")
+	}
+}

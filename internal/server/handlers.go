@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/wire"
+)
+
+// routes wires the v1 API onto the mux.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+}
+
+// handleSolve answers POST /v1/solve: decode, admit, budget, solve, encode.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.met.solveRequests.Add(1)
+	var req wire.SolveRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	m, err := s.requestMatrix(&req)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	res, status, err := s.solveOne(r.Context(), m, &req)
+	if err != nil {
+		s.met.countRejection(status)
+		writeJSON(w, status, wire.ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleBatch answers POST /v1/batch: every item goes through the same
+// admission gate as a standalone solve (so a batch cannot bypass
+// backpressure), items run concurrently up to the server-wide limit, and the
+// response preserves request order with per-item errors.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.batchRequests.Add(1)
+	var req wire.BatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.badRequest(w, errors.New("empty batch"))
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		s.met.rejectedBatch.Add(1)
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			wire.ErrorResponse{Error: "batch exceeds limit"})
+		return
+	}
+	resp := wire.BatchResponse{Results: make([]wire.BatchItem, len(req.Requests))}
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			item := &req.Requests[i]
+			s.met.solveRequests.Add(1)
+			m, err := s.requestMatrix(item)
+			if err != nil {
+				s.met.badRequests.Add(1)
+				resp.Results[i] = wire.BatchItem{Error: err.Error()}
+				return
+			}
+			res, status, err := s.solveOne(r.Context(), m, item)
+			if err != nil {
+				s.met.countRejection(status)
+				resp.Results[i] = wire.BatchItem{Error: err.Error()}
+				return
+			}
+			resp.Results[i] = wire.BatchItem{Result: res}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveOne runs the admission + budget + cached-solve path shared by the
+// solve and batch handlers. On error the returned status is the HTTP code
+// the failure maps to.
+func (s *Server) solveOne(ctx context.Context, m *bitmat.Matrix, req *wire.SolveRequest) (*wire.ResultJSON, int, error) {
+	opts, timeout, err := req.Options.Apply(*s.cfg.Options)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	opts, timeout = s.solveBudgets(opts, timeout)
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			return nil, http.StatusTooManyRequests, errors.New("solve queue full, retry later")
+		case errors.Is(err, errDraining):
+			return nil, http.StatusServiceUnavailable, errors.New("server draining")
+		default: // client went away while queued
+			return nil, statusClientClosedRequest, err
+		}
+	}
+	defer release()
+
+	solveCtx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		solveCtx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	t0 := time.Now()
+	res, fp, err := s.cache.SolveContextKeyed(solveCtx, m, opts)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	s.met.observeSolve(res, time.Since(t0))
+	return wire.FromResult(res, fp), http.StatusOK, nil
+}
+
+// statusClientClosedRequest mirrors nginx's non-standard 499 for requests
+// abandoned while queued; the client is gone, the code is for the logs.
+const statusClientClosedRequest = 499
+
+// handleHealthz answers GET /v1/healthz: 200 while serving, 503 once
+// draining so load balancers stop routing new work here.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":    state,
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+// handleMetrics answers GET /v1/metrics with the counter snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// decode reads one JSON body within the configured size cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	return nil
+}
+
+// requestMatrix parses and size-checks one request's matrix.
+func (s *Server) requestMatrix(req *wire.SolveRequest) (*bitmat.Matrix, error) {
+	m, err := req.ParseMatrix()
+	if err != nil {
+		return nil, err
+	}
+	if m.Rows()*m.Cols() > s.cfg.MaxMatrixEntries {
+		return nil, errors.New("matrix exceeds size limit")
+	}
+	return m, nil
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.met.badRequests.Add(1)
+	writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

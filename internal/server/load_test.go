@@ -1,0 +1,95 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/wire"
+)
+
+// TestLoadConcurrentPermutationsSingleSolve is the subsystem's acceptance
+// test: 64 concurrent requests, each a different row/column permutation of
+// one matrix, must all succeed with the same optimal depth while the
+// fingerprint + singleflight machinery performs exactly one underlying
+// pipeline solve.
+func TestLoadConcurrentPermutationsSingleSolve(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxQueue: 256})
+	m := bitmat.MustParse(fig1b)
+	rng := rand.New(rand.NewSource(2024))
+
+	const n = 64
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		rp, cp := rng.Perm(m.Rows()), rng.Perm(m.Cols())
+		p := bitmat.New(m.Rows(), m.Cols())
+		m.ForEachOne(func(r, c int) { p.Set(rp[r], cp[c], true) })
+		data, err := json.Marshal(wire.SolveRequest{Matrix: p.String()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = data
+	}
+
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: n}
+	var wg sync.WaitGroup
+	depths := make([]int, n)
+	hits := make([]bool, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := client.Post(ts.URL+"/v1/solve", "application/json",
+				bytes.NewReader(bodies[i]))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var res wire.ResultJSON
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = &statusError{code: resp.StatusCode}
+				return
+			}
+			depths[i] = res.Depth
+			hits[i] = res.CacheHit
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	misses := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if depths[i] != 5 {
+			t.Fatalf("request %d: depth %d, want 5", i, depths[i])
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d responses were not cache/singleflight hits, want exactly 1 (the leader)", misses)
+	}
+	if st := s.Cache().Stats(); st.Solves != 1 {
+		t.Fatalf("underlying pipeline ran %d times for %d concurrent permutations, want 1", st.Solves, n)
+	}
+}
+
+type statusError struct{ code int }
+
+func (e *statusError) Error() string { return http.StatusText(e.code) }

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/solvecache"
+)
+
+// metrics holds the service counters. All fields are atomics so the handlers
+// never serialize on a stats lock; the snapshot is eventually consistent
+// across fields, which is fine for monitoring.
+type metrics struct {
+	solveRequests  atomic.Int64
+	batchRequests  atomic.Int64
+	badRequests    atomic.Int64
+	rejectedQueue  atomic.Int64
+	rejectedDrain  atomic.Int64
+	rejectedBatch  atomic.Int64
+	clientGone     atomic.Int64
+	internalErrors atomic.Int64
+
+	solves     atomic.Int64
+	optimal    atomic.Int64
+	timedOut   atomic.Int64
+	canceled   atomic.Int64
+	totalNS    atomic.Int64
+	maxNS      atomic.Int64
+	packNS     atomic.Int64
+	satNS      atomic.Int64
+	satCalls   atomic.Int64
+	conflicts  atomic.Int64
+	depthTotal atomic.Int64
+}
+
+// countRejection buckets a failed solveOne by its HTTP status.
+func (m *metrics) countRejection(status int) {
+	switch status {
+	case http.StatusTooManyRequests:
+		m.rejectedQueue.Add(1)
+	case http.StatusServiceUnavailable:
+		m.rejectedDrain.Add(1)
+	case statusClientClosedRequest:
+		m.clientGone.Add(1)
+	case http.StatusBadRequest:
+		m.badRequests.Add(1)
+	default:
+		m.internalErrors.Add(1)
+	}
+}
+
+// observeSolve records one completed solve and its wall-clock latency.
+// Per-stage times come from the Result itself (zero on cache hits by the
+// Result.CacheHit contract), so the stage split mirrors actual work done.
+func (m *metrics) observeSolve(res *core.Result, wall time.Duration) {
+	m.solves.Add(1)
+	m.totalNS.Add(wall.Nanoseconds())
+	for {
+		cur := m.maxNS.Load()
+		if wall.Nanoseconds() <= cur || m.maxNS.CompareAndSwap(cur, wall.Nanoseconds()) {
+			break
+		}
+	}
+	m.packNS.Add(res.PackTime.Nanoseconds())
+	m.satNS.Add(res.SATTime.Nanoseconds())
+	m.satCalls.Add(int64(res.SATCalls))
+	m.conflicts.Add(res.Conflicts)
+	m.depthTotal.Add(int64(res.Depth))
+	if res.Optimal {
+		m.optimal.Add(1)
+	}
+	if res.TimedOut {
+		m.timedOut.Add(1)
+	}
+	if res.Canceled {
+		m.canceled.Add(1)
+	}
+}
+
+// MetricsSnapshot is the GET /v1/metrics response body.
+type MetricsSnapshot struct {
+	UptimeMS int64            `json:"uptime_ms"`
+	Requests RequestMetrics   `json:"requests"`
+	Solves   SolveMetrics     `json:"solves"`
+	Queue    QueueMetrics     `json:"queue"`
+	Cache    solvecache.Stats `json:"cache"`
+	HitRate  float64          `json:"cache_hit_rate"`
+}
+
+// RequestMetrics counts requests by disposition.
+type RequestMetrics struct {
+	Solve          int64 `json:"solve"`
+	Batch          int64 `json:"batch"`
+	Bad            int64 `json:"bad"`
+	RejectedQueue  int64 `json:"rejected_queue_full"`
+	RejectedDrain  int64 `json:"rejected_draining"`
+	RejectedBatch  int64 `json:"rejected_batch_size"`
+	ClientGone     int64 `json:"client_gone"`
+	InternalErrors int64 `json:"internal_errors"`
+}
+
+// SolveMetrics aggregates completed solves, with the per-stage split carried
+// over from Result timings.
+type SolveMetrics struct {
+	Completed  int64 `json:"completed"`
+	Optimal    int64 `json:"optimal"`
+	TimedOut   int64 `json:"timed_out"`
+	Canceled   int64 `json:"canceled"`
+	TotalNS    int64 `json:"total_ns"`
+	AvgNS      int64 `json:"avg_ns"`
+	MaxNS      int64 `json:"max_ns"`
+	PackNS     int64 `json:"pack_ns"`
+	SATNS      int64 `json:"sat_ns"`
+	SATCalls   int64 `json:"sat_calls"`
+	Conflicts  int64 `json:"conflicts"`
+	DepthTotal int64 `json:"depth_total"`
+}
+
+// QueueMetrics reports the admission-control state.
+type QueueMetrics struct {
+	Depth         int64 `json:"depth"`
+	Running       int   `json:"running"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	MaxQueue      int   `json:"max_queue"`
+}
+
+func (s *Server) metricsSnapshot() MetricsSnapshot {
+	m := &s.met
+	snap := MetricsSnapshot{
+		UptimeMS: time.Since(s.started).Milliseconds(),
+		Requests: RequestMetrics{
+			Solve:          m.solveRequests.Load(),
+			Batch:          m.batchRequests.Load(),
+			Bad:            m.badRequests.Load(),
+			RejectedQueue:  m.rejectedQueue.Load(),
+			RejectedDrain:  m.rejectedDrain.Load(),
+			RejectedBatch:  m.rejectedBatch.Load(),
+			ClientGone:     m.clientGone.Load(),
+			InternalErrors: m.internalErrors.Load(),
+		},
+		Solves: SolveMetrics{
+			Completed:  m.solves.Load(),
+			Optimal:    m.optimal.Load(),
+			TimedOut:   m.timedOut.Load(),
+			Canceled:   m.canceled.Load(),
+			TotalNS:    m.totalNS.Load(),
+			MaxNS:      m.maxNS.Load(),
+			PackNS:     m.packNS.Load(),
+			SATNS:      m.satNS.Load(),
+			SATCalls:   m.satCalls.Load(),
+			Conflicts:  m.conflicts.Load(),
+			DepthTotal: m.depthTotal.Load(),
+		},
+		Queue: QueueMetrics{
+			Depth:         s.queued.Load(),
+			Running:       len(s.sem),
+			MaxConcurrent: s.cfg.MaxConcurrent,
+			MaxQueue:      s.cfg.MaxQueue,
+		},
+		Cache: s.cache.Stats(),
+	}
+	if snap.Solves.Completed > 0 {
+		snap.Solves.AvgNS = snap.Solves.TotalNS / snap.Solves.Completed
+	}
+	snap.HitRate = snap.Cache.HitRate()
+	return snap
+}

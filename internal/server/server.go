@@ -1,0 +1,226 @@
+// Package server implements the ebmfd solve service: an HTTP JSON API over
+// the cached solve pipeline.
+//
+//	POST /v1/solve    one matrix in, one wire.ResultJSON out
+//	POST /v1/batch    several matrices, results in request order
+//	GET  /v1/healthz  liveness (503 while draining)
+//	GET  /v1/metrics  counters: solves, cache hit rate, queue, latencies
+//
+// Three service concerns live here, in front of internal/solvecache:
+//
+//   - Admission control. At most MaxConcurrent solves run at once; up to
+//     MaxQueue more may wait. Anything beyond that is rejected immediately
+//     with 429 — a solve is CPU-bound, so letting requests pile up only
+//     converts overload into timeouts. Waiting requests abort when the
+//     client disconnects.
+//   - Budget mapping. Per-request timeout/conflict budgets (clamped to
+//     configured maxima) become a context deadline and core.Options for
+//     that request; the deadline starts after admission, so queueing time
+//     is not billed against the solve.
+//   - Draining. BeginDrain flips the server to reject new work (healthz
+//     turns 503 so balancers stop routing); in-flight solves finish and are
+//     flushed by http.Server.Shutdown.
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/solvecache"
+)
+
+// Config tunes the service. The zero value means "all defaults".
+type Config struct {
+	// CacheCapacity is the result-cache entry cap (solvecache.DefaultCapacity
+	// when <= 0).
+	CacheCapacity int
+	// MaxConcurrent bounds solves running at once (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a solve slot (default 64;
+	// negative means no waiting — reject unless a slot is free).
+	MaxQueue int
+	// DefaultTimeout applies when a request asks for no timeout (default
+	// 30s; negative means no default deadline).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps per-request timeouts (default 2m).
+	MaxTimeout time.Duration
+	// MaxConflictBudget clamps per-request conflict budgets; 0 keeps the
+	// base options' budget as the ceiling semantics-free (no clamp).
+	MaxConflictBudget int64
+	// MaxBodyBytes caps request bodies (default 4 MiB).
+	MaxBodyBytes int64
+	// MaxMatrixEntries caps rows×cols of a submitted matrix (default 1<<20).
+	MaxMatrixEntries int
+	// MaxBatch caps the number of requests in one batch (default 64).
+	MaxBatch int
+	// Options is the base solver configuration (default: core defaults with
+	// a 2M conflict budget — an unbudgeted exact solver must not be exposed
+	// to arbitrary clients).
+	Options *core.Options
+	// Logger receives one line per request (default: discard).
+	Logger *log.Logger
+}
+
+// DefaultConflictBudget bounds SAT conflicts for requests that do not ask
+// for a budget, matching the ebmf CLI default.
+const DefaultConflictBudget = 2_000_000
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.DefaultTimeout < 0 {
+		c.DefaultTimeout = 0
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.MaxMatrixEntries <= 0 {
+		c.MaxMatrixEntries = 1 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Options == nil {
+		opts := core.DefaultOptions()
+		opts.ConflictBudget = DefaultConflictBudget
+		c.Options = &opts
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Server is the ebmfd HTTP service. Create with New; serve via Handler.
+type Server struct {
+	cfg      Config
+	cache    *solvecache.Cache
+	sem      chan struct{} // MaxConcurrent tokens; holding one = solving
+	queued   atomic.Int64  // requests waiting for a token
+	draining atomic.Bool
+	started  time.Time
+	mux      *http.ServeMux
+	met      metrics
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   solvecache.New(cfg.CacheCapacity),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.logged(s.mux) }
+
+// Cache exposes the underlying result cache (stats, test hooks).
+func (s *Server) Cache() *solvecache.Cache { return s.cache }
+
+// BeginDrain makes the server reject new work with 503 (and healthz report
+// draining) while in-flight solves complete. Pair with http.Server.Shutdown,
+// which waits for the in-flight handlers.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Admission control errors.
+var (
+	errQueueFull = errors.New("server: queue full")
+	errDraining  = errors.New("server: draining")
+)
+
+// admit acquires a solve slot, waiting in the bounded queue if necessary.
+// The returned release function must be called when the solve finishes. ctx
+// should be the request context, so a disconnected client leaves the queue.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return s.release, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, errQueueFull
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return s.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// solveBudgets resolves the effective options and deadline for one request's
+// wire options: defaults overlaid, then clamped to the configured maxima.
+func (s *Server) solveBudgets(opts core.Options, timeout time.Duration) (core.Options, time.Duration) {
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	if s.cfg.MaxConflictBudget > 0 &&
+		(opts.ConflictBudget <= 0 || opts.ConflictBudget > s.cfg.MaxConflictBudget) {
+		opts.ConflictBudget = s.cfg.MaxConflictBudget
+	}
+	if timeout > 0 {
+		opts.TimeBudget = timeout
+	}
+	return opts, timeout
+}
+
+// logged is the request-logging middleware: one line per request with
+// method, path, status and duration.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.cfg.Logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(t0).Round(time.Microsecond))
+	})
+}
+
+// statusWriter records the response status for the logging middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

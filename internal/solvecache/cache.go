@@ -1,0 +1,304 @@
+// Package solvecache puts a canonicalizing result cache in front of the core
+// solve pipeline. Requests are keyed by the matrix's canonical fingerprint
+// (bitmat.ComputeFingerprint), so any two matrices that are equal up to
+// row/column permutation, duplicated rows/columns or zero padding share one
+// cache slot: addressing workloads resubmit the same pattern shuffled, and
+// the cache turns those resubmissions into O(1) lookups plus a lift.
+//
+// Three mechanisms compose:
+//
+//   - LRU result cache. Only proved-optimal, un-interrupted results are
+//     stored: an optimal depth is the binary rank — a property of the matrix
+//     alone — so a cached result is correct for every budget and option set,
+//     while budget-limited results are request-specific and never cached.
+//   - Singleflight. Concurrent requests with the same fingerprint elect one
+//     leader that runs the pipeline on the canonical matrix; everyone else
+//     waits and lifts the leader's result into their own index space. N
+//     identical concurrent requests cost exactly one solve.
+//   - Lifting. Cached partitions live on the canonical matrix. A hit maps
+//     them through the request's Fingerprint (RowMap/ColMap, then the
+//     request's own Compression) and re-validates against the request
+//     matrix, so a corrupted or colliding entry degrades to a miss, never to
+//     a wrong answer.
+//
+// Options may differ freely across requests: only proved-optimal results
+// cross request boundaries (from the store or from a singleflight leader),
+// and an optimal result is correct under every option set — its metadata
+// (certificate, lower bounds) reflects the solve that produced it. A
+// non-optimal leader result is never shared; followers fall back to solving
+// with their own options.
+package solvecache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/rect"
+)
+
+// DefaultCapacity is the entry capacity used when New is given cap <= 0.
+const DefaultCapacity = 1024
+
+// Cache is a fingerprint-keyed solve cache. It is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *entry
+	byKey    map[string]*list.Element
+	flights  map[string]*flight
+
+	stats Stats
+}
+
+// entry is one cached canonical-space result. Immutable once stored.
+type entry struct {
+	key string
+	res *core.Result // Partition indexes the canonical matrix
+}
+
+// flight is one in-progress leader solve that followers wait on. res/err are
+// written before done is closed and read only after it is closed.
+type flight struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts requests served from the LRU store.
+	Hits int64 `json:"hits"`
+	// SharedHits counts requests that waited on an in-flight identical solve
+	// and shared its result (singleflight followers).
+	SharedHits int64 `json:"shared_hits"`
+	// Misses counts requests that led a pipeline solve.
+	Misses int64 `json:"misses"`
+	// Uncacheable counts requests whose fingerprint exceeded the
+	// canonicalization budget and bypassed the cache entirely.
+	Uncacheable int64 `json:"uncacheable"`
+	// Solves counts core pipeline runs issued through the cache (misses,
+	// uncacheable bypasses, and canceled-waiter fallbacks).
+	Solves int64 `json:"solves"`
+	// Stores counts results inserted into the LRU (optimal, uninterrupted).
+	Stores int64 `json:"stores"`
+	// Evictions counts LRU entries displaced by capacity pressure.
+	Evictions int64 `json:"evictions"`
+	// LiftFailures counts cache entries that failed re-validation against
+	// the request matrix and degraded to a miss (hash collision insurance;
+	// expected to stay 0).
+	LiftFailures int64 `json:"lift_failures"`
+	// Entries is the current number of cached results.
+	Entries int `json:"entries"`
+}
+
+// HitRate returns the fraction of fingerprinted requests served without a
+// fresh pipeline run.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.SharedHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.SharedHits) / float64(total)
+}
+
+// New returns a cache holding up to capacity results (DefaultCapacity when
+// capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}
+
+// Solve is SolveContext with a background context.
+func (c *Cache) Solve(m *bitmat.Matrix, opts core.Options) (*core.Result, error) {
+	return c.SolveContext(context.Background(), m, opts)
+}
+
+// SolveContext solves m through the cache: fingerprint, LRU lookup,
+// singleflight, and only then a pipeline run on the canonical matrix. The
+// result contract matches core.SolveContext — a valid partition is always
+// returned — with Result.CacheHit set (and solver-stage stats zeroed) when
+// no pipeline work was done for this request.
+func (c *Cache) SolveContext(ctx context.Context, m *bitmat.Matrix, opts core.Options) (*core.Result, error) {
+	res, _, err := c.SolveContextKeyed(ctx, m, opts)
+	return res, err
+}
+
+// SolveContextKeyed is SolveContext that additionally returns the matrix's
+// canonical fingerprint hash ("" when canonicalization exceeded its budget
+// and the request bypassed the cache).
+func (c *Cache) SolveContextKeyed(ctx context.Context, m *bitmat.Matrix, opts core.Options) (*core.Result, string, error) {
+	if m == nil {
+		return nil, "", core.ErrNilMatrix
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fp := bitmat.ComputeFingerprint(m)
+	if !fp.Exact {
+		c.count(func(s *Stats) { s.Uncacheable++; s.Solves++ })
+		res, err := core.SolveContext(ctx, m, opts)
+		return res, "", err
+	}
+
+	for {
+		c.mu.Lock()
+		if el, ok := c.byKey[fp.Hash]; ok {
+			c.lru.MoveToFront(el)
+			e := el.Value.(*entry)
+			c.stats.Hits++
+			c.mu.Unlock()
+			res, err := liftResult(e.res, fp, m, true)
+			if err == nil {
+				return res, fp.Hash, nil
+			}
+			// Collision insurance: drop the entry and solve for real.
+			c.invalidate(fp.Hash, el)
+			continue
+		}
+		if f, ok := c.flights[fp.Hash]; ok {
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				// Honour the SolveContext contract without waiting on the
+				// leader: the pipeline on an already-canceled context still
+				// returns a valid heuristic partition, marked Canceled.
+				c.count(func(s *Stats) { s.Solves++ })
+				res, err := core.SolveContext(ctx, m, opts)
+				return res, fp.Hash, err
+			case <-f.done:
+			}
+			if f.err != nil {
+				return nil, fp.Hash, f.err
+			}
+			if !cacheable(f.res) {
+				// The leader's result is request-specific (budget-limited,
+				// canceled, or heuristic-only under its options). Sharing it
+				// could hand this request a weaker answer than its own
+				// options would produce — loop and solve with them instead.
+				continue
+			}
+			c.count(func(s *Stats) { s.SharedHits++ })
+			if res, err := liftResult(f.res, fp, m, true); err == nil {
+				return res, fp.Hash, nil
+			}
+			c.count(func(s *Stats) { s.LiftFailures++ })
+			continue
+		}
+		// Lead a solve of the canonical matrix.
+		f := &flight{done: make(chan struct{})}
+		c.flights[fp.Hash] = f
+		c.stats.Misses++
+		c.stats.Solves++
+		c.mu.Unlock()
+
+		res, err := core.SolveContext(ctx, fp.Canonical, opts)
+		c.mu.Lock()
+		delete(c.flights, fp.Hash)
+		if err == nil && cacheable(res) {
+			c.store(fp.Hash, res)
+		}
+		c.mu.Unlock()
+		f.res, f.err = res, err
+		close(f.done)
+
+		if err != nil {
+			return nil, fp.Hash, err
+		}
+		lifted, err := liftResult(res, fp, m, false)
+		return lifted, fp.Hash, err
+	}
+}
+
+// cacheable reports whether a canonical-space result may be stored: only
+// proved-optimal, uninterrupted results are budget-independent facts about
+// the matrix.
+func cacheable(res *core.Result) bool {
+	return res.Optimal && !res.TimedOut && !res.Canceled
+}
+
+// store inserts a canonical-space result, evicting from the LRU tail.
+// Caller holds c.mu.
+func (c *Cache) store(key string, res *core.Result) {
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*entry).res = res
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&entry{key: key, res: res})
+	c.stats.Stores++
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.byKey, tail.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// invalidate removes a failed entry (if still present) and counts it.
+func (c *Cache) invalidate(key string, el *list.Element) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.LiftFailures++
+	if cur, ok := c.byKey[key]; ok && cur == el {
+		c.lru.Remove(el)
+		delete(c.byKey, key)
+	}
+}
+
+func (c *Cache) count(fn func(*Stats)) {
+	c.mu.Lock()
+	fn(&c.stats)
+	c.mu.Unlock()
+}
+
+// liftResult maps a canonical-space result onto the request matrix: each
+// rectangle's rows/columns map through the fingerprint's canonical→reduced
+// index maps, then the partition lifts through the request's compression
+// record, and the lifted partition is re-validated against m. hit marks the
+// result as cache-served, zeroing the solver-stage stats (they describe work
+// this request did not do).
+func liftResult(res *core.Result, fp *bitmat.Fingerprint, m *bitmat.Matrix, hit bool) (*core.Result, error) {
+	red := fp.Comp.Reduced
+	reduced := rect.NewPartition(red)
+	for _, r := range res.Partition.Rects {
+		nr := rect.NewRect(red.Rows(), red.Cols())
+		r.Rows.ForEachOne(func(i int) { nr.Rows.Set(fp.RowMap[i], true) })
+		r.Cols.ForEachOne(func(j int) { nr.Cols.Set(fp.ColMap[j], true) })
+		reduced.Add(nr)
+	}
+	lifted := rect.Lift(fp.Comp, m, reduced)
+	if err := lifted.Validate(); err != nil {
+		return nil, fmt.Errorf("solvecache: lifted partition invalid: %w", err)
+	}
+	out := *res
+	out.Partition = lifted
+	out.Depth = lifted.Depth()
+	if hit {
+		out.CacheHit = true
+		out.SATCalls = 0
+		out.Conflicts = 0
+		out.PackTime = 0
+		out.SATTime = 0
+	}
+	return &out, nil
+}

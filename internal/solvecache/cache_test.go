@@ -1,0 +1,352 @@
+package solvecache
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+)
+
+const fig1b = `101100
+010011
+101010
+010101
+111000
+000111`
+
+func permute(m *bitmat.Matrix, rng *rand.Rand) *bitmat.Matrix {
+	rp := rng.Perm(m.Rows())
+	cp := rng.Perm(m.Cols())
+	out := bitmat.New(m.Rows(), m.Cols())
+	m.ForEachOne(func(i, j int) { out.Set(rp[i], cp[j], true) })
+	return out
+}
+
+func TestCacheHitOnResubmission(t *testing.T) {
+	c := New(0)
+	m := bitmat.MustParse(fig1b)
+	opts := core.DefaultOptions()
+
+	r1, err := c.Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatalf("first solve flagged as cache hit")
+	}
+	if !r1.Optimal || r1.Depth != 5 {
+		t.Fatalf("fig1b: depth=%d optimal=%v, want 5/true", r1.Depth, r1.Optimal)
+	}
+
+	r2, err := c.Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatalf("identical resubmission missed the cache")
+	}
+	if r2.Depth != r1.Depth || !r2.Optimal {
+		t.Fatalf("cached result depth=%d optimal=%v, want %d/true", r2.Depth, r2.Optimal, r1.Depth)
+	}
+	if r2.SATCalls != 0 || r2.Conflicts != 0 || r2.PackTime != 0 || r2.SATTime != 0 {
+		t.Fatalf("cache hit did not zero solver-stage stats: %+v", r2)
+	}
+	if err := r2.Partition.Validate(); err != nil {
+		t.Fatalf("cached partition invalid: %v", err)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Solves != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 solve", s)
+	}
+}
+
+func TestCacheHitOnPermutedResubmission(t *testing.T) {
+	c := New(0)
+	opts := core.DefaultOptions()
+	m := bitmat.MustParse(fig1b)
+	r1, err := c.Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		p := permute(m, rng)
+		r2, err := c.Solve(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r2.CacheHit {
+			t.Fatalf("trial %d: permuted resubmission missed", trial)
+		}
+		if r2.Depth != r1.Depth {
+			t.Fatalf("trial %d: depth %d != %d", trial, r2.Depth, r1.Depth)
+		}
+		if r2.Partition.M != p {
+			t.Fatalf("trial %d: partition not lifted onto the request matrix", trial)
+		}
+		if err := r2.Partition.Validate(); err != nil {
+			t.Fatalf("trial %d: lifted partition invalid: %v", trial, err)
+		}
+	}
+	if s := c.Stats(); s.Solves != 1 {
+		t.Fatalf("permuted resubmissions triggered %d solves, want 1", s.Solves)
+	}
+}
+
+func TestCacheHitOnDuplicatedAndPaddedResubmission(t *testing.T) {
+	c := New(0)
+	opts := core.DefaultOptions()
+	m := bitmat.MustParse(fig1b)
+	if _, err := c.Solve(m, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate every row and add zero columns: same canonical form, and the
+	// lifted partition must cover the doubled matrix.
+	rows := m.ToRows()
+	var dup [][]int
+	for _, r := range rows {
+		wide := append(append([]int{0}, r...), 0)
+		dup = append(dup, wide, wide)
+	}
+	big := bitmat.FromRows(dup)
+	r, err := c.Solve(big, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit {
+		t.Fatalf("duplicated/padded resubmission missed the cache")
+	}
+	if err := r.Partition.Validate(); err != nil {
+		t.Fatalf("lifted partition invalid: %v", err)
+	}
+	if r.Depth != 5 {
+		t.Fatalf("depth = %d, want 5 (duplication preserves binary rank)", r.Depth)
+	}
+}
+
+func TestCacheDoesNotStoreBudgetLimitedResults(t *testing.T) {
+	c := New(0)
+	opts := core.DefaultOptions()
+	opts.ConflictBudget = 1 // guarantees TimedOut before optimality on fig1b
+	opts.FoolingBudget = 0
+	opts.Packing.Trials = 1
+	opts.Packing.SkipTranspose = true
+	m := bitmat.MustParse(fig1b)
+	r, err := c.Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Optimal && !r.TimedOut {
+		t.Skip("budget unexpectedly sufficed; nothing to assert")
+	}
+	if s := c.Stats(); s.Stores != 0 {
+		t.Fatalf("budget-limited result was stored: %+v", s)
+	}
+	r2, err := c.Solve(m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Fatalf("second solve hit a cache that should be empty")
+	}
+	if !r2.Optimal {
+		t.Fatalf("unbudgeted solve not optimal")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(2)
+	opts := core.DefaultOptions()
+	ms := []*bitmat.Matrix{
+		bitmat.MustParse("1"),
+		bitmat.MustParse("10\n01"),
+		bitmat.MustParse("110\n011"),
+	}
+	for _, m := range ms {
+		if _, err := c.Solve(m, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", s)
+	}
+	// ms[0] was least recently used and must have been evicted.
+	r, err := c.Solve(ms[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Fatalf("evicted entry served as hit")
+	}
+	r2, err := c.Solve(ms[2], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatalf("recently used entry was evicted")
+	}
+}
+
+func TestSingleflightDeduplicatesConcurrentPermutations(t *testing.T) {
+	c := New(0)
+	opts := core.DefaultOptions()
+	m := bitmat.MustParse(fig1b)
+	rng := rand.New(rand.NewSource(99))
+	const n = 32
+	reqs := make([]*bitmat.Matrix, n)
+	for i := range reqs {
+		reqs[i] = permute(m, rng)
+	}
+	var wg sync.WaitGroup
+	depths := make([]int, n)
+	errs := make([]error, n)
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Solve(reqs[i], opts)
+			if err == nil {
+				depths[i] = res.Depth
+				err = res.Partition.Validate()
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if depths[i] != 5 {
+			t.Fatalf("request %d: depth %d, want 5", i, depths[i])
+		}
+	}
+	if s := c.Stats(); s.Solves != 1 {
+		t.Fatalf("%d concurrent permutations triggered %d solves, want 1", n, s.Solves)
+	}
+}
+
+// TestSingleflightDoesNotShareNonOptimalLeaderResults pins the sharing
+// policy: a follower must not inherit a leader's request-specific
+// (budget-limited / heuristic-only) result — it re-solves with its own
+// options once the flight resolves.
+func TestSingleflightDoesNotShareNonOptimalLeaderResults(t *testing.T) {
+	c := New(0)
+	m := bitmat.MustParse(fig1b)
+	fp := bitmat.ComputeFingerprint(m)
+
+	// Stage an in-progress flight, then have the follower request the same
+	// matrix with full exact options.
+	f := &flight{done: make(chan struct{})}
+	c.mu.Lock()
+	c.flights[fp.Hash] = f
+	c.mu.Unlock()
+
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := c.Solve(m, core.DefaultOptions())
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		t.Fatalf("follower completed before the flight resolved: %+v, %v", o.res, o.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The "leader" finishes with a heuristic-only, non-optimal result on the
+	// canonical matrix (fooling bound disabled so the bound cannot close).
+	badOpts := core.DefaultOptions()
+	badOpts.SkipSAT = true
+	badOpts.FoolingBudget = 0
+	badOpts.Packing.Trials = 1
+	badOpts.Packing.SkipTranspose = true
+	badRes, err := core.Solve(fp.Canonical, badOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badRes.Optimal {
+		t.Skip("heuristic result unexpectedly optimal; nothing to assert")
+	}
+	c.mu.Lock()
+	delete(c.flights, fp.Hash)
+	c.mu.Unlock()
+	f.res, f.err = badRes, nil
+	close(f.done)
+
+	o := <-done
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if o.res.CacheHit {
+		t.Fatalf("follower shared a non-optimal leader result: %+v", o.res)
+	}
+	if !o.res.Optimal || o.res.Depth != 5 {
+		t.Fatalf("follower re-solve: depth=%d optimal=%v, want 5/true", o.res.Depth, o.res.Optimal)
+	}
+}
+
+func TestCacheCanceledContextStillReturnsPartition(t *testing.T) {
+	c := New(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := bitmat.MustParse(fig1b)
+	res, err := c.SolveContext(ctx, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatalf("canceled solve returned invalid partition: %v", err)
+	}
+	if res.Optimal && !res.Canceled {
+		// Small instances can complete optimally before the first
+		// cancellation poll; either outcome must be internally consistent.
+		return
+	}
+	if res.Canceled && res.SATTime != 0 && res.SATCalls == 0 {
+		t.Fatalf("canceled result has SAT time without SAT calls: %+v", res)
+	}
+}
+
+func TestCacheNilMatrix(t *testing.T) {
+	c := New(0)
+	if _, err := c.Solve(nil, core.DefaultOptions()); err != core.ErrNilMatrix {
+		t.Fatalf("err = %v, want ErrNilMatrix", err)
+	}
+}
+
+func TestCacheZeroAndUnitMatrices(t *testing.T) {
+	c := New(0)
+	opts := core.DefaultOptions()
+	for _, m := range []*bitmat.Matrix{bitmat.New(3, 4), bitmat.MustParse("1"), bitmat.New(1, 1)} {
+		r, err := c.Solve(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Partition.Validate(); err != nil {
+			t.Fatalf("partition invalid: %v", err)
+		}
+		if !r.Optimal {
+			t.Fatalf("trivial matrix not optimal")
+		}
+	}
+	// 3×4 and 1×1 zero matrices share a fingerprint: the second zero solve
+	// must be a hit with an empty partition of the right dimensions.
+	r, err := c.Solve(bitmat.New(7, 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit || r.Depth != 0 {
+		t.Fatalf("zero-matrix resubmission: hit=%v depth=%d, want true/0", r.CacheHit, r.Depth)
+	}
+	if r.Partition.M.Rows() != 7 || r.Partition.M.Cols() != 2 {
+		t.Fatalf("partition not lifted onto request dimensions")
+	}
+}

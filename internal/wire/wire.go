@@ -1,0 +1,181 @@
+// Package wire defines the JSON schema shared by the ebmfd service and the
+// ebmf CLI: one request shape (matrix + per-request options) and one result
+// shape (depth, provenance, partition). Keeping it in a single package means
+// a client can drive the CLI and the daemon interchangeably — `ebmf -json`
+// prints exactly what `POST /v1/solve` returns.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+)
+
+// SolveRequest is the body of POST /v1/solve (and one element of a batch).
+// Exactly one of Matrix and Rows must be set.
+type SolveRequest struct {
+	// Matrix is the pattern in text form: rows of '0'/'1' characters
+	// separated by newlines (the bitmat.Parse format).
+	Matrix string `json:"matrix,omitempty"`
+	// Rows is the pattern as explicit 0/1 rows.
+	Rows [][]int `json:"rows,omitempty"`
+	// Options tunes this request; nil means server/CLI defaults.
+	Options *SolveOptions `json:"options,omitempty"`
+}
+
+// SolveOptions is the per-request subset of core.Options exposed on the
+// wire. Zero values mean "use the default".
+type SolveOptions struct {
+	// Trials overrides the row-packing trial count.
+	Trials int `json:"trials,omitempty"`
+	// Encoding selects the CNF compilation: "onehot" (default) or "log".
+	Encoding string `json:"encoding,omitempty"`
+	// ConflictBudget bounds total SAT conflicts (<0 forces unlimited where
+	// the deployment allows it; 0 keeps the default).
+	ConflictBudget int64 `json:"conflict_budget,omitempty"`
+	// TimeoutMS bounds solve wall-clock time in milliseconds.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Heuristic skips the exact SAT stage.
+	Heuristic bool `json:"heuristic,omitempty"`
+}
+
+// ErrNoMatrix is returned when a request carries neither form of the matrix.
+var ErrNoMatrix = errors.New("wire: request has neither \"matrix\" nor \"rows\"")
+
+// ParseMatrix materializes the request's pattern matrix.
+func (r *SolveRequest) ParseMatrix() (*bitmat.Matrix, error) {
+	switch {
+	case r.Matrix != "" && r.Rows != nil:
+		return nil, errors.New("wire: request sets both \"matrix\" and \"rows\"")
+	case r.Matrix != "":
+		return bitmat.Parse(r.Matrix)
+	case r.Rows != nil:
+		for _, row := range r.Rows {
+			if len(row) != len(r.Rows[0]) {
+				return nil, errors.New("wire: ragged \"rows\"")
+			}
+			for _, v := range row {
+				if v != 0 && v != 1 {
+					return nil, fmt.Errorf("wire: non-binary entry %d in \"rows\"", v)
+				}
+			}
+		}
+		return bitmat.FromRows(r.Rows), nil
+	default:
+		return nil, ErrNoMatrix
+	}
+}
+
+// Apply overlays the wire options onto a base configuration and returns the
+// effective core options plus the requested timeout (0 = none requested).
+func (o *SolveOptions) Apply(base core.Options) (core.Options, time.Duration, error) {
+	if o == nil {
+		return base, 0, nil
+	}
+	opts := base
+	if o.Trials > 0 {
+		opts.Packing.Trials = o.Trials
+	}
+	switch o.Encoding {
+	case "": // keep the base configuration's encoding
+	case "onehot":
+		opts.Encoding = core.EncodingOneHot
+	case "log":
+		opts.Encoding = core.EncodingLog
+	default:
+		return opts, 0, fmt.Errorf("wire: unknown encoding %q", o.Encoding)
+	}
+	if o.ConflictBudget != 0 {
+		opts.ConflictBudget = o.ConflictBudget
+		if opts.ConflictBudget < 0 {
+			opts.ConflictBudget = 0 // core convention: <=0 is unlimited
+		}
+	}
+	opts.SkipSAT = opts.SkipSAT || o.Heuristic
+	var timeout time.Duration
+	if o.TimeoutMS > 0 {
+		timeout = time.Duration(o.TimeoutMS) * time.Millisecond
+	}
+	return opts, timeout, nil
+}
+
+// RectJSON is one combinatorial rectangle as explicit index lists.
+type RectJSON struct {
+	Rows []int `json:"rows"`
+	Cols []int `json:"cols"`
+}
+
+// ResultJSON is the wire form of core.Result — the body of a /v1/solve
+// response and of `ebmf -json` output.
+type ResultJSON struct {
+	Depth          int        `json:"depth"`
+	Optimal        bool       `json:"optimal"`
+	Certificate    string     `json:"certificate"`
+	RankLB         int        `json:"rank_lb"`
+	FoolingLB      int        `json:"fooling_lb"`
+	HeuristicDepth int        `json:"heuristic_depth"`
+	Blocks         int        `json:"blocks"`
+	TimedOut       bool       `json:"timed_out,omitempty"`
+	Canceled       bool       `json:"canceled,omitempty"`
+	CacheHit       bool       `json:"cache_hit"`
+	SATCalls       int        `json:"sat_calls"`
+	Conflicts      int64      `json:"conflicts"`
+	PackNS         int64      `json:"pack_ns"`
+	SATNS          int64      `json:"sat_ns"`
+	Fingerprint    string     `json:"fingerprint,omitempty"`
+	Partition      []RectJSON `json:"partition"`
+}
+
+// FromResult converts a solver result to its wire form. fingerprint may be
+// empty (it is filled by layers that computed one).
+func FromResult(res *core.Result, fingerprint string) *ResultJSON {
+	out := &ResultJSON{
+		Depth:          res.Depth,
+		Optimal:        res.Optimal,
+		Certificate:    res.Certificate.String(),
+		RankLB:         res.RankLB,
+		FoolingLB:      res.FoolingLB,
+		HeuristicDepth: res.HeuristicDepth,
+		Blocks:         res.Blocks,
+		TimedOut:       res.TimedOut,
+		Canceled:       res.Canceled,
+		CacheHit:       res.CacheHit,
+		SATCalls:       res.SATCalls,
+		Conflicts:      res.Conflicts,
+		PackNS:         res.PackTime.Nanoseconds(),
+		SATNS:          res.SATTime.Nanoseconds(),
+		Fingerprint:    fingerprint,
+		Partition:      make([]RectJSON, 0, res.Depth),
+	}
+	for _, r := range res.Partition.Rects {
+		out.Partition = append(out.Partition, RectJSON{
+			Rows: r.RowIndices(),
+			Cols: r.ColIndices(),
+		})
+	}
+	return out
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchItem is one element of a batch response: either a result or an error.
+type BatchItem struct {
+	Result *ResultJSON `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// BatchResponse answers a batch in request order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

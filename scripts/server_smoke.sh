@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Smoke test for the ebmfd solve service, run in CI after the unit tests:
+# start the daemon, solve the paper's Fig. 1b instance, resubmit a row/column
+# permutation of it, and assert the permutation comes back with the same
+# depth as a cache hit (the canonical-fingerprint + singleflight contract).
+set -euo pipefail
+
+ADDR=127.0.0.1:18573
+FIG1B='101100\n010011\n101010\n010101\n111000\n000111'
+# Fig. 1b with rows and columns permuted; same canonical fingerprint.
+FIG1B_PERM='110100\n111000\n000111\n001011\n010011\n101100'
+
+go build -o /tmp/ebmfd ./cmd/ebmfd
+/tmp/ebmfd -addr "$ADDR" -quiet &
+PID=$!
+trap 'kill $PID 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  curl -sf "http://$ADDR/v1/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$ADDR/v1/healthz" >/dev/null
+
+R1=$(curl -sf -X POST -d "{\"matrix\":\"$FIG1B\"}" "http://$ADDR/v1/solve")
+R2=$(curl -sf -X POST -d "{\"matrix\":\"$FIG1B_PERM\"}" "http://$ADDR/v1/solve")
+echo "cold:     $R1"
+echo "permuted: $R2"
+
+grep -q '"depth":5' <<<"$R1" || { echo "FAIL: cold solve depth != 5"; exit 1; }
+grep -q '"optimal":true' <<<"$R1" || { echo "FAIL: cold solve not optimal"; exit 1; }
+grep -q '"cache_hit":false' <<<"$R1" || { echo "FAIL: cold solve claims cache hit"; exit 1; }
+grep -q '"depth":5' <<<"$R2" || { echo "FAIL: permuted solve depth != 5"; exit 1; }
+grep -q '"cache_hit":true' <<<"$R2" || { echo "FAIL: permuted resubmission missed the cache"; exit 1; }
+
+FP1=$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$R1")
+FP2=$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$R2")
+[ -n "$FP1" ] && [ "$FP1" = "$FP2" ] || { echo "FAIL: fingerprints differ"; exit 1; }
+
+METRICS=$(curl -sf "http://$ADDR/v1/metrics")
+grep -q '"hits":1' <<<"$METRICS" || { echo "FAIL: metrics report no cache hit"; exit 1; }
+
+# Graceful drain: healthz flips to 503 and the process exits cleanly.
+kill -TERM $PID
+for _ in $(seq 1 100); do
+  kill -0 $PID 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 $PID 2>/dev/null; then
+  echo "FAIL: ebmfd did not drain within 10s"
+  exit 1
+fi
+trap - EXIT
+echo "PASS: server smoke (cold solve, permuted cache hit, drain)"

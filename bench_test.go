@@ -371,20 +371,23 @@ func BenchmarkSolverFig1bUnsat(b *testing.B) {
 // certificates) over the Table I gap suites — the end-to-end number the
 // paper's Table I reports.
 func BenchmarkSAPTableIGap(b *testing.B) {
-	var suite []benchgen.Instance
-	for pairs := 2; pairs <= 5; pairs++ {
-		suite = append(suite, benchgen.GapSuite(14+int64(pairs), 10, 10, []int{pairs}, 5)...)
-	}
-	opts := core.DefaultOptions()
-	opts.FoolingBudget = 0
-	opts.ConflictBudget = 2_000_000
+	ms := eval.GapSuiteMatrices()
+	opts := eval.TableIGapSAPOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, ins := range suite {
-			if _, err := core.Solve(ins.M, opts); err != nil {
-				b.Fatal(err)
-			}
-		}
+		eval.RunGapSuiteSAP(ms, opts)
+	}
+}
+
+// BenchmarkSAPTableIGapPortfolio is the racing twin of SAPTableIGap: the
+// same suite and budgets with a 3-strategy clause-sharing portfolio per
+// block. The gap between the two is what racing buys (or costs) end to end.
+func BenchmarkSAPTableIGapPortfolio(b *testing.B) {
+	ms := eval.GapSuiteMatrices()
+	opts := eval.TableIGapPortfolioOptions(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.RunGapSuiteSAP(ms, opts)
 	}
 }
 

@@ -1,0 +1,170 @@
+// Command benchcheck is the CI bench gate: it parses `go test -bench`
+// output on stdin, matches the measured benchmarks against the committed
+// BENCH_*.json baselines, and fails when the geomean ns/op ratio regresses
+// beyond the threshold. It always prints the comparison table, pass or
+// fail, so the CI log shows the perf trajectory either way.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=3x ./... | \
+//	    benchcheck -baselines BENCH_solver.json,BENCH_server.json
+//
+// Flags:
+//
+//	-baselines F1,F2   baseline snapshot files (default BENCH_solver.json,BENCH_server.json)
+//	-max-regression P  fail when the geomean ratio exceeds 1+P/100 (default 25)
+//	-min-matched N     fail when fewer than N benchmarks matched (default 5,
+//	                   guards against silent name drift turning the gate off)
+//
+// Matching: a benchmark "BenchmarkFoo-8" matches a baseline entry named
+// "Foo" exactly, or — when no exact match exists — a unique baseline entry
+// that "Foo" is a prefix of (so BenchmarkServerColdSolve matches the
+// baseline "ServerColdSolveFig1b"). Benchmarks without a baseline twin and
+// baseline entries without a bench twin are reported and skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type benchEntry struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Iters   int    `json:"iters"`
+}
+
+type benchSnapshot struct {
+	GoVersion string       `json:"go_version"`
+	GOARCH    string       `json:"goarch"`
+	When      string       `json:"when"`
+	Benches   []benchEntry `json:"benches"`
+}
+
+// benchLine matches `BenchmarkName-8   3   12345 ns/op [extra metrics]`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+func main() {
+	baselines := flag.String("baselines", "BENCH_solver.json,BENCH_server.json", "comma-separated baseline snapshot files")
+	maxRegression := flag.Float64("max-regression", 25, "failure threshold for the geomean regression, in percent")
+	minMatched := flag.Int("min-matched", 5, "minimum matched benchmarks for the gate to be meaningful")
+	flag.Parse()
+
+	base := map[string]int64{}
+	for _, path := range strings.Split(*baselines, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		var snap benchSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		for _, b := range snap.Benches {
+			base[b.Name] = b.NsPerOp
+		}
+	}
+	if len(base) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no baseline entries loaded")
+		os.Exit(2)
+	}
+
+	current := map[string]float64{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		if _, dup := current[name]; !dup {
+			order = append(order, name)
+		}
+		current[name] = ns // last measurement wins on -count>1
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+
+	// resolve maps a measured bench name to its baseline entry: exact
+	// match first, unique-prefix fallback second.
+	resolve := func(name string) (string, bool) {
+		if _, ok := base[name]; ok {
+			return name, true
+		}
+		match := ""
+		for bn := range base {
+			if strings.HasPrefix(bn, name) {
+				if match != "" {
+					return "", false // ambiguous
+				}
+				match = bn
+			}
+		}
+		return match, match != ""
+	}
+
+	fmt.Printf("%-36s %14s %14s %7s\n", "benchmark", "baseline ns", "current ns", "ratio")
+	matchedBase := map[string]bool{}
+	logSum, matched := 0.0, 0
+	var unmatched []string
+	for _, name := range order {
+		bn, ok := resolve(name)
+		if !ok {
+			unmatched = append(unmatched, name)
+			continue
+		}
+		ratio := current[name] / float64(base[bn])
+		logSum += math.Log(ratio)
+		matched++
+		matchedBase[bn] = true
+		fmt.Printf("%-36s %14d %14.0f %7.2f\n", bn, base[bn], current[name], ratio)
+	}
+	if len(unmatched) > 0 {
+		sort.Strings(unmatched)
+		fmt.Printf("\nno baseline (skipped): %s\n", strings.Join(unmatched, ", "))
+	}
+	var stale []string
+	for bn := range base {
+		if !matchedBase[bn] {
+			stale = append(stale, bn)
+		}
+	}
+	if len(stale) > 0 {
+		sort.Strings(stale)
+		fmt.Printf("baseline entries not measured: %s\n", strings.Join(stale, ", "))
+	}
+	if matched < *minMatched {
+		fmt.Fprintf(os.Stderr, "benchcheck: only %d benchmarks matched a baseline (need %d) — name drift?\n", matched, *minMatched)
+		os.Exit(1)
+	}
+	geomean := math.Exp(logSum / float64(matched))
+	limit := 1 + *maxRegression/100
+	fmt.Printf("\ngeomean ratio over %d matched benchmarks: %.3f (limit %.2f)\n", matched, geomean, limit)
+	if geomean > limit {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL — geomean regression %.1f%% exceeds %.0f%%\n", 100*(geomean-1), *maxRegression)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: PASS")
+}

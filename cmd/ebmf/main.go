@@ -15,6 +15,11 @@
 //	-timeout D         SAT wall-clock budget, e.g. 30s (default unlimited)
 //	-fooling N         fooling-set node budget, 0 = skip (default 200000)
 //	-heuristic         skip the exact stage
+//	-portfolio K       race K diverse solver strategies per block (0 = off)
+//	-share-clauses     exchange short learnt clauses between racers
+//	-strategies S      comma-separated strategy names (canonical, luby,
+//	                   destructive, no-phase, seq-amo, glue4, no-symbreak,
+//	                   luby-destructive, log); implies -portfolio
 //	-factors           print the H and W factors
 //	-schedule          print the AOD schedule and per-shot frames
 //	-schedule-json F   write the AOD schedule as JSON to F ('-' for stdout)
@@ -34,6 +39,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	ebmf "repro"
@@ -60,6 +67,9 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "SAT wall-clock budget (0 = unlimited)")
 	fooling := flag.Int64("fooling", 200_000, "fooling-set node budget (0 = skip the fooling bound)")
 	heuristic := flag.Bool("heuristic", false, "skip the exact stage")
+	portfolioK := flag.Int("portfolio", 0, "race K diverse solver strategies per block (0 = off)")
+	shareClauses := flag.Bool("share-clauses", false, "exchange short learnt clauses between racers")
+	strategies := flag.String("strategies", "", "comma-separated racing strategy names (implies -portfolio)")
 	factors := flag.Bool("factors", false, "print EBMF factors H and W")
 	schedule := flag.Bool("schedule", false, "print the AOD schedule")
 	schedJSON := flag.String("schedule-json", "", "write the AOD schedule as JSON to this file ('-' for stdout)")
@@ -98,6 +108,11 @@ func run() int {
 		opts.Encoding = core.EncodingLog
 	default:
 		return fail(fmt.Errorf("unknown encoding %q", *encoding))
+	}
+	opts.Portfolio.Size = *portfolioK
+	opts.Portfolio.ShareClauses = *shareClauses
+	if *strategies != "" {
+		opts.Portfolio.Strategies = strings.Split(*strategies, ",")
 	}
 
 	res, err := ebmf.Solve(m, opts)
@@ -148,6 +163,19 @@ func printHuman(m *ebmf.Matrix, res *ebmf.Result, factors bool) {
 	fmt.Printf("effort: pack=%v sat=%v (%d calls, %d conflicts)\n",
 		res.PackTime.Round(time.Microsecond), res.SATTime.Round(time.Microsecond),
 		res.SATCalls, res.Conflicts)
+	if p := res.Portfolio; p != nil {
+		names := make([]string, 0, len(p.Wins))
+		for name := range p.Wins {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var wins []string
+		for _, name := range names {
+			wins = append(wins, fmt.Sprintf("%s:%d", name, p.Wins[name]))
+		}
+		fmt.Printf("race:   wins={%s} cancelled=%d conflicts, shared %d→%d clauses\n",
+			strings.Join(wins, " "), p.LoserConflicts, p.SharedExported, p.SharedImported)
+	}
 	fmt.Print(res.Partition)
 
 	if factors {

@@ -16,7 +16,11 @@
 //	-max-timeout D      clamp for per-request timeouts (default 2m)
 //	-budget N           default/maximum SAT conflict budget (default 2000000)
 //	-max-entries N      reject matrices with more than N cells (default 1048576)
+//	-max-portfolio K    clamp per-request portfolio sizes (default 8, 0/-1 = off)
 //	-quiet              no per-request log lines
+//
+// With -addr ending in :0 the kernel picks a free port; the actual address
+// is printed in the "listening on" log line (scripts parse it from there).
 //
 // Endpoints:
 //
@@ -35,6 +39,7 @@ import (
 	"flag"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,6 +60,7 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "clamp for per-request timeouts")
 	budget := flag.Int64("budget", server.DefaultConflictBudget, "default and maximum SAT conflict budget (0 = unlimited, trusted clients only)")
 	maxEntries := flag.Int("max-entries", 1<<20, "reject matrices with more cells than this")
+	maxPortfolio := flag.Int("max-portfolio", 8, "clamp per-request portfolio sizes (0 or -1 disables racing)")
 	quiet := flag.Bool("quiet", false, "no per-request log lines")
 	flag.Parse()
 
@@ -65,6 +71,9 @@ func main() {
 	}
 	if *queue == 0 {
 		*queue = -1 // Config convention: negative = no waiting
+	}
+	if *maxPortfolio == 0 {
+		*maxPortfolio = -1 // Config convention: 0 = default, negative = off
 	}
 	// -budget is both the default for requests that ask for nothing and the
 	// clamp for requests that ask for more (0 = unlimited, trusted clients
@@ -79,19 +88,26 @@ func main() {
 		MaxTimeout:        *maxTimeout,
 		MaxConflictBudget: *budget,
 		MaxMatrixEntries:  *maxEntries,
+		MaxPortfolio:      *maxPortfolio,
 		Options:           &baseOpts,
 		Logger:            reqLogger,
 	})
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Listen explicitly (instead of ListenAndServe) so -addr :0 works: the
+	// log line reports the port the kernel actually assigned, which is what
+	// scripts/server_smoke.sh parses to avoid port collisions in CI.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (concurrency=%d queue=%d cache=%d)",
-		*addr, *concurrency, *queue, *cache)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logger.Printf("listening on %s (concurrency=%d queue=%d cache=%d max-portfolio=%d)",
+		ln.Addr(), *concurrency, *queue, *cache, *maxPortfolio)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

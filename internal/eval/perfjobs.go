@@ -54,6 +54,47 @@ func NarrowToRank(j SolverJob, incremental, symBreak bool) {
 	}
 }
 
+// TableIGapSAPOptions are the end-to-end SAP options of the perf-tracked
+// Table I gap workload (BenchmarkSAPTableIGap / cmd/timing -json).
+func TableIGapSAPOptions() core.Options {
+	opts := core.DefaultOptions()
+	opts.FoolingBudget = 0
+	opts.ConflictBudget = 2_000_000
+	return opts
+}
+
+// TableIGapPortfolioOptions is the racing twin of TableIGapSAPOptions: the
+// same budgets with a K-strategy portfolio and clause sharing — the perf
+// pair that records what racing buys on the gap suites.
+func TableIGapPortfolioOptions(k int) core.Options {
+	opts := TableIGapSAPOptions()
+	opts.Portfolio.Size = k
+	opts.Portfolio.ShareClauses = true
+	return opts
+}
+
+// GapSuiteMatrices returns the SAPTableIGap instance set (pair counts 2–5,
+// 5 instances each, bench_test seeds).
+func GapSuiteMatrices() []*bitmat.Matrix {
+	var ms []*bitmat.Matrix
+	for pairs := 2; pairs <= 5; pairs++ {
+		for _, ins := range benchgen.GapSuite(14+int64(pairs), 10, 10, []int{pairs}, 5) {
+			ms = append(ms, ins.M)
+		}
+	}
+	return ms
+}
+
+// RunGapSuiteSAP solves every gap-suite matrix under opts, panicking on
+// error (perf workloads must not silently degrade into no-ops).
+func RunGapSuiteSAP(ms []*bitmat.Matrix, opts core.Options) {
+	for _, m := range ms {
+		if _, err := core.Solve(m, opts); err != nil {
+			panic(err)
+		}
+	}
+}
+
 // BlockDiagSAPMatrices is the decomposition perf suite: permuted
 // block-diagonal compositions of four 8×8 gap-2 components. Each instance
 // splits into ≥4 connected components, every component carries an UNSAT

@@ -1,0 +1,81 @@
+package portfolio
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sat"
+)
+
+// Sharing filters (per the racing design): only short glue clauses travel
+// between racers — long or high-LBD clauses cost more to import than they
+// prune, and the exchange is bounded anyway.
+const (
+	// ShareMaxLBD caps the learn-time LBD of exchanged clauses.
+	ShareMaxLBD = 2
+	// ShareMaxLen caps the length of exchanged clauses.
+	ShareMaxLen = 8
+	// defaultExchangeCap is the ring capacity in clauses.
+	defaultExchangeCap = 512
+)
+
+// sharedClause is one immutable exchange entry. Entries are never mutated
+// after publication; the atomic slot pointer store/load pair provides the
+// happens-before edge that makes the literal slice safe to read.
+type sharedClause struct {
+	src  int // publishing racer id, so racers skip their own exports
+	lbd  int
+	lits []sat.Lit
+}
+
+// Exchange is a bounded lock-free multi-producer multi-consumer clause ring.
+// Publishers claim a slot with an atomic counter increment and store an
+// immutable entry pointer; consumers scan forward from a private cursor.
+// The ring intentionally trades completeness for freedom from locks: a slow
+// consumer that gets lapped misses the overwritten clauses, and a consumer
+// may occasionally observe a newer entry in a recycled slot twice — both
+// are harmless, because every published clause is a sound implicate and
+// ImportLearnt normalizes duplicates away.
+type Exchange struct {
+	slots    []atomic.Pointer[sharedClause]
+	head     atomic.Uint64
+	exported atomic.Int64
+}
+
+// NewExchange builds a ring with the given capacity (default 512 when ≤ 0).
+func NewExchange(capacity int) *Exchange {
+	if capacity <= 0 {
+		capacity = defaultExchangeCap
+	}
+	return &Exchange{slots: make([]atomic.Pointer[sharedClause], capacity)}
+}
+
+// Publish copies lits into the ring. src tags the publishing racer. Safe for
+// concurrent use; never blocks.
+func (x *Exchange) Publish(src int, lits []sat.Lit, lbd int) {
+	e := &sharedClause{src: src, lbd: lbd, lits: append([]sat.Lit(nil), lits...)}
+	i := x.head.Add(1) - 1
+	x.slots[i%uint64(len(x.slots))].Store(e)
+	x.exported.Add(1)
+}
+
+// Exported returns the number of clauses ever published.
+func (x *Exchange) Exported() int64 { return x.exported.Load() }
+
+// Collect visits every entry published since cursor that did not originate
+// from racer src, and returns the new cursor. When the consumer has been
+// lapped it resumes at the oldest surviving entry.
+func (x *Exchange) Collect(cursor uint64, src int, fn func(lits []sat.Lit, lbd int)) uint64 {
+	head := x.head.Load()
+	capU := uint64(len(x.slots))
+	if head-cursor > capU {
+		cursor = head - capU
+	}
+	for i := cursor; i < head; i++ {
+		e := x.slots[i%capU].Load()
+		if e == nil || e.src == src {
+			continue
+		}
+		fn(e.lits, e.lbd)
+	}
+	return head
+}

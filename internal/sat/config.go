@@ -1,0 +1,52 @@
+package sat
+
+// Config collects the solver's tunable search heuristics in one value, so
+// callers that build families of differently-configured solvers (the
+// portfolio racer, the ablation benches) can describe a configuration as
+// data instead of a sequence of field pokes. The fields mirror the exported
+// knobs on Solver; NewWithConfig applies them to a fresh solver.
+type Config struct {
+	// DeepMinimize enables recursive learnt-clause minimization.
+	DeepMinimize bool
+	// PhaseSaving reuses each variable's last polarity on decisions.
+	PhaseSaving bool
+	// LBDCap is the glue threshold for reduceDB retention (0 = default 2).
+	LBDCap int
+	// LubyRestarts switches from Glucose LBD restarts to the Luby sequence.
+	LubyRestarts bool
+}
+
+// DefaultConfig is the configuration New uses: deep minimization, phase
+// saving, glue cap 2, Glucose restarts.
+func DefaultConfig() Config {
+	return Config{DeepMinimize: true, PhaseSaving: true, LBDCap: 2}
+}
+
+// ApplyTo writes the configuration onto an existing solver (the way the
+// portfolio racer configures the solver an encoder already built). LBDCap 0
+// keeps the solver's current cap.
+func (cfg Config) ApplyTo(s *Solver) {
+	s.DeepMinimize = cfg.DeepMinimize
+	s.PhaseSaving = cfg.PhaseSaving
+	if cfg.LBDCap > 0 {
+		s.LBDCap = cfg.LBDCap
+	}
+	s.LubyRestarts = cfg.LubyRestarts
+}
+
+// NewWithConfig returns an empty solver with the given heuristics.
+func NewWithConfig(cfg Config) *Solver {
+	s := New()
+	cfg.ApplyTo(s)
+	return s
+}
+
+// ConfigOf snapshots a solver's current heuristic configuration.
+func ConfigOf(s *Solver) Config {
+	return Config{
+		DeepMinimize: s.DeepMinimize,
+		PhaseSaving:  s.PhaseSaving,
+		LBDCap:       s.LBDCap,
+		LubyRestarts: s.LubyRestarts,
+	}
+}

@@ -73,6 +73,8 @@ type Solver struct {
 	proof    *bufio.Writer // DRAT trace (nil when disabled)
 	proofBuf []Lit         // scratch for proof deletions
 
+	learntHook func(lits []Lit, lbd int) // observes every learnt clause
+
 	interrupt     func() bool // polled during search; true stops with Unknown
 	interruptTick uint32      // iteration counter between interrupt polls
 
@@ -143,6 +145,14 @@ func (s *Solver) SetConflictBudget(n int64) { s.budgetConflicts = n }
 // caller installs func() bool { return ctx.Err() != nil }.
 func (s *Solver) SetInterrupt(fn func() bool) { s.interrupt = fn }
 
+// SetLearntHook installs a callback invoked for every clause the solver
+// learns (including units), with the clause's literals and its LBD at learn
+// time. The slice is a scratch buffer reused by the next conflict: the hook
+// must copy what it keeps and must not block — it runs inside the search
+// loop. nil removes the hook. This is the export side of portfolio clause
+// sharing (see internal/portfolio).
+func (s *Solver) SetLearntHook(fn func(lits []Lit, lbd int)) { s.learntHook = fn }
+
 // interruptPollMask spaces interrupt polls: a closure call per propagate
 // round would be measurable on hot UNSAT proofs, so poll every 128 rounds
 // (still sub-millisecond reaction at realistic propagation rates).
@@ -181,41 +191,9 @@ func (s *Solver) AddClause(lits ...Lit) {
 	// A previous Solve may have left the trail at a high decision level
 	// (e.g. after Sat); incremental clause addition happens at the root.
 	s.cancelUntil(0)
-	// Sort + dedupe, drop root-false literals, detect tautologies and
-	// root-true clauses. The scratch buffer and insertion sort keep clause
-	// loading allocation-free (encoders add hundreds of thousands of short
-	// clauses).
-	ls := append(s.addBuf[:0], lits...)
-	s.addBuf = ls
-	if len(ls) > 64 {
-		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
-	} else {
-		for i := 1; i < len(ls); i++ {
-			for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
-				ls[j], ls[j-1] = ls[j-1], ls[j]
-			}
-		}
-	}
-	out := ls[:0]
-	var prev Lit = LitUndef
-	for _, l := range ls {
-		if l.Var() >= s.NumVars() {
-			panic(fmt.Sprintf("sat: literal %v references undeclared variable", l))
-		}
-		if l == prev {
-			continue
-		}
-		if prev != LitUndef && l == prev.Neg() {
-			return // tautology
-		}
-		switch s.value(l) {
-		case lTrue:
-			return // already satisfied at root
-		case lFalse:
-			continue // drop
-		}
-		out = append(out, l)
-		prev = l
+	out, keep := s.prepareClause(lits)
+	if !keep {
+		return
 	}
 	switch len(out) {
 	case 0:
@@ -233,6 +211,94 @@ func (s *Solver) AddClause(lits ...Lit) {
 		s.clauses = append(s.clauses, c)
 		s.attachClause(c)
 	}
+}
+
+// prepareClause normalizes a clause at decision level 0: sort + dedupe, drop
+// root-false literals, detect tautologies and root-satisfied clauses (keep =
+// false means the clause carries no information and must be skipped). The
+// scratch buffer and insertion sort keep clause loading allocation-free
+// (encoders add hundreds of thousands of short clauses); the returned slice
+// aliases s.addBuf and is only valid until the next call.
+func (s *Solver) prepareClause(lits []Lit) (out []Lit, keep bool) {
+	ls := append(s.addBuf[:0], lits...)
+	s.addBuf = ls
+	if len(ls) > 64 {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	} else {
+		for i := 1; i < len(ls); i++ {
+			for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+				ls[j], ls[j-1] = ls[j-1], ls[j]
+			}
+		}
+	}
+	out = ls[:0]
+	var prev Lit = LitUndef
+	for _, l := range ls {
+		if l.Var() >= s.NumVars() {
+			panic(fmt.Sprintf("sat: literal %v references undeclared variable", l))
+		}
+		if l == prev {
+			continue
+		}
+		if prev != LitUndef && l == prev.Neg() {
+			return nil, false // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return nil, false // already satisfied at root
+		case lFalse:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	return out, true
+}
+
+// ImportLearnt installs a clause learned by another solver over the same
+// variable space as a learnt clause of this one, with the given learn-time
+// LBD. It must be called between Solve calls (the interrupt/budget machinery
+// returns with the trail at the root, so importing between conflict chunks
+// of an interrupted search is safe — this is the import side of portfolio
+// clause sharing). The caller is responsible for the clause being an
+// implicate of a formula equisatisfiable with this solver's; the clause
+// lands in the learnt database, so reduceDB may evict it like any other
+// learnt clause (shared clauses at or below LBDCap are glue and survive).
+// It reports whether the clause added any new information (false for
+// tautologies, root-satisfied clauses, and solvers already unsat). Importing
+// is refused while DRAT logging is active: a foreign clause is not derivable
+// from this solver's trace, so recording it would break proof checking.
+func (s *Solver) ImportLearnt(lits []Lit, lbd int) bool {
+	if s.unsatRoot || s.proof != nil {
+		return false
+	}
+	s.cancelUntil(0)
+	out, keep := s.prepareClause(lits)
+	if !keep {
+		return false
+	}
+	switch len(out) {
+	case 0:
+		s.unsatRoot = true
+	case 1:
+		if !s.enqueue(out[0], crefUndef) {
+			s.unsatRoot = true
+			return true
+		}
+		if s.propagate() != crefUndef {
+			s.unsatRoot = true
+		}
+	default:
+		c := s.ca.alloc(out, true)
+		s.ca.setActivity(c, s.claInc)
+		if lbd < 1 {
+			lbd = 1
+		}
+		s.ca.setLBD(c, lbd)
+		s.learnts = append(s.learnts, c)
+		s.attachClause(c)
+	}
+	return true
 }
 
 // attachClause installs the watchers of c: each watched literal's negation
@@ -605,6 +671,9 @@ func (s *Solver) pickBranchVar() Var {
 func (s *Solver) recordLearnt(lits []Lit, lbd int) {
 	s.Learned++
 	s.proofAdd(lits)
+	if s.learntHook != nil {
+		s.learntHook(lits, lbd)
+	}
 	if len(lits) == 1 {
 		// Asserting unit at level 0.
 		if !s.enqueue(lits[0], crefUndef) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -33,6 +34,16 @@ type metrics struct {
 	satCalls   atomic.Int64
 	conflicts  atomic.Int64
 	depthTotal atomic.Int64
+
+	// Portfolio counters. The win map is keyed by dynamic strategy names,
+	// so unlike the counters above it sits behind a small mutex — it is
+	// touched once per raced solve, not per request, so the lock is cold.
+	portfolioSolves    atomic.Int64
+	cancelledConflicts atomic.Int64
+	sharedExports      atomic.Int64
+	sharedImports      atomic.Int64
+	winsMu             sync.Mutex
+	wins               map[string]int64
 }
 
 // countRejection buckets a failed solveOne by its HTTP status.
@@ -77,16 +88,56 @@ func (m *metrics) observeSolve(res *core.Result, wall time.Duration) {
 	if res.Canceled {
 		m.canceled.Add(1)
 	}
+	if p := res.Portfolio; p != nil {
+		m.portfolioSolves.Add(1)
+		m.cancelledConflicts.Add(p.LoserConflicts)
+		m.sharedExports.Add(p.SharedExported)
+		m.sharedImports.Add(p.SharedImported)
+		if len(p.Wins) > 0 {
+			m.winsMu.Lock()
+			if m.wins == nil {
+				m.wins = make(map[string]int64)
+			}
+			for name, n := range p.Wins {
+				m.wins[name] += int64(n)
+			}
+			m.winsMu.Unlock()
+		}
+	}
+}
+
+// portfolioWins snapshots the per-strategy win counters.
+func (m *metrics) portfolioWins() map[string]int64 {
+	m.winsMu.Lock()
+	defer m.winsMu.Unlock()
+	out := make(map[string]int64, len(m.wins))
+	for name, n := range m.wins {
+		out[name] = n
+	}
+	return out
 }
 
 // MetricsSnapshot is the GET /v1/metrics response body.
 type MetricsSnapshot struct {
-	UptimeMS int64            `json:"uptime_ms"`
-	Requests RequestMetrics   `json:"requests"`
-	Solves   SolveMetrics     `json:"solves"`
-	Queue    QueueMetrics     `json:"queue"`
-	Cache    solvecache.Stats `json:"cache"`
-	HitRate  float64          `json:"cache_hit_rate"`
+	UptimeMS  int64            `json:"uptime_ms"`
+	Requests  RequestMetrics   `json:"requests"`
+	Solves    SolveMetrics     `json:"solves"`
+	Portfolio PortfolioMetrics `json:"portfolio"`
+	Queue     QueueMetrics     `json:"queue"`
+	Cache     solvecache.Stats `json:"cache"`
+	HitRate   float64          `json:"cache_hit_rate"`
+}
+
+// PortfolioMetrics aggregates the racing layer's behaviour: which
+// strategies actually win, how much work cancellation throws away, and how
+// much the clause exchange moves.
+type PortfolioMetrics struct {
+	Solves             int64            `json:"solves"`
+	Wins               map[string]int64 `json:"wins"`
+	CancelledConflicts int64            `json:"cancelled_conflicts"`
+	SharedExports      int64            `json:"shared_clause_exports"`
+	SharedImports      int64            `json:"shared_clause_imports"`
+	MaxPortfolio       int              `json:"max_portfolio"`
 }
 
 // RequestMetrics counts requests by disposition.
@@ -152,6 +203,14 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 			SATCalls:   m.satCalls.Load(),
 			Conflicts:  m.conflicts.Load(),
 			DepthTotal: m.depthTotal.Load(),
+		},
+		Portfolio: PortfolioMetrics{
+			Solves:             m.portfolioSolves.Load(),
+			Wins:               m.portfolioWins(),
+			CancelledConflicts: m.cancelledConflicts.Load(),
+			SharedExports:      m.sharedExports.Load(),
+			SharedImports:      m.sharedImports.Load(),
+			MaxPortfolio:       s.cfg.MaxPortfolio,
 		},
 		Queue: QueueMetrics{
 			Depth:         s.queued.Load(),

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/core"
+	"repro/internal/portfolio"
 )
 
 // SolveRequest is the body of POST /v1/solve (and one element of a batch).
@@ -40,6 +41,17 @@ type SolveOptions struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Heuristic skips the exact SAT stage.
 	Heuristic bool `json:"heuristic,omitempty"`
+	// Portfolio races K diverse solver strategies per block (0 keeps the
+	// single-strategy default; servers clamp K to their configured
+	// maximum).
+	Portfolio int `json:"portfolio,omitempty"`
+	// PortfolioStrategies names the racing set explicitly ("canonical"
+	// plus names from portfolio.Names()); empty means a default diverse
+	// set seeded from each block's fingerprint. Setting it implies racing
+	// even when Portfolio is 0.
+	PortfolioStrategies []string `json:"portfolio_strategies,omitempty"`
+	// ShareClauses exchanges short learnt clauses between racers.
+	ShareClauses bool `json:"share_clauses,omitempty"`
 }
 
 // ErrNoMatrix is returned when a request carries neither form of the matrix.
@@ -95,6 +107,19 @@ func (o *SolveOptions) Apply(base core.Options) (core.Options, time.Duration, er
 		}
 	}
 	opts.SkipSAT = opts.SkipSAT || o.Heuristic
+	if o.Portfolio > 0 {
+		opts.Portfolio.Size = o.Portfolio
+	}
+	if len(o.PortfolioStrategies) > 0 {
+		// Validate names here so a typo is a 400, not a mid-solve error.
+		if _, err := portfolio.Resolve(portfolio.Canonical(), o.PortfolioStrategies); err != nil {
+			return opts, 0, err
+		}
+		opts.Portfolio.Strategies = o.PortfolioStrategies
+	}
+	if o.ShareClauses {
+		opts.Portfolio.ShareClauses = true
+	}
 	var timeout time.Duration
 	if o.TimeoutMS > 0 {
 		timeout = time.Duration(o.TimeoutMS) * time.Millisecond
@@ -111,22 +136,37 @@ type RectJSON struct {
 // ResultJSON is the wire form of core.Result — the body of a /v1/solve
 // response and of `ebmf -json` output.
 type ResultJSON struct {
-	Depth          int        `json:"depth"`
-	Optimal        bool       `json:"optimal"`
-	Certificate    string     `json:"certificate"`
-	RankLB         int        `json:"rank_lb"`
-	FoolingLB      int        `json:"fooling_lb"`
-	HeuristicDepth int        `json:"heuristic_depth"`
-	Blocks         int        `json:"blocks"`
-	TimedOut       bool       `json:"timed_out,omitempty"`
-	Canceled       bool       `json:"canceled,omitempty"`
-	CacheHit       bool       `json:"cache_hit"`
-	SATCalls       int        `json:"sat_calls"`
-	Conflicts      int64      `json:"conflicts"`
-	PackNS         int64      `json:"pack_ns"`
-	SATNS          int64      `json:"sat_ns"`
-	Fingerprint    string     `json:"fingerprint,omitempty"`
-	Partition      []RectJSON `json:"partition"`
+	Depth          int            `json:"depth"`
+	Optimal        bool           `json:"optimal"`
+	Certificate    string         `json:"certificate"`
+	RankLB         int            `json:"rank_lb"`
+	FoolingLB      int            `json:"fooling_lb"`
+	HeuristicDepth int            `json:"heuristic_depth"`
+	Blocks         int            `json:"blocks"`
+	TimedOut       bool           `json:"timed_out,omitempty"`
+	Canceled       bool           `json:"canceled,omitempty"`
+	CacheHit       bool           `json:"cache_hit"`
+	SATCalls       int            `json:"sat_calls"`
+	Conflicts      int64          `json:"conflicts"`
+	PackNS         int64          `json:"pack_ns"`
+	SATNS          int64          `json:"sat_ns"`
+	Fingerprint    string         `json:"fingerprint,omitempty"`
+	Portfolio      *PortfolioJSON `json:"portfolio,omitempty"`
+	Partition      []RectJSON     `json:"partition"`
+}
+
+// PortfolioJSON is the wire form of core.PortfolioStats (present only when
+// the solve raced).
+type PortfolioJSON struct {
+	// Wins counts race-round wins per strategy name.
+	Wins map[string]int `json:"wins"`
+	// BlockWinners is the deciding strategy per block, in block order.
+	BlockWinners []string `json:"block_winners"`
+	// CancelledConflicts is the work spent by cancelled racers.
+	CancelledConflicts int64 `json:"cancelled_conflicts"`
+	// SharedClauseExports and SharedClauseImports count exchange traffic.
+	SharedClauseExports int64 `json:"shared_clause_exports"`
+	SharedClauseImports int64 `json:"shared_clause_imports"`
 }
 
 // FromResult converts a solver result to its wire form. fingerprint may be
@@ -149,6 +189,15 @@ func FromResult(res *core.Result, fingerprint string) *ResultJSON {
 		SATNS:          res.SATTime.Nanoseconds(),
 		Fingerprint:    fingerprint,
 		Partition:      make([]RectJSON, 0, res.Depth),
+	}
+	if res.Portfolio != nil {
+		out.Portfolio = &PortfolioJSON{
+			Wins:                res.Portfolio.Wins,
+			BlockWinners:        res.Portfolio.BlockWinners,
+			CancelledConflicts:  res.Portfolio.LoserConflicts,
+			SharedClauseExports: res.Portfolio.SharedExported,
+			SharedClauseImports: res.Portfolio.SharedImported,
+		}
 	}
 	for _, r := range res.Partition.Rects {
 		out.Partition = append(out.Partition, RectJSON{

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI bench gate: run the bench smoke (-benchtime=3x keeps it minutes, not
+# hours) and compare the measured ns/op against the committed BENCH_*.json
+# baselines with cmd/benchcheck. Fails on a >25% geomean regression (or
+# BENCH_MAX_REGRESSION, for runners with known different baselines) and
+# prints the comparison table either way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_REGRESSION="${BENCH_MAX_REGRESSION:-25}"
+OUT=$(mktemp /tmp/bench-gate.XXXXXX.txt)
+
+echo "bench gate: running bench smoke (-benchtime=3x)..."
+go test -run '^$' -bench . -benchtime=3x ./... | tee "$OUT"
+
+echo
+echo "bench gate: comparing against BENCH_solver.json + BENCH_server.json"
+go run ./cmd/benchcheck -max-regression "$MAX_REGRESSION" <"$OUT"

@@ -1,25 +1,51 @@
 #!/usr/bin/env bash
 # Smoke test for the ebmfd solve service, run in CI after the unit tests:
-# start the daemon, solve the paper's Fig. 1b instance, resubmit a row/column
-# permutation of it, and assert the permutation comes back with the same
-# depth as a cache hit (the canonical-fingerprint + singleflight contract).
+# start the daemon on a kernel-assigned free port (so two CI jobs sharing a
+# runner never collide), solve the paper's Fig. 1b instance, resubmit a
+# row/column permutation of it, assert the permutation comes back with the
+# same depth as a cache hit (the canonical-fingerprint + singleflight
+# contract), and exercise the portfolio racing knobs end to end. Any
+# startup timeout fails fast with the daemon's log.
 set -euo pipefail
 
-ADDR=127.0.0.1:18573
 FIG1B='101100\n010011\n101010\n010101\n111000\n000111'
 # Fig. 1b with rows and columns permuted; same canonical fingerprint.
 FIG1B_PERM='110100\n111000\n000111\n001011\n010011\n101100'
 
-go build -o /tmp/ebmfd ./cmd/ebmfd
-/tmp/ebmfd -addr "$ADDR" -quiet &
+LOG=$(mktemp /tmp/ebmfd-smoke.XXXXXX.log)
+go build -o /tmp/ebmfd-smoke ./cmd/ebmfd
+/tmp/ebmfd-smoke -addr 127.0.0.1:0 >"$LOG" 2>&1 &
 PID=$!
 trap 'kill $PID 2>/dev/null || true' EXIT
+
+# The daemon logs the actual address once the listener is up; parse it
+# instead of hardcoding a port.
+ADDR=
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$LOG" | head -1)
+  [ -n "$ADDR" ] && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: ebmfd exited during startup; log follows"
+    cat "$LOG"
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "FAIL: ebmfd did not report a listen address within 10s; log follows"
+  cat "$LOG"
+  exit 1
+fi
 
 for _ in $(seq 1 100); do
   curl -sf "http://$ADDR/v1/healthz" >/dev/null 2>&1 && break
   sleep 0.1
 done
-curl -sf "http://$ADDR/v1/healthz" >/dev/null
+if ! curl -sf "http://$ADDR/v1/healthz" >/dev/null; then
+  echo "FAIL: healthz never came up on $ADDR; log follows"
+  cat "$LOG"
+  exit 1
+fi
 
 R1=$(curl -sf -X POST -d "{\"matrix\":\"$FIG1B\"}" "http://$ADDR/v1/solve")
 R2=$(curl -sf -X POST -d "{\"matrix\":\"$FIG1B_PERM\"}" "http://$ADDR/v1/solve")
@@ -36,8 +62,25 @@ FP1=$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$R1")
 FP2=$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$R2")
 [ -n "$FP1" ] && [ "$FP1" = "$FP2" ] || { echo "FAIL: fingerprints differ"; exit 1; }
 
+# Portfolio racing over the wire, on a matrix whose optimality genuinely
+# needs the SAT stage (8×8, rank 7 < fooling-unreachable depth 8) so the
+# race actually runs and the response must carry racing stats.
+GAP8='10110101\n01101110\n11010011\n00111101\n11101010\n01011101\n10110110\n01101011'
+R3=$(curl -sf -X POST -d "{\"matrix\":\"$GAP8\",\"options\":{\"portfolio\":3,\"share_clauses\":true}}" "http://$ADDR/v1/solve")
+echo "raced:    $R3"
+grep -q '"depth":8' <<<"$R3" || { echo "FAIL: raced solve depth != 8"; exit 1; }
+grep -q '"optimal":true' <<<"$R3" || { echo "FAIL: raced solve not optimal"; exit 1; }
+grep -q '"portfolio":{' <<<"$R3" || { echo "FAIL: raced solve carries no portfolio stats"; exit 1; }
+grep -q '"wins":{"[a-z-]*":' <<<"$R3" || { echo "FAIL: raced solve recorded no strategy wins"; exit 1; }
+
+# An unknown strategy must be a 400, not a 500.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d '{"matrix":"11\n01","options":{"portfolio_strategies":["bogus"]}}' "http://$ADDR/v1/solve")
+[ "$CODE" = "400" ] || { echo "FAIL: bogus strategy returned $CODE, want 400"; exit 1; }
+
 METRICS=$(curl -sf "http://$ADDR/v1/metrics")
 grep -q '"hits":1' <<<"$METRICS" || { echo "FAIL: metrics report no cache hit"; exit 1; }
+grep -q '"portfolio"' <<<"$METRICS" || { echo "FAIL: metrics missing portfolio section"; exit 1; }
 
 # Graceful drain: healthz flips to 503 and the process exits cleanly.
 kill -TERM $PID
@@ -46,8 +89,9 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 if kill -0 $PID 2>/dev/null; then
-  echo "FAIL: ebmfd did not drain within 10s"
+  echo "FAIL: ebmfd did not drain within 10s; log follows"
+  cat "$LOG"
   exit 1
 fi
 trap - EXIT
-echo "PASS: server smoke (cold solve, permuted cache hit, drain)"
+echo "PASS: server smoke (free port, cold solve, permuted cache hit, portfolio, drain)"

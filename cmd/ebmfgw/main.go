@@ -1,0 +1,147 @@
+// Command ebmfgw is the fingerprint-sharded gateway in front of a fleet of
+// ebmfd backends: it computes each request's canonical fingerprint, routes
+// equivalent matrices to the same shard by consistent hashing (so the
+// shard's cache and singleflight deduplicate them fleet-wide), splits
+// batches across shards, and layers a local LRU of proved-optimal results
+// in front of the network. Backends are health-probed, circuit-broken and
+// hedged: a request fails only when every candidate backend refused it.
+//
+// Usage:
+//
+//	ebmfgw -backends http://h1:8421,http://h2:8421 [flags]
+//
+// Flags:
+//
+//	-backends LIST       comma-separated ebmfd base URLs (required)
+//	-addr A              listen address (default :8420)
+//	-hedge-after D       race the next shard after this much silence (default 2s, 0 = off)
+//	-local-cache N       local proved-optimal LRU entries (default 512, 0 = off)
+//	-probe-interval D    healthz probe period (default 2s, 0 = off)
+//	-breaker-fails N     consecutive refusals that open a breaker (default 3)
+//	-breaker-cooldown D  open→half-open delay (default 5s)
+//	-max-inflight N      per-backend in-flight cap (default 256)
+//	-max-entries N       reject matrices with more than N cells (default 1048576)
+//	-quiet               no per-request log lines
+//
+// With -addr ending in :0 the kernel picks a free port; the actual address
+// is printed in the "listening on" log line (scripts parse it from there).
+//
+// Endpoints (the wire schema is identical to ebmfd's, so ebmf/ebmfd clients
+// work unchanged):
+//
+//	POST /v1/solve    routed to the matrix's fingerprint shard
+//	POST /v1/batch    split across shards, merged in request order
+//	GET  /v1/healthz  gateway + fleet liveness
+//	GET  /v1/metrics  gateway counters and per-backend state
+//
+// SIGINT/SIGTERM drains gracefully: healthz flips to 503, new requests are
+// rejected, in-flight forwards finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	backends := flag.String("backends", "", "comma-separated ebmfd base URLs (required)")
+	addr := flag.String("addr", ":8420", "listen address")
+	hedgeAfter := flag.Duration("hedge-after", 2*time.Second, "race the next shard after this much silence (0 = no hedging)")
+	localCache := flag.Int("local-cache", 512, "local proved-optimal result cache entries (0 = off)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "healthz probe period (0 = no probing)")
+	breakerFails := flag.Int("breaker-fails", 3, "consecutive refusals that open a backend's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open breaker cooldown before a half-open trial")
+	maxInflight := flag.Int("max-inflight", 256, "per-backend in-flight request cap")
+	maxEntries := flag.Int("max-entries", 1<<20, "reject matrices with more cells than this")
+	quiet := flag.Bool("quiet", false, "no per-request log lines")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ebmfgw: ", log.LstdFlags)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = log.New(io.Discard, "", 0)
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		logger.Fatal("no backends: pass -backends http://host:port[,http://host:port...]")
+	}
+	// Flag convention: 0 = feature off; Config convention: negative = off.
+	if *hedgeAfter == 0 {
+		*hedgeAfter = -1
+	}
+	if *localCache == 0 {
+		*localCache = -1
+	}
+	if *probeInterval == 0 {
+		*probeInterval = -1
+	}
+	gw, err := cluster.New(cluster.Config{
+		Backends:         urls,
+		HedgeAfter:       *hedgeAfter,
+		LocalCacheSize:   *localCache,
+		ProbeInterval:    *probeInterval,
+		BreakerThreshold: *breakerFails,
+		BreakerCooldown:  *breakerCooldown,
+		MaxInflight:      *maxInflight,
+		MaxMatrixEntries: *maxEntries,
+		Logger:           reqLogger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer gw.Close()
+
+	httpSrv := &http.Server{
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// Listen explicitly (instead of ListenAndServe) so -addr :0 works: the
+	// log line reports the kernel-assigned port, which
+	// scripts/cluster_smoke.sh parses to avoid port collisions in CI.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logger.Printf("listening on %s (backends=%d hedge-after=%v local-cache=%d)",
+		ln.Addr(), len(urls), *hedgeAfter, *localCache)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case s := <-sig:
+		logger.Printf("%v: draining", s)
+		gw.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Fatalf("drain: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("serve: %v", err)
+		}
+		snap := gw.MetricsSnapshot()
+		logger.Printf("drained cleanly (%d solves, %d local hits, %d hedges)",
+			snap.Requests.Solve, snap.Cache.Local.Hits, snap.Routing.Hedges)
+	}
+}

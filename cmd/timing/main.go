@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/benchgen"
 	"repro/internal/bitmat"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/encode"
 	"repro/internal/eval"
@@ -142,14 +143,56 @@ func writeServerBenchJSON(path string) error {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	body, _ := json.Marshal(map[string]string{"matrix": fig1b.String()})
-	post := func() {
-		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	post := func(url string, body []byte) {
+		resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
 		if err != nil {
 			panic(err)
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
+
+	// Gateway workloads: one shard behind ebmfgw, measured once with the
+	// gateway-local LRU serving permuted hits and once forced through to the
+	// shard's fingerprint cache (the extra network hop).
+	newGateway := func(localCache int) (*cluster.Gateway, *httptest.Server, error) {
+		gw, err := cluster.New(cluster.Config{
+			Backends:       []string{ts.URL},
+			ProbeInterval:  -1,
+			HedgeAfter:     -1,
+			LocalCacheSize: localCache,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return gw, httptest.NewServer(gw.Handler()), nil
+	}
+	gwLocal, gwLocalTS, err := newGateway(0)
+	if err != nil {
+		return err
+	}
+	defer gwLocal.Close()
+	defer gwLocalTS.Close()
+	gwProxy, gwProxyTS, err := newGateway(-1)
+	if err != nil {
+		return err
+	}
+	defer gwProxy.Close()
+	defer gwProxyTS.Close()
+	// Pre-marshal a pool of permuted request bodies so the measured op is
+	// the same client work as ServerHTTPCacheHit (post a ready body), not
+	// permutation + JSON encoding.
+	permBodies := make([][]byte, 16)
+	for i := range permBodies {
+		permBodies[i], _ = json.Marshal(map[string]string{"matrix": perm().String()})
+	}
+	var permIdx int
+	nextPermBody := func() []byte {
+		permIdx++
+		return permBodies[permIdx%len(permBodies)]
+	}
+	post(gwLocalTS.URL, body) // warm the local LRU
+	post(gwProxyTS.URL, body) // warm the shard cache through the proxy path
 
 	snap := benchSnapshot{
 		GoVersion: runtime.Version(),
@@ -175,7 +218,9 @@ func writeServerBenchJSON(path string) error {
 					panic("inexact fingerprint")
 				}
 			}),
-			measure("ServerHTTPCacheHit", 200, post),
+			measure("ServerHTTPCacheHit", 200, func() { post(ts.URL, body) }),
+			measure("GatewayLocalCacheHit", 200, func() { post(gwLocalTS.URL, nextPermBody()) }),
+			measure("GatewayProxyCacheHit", 200, func() { post(gwProxyTS.URL, nextPermBody()) }),
 		},
 	}
 	return writeSnapshot(path, snap)

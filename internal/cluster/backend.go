@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breakerState is the per-backend circuit-breaker position.
+type breakerState int
+
+const (
+	// brClosed: requests flow normally; consecutive refusals are counted.
+	brClosed breakerState = iota
+	// brOpen: the backend refused BreakerThreshold requests in a row; skip
+	// it until the cooldown elapses (other shards absorb its keys).
+	brOpen
+	// brHalfOpen: cooldown over; exactly one trial request probes the
+	// backend. Success closes the breaker, failure re-opens it.
+	brHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// backend is the gateway's view of one ebmfd instance: liveness from the
+// healthz probe loop, a circuit breaker fed by request outcomes, and a
+// bounded in-flight semaphore so a stalling backend cannot absorb the
+// gateway's whole connection budget.
+type backend struct {
+	url      string
+	inflight chan struct{} // MaxInflight tokens; holding one = request in flight
+	healthy  atomic.Bool   // updated by the probe loop; optimistic at start
+
+	mu          sync.Mutex
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open trial is in flight
+
+	requests atomic.Int64 // attempts sent (including failures)
+	failures atomic.Int64 // attempts that ended in a refusal
+}
+
+func newBackend(url string, maxInflight int) *backend {
+	b := &backend{url: url, inflight: make(chan struct{}, maxInflight)}
+	b.healthy.Store(true)
+	return b
+}
+
+// available reports, without mutating breaker state, whether this backend is
+// worth trying in the preferred pass: probe-healthy and breaker not
+// rejecting. Used only for candidate ordering; the authoritative (state
+// consuming) gate is allow.
+func (b *backend) available(now time.Time, cooldown time.Duration) bool {
+	if !b.healthy.Load() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true
+	case brOpen:
+		return now.Sub(b.openedAt) >= cooldown
+	default: // brHalfOpen
+		return !b.probing
+	}
+}
+
+// allow is the breaker gate consulted immediately before an attempt. In
+// half-open it admits exactly one trial; open admits nothing until the
+// cooldown converts it to half-open.
+func (b *backend) allow(now time.Time, cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true
+	case brOpen:
+		if now.Sub(b.openedAt) < cooldown {
+			return false
+		}
+		b.state = brHalfOpen
+		b.probing = true
+		return true
+	default: // brHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// absolve releases an attempt's breaker claim without a verdict: the
+// attempt was abandoned by the gateway (hedge rival won, client gone), so
+// it proves nothing about the backend. Without this a canceled half-open
+// trial would leave the probing slot claimed and wedge the breaker.
+func (b *backend) absolve() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == brHalfOpen {
+		b.probing = false
+	}
+}
+
+// report feeds one attempt outcome into the breaker. A success closes it
+// from any state; a failure in half-open (or the threshold-th consecutive
+// failure in closed) opens it.
+func (b *backend) report(ok bool, now time.Time, threshold int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == brHalfOpen {
+		b.probing = false
+	}
+	if ok {
+		b.state = brClosed
+		b.consecFails = 0
+		return
+	}
+	b.consecFails++
+	if b.state == brHalfOpen || b.consecFails >= threshold {
+		b.state = brOpen
+		b.openedAt = now
+	}
+}
+
+// breakerStateNow returns the breaker position for metrics, accounting for
+// an elapsed cooldown (an open breaker past its cooldown reports half-open
+// since the next request will be admitted as a trial).
+func (b *backend) breakerStateNow(now time.Time, cooldown time.Duration) breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == brOpen && now.Sub(b.openedAt) >= cooldown {
+		return brHalfOpen
+	}
+	return b.state
+}
+
+// probeLoop polls GET /v1/healthz every interval until ctx is canceled,
+// flipping the backend's healthy flag. A draining backend answers 503 and is
+// routed around before its listener ever disappears.
+func (g *Gateway) probeLoop(ctx context.Context, b *backend) {
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.probe(ctx, b)
+		}
+	}
+}
+
+func (g *Gateway) probe(ctx context.Context, b *backend) {
+	pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.url+"/v1/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.client.Do(req)
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if err == nil {
+		resp.Body.Close()
+	}
+	if was := b.healthy.Swap(ok); was != ok {
+		g.cfg.Logger.Printf("backend %s: healthy=%v", b.url, ok)
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThresholdAndRecovers(t *testing.T) {
+	b := newBackend("http://x:1", 1)
+	now := time.Now()
+	const threshold = 3
+	const cooldown = time.Second
+
+	for i := 0; i < threshold-1; i++ {
+		if !b.allow(now, cooldown) {
+			t.Fatalf("refusal %d: breaker opened early", i)
+		}
+		b.report(false, now, threshold)
+	}
+	if !b.allow(now, cooldown) {
+		t.Fatalf("breaker open before threshold")
+	}
+	b.report(false, now, threshold)
+
+	// Open: rejects until the cooldown elapses.
+	if b.allow(now, cooldown) {
+		t.Fatalf("open breaker admitted a request")
+	}
+	if st := b.breakerStateNow(now, cooldown); st != brOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+
+	// Cooldown over: exactly one half-open trial at a time.
+	later := now.Add(2 * cooldown)
+	if !b.allow(later, cooldown) {
+		t.Fatalf("half-open trial rejected after cooldown")
+	}
+	if b.allow(later, cooldown) {
+		t.Fatalf("second concurrent half-open trial admitted")
+	}
+	// Trial fails: straight back to open.
+	b.report(false, later, threshold)
+	if b.allow(later, cooldown) {
+		t.Fatalf("breaker closed after a failed trial")
+	}
+
+	// Next trial succeeds: closed again, failure count reset.
+	final := later.Add(2 * cooldown)
+	if !b.allow(final, cooldown) {
+		t.Fatalf("trial rejected after second cooldown")
+	}
+	b.report(true, final, threshold)
+	if st := b.breakerStateNow(final, cooldown); st != brClosed {
+		t.Fatalf("state = %v after successful trial, want closed", st)
+	}
+	for i := 0; i < threshold-1; i++ {
+		if !b.allow(final, cooldown) {
+			t.Fatalf("closed breaker rejected request %d (stale failure count?)", i)
+		}
+		b.report(false, final, threshold)
+	}
+	if !b.allow(final, cooldown) {
+		t.Fatalf("failure count not reset by successful trial")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveFailures(t *testing.T) {
+	b := newBackend("http://x:1", 1)
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		b.report(false, now, 3)
+		b.report(true, now, 3)
+	}
+	if st := b.breakerStateNow(now, time.Second); st != brClosed {
+		t.Fatalf("interleaved failures opened the breaker: %v", st)
+	}
+}

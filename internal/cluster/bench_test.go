@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/server"
+)
+
+func benchMatrix() *bitmat.Matrix {
+	return bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111")
+}
+
+func benchPermutations(m *bitmat.Matrix, n int) [][]byte {
+	rng := rand.New(rand.NewSource(1))
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		body, err := json.Marshal(map[string]string{"matrix": permute(m, rng).String()})
+		if err != nil {
+			panic(err)
+		}
+		bodies[i] = body
+	}
+	return bodies
+}
+
+func benchGateway(b *testing.B, localCache int) (*Gateway, *httptest.Server) {
+	b.Helper()
+	s := server.New(server.Config{})
+	bts := httptest.NewServer(s.Handler())
+	b.Cleanup(bts.Close)
+	gw, err := New(Config{
+		Backends:       []string{bts.URL},
+		ProbeInterval:  -1,
+		HedgeAfter:     -1,
+		LocalCacheSize: localCache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(gw.Close)
+	gts := httptest.NewServer(gw.Handler())
+	b.Cleanup(gts.Close)
+	return gw, gts
+}
+
+func benchPost(b *testing.B, url string, body []byte, wantHit bool) {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	if res.CacheHit != wantHit {
+		b.Fatalf("cache_hit = %v, want %v", res.CacheHit, wantHit)
+	}
+}
+
+// BenchmarkGatewayLocalCacheHit measures a permuted resubmission served
+// entirely from the gateway-local proved-optimal LRU: one HTTP hop,
+// fingerprint + lift, no backend traffic.
+func BenchmarkGatewayLocalCacheHit(b *testing.B) {
+	_, gts := benchGateway(b, 0) // default local cache on
+	m := benchMatrix()
+	bodies := benchPermutations(m, 16)
+	benchPost(b, gts.URL, bodies[0], false) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, gts.URL, bodies[1+i%(len(bodies)-1)], true)
+	}
+}
+
+// BenchmarkGatewayProxyCacheHit measures the same resubmission with the
+// local cache disabled: two HTTP hops (client→gateway→shard), the shard's
+// fingerprint cache doing the work — the steady-state cost of a hit that
+// lands on a gateway that has not seen the pattern.
+func BenchmarkGatewayProxyCacheHit(b *testing.B) {
+	_, gts := benchGateway(b, -1) // local cache off: always forward
+	m := benchMatrix()
+	bodies := benchPermutations(m, 16)
+	benchPost(b, gts.URL, bodies[0], false) // warm the shard cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, gts.URL, bodies[1+i%(len(bodies)-1)], true)
+	}
+}
+
+// BenchmarkGatewayRingCandidates isolates the per-request routing cost.
+func BenchmarkGatewayRingCandidates(b *testing.B) {
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://backend-%d:8421", i)
+	}
+	r := newRing(names)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := r.candidates(keys[i%len(keys)]); len(c) != len(names) {
+			b.Fatal("short candidate list")
+		}
+	}
+}

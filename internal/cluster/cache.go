@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// localCache is the gateway's in-process LRU of proved-optimal results,
+// keyed by canonical fingerprint and stored in canonical index space (the
+// partition indexes fp.Canonical). It sits in front of the network: a hit
+// skips the backend round trip entirely and is lifted onto the request
+// matrix exactly like a solvecache hit. Entries are immutable once stored —
+// hits copy before customizing.
+type localCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *localEntry
+	byKey    map[string]*list.Element
+
+	hits, misses, stores, evictions, liftFailures int64
+}
+
+type localEntry struct {
+	key string
+	res *wire.ResultJSON // canonical-space; never mutated after store
+}
+
+func newLocalCache(capacity int) *localCache {
+	return &localCache{
+		capacity: capacity,
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the canonical-space result for key, refreshing its LRU
+// position. The returned value is shared: callers must copy before mutating.
+func (c *localCache) get(key string) (*wire.ResultJSON, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*localEntry).res, true
+}
+
+// put stores a canonical-space result, evicting from the LRU tail.
+func (c *localCache) put(key string, res *wire.ResultJSON) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*localEntry).res = res
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&localEntry{key: key, res: res})
+	c.stores++
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.byKey, tail.Value.(*localEntry).key)
+		c.evictions++
+	}
+}
+
+// invalidate drops an entry that failed to lift (collision insurance, same
+// policy as solvecache: degrade to a miss, never to a wrong answer).
+func (c *localCache) invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.liftFailures++
+	if el, ok := c.byKey[key]; ok {
+		c.lru.Remove(el)
+		delete(c.byKey, key)
+	}
+}
+
+// LocalCacheStats is the /v1/metrics view of the gateway-local result cache.
+type LocalCacheStats struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Stores       int64 `json:"stores"`
+	Evictions    int64 `json:"evictions"`
+	LiftFailures int64 `json:"lift_failures"`
+	Entries      int   `json:"entries"`
+	Capacity     int   `json:"capacity"`
+}
+
+func (c *localCache) stats() LocalCacheStats {
+	if c == nil {
+		return LocalCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return LocalCacheStats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Stores:       c.stores,
+		Evictions:    c.evictions,
+		LiftFailures: c.liftFailures,
+		Entries:      c.lru.Len(),
+		Capacity:     c.capacity,
+	}
+}

@@ -1,0 +1,536 @@
+// Package cluster implements ebmfgw, the fingerprint-sharded gateway in
+// front of a fleet of ebmfd backends. It speaks the same internal/wire
+// schema on both sides, so ebmf/ebmfd clients work unchanged against it.
+//
+//	POST /v1/solve    routed by canonical fingerprint to one shard
+//	POST /v1/batch    split across shards, merged in request order
+//	GET  /v1/healthz  gateway liveness (+ healthy-backend count)
+//	GET  /v1/metrics  gateway counters + per-backend state
+//
+// The routing insight is that the canonical fingerprint (PR 3) is the
+// perfect shard key: it is invariant under row/column permutation,
+// duplication and zero padding, so permutation-equivalent requests from
+// different users consistently land on the same backend — where its result
+// cache and singleflight deduplicate them. The gateway forwards the
+// *canonical* matrix (not the client's), so equivalent requests present
+// byte-identical bodies to the shard, and lifts the shard's canonical-space
+// partition back onto each client's matrix through the fingerprint maps
+// (solvecache.LiftCanonical), re-validating on the way — a routing or cache
+// bug degrades to an error, never to a wrong answer.
+//
+// Resilience, in front of the routing:
+//
+//   - Health probes: GET /v1/healthz per backend on a fixed interval;
+//     draining or dead backends drop out of the preferred candidate order.
+//   - Circuit breakers: BreakerThreshold consecutive refusals open a
+//     backend's breaker; after BreakerCooldown one half-open trial request
+//     decides whether it closes again.
+//   - Bounded in-flight: at most MaxInflight gateway requests per backend;
+//     excess spills to the next ring position instead of piling up.
+//   - Hedged retry: when the home shard has not answered within HedgeAfter,
+//     the same request is raced against the next ring position (safe
+//     because results are deterministic — see DESIGN.md §10); an outright
+//     refusal advances immediately. A request fails only when every
+//     candidate backend has refused it.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/solvecache"
+	"repro/internal/wire"
+)
+
+// Config tunes the gateway. Backends is required; everything else defaults.
+type Config struct {
+	// Backends are the ebmfd base URLs (e.g. "http://10.0.0.7:8421") that
+	// form the consistent-hash ring.
+	Backends []string
+	// HedgeAfter is how long the home shard may stay silent before the
+	// request is raced against the next ring position (default 2s; negative
+	// disables hedging — failover then happens only on outright refusal).
+	HedgeAfter time.Duration
+	// LocalCacheSize bounds the gateway-local LRU of proved-optimal results
+	// (default 512 entries; negative disables the local cache).
+	LocalCacheSize int
+	// ProbeInterval is the healthz probe period (default 2s; negative
+	// disables probing — backends then stay optimistically healthy and only
+	// breakers shed them).
+	ProbeInterval time.Duration
+	// BreakerThreshold is the consecutive-refusal count that opens a
+	// backend's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before admitting
+	// one half-open trial (default 5s).
+	BreakerCooldown time.Duration
+	// MaxInflight bounds concurrent gateway requests per backend (default
+	// 256); excess spills to the next ring position.
+	MaxInflight int
+	// MaxBodyBytes caps request bodies (default 4 MiB, matching ebmfd).
+	MaxBodyBytes int64
+	// MaxRespBytes caps backend response bodies read by the gateway
+	// (default 64 MiB — large partitions are index lists).
+	MaxRespBytes int64
+	// MaxMatrixEntries caps rows×cols of a submitted matrix (default 1<<20).
+	MaxMatrixEntries int
+	// MaxBatch caps the number of requests in one batch (default 64).
+	MaxBatch int
+	// Client issues the backend requests (default: a dedicated client with
+	// per-host keep-alive pools and no global timeout — deadlines come from
+	// request contexts and hedging).
+	Client *http.Client
+	// Logger receives health transitions and one line per request (default:
+	// discard).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 2 * time.Second
+	}
+	if c.LocalCacheSize == 0 {
+		c.LocalCacheSize = 512
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.MaxRespBytes <= 0 {
+		c.MaxRespBytes = 64 << 20
+	}
+	if c.MaxMatrixEntries <= 0 {
+		c.MaxMatrixEntries = 1 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Gateway is the ebmfgw HTTP service. Create with New; serve via Handler;
+// stop the probe loops with Close.
+type Gateway struct {
+	cfg      Config
+	client   *http.Client
+	backends []*backend
+	ring     *ring
+	cache    *localCache // nil when disabled
+	mux      *http.ServeMux
+	draining atomic.Bool
+	started  time.Time
+	stop     context.CancelFunc
+	met      gwMetrics
+}
+
+// New builds a gateway over cfg.Backends and starts its health-probe loops.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends configured")
+	}
+	urls := make([]string, len(cfg.Backends))
+	for i, u := range cfg.Backends {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("cluster: empty backend URL at position %d", i)
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls[i] = u
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		client:  cfg.Client,
+		ring:    newRing(urls),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	for _, u := range urls {
+		g.backends = append(g.backends, newBackend(u, cfg.MaxInflight))
+	}
+	if cfg.LocalCacheSize > 0 {
+		g.cache = newLocalCache(cfg.LocalCacheSize)
+	}
+	g.routes()
+	ctx, cancel := context.WithCancel(context.Background())
+	g.stop = cancel
+	if cfg.ProbeInterval > 0 {
+		for _, b := range g.backends {
+			go g.probeLoop(ctx, b)
+		}
+	}
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.logged(g.mux) }
+
+// Close stops the health-probe loops. In-flight requests are unaffected.
+func (g *Gateway) Close() { g.stop() }
+
+// BeginDrain makes the gateway reject new work with 503 (healthz flips so
+// balancers stop routing here). Pair with http.Server.Shutdown.
+func (g *Gateway) BeginDrain() { g.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+func (g *Gateway) routes() {
+	g.mux.HandleFunc("POST /v1/solve", g.handleSolve)
+	g.mux.HandleFunc("POST /v1/batch", g.handleBatch)
+	g.mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding: candidate order, attempts, hedged failover.
+
+// Attempt-classification sentinels; all of them mean "this backend refused,
+// try the next one".
+var (
+	errInflightFull = errors.New("cluster: backend at in-flight limit")
+	errBreakerOpen  = errors.New("cluster: breaker open")
+	errAllRefused   = errors.New("cluster: every candidate backend refused the request")
+)
+
+// fwdResult is one backend attempt's outcome. An attempt is authoritative
+// when the backend produced an answer the gateway should relay (2xx, or a
+// 4xx other than 429 — a different shard would answer identically); it is a
+// refusal when the backend is unreachable, overloaded (429), draining (503)
+// or failing (5xx).
+type fwdResult struct {
+	status  int
+	body    []byte
+	err     error
+	backend *backend
+}
+
+func (r fwdResult) authoritative() bool {
+	return r.err == nil && r.status < 500 && r.status != http.StatusTooManyRequests
+}
+
+// attempt sends one request to one backend, feeding the breaker and
+// in-flight bookkeeping. force bypasses the breaker gate (last-resort pass:
+// a request may only be failed once every candidate truly refused it).
+func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload []byte, force bool) fwdResult {
+	select {
+	case b.inflight <- struct{}{}:
+		defer func() { <-b.inflight }()
+	default:
+		g.met.inflightSpills.Add(1)
+		return fwdResult{err: errInflightFull, backend: b}
+	}
+	if !force && !b.allow(time.Now(), g.cfg.BreakerCooldown) {
+		return fwdResult{err: errBreakerOpen, backend: b}
+	}
+	b.requests.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(payload))
+	if err != nil {
+		return fwdResult{err: err, backend: b}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The gateway abandoned this attempt (a hedge rival won, or the
+			// client went away) — that says nothing about the backend's
+			// health, so it must not feed the breaker: penalizing won races
+			// would open breakers on perfectly healthy shards and destroy
+			// the cache-affinity routing. Slow-but-alive backends are the
+			// probe loop's problem, not the breaker's.
+			b.absolve()
+			return fwdResult{err: err, backend: b}
+		}
+		b.failures.Add(1)
+		b.report(false, time.Now(), g.cfg.BreakerThreshold)
+		return fwdResult{err: err, backend: b}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxRespBytes))
+	if err != nil {
+		if ctx.Err() != nil {
+			b.absolve()
+			return fwdResult{err: err, backend: b}
+		}
+		b.failures.Add(1)
+		b.report(false, time.Now(), g.cfg.BreakerThreshold)
+		return fwdResult{err: err, backend: b}
+	}
+	out := fwdResult{status: resp.StatusCode, body: body, backend: b}
+	ok := out.authoritative()
+	if !ok {
+		b.failures.Add(1)
+	}
+	b.report(ok, time.Now(), g.cfg.BreakerThreshold)
+	return out
+}
+
+// candidateOrder is the ring walk for key, partitioned into available
+// backends first (probe-healthy, breaker admitting) and the rest as a
+// last-resort tail. Relative ring order is preserved within each part, so
+// the home shard stays first whenever it is up.
+func (g *Gateway) candidateOrder(key string) (order []*backend, forceFrom int) {
+	idxs := g.ring.candidates(key)
+	now := time.Now()
+	var preferred, rest []*backend
+	for _, i := range idxs {
+		b := g.backends[i]
+		if b.available(now, g.cfg.BreakerCooldown) {
+			preferred = append(preferred, b)
+		} else {
+			rest = append(rest, b)
+		}
+	}
+	return append(preferred, rest...), len(preferred)
+}
+
+// forward runs the hedged failover loop: try candidates in ring order,
+// advancing immediately on refusal and racing the next candidate after
+// HedgeAfter of silence. The first authoritative answer wins and cancels
+// the rest. Safe to re-execute on several shards because solve results are
+// deterministic functions of the matrix (DESIGN.md §10).
+func (g *Gateway) forward(ctx context.Context, key, path string, payload []byte) fwdResult {
+	order, forceFrom := g.candidateOrder(key)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan fwdResult, len(order))
+	next := 0
+	launch := func() bool {
+		if next >= len(order) {
+			return false
+		}
+		b, force := order[next], next >= forceFrom
+		next++
+		go func() { results <- g.attempt(ctx, b, path, payload, force) }()
+		return true
+	}
+	launch()
+	pending := 1
+
+	hedge := time.NewTimer(hedgeDelay(g.cfg.HedgeAfter))
+	defer hedge.Stop()
+
+	var lastRefusal fwdResult
+	for pending > 0 {
+		select {
+		case r := <-results:
+			pending--
+			if r.authoritative() {
+				return r
+			}
+			lastRefusal = r
+			if launch() {
+				pending++
+				g.met.failovers.Add(1)
+				hedge.Reset(hedgeDelay(g.cfg.HedgeAfter))
+			}
+		case <-hedge.C:
+			if launch() {
+				pending++
+				g.met.hedges.Add(1)
+			}
+			hedge.Reset(hedgeDelay(g.cfg.HedgeAfter))
+		case <-ctx.Done():
+			return fwdResult{err: ctx.Err()}
+		}
+	}
+	if lastRefusal.err == nil && lastRefusal.status != 0 {
+		// Every candidate refused but at least one answered (429/5xx):
+		// relay the most recent refusal so the client sees the fleet's
+		// actual state (e.g. everyone draining → 503).
+		return lastRefusal
+	}
+	if lastRefusal.err == nil {
+		lastRefusal.err = errAllRefused
+	}
+	return lastRefusal
+}
+
+// hedgeDelay maps the HedgeAfter config (negative = off) onto a timer
+// duration, using an effectively-infinite delay when hedging is disabled.
+func hedgeDelay(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 24 * time.Hour
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Solve path.
+
+// solveItem is one request's routing state, shared by the solve and batch
+// paths.
+type solveItem struct {
+	req     *wire.SolveRequest
+	m       *bitmat.Matrix
+	fp      *bitmat.Fingerprint
+	exact   bool // canonical form usable: route + lift through fp
+	payload wire.SolveRequest
+}
+
+// prepare fingerprints one parsed request and decides its forwarding form:
+// canonical matrix for exact fingerprints (so equivalent requests present
+// byte-identical bodies to the shard), the original request otherwise. A
+// degenerate canonical form (all-zero matrix → 0×0) is forwarded as-is:
+// backends handle it, and its fingerprint still pins the shard.
+func prepare(req *wire.SolveRequest, m *bitmat.Matrix) *solveItem {
+	it := &solveItem{req: req, m: m, fp: bitmat.ComputeFingerprint(m)}
+	it.exact = it.fp.Exact && it.fp.Canonical.Rows() > 0 && it.fp.Canonical.Cols() > 0
+	if it.exact {
+		it.payload = wire.SolveRequest{Matrix: it.fp.Canonical.String(), Options: req.Options}
+	} else {
+		it.payload = *req
+	}
+	return it
+}
+
+// liftJSON maps a canonical-space wire result onto the item's request
+// matrix. hit marks the result as locally cache-served, zeroing the
+// solver-stage stats like every other cache layer does.
+func (it *solveItem) liftJSON(canon *wire.ResultJSON, hit bool) (*wire.ResultJSON, error) {
+	rects := make([]solvecache.RectIndices, len(canon.Partition))
+	for i, r := range canon.Partition {
+		rects[i] = solvecache.RectIndices{Rows: r.Rows, Cols: r.Cols}
+	}
+	p, err := solvecache.LiftCanonical(it.fp, it.m, rects)
+	if err != nil {
+		return nil, err
+	}
+	out := *canon
+	out.Fingerprint = it.fp.Hash
+	out.Depth = p.Depth()
+	out.Partition = make([]wire.RectJSON, 0, p.Depth())
+	for _, r := range p.Rects {
+		out.Partition = append(out.Partition, wire.RectJSON{Rows: r.RowIndices(), Cols: r.ColIndices()})
+	}
+	if hit {
+		out.CacheHit = true
+		out.SATCalls = 0
+		out.Conflicts = 0
+		out.PackNS = 0
+		out.SATNS = 0
+		out.Portfolio = nil
+	}
+	return &out, nil
+}
+
+// cacheableJSON mirrors solvecache's store policy: only proved-optimal,
+// uninterrupted results are facts about the matrix that every later request
+// may reuse.
+func cacheableJSON(res *wire.ResultJSON) bool {
+	return res.Optimal && !res.TimedOut && !res.Canceled
+}
+
+// solveOne routes one prepared item: local cache, then the hedged forward
+// to its fingerprint shard, then lifting. It returns the HTTP status and
+// the response value to encode (a *wire.ResultJSON or wire.ErrorResponse),
+// or raw bytes to relay verbatim.
+func (g *Gateway) solveOne(ctx context.Context, it *solveItem) (int, any, []byte) {
+	if it.exact && g.cache != nil {
+		if canon, ok := g.cache.get(it.fp.Hash); ok {
+			if res, err := it.liftJSON(canon, true); err == nil {
+				g.met.localHits.Add(1)
+				return http.StatusOK, res, nil
+			}
+			g.cache.invalidate(it.fp.Hash)
+		}
+	}
+	payload, err := json.Marshal(&it.payload)
+	if err != nil {
+		return http.StatusInternalServerError, wire.ErrorResponse{Error: err.Error()}, nil
+	}
+	fr := g.forward(ctx, it.fp.Hash, "/v1/solve", payload)
+	if fr.err != nil {
+		if ctx.Err() != nil {
+			return statusClientClosedRequest, wire.ErrorResponse{Error: ctx.Err().Error()}, nil
+		}
+		g.met.failed.Add(1)
+		return http.StatusBadGateway, wire.ErrorResponse{Error: fmt.Sprintf("all backends refused: %v", fr.err)}, nil
+	}
+	if fr.status != http.StatusOK {
+		// Authoritative non-200 (or everyone-refused 429/503/5xx): relay the
+		// backend's structured error body and status unchanged.
+		if fr.status >= 500 || fr.status == http.StatusTooManyRequests {
+			g.met.failed.Add(1)
+		}
+		return fr.status, nil, fr.body
+	}
+	if !it.exact {
+		g.met.relayed.Add(1)
+		return http.StatusOK, nil, fr.body
+	}
+	var canon wire.ResultJSON
+	if err := json.Unmarshal(fr.body, &canon); err != nil {
+		g.met.failed.Add(1)
+		return http.StatusBadGateway, wire.ErrorResponse{Error: fmt.Sprintf("bad backend response: %v", err)}, nil
+	}
+	if canon.CacheHit {
+		g.met.remoteHits.Add(1)
+	}
+	res, err := it.liftJSON(&canon, false)
+	if err != nil {
+		g.met.failed.Add(1)
+		return http.StatusBadGateway, wire.ErrorResponse{Error: err.Error()}, nil
+	}
+	if g.cache != nil && cacheableJSON(&canon) {
+		g.cache.put(it.fp.Hash, &canon)
+	}
+	return http.StatusOK, res, nil
+}
+
+// statusClientClosedRequest mirrors ebmfd's use of nginx's non-standard 499
+// for requests whose client went away mid-flight.
+const statusClientClosedRequest = 499
+
+// logged is the request-logging middleware (same shape as ebmfd's).
+func (g *Gateway) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		g.cfg.Logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(t0).Round(time.Microsecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

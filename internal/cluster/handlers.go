@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/bitmat"
+	"repro/internal/wire"
+)
+
+// handleSolve answers POST /v1/solve: decode, fingerprint, route, lift.
+func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
+	g.met.solveRequests.Add(1)
+	if g.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "gateway draining"})
+		return
+	}
+	var req wire.SolveRequest
+	if err := g.decode(w, r, &req); err != nil {
+		g.badRequest(w, err)
+		return
+	}
+	m, err := g.requestMatrix(&req)
+	if err != nil {
+		g.badRequest(w, err)
+		return
+	}
+	status, v, raw := g.solveOne(r.Context(), prepare(&req, m))
+	if raw != nil {
+		relayJSON(w, status, raw)
+		return
+	}
+	writeJSON(w, status, v)
+}
+
+// handleBatch answers POST /v1/batch: fingerprint every item, serve local
+// hits, group the rest by home shard, forward one sub-batch per shard
+// concurrently (each with the full failover machinery), and merge the
+// responses in request order.
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	g.met.batchRequests.Add(1)
+	if g.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "gateway draining"})
+		return
+	}
+	var req wire.BatchRequest
+	if err := g.decode(w, r, &req); err != nil {
+		g.badRequest(w, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		g.badRequest(w, errors.New("empty batch"))
+		return
+	}
+	if len(req.Requests) > g.cfg.MaxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			wire.ErrorResponse{Error: "batch exceeds limit"})
+		return
+	}
+
+	resp := wire.BatchResponse{Results: make([]wire.BatchItem, len(req.Requests))}
+	// Per-shard sub-batches: position i of shard s's sub-batch is the
+	// request at original index groups[s].idx[i].
+	type group struct {
+		items []*solveItem
+		idx   []int
+	}
+	groups := make(map[int]*group)
+	for i := range req.Requests {
+		item := &req.Requests[i]
+		m, err := g.requestMatrix(item)
+		if err != nil {
+			resp.Results[i] = wire.BatchItem{Error: err.Error()}
+			continue
+		}
+		it := prepare(item, m)
+		if it.exact && g.cache != nil {
+			if canon, ok := g.cache.get(it.fp.Hash); ok {
+				if res, err := it.liftJSON(canon, true); err == nil {
+					g.met.localHits.Add(1)
+					resp.Results[i] = wire.BatchItem{Result: res}
+					continue
+				}
+				g.cache.invalidate(it.fp.Hash)
+			}
+		}
+		home := g.ring.candidates(it.fp.Hash)[0]
+		gr := groups[home]
+		if gr == nil {
+			gr = &group{}
+			groups[home] = gr
+		}
+		gr.items = append(gr.items, it)
+		gr.idx = append(gr.idx, i)
+	}
+
+	var wg sync.WaitGroup
+	for _, gr := range groups {
+		wg.Add(1)
+		go func(gr *group) {
+			defer wg.Done()
+			sub := wire.BatchRequest{Requests: make([]wire.SolveRequest, len(gr.items))}
+			for i, it := range gr.items {
+				sub.Requests[i] = it.payload
+			}
+			payload, err := json.Marshal(&sub)
+			if err != nil {
+				g.failGroup(resp.Results, gr.idx, err)
+				return
+			}
+			// Route the sub-batch by its first item's fingerprint: the group
+			// was formed by that key's home shard, and failover order follows
+			// the same ring walk.
+			fr := g.forward(r.Context(), gr.items[0].fp.Hash, "/v1/batch", payload)
+			if fr.err != nil {
+				g.met.failed.Add(1)
+				g.failGroup(resp.Results, gr.idx, fmt.Errorf("all backends refused: %w", fr.err))
+				return
+			}
+			if fr.status != http.StatusOK {
+				g.met.failed.Add(1)
+				g.failGroup(resp.Results, gr.idx, fmt.Errorf("backend %s: %s", fr.backend.url, errorBody(fr.body)))
+				return
+			}
+			var subResp wire.BatchResponse
+			if err := json.Unmarshal(fr.body, &subResp); err != nil || len(subResp.Results) != len(gr.items) {
+				g.met.failed.Add(1)
+				g.failGroup(resp.Results, gr.idx, fmt.Errorf("bad backend batch response from %s", fr.backend.url))
+				return
+			}
+			for i, item := range subResp.Results {
+				it, orig := gr.items[i], gr.idx[i]
+				if item.Result == nil || !it.exact {
+					if item.Result != nil {
+						g.met.relayed.Add(1)
+					}
+					resp.Results[orig] = item
+					continue
+				}
+				if item.Result.CacheHit {
+					g.met.remoteHits.Add(1)
+				}
+				res, err := it.liftJSON(item.Result, false)
+				if err != nil {
+					g.met.failed.Add(1)
+					resp.Results[orig] = wire.BatchItem{Error: err.Error()}
+					continue
+				}
+				if g.cache != nil && cacheableJSON(item.Result) {
+					g.cache.put(it.fp.Hash, item.Result)
+				}
+				resp.Results[orig] = wire.BatchItem{Result: res}
+			}
+		}(gr)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// failGroup marks every item of a sub-batch with one routing error.
+func (g *Gateway) failGroup(results []wire.BatchItem, idx []int, err error) {
+	for _, i := range idx {
+		results[i] = wire.BatchItem{Error: err.Error()}
+	}
+}
+
+// errorBody extracts the message from a backend's structured error payload,
+// falling back to the raw bytes.
+func errorBody(body []byte) string {
+	var e wire.ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(body)
+}
+
+// handleHealthz answers GET /v1/healthz: 200 while serving with at least
+// one probe-healthy backend, 503 when draining or the whole fleet is down.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := 0
+	for _, b := range g.backends {
+		if b.healthy.Load() {
+			healthy++
+		}
+	}
+	status, state := http.StatusOK, "ok"
+	switch {
+	case g.draining.Load():
+		status, state = http.StatusServiceUnavailable, "draining"
+	case healthy == 0:
+		status, state = http.StatusServiceUnavailable, "no_healthy_backends"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":    state,
+		"backends":  len(g.backends),
+		"healthy":   healthy,
+		"uptime_ms": timeSince(g.started),
+	})
+}
+
+// handleMetrics answers GET /v1/metrics with the aggregated snapshot.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.MetricsSnapshot())
+}
+
+// decode reads one JSON body within the configured size cap, rejecting
+// unknown fields exactly like ebmfd (a typo'd option must be a 400, not a
+// silently ignored knob).
+func (g *Gateway) decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// requestMatrix parses and size-checks one request's matrix. Dimensional
+// invalidity (ragged rows, zero dimensions) surfaces here as a 400.
+func (g *Gateway) requestMatrix(req *wire.SolveRequest) (*bitmat.Matrix, error) {
+	m, err := req.ParseMatrix()
+	if err != nil {
+		return nil, err
+	}
+	if m.Rows()*m.Cols() > g.cfg.MaxMatrixEntries {
+		return nil, errors.New("matrix exceeds size limit")
+	}
+	return m, nil
+}
+
+func (g *Gateway) badRequest(w http.ResponseWriter, err error) {
+	g.met.badRequests.Add(1)
+	writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// relayJSON writes a backend's response bytes through unchanged.
+func relayJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// gwMetrics holds the gateway's counters; all atomics, snapshotted without
+// a lock (eventually consistent across fields, fine for monitoring).
+type gwMetrics struct {
+	solveRequests atomic.Int64
+	batchRequests atomic.Int64
+	badRequests   atomic.Int64
+	failed        atomic.Int64 // requests/items with no authoritative answer
+
+	localHits      atomic.Int64 // served from the gateway-local LRU
+	remoteHits     atomic.Int64 // backend answered with cache_hit=true
+	relayed        atomic.Int64 // inexact-fingerprint responses passed through unlifted
+	hedges         atomic.Int64 // attempts launched by the hedge timer
+	failovers      atomic.Int64 // attempts launched after a refusal
+	inflightSpills atomic.Int64 // attempts skipped at the per-backend in-flight cap
+}
+
+// MetricsSnapshot is the GET /v1/metrics response body: gateway-level
+// counters plus the live per-backend state.
+type MetricsSnapshot struct {
+	UptimeMS int64            `json:"uptime_ms"`
+	Requests GWRequestMetrics `json:"requests"`
+	Routing  RoutingMetrics   `json:"routing"`
+	Cache    GWCacheMetrics   `json:"cache"`
+	Backends []BackendStatus  `json:"backends"`
+}
+
+// GWRequestMetrics counts gateway requests by disposition.
+type GWRequestMetrics struct {
+	Solve  int64 `json:"solve"`
+	Batch  int64 `json:"batch"`
+	Bad    int64 `json:"bad"`
+	Failed int64 `json:"failed"`
+}
+
+// RoutingMetrics aggregates the failover machinery's behaviour.
+type RoutingMetrics struct {
+	Hedges         int64 `json:"hedges"`
+	Failovers      int64 `json:"failovers"`
+	InflightSpills int64 `json:"inflight_spills"`
+	Relayed        int64 `json:"relayed_inexact"`
+}
+
+// GWCacheMetrics splits hits between the gateway-local LRU and the
+// backends' fingerprint caches (as observed through cache_hit responses).
+type GWCacheMetrics struct {
+	Local      LocalCacheStats `json:"local"`
+	RemoteHits int64           `json:"remote_hits"`
+}
+
+// BackendStatus is one backend's live state.
+type BackendStatus struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Breaker  string `json:"breaker"`
+	Inflight int    `json:"inflight"`
+	Requests int64  `json:"requests"`
+	Failures int64  `json:"failures"`
+}
+
+// MetricsSnapshot assembles the /v1/metrics body.
+func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
+	m := &g.met
+	snap := MetricsSnapshot{
+		UptimeMS: timeSince(g.started),
+		Requests: GWRequestMetrics{
+			Solve:  m.solveRequests.Load(),
+			Batch:  m.batchRequests.Load(),
+			Bad:    m.badRequests.Load(),
+			Failed: m.failed.Load(),
+		},
+		Routing: RoutingMetrics{
+			Hedges:         m.hedges.Load(),
+			Failovers:      m.failovers.Load(),
+			InflightSpills: m.inflightSpills.Load(),
+			Relayed:        m.relayed.Load(),
+		},
+		Cache: GWCacheMetrics{
+			Local:      g.cache.stats(),
+			RemoteHits: m.remoteHits.Load(),
+		},
+	}
+	now := time.Now()
+	for _, b := range g.backends {
+		snap.Backends = append(snap.Backends, BackendStatus{
+			URL:      b.url,
+			Healthy:  b.healthy.Load(),
+			Breaker:  b.breakerStateNow(now, g.cfg.BreakerCooldown).String(),
+			Inflight: len(b.inflight),
+			Requests: b.requests.Load(),
+			Failures: b.failures.Load(),
+		})
+	}
+	return snap
+}
+
+func timeSince(t time.Time) int64 { return time.Since(t).Milliseconds() }

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend owns
+// ringReplicas virtual points, so keys spread evenly even with two or three
+// backends, and adding or removing one backend moves only ~1/N of the key
+// space — the rest of the fleet keeps its cache-warm shards.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // number of distinct backends
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// ringReplicas is the virtual-node count per backend. 64 keeps the maximum
+// shard imbalance under ~20% for small fleets while the ring stays tiny
+// (N×64 points, walked once per request).
+const ringReplicas = 64
+
+func newRing(names []string) *ring {
+	r := &ring{n: len(names)}
+	r.points = make([]ringPoint, 0, len(names)*ringReplicas)
+	for i, name := range names {
+		for v := 0; v < ringReplicas; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", name, v)
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+// candidates returns every backend index in ring order starting at key's
+// position: the first element is the key's home shard (where equivalent
+// requests deduplicate), the rest are the deterministic failover/hedge
+// order.
+func (r *ring) candidates(key string) []int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	k := h.Sum64()
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= k })
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for j := 0; j < len(r.points) && len(out) < r.n; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingCandidatesCoverAllBackendsDeterministically(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(names)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		c1 := r.candidates(key)
+		c2 := r.candidates(key)
+		if len(c1) != len(names) {
+			t.Fatalf("key %q: %d candidates, want %d", key, len(c1), len(names))
+		}
+		seen := map[int]bool{}
+		for j, idx := range c1 {
+			if c2[j] != idx {
+				t.Fatalf("key %q: candidate order not deterministic", key)
+			}
+			if seen[idx] {
+				t.Fatalf("key %q: backend %d appears twice", key, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestRingSpreadsKeysAndKeepsAssignmentsStable(t *testing.T) {
+	r3 := newRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	counts := make([]int, 3)
+	home3 := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		h := r3.candidates(key)[0]
+		counts[h]++
+		home3[key] = h
+	}
+	for i, c := range counts {
+		if c < n/3/3 {
+			t.Fatalf("backend %d owns only %d/%d keys — ring badly imbalanced: %v", i, c, n, counts)
+		}
+	}
+	// Removing one backend must keep every key that did not live on it at
+	// the same home (the consistent-hashing contract the shard caches rely
+	// on). The removed backend's keys redistribute.
+	r2 := newRing([]string{"http://a:1", "http://b:1"})
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		h := r2.candidates(key)[0]
+		if home3[key] == 2 {
+			continue // its shard is gone; any new home is fine
+		}
+		if h != home3[key] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving backends after removing one", moved)
+	}
+}
+
+func TestRingSingleBackend(t *testing.T) {
+	r := newRing([]string{"http://only:1"})
+	if c := r.candidates("anything"); len(c) != 1 || c[0] != 0 {
+		t.Fatalf("candidates = %v, want [0]", c)
+	}
+}

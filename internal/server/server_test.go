@@ -141,6 +141,9 @@ func TestSolveBadRequests(t *testing.T) {
 		{"both forms", `{"matrix":"1","rows":[[1]]}`, http.StatusBadRequest},
 		{"bad chars", `{"matrix":"10\n2x"}`, http.StatusBadRequest},
 		{"ragged rows", `{"rows":[[1,0],[1]]}`, http.StatusBadRequest},
+		{"zero rows", `{"rows":[]}`, http.StatusBadRequest},
+		{"zero cols", `{"rows":[[]]}`, http.StatusBadRequest},
+		{"zero cols multi", `{"rows":[[],[]]}`, http.StatusBadRequest},
 		{"non-binary rows", `{"rows":[[1,2]]}`, http.StatusBadRequest},
 		{"unknown field", `{"matrecks":"1"}`, http.StatusBadRequest},
 		{"bad encoding", `{"matrix":"1","options":{"encoding":"cnf3"}}`, http.StatusBadRequest},
@@ -152,9 +155,17 @@ func TestSolveBadRequests(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
+		var e wire.ErrorResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&e)
 		resp.Body.Close()
 		if resp.StatusCode != tc.want {
 			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+		// Regression (dimensionally invalid matrices used to slip past the
+		// wire layer): every rejection must carry a structured wire error,
+		// not a bare status.
+		if decErr != nil || e.Error == "" {
+			t.Errorf("%s: body is not a structured wire error (%v)", tc.name, decErr)
 		}
 	}
 }

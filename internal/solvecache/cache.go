@@ -271,24 +271,61 @@ func (c *Cache) count(fn func(*Stats)) {
 	c.mu.Unlock()
 }
 
-// liftResult maps a canonical-space result onto the request matrix: each
-// rectangle's rows/columns map through the fingerprint's canonical→reduced
-// index maps, then the partition lifts through the request's compression
-// record, and the lifted partition is re-validated against m. hit marks the
-// result as cache-served, zeroing the solver-stage stats (they describe work
-// this request did not do).
-func liftResult(res *core.Result, fp *bitmat.Fingerprint, m *bitmat.Matrix, hit bool) (*core.Result, error) {
+// RectIndices is one canonical-space rectangle as explicit index lists — the
+// exchange form used by layers (the cluster gateway) that hold a partition of
+// fp.Canonical without core.Result's bitset representation.
+type RectIndices struct {
+	Rows []int
+	Cols []int
+}
+
+// LiftCanonical maps a partition of fp.Canonical (as row/col index lists)
+// onto the request matrix m: each rectangle's indices map through the
+// fingerprint's canonical→reduced maps, the partition lifts through the
+// request's own compression record, and the result is re-validated against
+// m — so a corrupted or colliding canonical-space partition is an error,
+// never a wrong answer. fp must be Exact and m a matrix with fp's canonical
+// form.
+func LiftCanonical(fp *bitmat.Fingerprint, m *bitmat.Matrix, rects []RectIndices) (*rect.Partition, error) {
+	if !fp.Exact {
+		return nil, fmt.Errorf("solvecache: cannot lift through an inexact fingerprint")
+	}
 	red := fp.Comp.Reduced
 	reduced := rect.NewPartition(red)
-	for _, r := range res.Partition.Rects {
+	for _, r := range rects {
 		nr := rect.NewRect(red.Rows(), red.Cols())
-		r.Rows.ForEachOne(func(i int) { nr.Rows.Set(fp.RowMap[i], true) })
-		r.Cols.ForEachOne(func(j int) { nr.Cols.Set(fp.ColMap[j], true) })
+		for _, i := range r.Rows {
+			if i < 0 || i >= len(fp.RowMap) {
+				return nil, fmt.Errorf("solvecache: canonical row %d out of range", i)
+			}
+			nr.Rows.Set(fp.RowMap[i], true)
+		}
+		for _, j := range r.Cols {
+			if j < 0 || j >= len(fp.ColMap) {
+				return nil, fmt.Errorf("solvecache: canonical col %d out of range", j)
+			}
+			nr.Cols.Set(fp.ColMap[j], true)
+		}
 		reduced.Add(nr)
 	}
 	lifted := rect.Lift(fp.Comp, m, reduced)
 	if err := lifted.Validate(); err != nil {
 		return nil, fmt.Errorf("solvecache: lifted partition invalid: %w", err)
+	}
+	return lifted, nil
+}
+
+// liftResult maps a canonical-space result onto the request matrix via
+// LiftCanonical. hit marks the result as cache-served, zeroing the
+// solver-stage stats (they describe work this request did not do).
+func liftResult(res *core.Result, fp *bitmat.Fingerprint, m *bitmat.Matrix, hit bool) (*core.Result, error) {
+	rects := make([]RectIndices, 0, len(res.Partition.Rects))
+	for _, r := range res.Partition.Rects {
+		rects = append(rects, RectIndices{Rows: r.RowIndices(), Cols: r.ColIndices()})
+	}
+	lifted, err := LiftCanonical(fp, m, rects)
+	if err != nil {
+		return nil, err
 	}
 	out := *res
 	out.Partition = lifted

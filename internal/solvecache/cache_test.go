@@ -191,6 +191,141 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestCacheEvictionOrderFollowsUse pins the LRU policy: a hit refreshes an
+// entry's position, so under capacity pressure the entry evicted is the one
+// least recently *used*, not the one least recently *stored*.
+func TestCacheEvictionOrderFollowsUse(t *testing.T) {
+	c := New(2)
+	opts := core.DefaultOptions()
+	a := bitmat.MustParse("1")
+	b := bitmat.MustParse("10\n01")
+	d := bitmat.MustParse("110\n011")
+	for _, m := range []*bitmat.Matrix{a, b} {
+		if _, err := c.Solve(m, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a (the older entry), then insert d: b must be the eviction
+	// victim even though it was stored after a.
+	if r, err := c.Solve(a, opts); err != nil || !r.CacheHit {
+		t.Fatalf("warming hit on a: hit=%v err=%v", r != nil && r.CacheHit, err)
+	}
+	if _, err := c.Solve(d, opts); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", s)
+	}
+	if r, err := c.Solve(a, opts); err != nil || !r.CacheHit {
+		t.Fatalf("recently used entry a was evicted (hit=%v err=%v)", r != nil && r.CacheHit, err)
+	}
+	if r, err := c.Solve(b, opts); err != nil || r.CacheHit {
+		t.Fatalf("least recently used entry b survived (hit=%v err=%v)", r != nil && r.CacheHit, err)
+	}
+}
+
+// TestSingleflightLeaderCanceledFollowerResolves pins the sharing policy for
+// interrupted leaders: when the in-flight request's context is canceled, its
+// Canceled (non-optimal-quality) result must not be handed to a follower
+// with a live context — the follower re-solves and gets the real answer.
+func TestSingleflightLeaderCanceledFollowerResolves(t *testing.T) {
+	c := New(0)
+	m := bitmat.MustParse(fig1b)
+	fp := bitmat.ComputeFingerprint(m)
+
+	// Stage an in-progress flight, then have a follower with a background
+	// context join it.
+	f := &flight{done: make(chan struct{})}
+	c.mu.Lock()
+	c.flights[fp.Hash] = f
+	c.mu.Unlock()
+
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := c.Solve(m, core.DefaultOptions())
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		t.Fatalf("follower completed before the flight resolved: %+v, %v", o.res, o.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The leader's context is canceled mid-flight: it resolves the flight
+	// with a Canceled result, exactly what SolveContext produces when its
+	// caller goes away.
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	leaderRes, err := core.SolveContext(canceledCtx, fp.Canonical, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !leaderRes.Canceled {
+		t.Skip("canceled-context solve unexpectedly completed; nothing to assert")
+	}
+	c.mu.Lock()
+	delete(c.flights, fp.Hash)
+	c.mu.Unlock()
+	f.res, f.err = leaderRes, nil
+	close(f.done)
+
+	o := <-done
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if o.res.Canceled {
+		t.Fatalf("follower received the leader's canceled result: %+v", o.res)
+	}
+	if o.res.CacheHit {
+		t.Fatalf("follower counted a canceled leader result as a hit: %+v", o.res)
+	}
+	if !o.res.Optimal || o.res.Depth != 5 {
+		t.Fatalf("follower re-solve: depth=%d optimal=%v, want 5/true", o.res.Depth, o.res.Optimal)
+	}
+	if err := o.res.Partition.Validate(); err != nil {
+		t.Fatalf("follower partition invalid: %v", err)
+	}
+}
+
+// TestLiftCanonicalRejectsCorruptPartitions pins the exported lift's
+// validation contract: out-of-range indices and non-covering partitions are
+// errors, never silently wrong answers.
+func TestLiftCanonicalRejectsCorruptPartitions(t *testing.T) {
+	m := bitmat.MustParse(fig1b)
+	fp := bitmat.ComputeFingerprint(m)
+	res, err := core.Solve(fp.Canonical, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]RectIndices, 0, len(res.Partition.Rects))
+	for _, r := range res.Partition.Rects {
+		good = append(good, RectIndices{Rows: r.RowIndices(), Cols: r.ColIndices()})
+	}
+	if p, err := LiftCanonical(fp, m, good); err != nil {
+		t.Fatalf("valid canonical partition failed to lift: %v", err)
+	} else if p.Depth() != 5 {
+		t.Fatalf("lifted depth %d, want 5", p.Depth())
+	}
+	// Out-of-range row index.
+	bad := append([]RectIndices(nil), good...)
+	bad[0] = RectIndices{Rows: []int{len(fp.RowMap)}, Cols: good[0].Cols}
+	if _, err := LiftCanonical(fp, m, bad); err == nil {
+		t.Fatalf("out-of-range canonical row lifted without error")
+	}
+	// Dropping a rectangle leaves ones uncovered: validation must fail.
+	if _, err := LiftCanonical(fp, m, good[:len(good)-1]); err == nil {
+		t.Fatalf("non-covering canonical partition lifted without error")
+	}
+	// Inexact fingerprints cannot be lifted through.
+	if _, err := LiftCanonical(&bitmat.Fingerprint{}, m, good); err == nil {
+		t.Fatalf("inexact fingerprint lifted without error")
+	}
+}
+
 func TestSingleflightDeduplicatesConcurrentPermutations(t *testing.T) {
 	c := New(0)
 	opts := core.DefaultOptions()

@@ -65,6 +65,9 @@ func (r *SolveRequest) ParseMatrix() (*bitmat.Matrix, error) {
 	case r.Matrix != "":
 		return bitmat.Parse(r.Matrix)
 	case r.Rows != nil:
+		if len(r.Rows) == 0 || len(r.Rows[0]) == 0 {
+			return nil, errors.New("wire: zero-dimension \"rows\"")
+		}
 		for _, row := range r.Rows {
 			if len(row) != len(r.Rows[0]) {
 				return nil, errors.New("wire: ragged \"rows\"")

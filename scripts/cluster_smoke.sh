@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Smoke test for the sharded gateway, run in CI after the unit tests:
+# start two ebmfd backends and one ebmfgw on kernel-assigned free ports,
+# solve the paper's Fig. 1b instance through the gateway, resubmit a
+# row/column permutation and assert it comes back with the same depth as a
+# cache hit (fingerprint routing + shard cache through the gateway), then
+# kill one backend and assert the gateway keeps serving. Any startup
+# timeout fails fast with the daemons' logs.
+set -euo pipefail
+
+FIG1B='101100\n010011\n101010\n010101\n111000\n000111'
+# Fig. 1b with rows and columns permuted; same canonical fingerprint.
+FIG1B_PERM='110100\n111000\n000111\n001011\n010011\n101100'
+
+LOG1=$(mktemp /tmp/ebmfd1-smoke.XXXXXX.log)
+LOG2=$(mktemp /tmp/ebmfd2-smoke.XXXXXX.log)
+LOGGW=$(mktemp /tmp/ebmfgw-smoke.XXXXXX.log)
+go build -o /tmp/ebmfd-smoke ./cmd/ebmfd
+go build -o /tmp/ebmfgw-smoke ./cmd/ebmfgw
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+# wait_addr LOGFILE VAR — parse the "listening on" line a daemon prints.
+wait_addr() {
+  local log=$1 pid=$2 addr=
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$log" | head -1)
+    [ -n "$addr" ] && { echo "$addr"; return 0; }
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "FAIL: daemon exited during startup; log follows" >&2
+      cat "$log" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: no listen address within 10s; log follows" >&2
+  cat "$log" >&2
+  return 1
+}
+
+/tmp/ebmfd-smoke -addr 127.0.0.1:0 >"$LOG1" 2>&1 &
+PID1=$!; PIDS+=("$PID1")
+/tmp/ebmfd-smoke -addr 127.0.0.1:0 >"$LOG2" 2>&1 &
+PID2=$!; PIDS+=("$PID2")
+ADDR1=$(wait_addr "$LOG1" "$PID1")
+ADDR2=$(wait_addr "$LOG2" "$PID2")
+
+# Fast probes + a short breaker cooldown so the backend-kill phase settles
+# within the smoke budget.
+/tmp/ebmfgw-smoke -addr 127.0.0.1:0 -backends "http://$ADDR1,http://$ADDR2" \
+  -probe-interval 200ms -hedge-after 500ms -breaker-cooldown 1s >"$LOGGW" 2>&1 &
+PIDGW=$!; PIDS+=("$PIDGW")
+GW=$(wait_addr "$LOGGW" "$PIDGW")
+
+for _ in $(seq 1 100); do
+  curl -sf "http://$GW/v1/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+if ! curl -sf "http://$GW/v1/healthz" >/dev/null; then
+  echo "FAIL: gateway healthz never came up on $GW; log follows"
+  cat "$LOGGW"
+  exit 1
+fi
+
+R1=$(curl -sf -X POST -d "{\"matrix\":\"$FIG1B\"}" "http://$GW/v1/solve")
+R2=$(curl -sf -X POST -d "{\"matrix\":\"$FIG1B_PERM\"}" "http://$GW/v1/solve")
+echo "cold:     $R1"
+echo "permuted: $R2"
+
+grep -q '"depth":5' <<<"$R1" || { echo "FAIL: cold solve depth != 5"; exit 1; }
+grep -q '"optimal":true' <<<"$R1" || { echo "FAIL: cold solve not optimal"; exit 1; }
+grep -q '"cache_hit":false' <<<"$R1" || { echo "FAIL: cold solve claims cache hit"; exit 1; }
+grep -q '"depth":5' <<<"$R2" || { echo "FAIL: permuted solve depth != 5"; exit 1; }
+grep -q '"cache_hit":true' <<<"$R2" || { echo "FAIL: permuted resubmission missed the cache through the gateway"; exit 1; }
+
+FP1=$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$R1")
+FP2=$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$R2")
+[ -n "$FP1" ] && [ "$FP1" = "$FP2" ] || { echo "FAIL: fingerprints differ through the gateway"; exit 1; }
+
+# Batch through the gateway: split across shards, merged in order, with a
+# per-item error for the invalid middle entry.
+RB=$(curl -sf -X POST -d "{\"requests\":[{\"matrix\":\"10\\n01\"},{\"rows\":[]},{\"matrix\":\"$FIG1B\"}]}" "http://$GW/v1/batch")
+echo "batch:    $RB"
+grep -q '"depth":2' <<<"$RB" || { echo "FAIL: batch item 0 depth != 2"; exit 1; }
+grep -q '"error":' <<<"$RB" || { echo "FAIL: zero-dimension batch item carried no error"; exit 1; }
+grep -q '"depth":5' <<<"$RB" || { echo "FAIL: batch item 2 depth != 5"; exit 1; }
+
+# A dimensionally invalid matrix must be a structured 400 at the gateway.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"rows":[[]]}' "http://$GW/v1/solve")
+[ "$CODE" = "400" ] || { echo "FAIL: zero-dimension matrix returned $CODE, want 400"; exit 1; }
+
+# Kill one backend hard; the gateway must keep serving (failover + probes).
+kill -9 "$PID2" 2>/dev/null || true
+R3=$(curl -sf -X POST -d '{"matrix":"110\n011\n101"}' "http://$GW/v1/solve") \
+  || { echo "FAIL: solve after backend kill failed"; cat "$LOGGW"; exit 1; }
+echo "failover: $R3"
+grep -q '"optimal":true' <<<"$R3" || { echo "FAIL: post-kill solve not optimal"; exit 1; }
+# And the cached pattern must still be served (local LRU or surviving shard).
+R4=$(curl -sf -X POST -d "{\"matrix\":\"$FIG1B_PERM\"}" "http://$GW/v1/solve") \
+  || { echo "FAIL: cached solve after backend kill failed"; exit 1; }
+grep -q '"depth":5' <<<"$R4" || { echo "FAIL: post-kill cached solve depth != 5"; exit 1; }
+
+# Metrics aggregate per-backend state and the cache split.
+METRICS=$(curl -sf "http://$GW/v1/metrics")
+grep -q '"backends":\[' <<<"$METRICS" || { echo "FAIL: metrics missing backends section"; exit 1; }
+grep -q '"breaker"' <<<"$METRICS" || { echo "FAIL: metrics missing breaker state"; exit 1; }
+grep -q '"local"' <<<"$METRICS" || { echo "FAIL: metrics missing local cache section"; exit 1; }
+
+# Graceful drain: gateway healthz flips and the process exits cleanly.
+kill -TERM "$PIDGW"
+for _ in $(seq 1 100); do
+  kill -0 "$PIDGW" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$PIDGW" 2>/dev/null; then
+  echo "FAIL: ebmfgw did not drain within 10s; log follows"
+  cat "$LOGGW"
+  exit 1
+fi
+echo "PASS: cluster smoke (2 backends + gateway, permuted hit through gateway, batch split, backend kill, drain)"

@@ -17,6 +17,8 @@
 //	-budget N           default/maximum SAT conflict budget (default 2000000)
 //	-max-entries N      reject matrices with more than N cells (default 1048576)
 //	-max-portfolio K    clamp per-request portfolio sizes (default 8, 0/-1 = off)
+//	-store DIR          durable result store directory (default: no store)
+//	-store-sync MODE    store fsync policy: interval, always, never (default interval)
 //	-quiet              no per-request log lines
 //
 // With -addr ending in :0 the kernel picks a free port; the actual address
@@ -26,11 +28,19 @@
 //
 //	POST /v1/solve    {"matrix":"101\n011", "options":{"timeout_ms":500}}
 //	POST /v1/batch    {"requests":[{...},{...}]}
+//	POST /v1/fill     cache-fill replication (gateway-internal)
 //	GET  /v1/healthz
 //	GET  /v1/metrics
 //
+// With -store, every proved-optimal result is written through to a
+// checksummed WAL + snapshot in DIR and reloaded on boot: a restarted
+// daemon (even after kill -9) answers its whole history from cache without
+// re-solving. The "listening on" line reports how many records loaded.
+//
 // SIGINT/SIGTERM drains gracefully: healthz flips to 503, new solves are
-// rejected, and in-flight solves get up to the max timeout to finish.
+// rejected, in-flight solves get up to the max timeout to finish, and the
+// store is flushed and closed only after the listener has fully drained —
+// a result computed during the drain window still reaches the WAL.
 package main
 
 import (
@@ -49,6 +59,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -61,6 +72,8 @@ func main() {
 	budget := flag.Int64("budget", server.DefaultConflictBudget, "default and maximum SAT conflict budget (0 = unlimited, trusted clients only)")
 	maxEntries := flag.Int("max-entries", 1<<20, "reject matrices with more cells than this")
 	maxPortfolio := flag.Int("max-portfolio", 8, "clamp per-request portfolio sizes (0 or -1 disables racing)")
+	storeDir := flag.String("store", "", "durable result store directory (empty = no store)")
+	storeSync := flag.String("store-sync", "interval", "store fsync policy: interval, always, never")
 	quiet := flag.Bool("quiet", false, "no per-request log lines")
 	flag.Parse()
 
@@ -80,6 +93,30 @@ func main() {
 	// only).
 	baseOpts := core.DefaultOptions()
 	baseOpts.ConflictBudget = *budget
+
+	// The store outlives the server: opened before New so boot warms the
+	// cache from disk, closed only after Shutdown returns so solves that
+	// finish during the drain window still reach the WAL.
+	var durable *store.Store
+	if *storeDir != "" {
+		var sync store.SyncPolicy
+		switch *storeSync {
+		case "interval":
+			sync = store.SyncInterval
+		case "always":
+			sync = store.SyncAlways
+		case "never":
+			sync = store.SyncNever
+		default:
+			logger.Fatalf("-store-sync %q: want interval, always, or never", *storeSync)
+		}
+		var err error
+		durable, err = store.Open(*storeDir, store.Options{Sync: sync, Logger: logger})
+		if err != nil {
+			logger.Fatalf("store: %v", err)
+		}
+	}
+
 	srv := server.New(server.Config{
 		CacheCapacity:     *cache,
 		MaxConcurrent:     *concurrency,
@@ -91,6 +128,7 @@ func main() {
 		MaxPortfolio:      *maxPortfolio,
 		Options:           &baseOpts,
 		Logger:            reqLogger,
+		Store:             durable,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -106,8 +144,12 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	logger.Printf("listening on %s (concurrency=%d queue=%d cache=%d max-portfolio=%d)",
-		ln.Addr(), *concurrency, *queue, *cache, *maxPortfolio)
+	records := 0
+	if durable != nil {
+		records = durable.Len()
+	}
+	logger.Printf("listening on %s (concurrency=%d queue=%d cache=%d max-portfolio=%d store-records=%d)",
+		ln.Addr(), *concurrency, *queue, *cache, *maxPortfolio, records)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -119,11 +161,29 @@ func main() {
 		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
 		defer cancel()
+		exit := 0
+		// The store closes after Shutdown returns — even a failed drain has
+		// stopped accepting work by then, and solves that did finish during
+		// the window must still be flushed to the WAL before exit.
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			logger.Fatalf("drain: %v", err)
+			logger.Printf("drain: %v", err)
+			exit = 1
+		} else if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+			exit = 1
 		}
-		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			logger.Fatalf("serve: %v", err)
+		if durable != nil {
+			if err := durable.Close(); err != nil {
+				logger.Printf("store close: %v", err)
+				exit = 1
+			} else {
+				ss := durable.Stats()
+				logger.Printf("store flushed (%d records, %d appended this run)",
+					ss.Records, ss.Appends)
+			}
+		}
+		if exit != 0 {
+			os.Exit(exit)
 		}
 		st := srv.Cache().Stats()
 		logger.Printf("drained cleanly (cache: %d entries, %.0f%% hit rate)",

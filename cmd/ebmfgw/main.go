@@ -21,6 +21,8 @@
 //	-breaker-cooldown D  open→half-open delay (default 5s)
 //	-max-inflight N      per-backend in-flight cap (default 256)
 //	-max-entries N       reject matrices with more than N cells (default 1048576)
+//	-replicate N         seed each fresh proved-optimal result to N ring successors (default 1, 0 = off)
+//	-fill-timeout D      per-fill request deadline (default 5s)
 //	-quiet               no per-request log lines
 //
 // With -addr ending in :0 the kernel picks a free port; the actual address
@@ -34,8 +36,12 @@
 //	GET  /v1/healthz  gateway + fleet liveness
 //	GET  /v1/metrics  gateway counters and per-backend state
 //
+// Every result a backend proves fresh (not a cache hit) is asynchronously
+// replicated to its -replicate ring successors via POST /v1/fill, so a shard
+// failover lands on an already-warm cache instead of forcing re-solves.
+//
 // SIGINT/SIGTERM drains gracefully: healthz flips to 503, new requests are
-// rejected, in-flight forwards finish.
+// rejected, in-flight forwards and cache fills finish.
 package main
 
 import (
@@ -65,6 +71,8 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open breaker cooldown before a half-open trial")
 	maxInflight := flag.Int("max-inflight", 256, "per-backend in-flight request cap")
 	maxEntries := flag.Int("max-entries", 1<<20, "reject matrices with more cells than this")
+	replicate := flag.Int("replicate", 1, "ring successors to seed with each fresh proved-optimal result (0 = off)")
+	fillTimeout := flag.Duration("fill-timeout", 5*time.Second, "per-fill request deadline")
 	quiet := flag.Bool("quiet", false, "no per-request log lines")
 	flag.Parse()
 
@@ -92,6 +100,9 @@ func main() {
 	if *probeInterval == 0 {
 		*probeInterval = -1
 	}
+	if *replicate == 0 {
+		*replicate = -1
+	}
 	gw, err := cluster.New(cluster.Config{
 		Backends:         urls,
 		HedgeAfter:       *hedgeAfter,
@@ -101,6 +112,8 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		MaxInflight:      *maxInflight,
 		MaxMatrixEntries: *maxEntries,
+		ReplicateFills:   *replicate,
+		FillTimeout:      *fillTimeout,
 		Logger:           reqLogger,
 	})
 	if err != nil {

@@ -2,11 +2,25 @@ package cluster
 
 import (
 	"context"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// jitter spreads d uniformly over [0.75d, 1.25d) so a fleet of gateways (or
+// one gateway's many probe loops) never synchronizes its retries into
+// thundering herds against a recovering backend.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d - d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// backoffShift caps exponential growth at 2^backoffShift (64×).
+const backoffShift = 6
 
 // breakerState is the per-backend circuit-breaker position.
 type breakerState int
@@ -45,11 +59,13 @@ type backend struct {
 	mu          sync.Mutex
 	state       breakerState
 	consecFails int
-	openedAt    time.Time
-	probing     bool // a half-open trial is in flight
+	consecOpens int       // re-opens without an intervening success
+	retryAt     time.Time // when an open breaker admits its half-open trial
+	probing     bool      // a half-open trial is in flight
 
 	requests atomic.Int64 // attempts sent (including failures)
 	failures atomic.Int64 // attempts that ended in a refusal
+	reopens  atomic.Int64 // open transitions (for metrics)
 }
 
 func newBackend(url string, maxInflight int) *backend {
@@ -62,7 +78,7 @@ func newBackend(url string, maxInflight int) *backend {
 // worth trying in the preferred pass: probe-healthy and breaker not
 // rejecting. Used only for candidate ordering; the authoritative (state
 // consuming) gate is allow.
-func (b *backend) available(now time.Time, cooldown time.Duration) bool {
+func (b *backend) available(now time.Time) bool {
 	if !b.healthy.Load() {
 		return false
 	}
@@ -72,7 +88,7 @@ func (b *backend) available(now time.Time, cooldown time.Duration) bool {
 	case brClosed:
 		return true
 	case brOpen:
-		return now.Sub(b.openedAt) >= cooldown
+		return !now.Before(b.retryAt)
 	default: // brHalfOpen
 		return !b.probing
 	}
@@ -80,15 +96,15 @@ func (b *backend) available(now time.Time, cooldown time.Duration) bool {
 
 // allow is the breaker gate consulted immediately before an attempt. In
 // half-open it admits exactly one trial; open admits nothing until the
-// cooldown converts it to half-open.
-func (b *backend) allow(now time.Time, cooldown time.Duration) bool {
+// cooldown deadline converts it to half-open.
+func (b *backend) allow(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case brClosed:
 		return true
 	case brOpen:
-		if now.Sub(b.openedAt) < cooldown {
+		if now.Before(b.retryAt) {
 			return false
 		}
 		b.state = brHalfOpen
@@ -116,9 +132,12 @@ func (b *backend) absolve() {
 }
 
 // report feeds one attempt outcome into the breaker. A success closes it
-// from any state; a failure in half-open (or the threshold-th consecutive
-// failure in closed) opens it.
-func (b *backend) report(ok bool, now time.Time, threshold int) {
+// from any state (and resets the backoff); a failure in half-open (or the
+// threshold-th consecutive failure in closed) opens it. Each re-open
+// without an intervening success doubles the cooldown — jittered, capped at
+// 2^backoffShift× — so a backend that keeps failing its half-open trials is
+// probed ever less often instead of on a fixed drumbeat.
+func (b *backend) report(ok bool, now time.Time, threshold int, cooldown time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == brHalfOpen {
@@ -127,49 +146,89 @@ func (b *backend) report(ok bool, now time.Time, threshold int) {
 	if ok {
 		b.state = brClosed
 		b.consecFails = 0
+		b.consecOpens = 0
 		return
 	}
 	b.consecFails++
-	if b.state == brHalfOpen || b.consecFails >= threshold {
+	if b.state == brHalfOpen || (b.state == brClosed && b.consecFails >= threshold) {
 		b.state = brOpen
-		b.openedAt = now
+		b.reopens.Add(1)
+		shift := b.consecOpens
+		if shift > backoffShift {
+			shift = backoffShift
+		}
+		b.consecOpens++
+		b.retryAt = now.Add(jitter(cooldown << shift))
 	}
 }
 
 // breakerStateNow returns the breaker position for metrics, accounting for
-// an elapsed cooldown (an open breaker past its cooldown reports half-open
-// since the next request will be admitted as a trial).
-func (b *backend) breakerStateNow(now time.Time, cooldown time.Duration) breakerState {
+// an elapsed cooldown (an open breaker past its retry deadline reports
+// half-open since the next request will be admitted as a trial).
+func (b *backend) breakerStateNow(now time.Time) breakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.state == brOpen && now.Sub(b.openedAt) >= cooldown {
+	if b.state == brOpen && !now.Before(b.retryAt) {
 		return brHalfOpen
 	}
 	return b.state
 }
 
-// probeLoop polls GET /v1/healthz every interval until ctx is canceled,
-// flipping the backend's healthy flag. A draining backend answers 503 and is
-// routed around before its listener ever disappears.
+// probeMaxBackoff caps the probe backoff: an unhealthy backend is still
+// re-checked at least this often, so recovery detection lags by at most
+// ~30s however long the outage lasted.
+const probeMaxBackoff = 30 * time.Second
+
+// probeDelay is the jittered exponential backoff schedule for the healthz
+// probe loop: the base interval while the backend answers, doubling per
+// consecutive failure up to probeMaxBackoff (or the base interval itself
+// when it is configured even longer). The jitter keeps a fleet of gateways
+// from stampeding a backend the moment it comes back.
+func probeDelay(base time.Duration, fails int) time.Duration {
+	if fails > backoffShift {
+		fails = backoffShift
+	}
+	d := base << fails
+	max := probeMaxBackoff
+	if base > max {
+		max = base
+	}
+	if d > max {
+		d = max
+	}
+	return jitter(d)
+}
+
+// probeLoop polls GET /v1/healthz until ctx is canceled, flipping the
+// backend's healthy flag. A draining backend answers 503 and is routed
+// around before its listener ever disappears. Consecutive probe failures
+// back the loop off exponentially (probeDelay): a dead backend costs a
+// handful of connection attempts per half-minute, not per interval.
 func (g *Gateway) probeLoop(ctx context.Context, b *backend) {
-	t := time.NewTicker(g.cfg.ProbeInterval)
+	fails := 0
+	t := time.NewTimer(jitter(g.cfg.ProbeInterval))
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			g.probe(ctx, b)
 		}
+		if g.probe(ctx, b) {
+			fails = 0
+		} else {
+			fails++
+		}
+		t.Reset(probeDelay(g.cfg.ProbeInterval, fails))
 	}
 }
 
-func (g *Gateway) probe(ctx context.Context, b *backend) {
+func (g *Gateway) probe(ctx context.Context, b *backend) bool {
 	pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeInterval)
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.url+"/v1/healthz", nil)
 	if err != nil {
-		return
+		return false
 	}
 	resp, err := g.client.Do(req)
 	ok := err == nil && resp.StatusCode == http.StatusOK
@@ -179,4 +238,5 @@ func (g *Gateway) probe(ctx context.Context, b *backend) {
 	if was := b.healthy.Swap(ok); was != ok {
 		g.cfg.Logger.Printf("backend %s: healthy=%v", b.url, ok)
 	}
+	return ok
 }

@@ -12,55 +12,61 @@ func TestBreakerOpensAfterThresholdAndRecovers(t *testing.T) {
 	const cooldown = time.Second
 
 	for i := 0; i < threshold-1; i++ {
-		if !b.allow(now, cooldown) {
+		if !b.allow(now) {
 			t.Fatalf("refusal %d: breaker opened early", i)
 		}
-		b.report(false, now, threshold)
+		b.report(false, now, threshold, cooldown)
 	}
-	if !b.allow(now, cooldown) {
+	if !b.allow(now) {
 		t.Fatalf("breaker open before threshold")
 	}
-	b.report(false, now, threshold)
+	b.report(false, now, threshold, cooldown)
 
-	// Open: rejects until the cooldown elapses.
-	if b.allow(now, cooldown) {
+	// Open: rejects until the (jittered) cooldown elapses. The first open
+	// waits at most 1.25× the base cooldown.
+	if b.allow(now) {
 		t.Fatalf("open breaker admitted a request")
 	}
-	if st := b.breakerStateNow(now, cooldown); st != brOpen {
+	if st := b.breakerStateNow(now); st != brOpen {
 		t.Fatalf("state = %v, want open", st)
 	}
 
 	// Cooldown over: exactly one half-open trial at a time.
 	later := now.Add(2 * cooldown)
-	if !b.allow(later, cooldown) {
+	if !b.allow(later) {
 		t.Fatalf("half-open trial rejected after cooldown")
 	}
-	if b.allow(later, cooldown) {
+	if b.allow(later) {
 		t.Fatalf("second concurrent half-open trial admitted")
 	}
-	// Trial fails: straight back to open.
-	b.report(false, later, threshold)
-	if b.allow(later, cooldown) {
-		t.Fatalf("breaker closed after a failed trial")
+	// Trial fails: straight back to open, with a doubled cooldown — the
+	// second wait is in [1.5, 2.5) × base, so 1× base later must still
+	// reject and 4× base later must admit.
+	b.report(false, later, threshold, cooldown)
+	if b.allow(later.Add(cooldown)) {
+		t.Fatalf("re-opened breaker did not back off")
 	}
 
-	// Next trial succeeds: closed again, failure count reset.
-	final := later.Add(2 * cooldown)
-	if !b.allow(final, cooldown) {
+	// Next trial succeeds: closed again, failure count and backoff reset.
+	final := later.Add(4 * cooldown)
+	if !b.allow(final) {
 		t.Fatalf("trial rejected after second cooldown")
 	}
-	b.report(true, final, threshold)
-	if st := b.breakerStateNow(final, cooldown); st != brClosed {
+	b.report(true, final, threshold, cooldown)
+	if st := b.breakerStateNow(final); st != brClosed {
 		t.Fatalf("state = %v after successful trial, want closed", st)
 	}
 	for i := 0; i < threshold-1; i++ {
-		if !b.allow(final, cooldown) {
+		if !b.allow(final) {
 			t.Fatalf("closed breaker rejected request %d (stale failure count?)", i)
 		}
-		b.report(false, final, threshold)
+		b.report(false, final, threshold, cooldown)
 	}
-	if !b.allow(final, cooldown) {
+	if !b.allow(final) {
 		t.Fatalf("failure count not reset by successful trial")
+	}
+	if n := b.reopens.Load(); n != 2 {
+		t.Fatalf("reopens = %d, want 2", n)
 	}
 }
 
@@ -68,10 +74,74 @@ func TestBreakerSuccessResetsConsecutiveFailures(t *testing.T) {
 	b := newBackend("http://x:1", 1)
 	now := time.Now()
 	for i := 0; i < 10; i++ {
-		b.report(false, now, 3)
-		b.report(true, now, 3)
+		b.report(false, now, 3, time.Second)
+		b.report(true, now, 3, time.Second)
 	}
-	if st := b.breakerStateNow(now, time.Second); st != brClosed {
+	if st := b.breakerStateNow(now); st != brClosed {
 		t.Fatalf("interleaved failures opened the breaker: %v", st)
+	}
+}
+
+// The breaker's cooldown grows exponentially across consecutive re-opens
+// (capped), and a single success resets the schedule.
+func TestBreakerCooldownBacksOff(t *testing.T) {
+	b := newBackend("http://x:1", 1)
+	const cooldown = time.Second
+	now := time.Now()
+
+	// Open the breaker (threshold 1), then fail every half-open trial.
+	// After k opens the next retry is at jitter(cooldown × 2^min(k-1,6)) —
+	// upper-bound 1.25 × 2^(k-1) × base, lower-bound 0.75 × 2^(k-1) × base.
+	b.report(false, now, 1, cooldown)
+	for k := 1; k <= 4; k++ {
+		lower := now.Add(time.Duration(float64(cooldown) * 0.74 * float64(int(1)<<(k-1))))
+		upper := now.Add(time.Duration(float64(cooldown) * 1.26 * float64(int(1)<<(k-1))))
+		if b.allow(lower) {
+			t.Fatalf("open %d: admitted before the backed-off cooldown", k)
+		}
+		if !b.allow(upper) {
+			t.Fatalf("open %d: rejected after the backed-off cooldown", k)
+		}
+		// Fail the trial from the time it was admitted: the next schedule
+		// is measured from there.
+		now = upper
+		b.report(false, now, 1, cooldown)
+	}
+
+	// A success resets the backoff to the base cooldown.
+	retry := now.Add(time.Duration(float64(cooldown) * 1.26 * 16))
+	if !b.allow(retry) {
+		t.Fatalf("trial rejected long after the capped cooldown")
+	}
+	b.report(true, retry, 1, cooldown)
+	b.report(false, retry, 1, cooldown) // re-open: schedule starts over
+	if b.allow(retry.Add(cooldown / 2)) {
+		t.Fatalf("breaker admitted inside the base cooldown after reset")
+	}
+	if !b.allow(retry.Add(2 * cooldown)) {
+		t.Fatalf("breaker did not reset its backoff after a success")
+	}
+}
+
+// probeDelay doubles per failure, jittered, capped near probeMaxBackoff.
+func TestProbeDelaySchedule(t *testing.T) {
+	base := 2 * time.Second
+	for fails := 0; fails < 12; fails++ {
+		d := probeDelay(base, fails)
+		want := base << min(fails, backoffShift)
+		if want > probeMaxBackoff {
+			want = probeMaxBackoff
+		}
+		lo := want - want/4
+		hi := want + want/4
+		if d < lo || d > hi {
+			t.Fatalf("fails=%d: delay %v outside [%v, %v]", fails, d, lo, hi)
+		}
+	}
+	// A base longer than the cap is respected (never probe faster than
+	// configured).
+	long := 2 * probeMaxBackoff
+	if d := probeDelay(long, 3); d < long-long/4 {
+		t.Fatalf("long base shortened: %v < %v", d, long-long/4)
 	}
 }

@@ -20,11 +20,13 @@
 //
 // Resilience, in front of the routing:
 //
-//   - Health probes: GET /v1/healthz per backend on a fixed interval;
-//     draining or dead backends drop out of the preferred candidate order.
+//   - Health probes: GET /v1/healthz per backend, backing off with jittered
+//     exponential delays while a backend stays down (capped ~30s); draining
+//     or dead backends drop out of the preferred candidate order.
 //   - Circuit breakers: BreakerThreshold consecutive refusals open a
-//     backend's breaker; after BreakerCooldown one half-open trial request
-//     decides whether it closes again.
+//     backend's breaker; after a jittered cooldown one half-open trial
+//     request decides whether it closes again, and each failed trial
+//     doubles the next cooldown.
 //   - Bounded in-flight: at most MaxInflight gateway requests per backend;
 //     excess spills to the next ring position instead of piling up.
 //   - Hedged retry: when the home shard has not answered within HedgeAfter,
@@ -32,6 +34,10 @@
 //     because results are deterministic — see DESIGN.md §10); an outright
 //     refusal advances immediately. A request fails only when every
 //     candidate backend has refused it.
+//   - Cache-fill replication: each freshly proved-optimal result is pushed
+//     asynchronously (POST /v1/fill) to the key's ReplicateFills ring
+//     successors — exactly the shards a failover would choose — so losing
+//     the home shard costs a warm cache hit, not a re-solve (replicate.go).
 package cluster
 
 import (
@@ -44,6 +50,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -86,6 +93,14 @@ type Config struct {
 	MaxMatrixEntries int
 	// MaxBatch caps the number of requests in one batch (default 64).
 	MaxBatch int
+	// ReplicateFills is how many ring successors receive an asynchronous
+	// POST /v1/fill of each freshly proved-optimal result (default 1;
+	// negative disables replication). Successor caches warm before any
+	// failover happens, so losing the home shard costs the survivors a
+	// cache lookup instead of a re-solve.
+	ReplicateFills int
+	// FillTimeout bounds one replication fill request (default 5s).
+	FillTimeout time.Duration
 	// Client issues the backend requests (default: a dedicated client with
 	// per-host keep-alive pools and no global timeout — deadlines come from
 	// request contexts and hedging).
@@ -126,6 +141,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.ReplicateFills == 0 {
+		c.ReplicateFills = 1
+	}
+	if c.ReplicateFills < 0 {
+		c.ReplicateFills = 0
+	}
+	if c.FillTimeout <= 0 {
+		c.FillTimeout = 5 * time.Second
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 64,
@@ -150,6 +174,8 @@ type Gateway struct {
 	draining atomic.Bool
 	started  time.Time
 	stop     context.CancelFunc
+	fillSem  chan struct{} // bounds concurrent background fill sends
+	fillWG   sync.WaitGroup
 	met      gwMetrics
 }
 
@@ -176,6 +202,7 @@ func New(cfg Config) (*Gateway, error) {
 		ring:    newRing(urls),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+		fillSem: make(chan struct{}, maxConcurrentFills),
 	}
 	for _, u := range urls {
 		g.backends = append(g.backends, newBackend(u, cfg.MaxInflight))
@@ -197,8 +224,12 @@ func New(cfg Config) (*Gateway, error) {
 // Handler returns the gateway's HTTP handler.
 func (g *Gateway) Handler() http.Handler { return g.logged(g.mux) }
 
-// Close stops the health-probe loops. In-flight requests are unaffected.
-func (g *Gateway) Close() { g.stop() }
+// Close stops the health-probe loops and waits for in-flight cache fills
+// (each bounded by FillTimeout). In-flight requests are unaffected.
+func (g *Gateway) Close() {
+	g.stop()
+	g.fillWG.Wait()
+}
 
 // BeginDrain makes the gateway reject new work with 503 (healthz flips so
 // balancers stop routing here). Pair with http.Server.Shutdown.
@@ -252,7 +283,7 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload 
 		g.met.inflightSpills.Add(1)
 		return fwdResult{err: errInflightFull, backend: b}
 	}
-	if !force && !b.allow(time.Now(), g.cfg.BreakerCooldown) {
+	if !force && !b.allow(time.Now()) {
 		return fwdResult{err: errBreakerOpen, backend: b}
 	}
 	b.requests.Add(1)
@@ -274,7 +305,7 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload 
 			return fwdResult{err: err, backend: b}
 		}
 		b.failures.Add(1)
-		b.report(false, time.Now(), g.cfg.BreakerThreshold)
+		b.report(false, time.Now(), g.cfg.BreakerThreshold, g.cfg.BreakerCooldown)
 		return fwdResult{err: err, backend: b}
 	}
 	defer resp.Body.Close()
@@ -285,7 +316,7 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload 
 			return fwdResult{err: err, backend: b}
 		}
 		b.failures.Add(1)
-		b.report(false, time.Now(), g.cfg.BreakerThreshold)
+		b.report(false, time.Now(), g.cfg.BreakerThreshold, g.cfg.BreakerCooldown)
 		return fwdResult{err: err, backend: b}
 	}
 	out := fwdResult{status: resp.StatusCode, body: body, backend: b}
@@ -293,7 +324,7 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload 
 	if !ok {
 		b.failures.Add(1)
 	}
-	b.report(ok, time.Now(), g.cfg.BreakerThreshold)
+	b.report(ok, time.Now(), g.cfg.BreakerThreshold, g.cfg.BreakerCooldown)
 	return out
 }
 
@@ -307,7 +338,7 @@ func (g *Gateway) candidateOrder(key string) (order []*backend, forceFrom int) {
 	var preferred, rest []*backend
 	for _, i := range idxs {
 		b := g.backends[i]
-		if b.available(now, g.cfg.BreakerCooldown) {
+		if b.available(now) {
 			preferred = append(preferred, b)
 		} else {
 			rest = append(rest, b)
@@ -507,6 +538,11 @@ func (g *Gateway) solveOne(ctx context.Context, it *solveItem) (int, any, []byte
 	}
 	if g.cache != nil && cacheableJSON(&canon) {
 		g.cache.put(it.fp.Hash, &canon)
+	}
+	if cacheableJSON(&canon) && !canon.CacheHit {
+		// A fresh proof (not a backend cache hit — those were replicated
+		// when first solved): warm the ring successors asynchronously.
+		g.replicate(it.fp.Hash, it.payload.Matrix, &canon, fr.backend)
 	}
 	return http.StatusOK, res, nil
 }

@@ -152,6 +152,9 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if g.cache != nil && cacheableJSON(item.Result) {
 					g.cache.put(it.fp.Hash, item.Result)
 				}
+				if cacheableJSON(item.Result) && !item.Result.CacheHit {
+					g.replicate(it.fp.Hash, it.payload.Matrix, item.Result, fr.backend)
+				}
 				resp.Results[orig] = wire.BatchItem{Result: res}
 			}
 		}(gr)

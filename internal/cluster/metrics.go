@@ -19,16 +19,34 @@ type gwMetrics struct {
 	hedges         atomic.Int64 // attempts launched by the hedge timer
 	failovers      atomic.Int64 // attempts launched after a refusal
 	inflightSpills atomic.Int64 // attempts skipped at the per-backend in-flight cap
+
+	// Cache-fill replication counters.
+	fillsSent      atomic.Int64 // fill requests issued to ring successors
+	fillsStored    atomic.Int64 // fills the target stored (fresh for it)
+	fillsDuplicate atomic.Int64 // fills the target already had
+	fillsFailed    atomic.Int64 // fills refused or unreachable
+	fillsDropped   atomic.Int64 // fills skipped at the concurrency cap
 }
 
 // MetricsSnapshot is the GET /v1/metrics response body: gateway-level
 // counters plus the live per-backend state.
 type MetricsSnapshot struct {
-	UptimeMS int64            `json:"uptime_ms"`
-	Requests GWRequestMetrics `json:"requests"`
-	Routing  RoutingMetrics   `json:"routing"`
-	Cache    GWCacheMetrics   `json:"cache"`
-	Backends []BackendStatus  `json:"backends"`
+	UptimeMS    int64              `json:"uptime_ms"`
+	Requests    GWRequestMetrics   `json:"requests"`
+	Routing     RoutingMetrics     `json:"routing"`
+	Cache       GWCacheMetrics     `json:"cache"`
+	Replication ReplicationMetrics `json:"replication"`
+	Backends    []BackendStatus    `json:"backends"`
+}
+
+// ReplicationMetrics aggregates the cache-fill replication path.
+type ReplicationMetrics struct {
+	Targets   int   `json:"targets"` // configured successors per fresh result
+	Sent      int64 `json:"sent"`
+	Stored    int64 `json:"stored"`
+	Duplicate int64 `json:"duplicate"`
+	Failed    int64 `json:"failed"`
+	Dropped   int64 `json:"dropped"`
 }
 
 // GWRequestMetrics counts gateway requests by disposition.
@@ -62,6 +80,9 @@ type BackendStatus struct {
 	Inflight int    `json:"inflight"`
 	Requests int64  `json:"requests"`
 	Failures int64  `json:"failures"`
+	// Reopens counts breaker open transitions; climbing reopens with a
+	// still-open breaker means the backoff is in its exponential phase.
+	Reopens int64 `json:"reopens"`
 }
 
 // MetricsSnapshot assembles the /v1/metrics body.
@@ -85,16 +106,25 @@ func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 			Local:      g.cache.stats(),
 			RemoteHits: m.remoteHits.Load(),
 		},
+		Replication: ReplicationMetrics{
+			Targets:   g.cfg.ReplicateFills,
+			Sent:      m.fillsSent.Load(),
+			Stored:    m.fillsStored.Load(),
+			Duplicate: m.fillsDuplicate.Load(),
+			Failed:    m.fillsFailed.Load(),
+			Dropped:   m.fillsDropped.Load(),
+		},
 	}
 	now := time.Now()
 	for _, b := range g.backends {
 		snap.Backends = append(snap.Backends, BackendStatus{
 			URL:      b.url,
 			Healthy:  b.healthy.Load(),
-			Breaker:  b.breakerStateNow(now, g.cfg.BreakerCooldown).String(),
+			Breaker:  b.breakerStateNow(now).String(),
 			Inflight: len(b.inflight),
 			Requests: b.requests.Load(),
 			Failures: b.failures.Load(),
+			Reopens:  b.reopens.Load(),
 		})
 	}
 	return snap

@@ -1,0 +1,109 @@
+package cluster
+
+// Cache-fill replication: after a backend proves a fresh optimal result,
+// the gateway asynchronously POSTs it to the fingerprint's ring successors
+// via /v1/fill. The successors are exactly the shards a failover or hedge
+// would route this key to, so when the home shard dies its keys land on
+// caches that already hold the answers — the durability story (each
+// backend's WAL) covers restarts, replication covers machine loss.
+//
+// Replication is strictly best-effort and off the request path: fills ride
+// a bounded worker pool (excess fills are dropped, not queued), use a plain
+// HTTP client with their own timeout, and never feed circuit breakers or
+// consume the per-backend in-flight budget — a down replication target must
+// not look like a down serving backend.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/wire"
+)
+
+// maxConcurrentFills bounds in-flight background fill requests across the
+// whole gateway. Beyond it, fills are dropped: a fill is an optimization,
+// and the next solve of the same key will simply replicate again.
+const maxConcurrentFills = 32
+
+// replicate fans a freshly solved canonical result out to the key's ring
+// successors, skipping the backend that served it. canonical is the
+// canonical matrix in text form (the forwarded payload); canon must be the
+// backend's canonical-space result, not the lifted one.
+func (g *Gateway) replicate(hash, canonical string, canon *wire.ResultJSON, served *backend) {
+	if g.cfg.ReplicateFills <= 0 || hash == "" || canonical == "" {
+		return
+	}
+	var targets []*backend
+	for _, i := range g.ring.candidates(hash) {
+		b := g.backends[i]
+		if b == served {
+			continue
+		}
+		targets = append(targets, b)
+		if len(targets) == g.cfg.ReplicateFills {
+			break
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	body, err := json.Marshal(&wire.FillRequest{Fingerprint: hash, Matrix: canonical, Result: canon})
+	if err != nil {
+		return
+	}
+	for _, b := range targets {
+		select {
+		case g.fillSem <- struct{}{}:
+		default:
+			g.met.fillsDropped.Add(1)
+			continue
+		}
+		g.fillWG.Add(1)
+		go func(b *backend) {
+			defer g.fillWG.Done()
+			defer func() { <-g.fillSem }()
+			g.sendFill(b, body)
+		}(b)
+	}
+}
+
+// sendFill delivers one fill to one backend. Failures are counted and
+// logged, nothing more: the target being down, draining, or rejecting is
+// handled by simply not being warmed.
+func (g *Gateway) sendFill(b *backend, body []byte) {
+	g.met.fillsSent.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.FillTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/fill", bytes.NewReader(body))
+	if err != nil {
+		g.met.fillsFailed.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.met.fillsFailed.Add(1)
+		g.cfg.Logger.Printf("fill %s: %v", b.url, err)
+		return
+	}
+	defer resp.Body.Close()
+	fbody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		g.met.fillsFailed.Add(1)
+		g.cfg.Logger.Printf("fill %s: status %d: %s", b.url, resp.StatusCode, errorBody(fbody))
+		return
+	}
+	var fr wire.FillResponse
+	if err := json.Unmarshal(fbody, &fr); err == nil && fr.Stored {
+		g.met.fillsStored.Add(1)
+	} else {
+		g.met.fillsDuplicate.Add(1)
+	}
+}
+
+// drainFills waits for in-flight background fills (test hook; production
+// shutdown doesn't need to wait — fills are best-effort).
+func (g *Gateway) drainFills() { g.fillWG.Wait() }

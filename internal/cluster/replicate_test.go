@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// waitForFills blocks until the gateway's background fills finish AND n of
+// them were delivered (stored or duplicate), or the deadline passes —
+// drainFills alone can race the goroutine spawn.
+func waitForFills(t *testing.T, gw *Gateway, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		gw.drainFills()
+		m := &gw.met
+		if m.fillsStored.Load()+m.fillsDuplicate.Load()+m.fillsFailed.Load() >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("fills not delivered: %+v", gw.MetricsSnapshot().Replication)
+}
+
+// A fresh solve through the gateway must warm the ring successor: with two
+// backends, both answer the canonical request from cache afterwards, so a
+// failover of the home shard costs zero re-solves.
+func TestReplicationWarmsSuccessor(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{ReplicateFills: 1})
+
+	resp, body := postJSON(t, tc.ts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	res := decodeResult(t, body)
+	if !res.Optimal || res.CacheHit {
+		t.Fatalf("cold solve: %+v", res)
+	}
+	waitForFills(t, tc.gw, 1)
+
+	rep := tc.gw.MetricsSnapshot().Replication
+	if rep.Sent != 1 || rep.Stored != 1 || rep.Failed != 0 {
+		t.Fatalf("replication metrics: %+v", rep)
+	}
+	// Every backend — not just the serving shard — now answers the same
+	// matrix from its cache, without any new pipeline run.
+	before := tc.fleetSolves()
+	for i, bts := range tc.backends {
+		resp, body := postJSON(t, bts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("backend %d: %d %s", i, resp.StatusCode, body)
+		}
+		if r := decodeResult(t, body); !r.CacheHit || !r.Optimal || r.Depth != res.Depth {
+			t.Fatalf("backend %d cold after replication: %+v", i, r)
+		}
+	}
+	if after := tc.fleetSolves(); after != before {
+		t.Fatalf("replicated fleet re-solved: %d -> %d pipeline runs", before, after)
+	}
+	// Exactly one backend seeded (the successor); the server fill metrics
+	// agree with the gateway's.
+	var seeds int64
+	for _, s := range tc.servers {
+		seeds += s.Cache().Stats().Seeds
+	}
+	if seeds != 1 {
+		t.Fatalf("fleet seeds = %d, want 1", seeds)
+	}
+}
+
+// ReplicateFills < 0 disables the path entirely.
+func TestReplicationDisabled(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{ReplicateFills: -1})
+	resp, body := postJSON(t, tc.ts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	tc.gw.drainFills()
+	if rep := tc.gw.MetricsSnapshot().Replication; rep.Sent != 0 {
+		t.Fatalf("disabled replication sent fills: %+v", rep)
+	}
+}
+
+// A backend cache hit does not re-replicate: successors were warmed when
+// the result was first proved.
+func TestReplicationSkipsRemoteCacheHits(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{ReplicateFills: 1, LocalCacheSize: -1})
+
+	if resp, body := postJSON(t, tc.ts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	waitForFills(t, tc.gw, 1)
+	// Second identical solve: the home shard answers cache_hit=true; no new
+	// fill may be sent.
+	if resp, body := postJSON(t, tc.ts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resolve: %d %s", resp.StatusCode, body)
+	}
+	tc.gw.drainFills()
+	if rep := tc.gw.MetricsSnapshot().Replication; rep.Sent != 1 {
+		t.Fatalf("cache hit triggered replication: %+v", rep)
+	}
+}
+
+// A down replication target only shows up in the failure counter — the
+// solve path, breakers, and the other backends are untouched.
+func TestReplicationTargetDown(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{ReplicateFills: 1, FillTimeout: 500 * time.Millisecond})
+
+	// Find which backend is NOT the home shard for fig1b and kill it.
+	req := wire.SolveRequest{Matrix: fig1b}
+	m, err := req.ParseMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := prepare(&req, m)
+	home := tc.gw.ring.candidates(it.fp.Hash)[0]
+	succ := 1 - home
+	tc.backends[succ].Close()
+
+	resp, body := postJSON(t, tc.ts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve with dead successor: %d %s", resp.StatusCode, body)
+	}
+	if r := decodeResult(t, body); !r.Optimal {
+		t.Fatalf("result: %+v", r)
+	}
+	waitForFills(t, tc.gw, 1)
+	rep := tc.gw.MetricsSnapshot().Replication
+	if rep.Sent != 1 || rep.Failed != 1 || rep.Stored != 0 {
+		t.Fatalf("replication metrics with dead target: %+v", rep)
+	}
+	// The failed fill must not have opened the serving breaker of either
+	// backend (fills bypass breaker accounting entirely).
+	for _, b := range tc.gw.backends {
+		if st := b.breakerStateNow(time.Now()); st != brClosed {
+			t.Fatalf("backend %s breaker %v after failed fill, want closed", b.url, st)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// canonicalFill solves fig1b's canonical matrix out of band and builds the
+// fill a replicating gateway would send.
+func canonicalFill(t *testing.T) (*bitmat.Fingerprint, wire.FillRequest) {
+	t.Helper()
+	m := bitmat.MustParse(fig1b)
+	fp := bitmat.ComputeFingerprint(m)
+	res, err := core.SolveContext(context.Background(), fp.Canonical, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("canonical solve not optimal")
+	}
+	return fp, wire.FillRequest{
+		Fingerprint: fp.Hash,
+		Matrix:      fp.Canonical.String(),
+		Result:      wire.FromResult(res, fp.Hash),
+	}
+}
+
+func postFill(t *testing.T, url string, req wire.FillRequest) (*http.Response, wire.FillResponse, []byte) {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/fill", req)
+	var fr wire.FillResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &fr); err != nil {
+			t.Fatalf("bad fill response: %v\n%s", err, body)
+		}
+	}
+	return resp, fr, body
+}
+
+// A valid fill seeds the cache: a permutation-equivalent solve afterwards is
+// a cache hit with zero pipeline work.
+func TestFillSeedsCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, fill := canonicalFill(t)
+
+	resp, fr, body := postFill(t, ts.URL, fill)
+	if resp.StatusCode != http.StatusOK || !fr.Stored {
+		t.Fatalf("fill: status %d stored=%v body=%s", resp.StatusCode, fr.Stored, body)
+	}
+	// Idempotent: the same fill again reports nothing stored.
+	if _, fr, _ := postFill(t, ts.URL, fill); fr.Stored {
+		t.Fatal("duplicate fill reported stored")
+	}
+
+	resp, rbody := postJSON(t, ts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve after fill: %d %s", resp.StatusCode, rbody)
+	}
+	res := decodeResult(t, rbody)
+	if !res.CacheHit || !res.Optimal {
+		t.Fatalf("solve after fill: hit=%v optimal=%v, want seeded hit", res.CacheHit, res.Optimal)
+	}
+	if st := s.Cache().Stats(); st.Seeds != 1 || st.Misses != 0 {
+		t.Fatalf("cache stats after fill: %+v", st)
+	}
+	snap := s.metricsSnapshot()
+	if snap.Fills.Requests != 2 || snap.Fills.Stored != 1 || snap.Fills.Duplicate != 1 {
+		t.Fatalf("fill metrics: %+v", snap.Fills)
+	}
+}
+
+// A fill reaches the durable store too, and survives into a fresh server
+// over the same directory.
+func TestFillWritesThroughToStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Store: st})
+	fp, fill := canonicalFill(t)
+
+	if resp, fr, body := postFill(t, ts.URL, fill); resp.StatusCode != http.StatusOK || !fr.Stored {
+		t.Fatalf("fill: %d %s", resp.StatusCode, body)
+	}
+	if _, ok := st.Get(fp.Hash); !ok {
+		t.Fatal("fill not written through to the durable store")
+	}
+	st.Close()
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2, ts2 := newTestServer(t, Config{Store: st2})
+	resp, rbody := postJSON(t, ts2.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve on restarted server: %d %s", resp.StatusCode, rbody)
+	}
+	if res := decodeResult(t, rbody); !res.CacheHit {
+		t.Fatal("restarted server re-solved a filled matrix")
+	}
+	if snap := s2.metricsSnapshot(); snap.Store == nil || snap.Store.LoadedWAL != 1 {
+		t.Fatalf("store metrics on restarted server: %+v", snap.Store)
+	}
+}
+
+// Invalid fills must be rejected with 400 before touching the cache.
+func TestFillValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	fp, good := canonicalFill(t)
+
+	truncate := func(req wire.FillRequest, mutate func(*wire.FillRequest)) wire.FillRequest {
+		// Deep-copy the result so mutations don't leak across cases.
+		cp := req
+		r := *req.Result
+		r.Partition = append([]wire.RectJSON(nil), req.Result.Partition...)
+		cp.Result = &r
+		mutate(&cp)
+		return cp
+	}
+
+	cases := map[string]wire.FillRequest{
+		"missing fingerprint": truncate(good, func(f *wire.FillRequest) { f.Fingerprint = "" }),
+		"missing result":      truncate(good, func(f *wire.FillRequest) { f.Result = nil }),
+		"missing matrix":      truncate(good, func(f *wire.FillRequest) { f.Matrix = "" }),
+		"not optimal":         truncate(good, func(f *wire.FillRequest) { f.Result.Optimal = false }),
+		"timed out":           truncate(good, func(f *wire.FillRequest) { f.Result.TimedOut = true }),
+		"wrong fingerprint":   truncate(good, func(f *wire.FillRequest) { f.Fingerprint = "deadbeef" }),
+		"non-canonical matrix": truncate(good, func(f *wire.FillRequest) {
+			// fig1b itself: equivalent to the canonical form but not equal
+			// to it, so a fill must not trust the claimed pairing.
+			f.Matrix = fig1b
+		}),
+		"depth mismatch": truncate(good, func(f *wire.FillRequest) {
+			f.Result.Depth++
+		}),
+		"partition not covering": truncate(good, func(f *wire.FillRequest) {
+			f.Result.Partition = f.Result.Partition[:len(f.Result.Partition)-1]
+		}),
+		"rect out of range": truncate(good, func(f *wire.FillRequest) {
+			f.Result.Partition[0].Rows = []int{1 << 30}
+		}),
+		"empty rect": truncate(good, func(f *wire.FillRequest) {
+			f.Result.Partition[0].Rows = nil
+		}),
+	}
+	for name, req := range cases {
+		resp, _, body := postFill(t, ts.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d body=%s, want 400", name, resp.StatusCode, body)
+		}
+	}
+	if st := s.Cache().Stats(); st.Seeds != 0 || st.Entries != 0 {
+		t.Fatalf("invalid fill reached the cache: %+v", st)
+	}
+	if snap := s.metricsSnapshot(); snap.Fills.Rejected != int64(len(cases)) {
+		t.Fatalf("rejected = %d, want %d", snap.Fills.Rejected, len(cases))
+	}
+	// The wrong-fingerprint case must also fail when the hash belongs to a
+	// DIFFERENT matrix (not just a garbage string): key poisoning.
+	other := bitmat.MustParse("11\n01")
+	otherFP := bitmat.ComputeFingerprint(other)
+	poison := good
+	poison.Fingerprint = otherFP.Hash
+	if resp, _, _ := postFill(t, ts.URL, poison); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("fill keyed by another matrix's fingerprint was accepted")
+	}
+	_ = fp
+}
+
+// A draining server refuses fills: its store is being flushed for shutdown.
+func TestFillRejectedWhileDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, fill := canonicalFill(t)
+	s.BeginDrain()
+	if resp, _, _ := postFill(t, ts.URL, fill); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatal("draining server accepted a fill")
+	}
+}

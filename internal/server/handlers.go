@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
 	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/rect"
 	"repro/internal/wire"
 )
 
@@ -16,6 +19,7 @@ import (
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/fill", s.handleFill)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 }
@@ -131,6 +135,115 @@ func (s *Server) solveOne(ctx context.Context, m *bitmat.Matrix, req *wire.Solve
 // statusClientClosedRequest mirrors nginx's non-standard 499 for requests
 // abandoned while queued; the client is gone, the code is for the logs.
 const statusClientClosedRequest = 499
+
+// handleFill answers POST /v1/fill: validate a replicated proved-optimal
+// canonical result, then seed it into the cache tiers. Fills skip the solve
+// admission gate — validation is a fingerprint recompute plus a partition
+// check, orders of magnitude cheaper than a solve — but a draining server
+// still refuses them: its store is about to be flushed and closed.
+func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
+	s.met.fillRequests.Add(1)
+	if s.draining.Load() {
+		s.met.rejectedDrain.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "server draining"})
+		return
+	}
+	var req wire.FillRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.met.fillRejected.Add(1)
+		s.badRequest(w, err)
+		return
+	}
+	hash, res, err := s.validateFill(&req)
+	if err != nil {
+		s.met.fillRejected.Add(1)
+		s.badRequest(w, err)
+		return
+	}
+	stored := s.cache.Seed(hash, res)
+	if stored {
+		s.met.fillStored.Add(1)
+	} else {
+		s.met.fillDuplicate.Add(1)
+	}
+	writeJSON(w, http.StatusOK, wire.FillResponse{Stored: stored})
+}
+
+// validateFill checks a fill's structure before it may touch the cache: the
+// submitted matrix must be exactly its own canonical form, its recomputed
+// fingerprint must match the claimed key, and the partition must be a valid
+// EBMF of that matrix at the claimed depth. What this proves: the entry is
+// internally consistent and keyed correctly, so it can never make a future
+// request return an invalid partition (lifting re-validates anyway).
+// What it takes on trust from the fleet: that the depth is optimal.
+func (s *Server) validateFill(req *wire.FillRequest) (string, *core.Result, error) {
+	if req.Fingerprint == "" {
+		return "", nil, errors.New("fill: missing fingerprint")
+	}
+	rj := req.Result
+	if rj == nil {
+		return "", nil, errors.New("fill: missing result")
+	}
+	if !rj.Optimal || rj.TimedOut || rj.Canceled {
+		return "", nil, errors.New("fill: only proved-optimal uninterrupted results may be filled")
+	}
+	if req.Matrix == "" {
+		return "", nil, errors.New("fill: missing matrix")
+	}
+	m, err := bitmat.Parse(req.Matrix)
+	if err != nil {
+		return "", nil, err
+	}
+	if m.Rows()*m.Cols() > s.cfg.MaxMatrixEntries {
+		return "", nil, errors.New("matrix exceeds size limit")
+	}
+	fp := bitmat.ComputeFingerprint(m)
+	if !fp.Exact {
+		return "", nil, errors.New("fill: matrix exceeds canonicalization budget")
+	}
+	if fp.Hash != req.Fingerprint {
+		return "", nil, errors.New("fill: fingerprint does not match matrix")
+	}
+	if !m.Equal(fp.Canonical) {
+		return "", nil, errors.New("fill: matrix is not in canonical form")
+	}
+	p := rect.NewPartition(m)
+	for i, rr := range rj.Partition {
+		if len(rr.Rows) == 0 || len(rr.Cols) == 0 {
+			return "", nil, fmt.Errorf("fill: rect %d is empty", i)
+		}
+		nr := rect.NewRect(m.Rows(), m.Cols())
+		for _, v := range rr.Rows {
+			if v < 0 || v >= m.Rows() {
+				return "", nil, fmt.Errorf("fill: rect %d row %d out of range", i, v)
+			}
+			nr.Rows.Set(v, true)
+		}
+		for _, v := range rr.Cols {
+			if v < 0 || v >= m.Cols() {
+				return "", nil, fmt.Errorf("fill: rect %d col %d out of range", i, v)
+			}
+			nr.Cols.Set(v, true)
+		}
+		p.Add(nr)
+	}
+	if err := p.Validate(); err != nil {
+		return "", nil, fmt.Errorf("fill: partition invalid: %w", err)
+	}
+	if rj.Depth != p.Depth() {
+		return "", nil, fmt.Errorf("fill: claimed depth %d != partition depth %d", rj.Depth, p.Depth())
+	}
+	return fp.Hash, &core.Result{
+		Partition:      p,
+		Depth:          p.Depth(),
+		RankLB:         rj.RankLB,
+		FoolingLB:      rj.FoolingLB,
+		Optimal:        true,
+		Certificate:    wire.ParseCertificate(rj.Certificate),
+		Blocks:         rj.Blocks,
+		HeuristicDepth: rj.HeuristicDepth,
+	}, nil
+}
 
 // handleHealthz answers GET /v1/healthz: 200 while serving, 503 once
 // draining so load balancers stop routing new work here.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/solvecache"
+	"repro/internal/store"
 )
 
 // metrics holds the service counters. All fields are atomics so the handlers
@@ -22,6 +23,12 @@ type metrics struct {
 	rejectedBatch  atomic.Int64
 	clientGone     atomic.Int64
 	internalErrors atomic.Int64
+
+	// Fill counters (POST /v1/fill, the cache-fill replication path).
+	fillRequests  atomic.Int64
+	fillStored    atomic.Int64
+	fillDuplicate atomic.Int64
+	fillRejected  atomic.Int64
 
 	solves     atomic.Int64
 	optimal    atomic.Int64
@@ -126,6 +133,18 @@ type MetricsSnapshot struct {
 	Queue     QueueMetrics     `json:"queue"`
 	Cache     solvecache.Stats `json:"cache"`
 	HitRate   float64          `json:"cache_hit_rate"`
+	// Fills reports the replication endpoint's activity; Store the durable
+	// tier's state (nil when no store is attached).
+	Fills FillMetrics  `json:"fills"`
+	Store *store.Stats `json:"store,omitempty"`
+}
+
+// FillMetrics counts POST /v1/fill dispositions.
+type FillMetrics struct {
+	Requests  int64 `json:"requests"`
+	Stored    int64 `json:"stored"`
+	Duplicate int64 `json:"duplicate"`
+	Rejected  int64 `json:"rejected"`
 }
 
 // PortfolioMetrics aggregates the racing layer's behaviour: which
@@ -219,6 +238,16 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 			MaxQueue:      s.cfg.MaxQueue,
 		},
 		Cache: s.cache.Stats(),
+		Fills: FillMetrics{
+			Requests:  m.fillRequests.Load(),
+			Stored:    m.fillStored.Load(),
+			Duplicate: m.fillDuplicate.Load(),
+			Rejected:  m.fillRejected.Load(),
+		},
+	}
+	if st := s.cache.Store(); st != nil {
+		stats := st.Stats()
+		snap.Store = &stats
 	}
 	if snap.Solves.Completed > 0 {
 		snap.Solves.AvgNS = snap.Solves.TotalNS / snap.Solves.Completed

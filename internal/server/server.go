@@ -3,6 +3,7 @@
 //
 //	POST /v1/solve    one matrix in, one wire.ResultJSON out
 //	POST /v1/batch    several matrices, results in request order
+//	POST /v1/fill     cache-fill replication: seed a proved-optimal result
 //	GET  /v1/healthz  liveness (503 while draining)
 //	GET  /v1/metrics  counters: solves, cache hit rate, queue, latencies
 //
@@ -34,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/solvecache"
+	"repro/internal/store"
 )
 
 // Config tunes the service. The zero value means "all defaults".
@@ -69,6 +71,12 @@ type Config struct {
 	// a 2M conflict budget — an unbudgeted exact solver must not be exposed
 	// to arbitrary clients).
 	Options *core.Options
+	// Store, when non-nil, is the durable result tier attached beneath the
+	// cache: proved-optimal results are written through to it and a restart
+	// serves the whole history warm. The caller owns the store's lifecycle —
+	// open it before New and close it after http.Server.Shutdown returns, so
+	// in-flight solves can still write through during a drain.
+	Store *store.Store
 	// Logger receives one line per request (default: discard).
 	Logger *log.Logger
 }
@@ -143,6 +151,9 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		started: time.Now(),
 		mux:     http.NewServeMux(),
+	}
+	if cfg.Store != nil {
+		s.cache.AttachStore(cfg.Store)
 	}
 	s.routes()
 	return s

@@ -5,7 +5,7 @@
 // cache slot: addressing workloads resubmit the same pattern shuffled, and
 // the cache turns those resubmissions into O(1) lookups plus a lift.
 //
-// Three mechanisms compose:
+// Four mechanisms compose:
 //
 //   - LRU result cache. Only proved-optimal, un-interrupted results are
 //     stored: an optimal depth is the binary rank — a property of the matrix
@@ -14,12 +14,21 @@
 //   - Singleflight. Concurrent requests with the same fingerprint elect one
 //     leader that runs the pipeline on the canonical matrix; everyone else
 //     waits and lifts the leader's result into their own index space. N
-//     identical concurrent requests cost exactly one solve.
+//     identical concurrent requests cost exactly one solve. A leader that
+//     fails without a verdict (panic) abandons the flight; waiting
+//     followers re-elect instead of wedging.
+//   - Durable tier (optional, AttachStore). Fresh proved-optimal results
+//     are written through to an internal/store WAL keyed by the same
+//     fingerprint; an LRU miss falls back to the store before leading a
+//     solve, so a restarted process serves its whole history warm and an
+//     LRU eviction is not a death sentence. Seed injects replicated results
+//     from other fleet members through the same door.
 //   - Lifting. Cached partitions live on the canonical matrix. A hit maps
 //     them through the request's Fingerprint (RowMap/ColMap, then the
 //     request's own Compression) and re-validates against the request
 //     matrix, so a corrupted or colliding entry degrades to a miss, never to
-//     a wrong answer.
+//     a wrong answer — the same insurance covers durable records and
+//     replicated seeds.
 //
 // Options may differ freely across requests: only proved-optimal results
 // cross request boundaries (from the store or from a singleflight leader),
@@ -38,6 +47,7 @@ import (
 	"repro/internal/bitmat"
 	"repro/internal/core"
 	"repro/internal/rect"
+	"repro/internal/store"
 )
 
 // DefaultCapacity is the entry capacity used when New is given cap <= 0.
@@ -50,6 +60,11 @@ type Cache struct {
 	lru      *list.List // front = most recently used; values are *entry
 	byKey    map[string]*list.Element
 	flights  map[string]*flight
+	durable  *store.Store // optional write-through durable tier; may be nil
+
+	// solveFn runs the pipeline (core.SolveContext in production; tests
+	// inject failures and panics through it).
+	solveFn func(ctx context.Context, m *bitmat.Matrix, opts core.Options) (*core.Result, error)
 
 	stats Stats
 }
@@ -60,18 +75,28 @@ type entry struct {
 	res *core.Result // Partition indexes the canonical matrix
 }
 
-// flight is one in-progress leader solve that followers wait on. res/err are
-// written before done is closed and read only after it is closed.
+// flight is one in-progress leader solve that followers wait on. res/err/
+// abandoned are written before done is closed and read only after it is
+// closed.
 type flight struct {
 	done chan struct{}
 	res  *core.Result
 	err  error
+	// abandoned marks a flight whose leader died without a verdict (its
+	// pipeline panicked). Followers re-elect a new leader instead of
+	// inheriting an error the matrix did not cause.
+	abandoned bool
 }
 
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
 	// Hits counts requests served from the LRU store.
 	Hits int64 `json:"hits"`
+	// DurableHits counts requests that missed the LRU but were served from
+	// the attached durable store (boot-warm or post-eviction hits).
+	DurableHits int64 `json:"durable_hits"`
+	// Seeds counts results injected via Seed (cache-fill replication).
+	Seeds int64 `json:"seeds"`
 	// SharedHits counts requests that waited on an in-flight identical solve
 	// and shared its result (singleflight followers).
 	SharedHits int64 `json:"shared_hits"`
@@ -98,11 +123,11 @@ type Stats struct {
 // HitRate returns the fraction of fingerprinted requests served without a
 // fresh pipeline run.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.SharedHits + s.Misses
+	total := s.Hits + s.DurableHits + s.SharedHits + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.SharedHits) / float64(total)
+	return float64(s.Hits+s.DurableHits+s.SharedHits) / float64(total)
 }
 
 // New returns a cache holding up to capacity results (DefaultCapacity when
@@ -116,7 +141,26 @@ func New(capacity int) *Cache {
 		lru:      list.New(),
 		byKey:    make(map[string]*list.Element),
 		flights:  make(map[string]*flight),
+		solveFn:  core.SolveContext,
 	}
+}
+
+// AttachStore wires a durable tier beneath the LRU: fresh proved-optimal
+// results are written through to st, and LRU misses fall back to it before
+// leading a pipeline solve. The store was loaded by store.Open, so attaching
+// it is the boot-time warm start — every previously proved result is one
+// map lookup away. The caller retains ownership of st (and must Close it).
+func (c *Cache) AttachStore(st *store.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.durable = st
+}
+
+// Store returns the attached durable tier (nil when none).
+func (c *Cache) Store() *store.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.durable
 }
 
 // Stats returns a snapshot of the counters.
@@ -156,10 +200,11 @@ func (c *Cache) SolveContextKeyed(ctx context.Context, m *bitmat.Matrix, opts co
 	fp := bitmat.ComputeFingerprint(m)
 	if !fp.Exact {
 		c.count(func(s *Stats) { s.Uncacheable++; s.Solves++ })
-		res, err := core.SolveContext(ctx, m, opts)
+		res, err := c.solveFn(ctx, m, opts)
 		return res, "", err
 	}
 
+	triedDurable := false
 	for {
 		c.mu.Lock()
 		if el, ok := c.byKey[fp.Hash]; ok {
@@ -183,9 +228,15 @@ func (c *Cache) SolveContextKeyed(ctx context.Context, m *bitmat.Matrix, opts co
 				// leader: the pipeline on an already-canceled context still
 				// returns a valid heuristic partition, marked Canceled.
 				c.count(func(s *Stats) { s.Solves++ })
-				res, err := core.SolveContext(ctx, m, opts)
+				res, err := c.solveFn(ctx, m, opts)
 				return res, fp.Hash, err
 			case <-f.done:
+			}
+			if f.abandoned {
+				// The leader died without a verdict (its pipeline panicked).
+				// That says nothing about this matrix — re-elect: the next
+				// loop hits the durable tier or leads a fresh solve.
+				continue
 			}
 			if f.err != nil {
 				return nil, fp.Hash, f.err
@@ -204,6 +255,29 @@ func (c *Cache) SolveContextKeyed(ctx context.Context, m *bitmat.Matrix, opts co
 			c.count(func(s *Stats) { s.LiftFailures++ })
 			continue
 		}
+		if durable := c.durable; durable != nil && !triedDurable {
+			// LRU miss, no flight: consult the durable tier before paying
+			// for a pipeline run. Reconstruction and lifting run outside
+			// the cache lock (the store has its own); racing requests at
+			// worst promote the same record twice.
+			c.mu.Unlock()
+			triedDurable = true
+			if res := durableLookup(durable, fp.Hash); res != nil {
+				if lifted, err := liftResult(res, fp, m, true); err == nil {
+					c.mu.Lock()
+					c.store(fp.Hash, res)
+					c.stats.DurableHits++
+					c.mu.Unlock()
+					return lifted, fp.Hash, nil
+				}
+				// The durable record failed re-validation against the
+				// request matrix (corruption that passed the CRC, or a
+				// fingerprint collision): drop it and solve for real.
+				c.count(func(s *Stats) { s.LiftFailures++ })
+				durable.Delete(fp.Hash)
+			}
+			continue
+		}
 		// Lead a solve of the canonical matrix.
 		f := &flight{done: make(chan struct{})}
 		c.flights[fp.Hash] = f
@@ -211,22 +285,73 @@ func (c *Cache) SolveContextKeyed(ctx context.Context, m *bitmat.Matrix, opts co
 		c.stats.Solves++
 		c.mu.Unlock()
 
-		res, err := core.SolveContext(ctx, fp.Canonical, opts)
-		c.mu.Lock()
-		delete(c.flights, fp.Hash)
-		if err == nil && cacheable(res) {
-			c.store(fp.Hash, res)
-		}
-		c.mu.Unlock()
-		f.res, f.err = res, err
-		close(f.done)
-
+		res, err := c.leadSolve(ctx, fp, f, opts)
 		if err != nil {
 			return nil, fp.Hash, err
 		}
 		lifted, err := liftResult(res, fp, m, false)
 		return lifted, fp.Hash, err
 	}
+}
+
+// leadSolve runs the leader's pipeline with completion insurance: however
+// the solve ends — result, error, or panic — the flight is resolved and
+// waiting followers released. On a panic the flight is marked abandoned
+// (followers re-elect) and the panic propagates to this request alone.
+func (c *Cache) leadSolve(ctx context.Context, fp *bitmat.Fingerprint, f *flight, opts core.Options) (res *core.Result, err error) {
+	completed := false
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, fp.Hash)
+		shouldStore := completed && err == nil && cacheable(res)
+		if shouldStore {
+			c.store(fp.Hash, res)
+		}
+		durable := c.durable
+		c.mu.Unlock()
+		if shouldStore && durable != nil {
+			// Write-through to the durable tier, outside the cache lock
+			// (Put may fsync). A disk failure is logged and counted by the
+			// store; it never fails the solve that produced the result.
+			durable.Put(recordFromResult(fp.Hash, res))
+		}
+		f.res, f.err, f.abandoned = res, err, !completed
+		close(f.done)
+	}()
+	res, err = c.solveFn(ctx, fp.Canonical, opts)
+	completed = true
+	return res, err
+}
+
+// Seed injects an externally computed proved-optimal canonical result — the
+// cache-fill replication path (POST /v1/fill): a gateway pushes results
+// solved on one shard to its ring successors so a failover lands on a warm
+// cache. res.Partition must index the canonical matrix for hash; the caller
+// is responsible for having validated that (the server-side fill handler
+// recomputes the fingerprint and re-validates the partition before calling
+// Seed), and the usual lift-time re-validation still guards every future
+// hit. Returns false when the result is not seedable (non-optimal) or an
+// entry already exists in both tiers.
+func (c *Cache) Seed(hash string, res *core.Result) bool {
+	if hash == "" || res == nil || !cacheable(res) || res.Partition == nil {
+		return false
+	}
+	c.mu.Lock()
+	_, inLRU := c.byKey[hash]
+	if !inLRU {
+		c.store(hash, res)
+		c.stats.Seeds++
+	}
+	durable := c.durable
+	c.mu.Unlock()
+	stored := !inLRU
+	if durable != nil {
+		if _, ok := durable.Get(hash); !ok {
+			durable.Put(recordFromResult(hash, res))
+			stored = true
+		}
+	}
+	return stored
 }
 
 // cacheable reports whether a canonical-space result may be stored: only
@@ -254,14 +379,21 @@ func (c *Cache) store(key string, res *core.Result) {
 	}
 }
 
-// invalidate removes a failed entry (if still present) and counts it.
+// invalidate removes a failed entry (if still present) and counts it. The
+// durable tier drops the key too: the entry failed re-validation against a
+// matrix that hashes to it, so re-serving it from disk would just fail the
+// same way on the next miss.
 func (c *Cache) invalidate(key string, el *list.Element) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.stats.LiftFailures++
 	if cur, ok := c.byKey[key]; ok && cur == el {
 		c.lru.Remove(el)
 		delete(c.byKey, key)
+	}
+	durable := c.durable
+	c.mu.Unlock()
+	if durable != nil {
+		durable.Delete(key)
 	}
 }
 

@@ -1,0 +1,403 @@
+package solvecache
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+func attachedCache(t *testing.T, dir string) *Cache {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	c := New(0)
+	c.AttachStore(st)
+	return c
+}
+
+// A solve, a process restart (new Cache over the same store dir), and a
+// permuted resubmission: the restarted cache must serve the result from the
+// durable tier without a pipeline run.
+func TestDurableWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := bitmat.MustParse(fig1b)
+	opts := core.DefaultOptions()
+
+	c1 := attachedCache(t, dir)
+	r1, err := c1.Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Optimal {
+		t.Fatalf("seed solve not optimal: %+v", r1)
+	}
+	c1.Store().Close()
+
+	// "Restart": a fresh cache and store over the same directory.
+	c2 := attachedCache(t, dir)
+	var solves atomic.Int64
+	c2.solveFn = func(ctx context.Context, m *bitmat.Matrix, opts core.Options) (*core.Result, error) {
+		solves.Add(1)
+		return core.SolveContext(ctx, m, opts)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		p := permute(m, rng)
+		r2, err := c2.Solve(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r2.CacheHit || !r2.Optimal || r2.Depth != r1.Depth {
+			t.Fatalf("trial %d: hit=%v optimal=%v depth=%d, want warm hit at depth %d",
+				trial, r2.CacheHit, r2.Optimal, r2.Depth, r1.Depth)
+		}
+		if err := r2.Partition.Validate(); err != nil {
+			t.Fatalf("trial %d: lifted partition invalid: %v", trial, err)
+		}
+	}
+	if n := solves.Load(); n != 0 {
+		t.Fatalf("restarted cache ran %d pipeline solves, want 0", n)
+	}
+	s := c2.Stats()
+	if s.DurableHits != 1 {
+		t.Fatalf("durable hits = %d, want 1 (then LRU)", s.DurableHits)
+	}
+	if s.Hits != 3 {
+		t.Fatalf("LRU hits after promotion = %d, want 3", s.Hits)
+	}
+}
+
+// An LRU eviction must not cost a re-solve when the store still holds the
+// record.
+func TestDurableBackfillsEviction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c := New(1) // capacity 1: the second distinct matrix evicts the first
+	c.AttachStore(st)
+	opts := core.DefaultOptions()
+
+	m1 := bitmat.MustParse(fig1b)
+	m2 := bitmat.MustParse("11\n01")
+	if _, err := c.Solve(m1, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(m2, opts); err != nil {
+		t.Fatal(err)
+	}
+	var solves atomic.Int64
+	c.solveFn = func(ctx context.Context, m *bitmat.Matrix, opts core.Options) (*core.Result, error) {
+		solves.Add(1)
+		return core.SolveContext(ctx, m, opts)
+	}
+	r, err := c.Solve(m1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit || solves.Load() != 0 {
+		t.Fatalf("evicted entry re-solved (hit=%v solves=%d), want durable backfill", r.CacheHit, solves.Load())
+	}
+	// Two evictions: m2 displaced m1, then promoting m1 displaced m2.
+	if s := c.Stats(); s.DurableHits != 1 || s.Evictions != 2 {
+		t.Fatalf("stats = %+v, want 1 durable hit and 2 evictions", s)
+	}
+}
+
+// A leader whose pipeline panics must not wedge followers: they re-elect and
+// solve. The panic itself propagates only to the leader's request.
+func TestLeaderPanicFollowersReElect(t *testing.T) {
+	c := New(0)
+	m := bitmat.MustParse(fig1b)
+	opts := core.DefaultOptions()
+
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	c.solveFn = func(ctx context.Context, m *bitmat.Matrix, opts core.Options) (*core.Result, error) {
+		if calls.Add(1) == 1 {
+			close(leaderIn)
+			<-release
+			panic("injected pipeline panic")
+		}
+		return core.SolveContext(ctx, m, opts)
+	}
+
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.Solve(m, opts)
+	}()
+	<-leaderIn
+
+	const followers = 4
+	var wg sync.WaitGroup
+	results := make([]*core.Result, followers)
+	errs := make([]error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Solve(m, opts)
+		}(i)
+	}
+	// Give followers time to park on the flight, then kill the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if p := <-panicked; p == nil {
+		t.Fatal("leader's panic did not propagate to the leader")
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("followers wedged after leader panic")
+	}
+	for i := 0; i < followers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("follower %d: %v", i, errs[i])
+		}
+		if !results[i].Optimal {
+			t.Fatalf("follower %d got non-optimal result after re-election", i)
+		}
+	}
+	// Exactly one re-elected leader solved; the rest hit the LRU or shared.
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("pipeline calls = %d, want 2 (panicking leader + one re-election)", n)
+	}
+}
+
+// A follower that waits out an abandoned flight must be able to satisfy its
+// request from the durable tier without a pipeline run: seed the store while
+// the doomed leader is in flight.
+func TestLeaderPanicFollowerHitsDurable(t *testing.T) {
+	dir := t.TempDir()
+	m := bitmat.MustParse(fig1b)
+	opts := core.DefaultOptions()
+
+	// First, produce a durable record with a throwaway cache.
+	warm := attachedCache(t, dir)
+	if _, err := warm.Solve(m, opts); err != nil {
+		t.Fatal(err)
+	}
+	warm.Store().Close()
+
+	c := attachedCache(t, dir)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	c.solveFn = func(ctx context.Context, m *bitmat.Matrix, opts core.Options) (*core.Result, error) {
+		calls.Add(1)
+		close(leaderIn)
+		<-release
+		panic("injected pipeline panic")
+	}
+	// The leader must not see the durable record, or it would never lead.
+	// Empty its view first, then restore: simplest is to lead on a cold
+	// cache whose durable tier gains the record mid-flight. Detach, lead,
+	// re-attach before the followers re-elect.
+	st := c.Store()
+	c.AttachStore(nil)
+
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.Solve(m, opts)
+	}()
+	<-leaderIn
+
+	follower := make(chan error, 1)
+	var fres *core.Result
+	go func() {
+		var err error
+		fres, err = c.Solve(m, opts)
+		follower <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.AttachStore(st)
+	close(release)
+
+	if p := <-panicked; p == nil {
+		t.Fatal("leader's panic vanished")
+	}
+	select {
+	case err := <-follower:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower wedged")
+	}
+	if !fres.CacheHit || !fres.Optimal {
+		t.Fatalf("follower result hit=%v optimal=%v, want durable hit", fres.CacheHit, fres.Optimal)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("pipeline calls = %d, want 1 (only the panicking leader)", n)
+	}
+	if s := c.Stats(); s.DurableHits != 1 {
+		t.Fatalf("durable hits = %d, want 1", s.DurableHits)
+	}
+}
+
+// A leader that returns an error releases followers with that error (no
+// abandonment: an error is a verdict).
+func TestLeaderErrorSharedWithFollowers(t *testing.T) {
+	c := New(0)
+	m := bitmat.MustParse(fig1b)
+	opts := core.DefaultOptions()
+	injected := errors.New("injected solve error")
+
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	c.solveFn = func(ctx context.Context, m *bitmat.Matrix, opts core.Options) (*core.Result, error) {
+		if calls.Add(1) == 1 {
+			close(leaderIn)
+			<-release
+			return nil, injected
+		}
+		return core.SolveContext(ctx, m, opts)
+	}
+
+	leadErr := make(chan error, 1)
+	go func() {
+		_, err := c.Solve(m, opts)
+		leadErr <- err
+	}()
+	<-leaderIn
+	folErr := make(chan error, 1)
+	go func() {
+		_, err := c.Solve(m, opts)
+		folErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if err := <-leadErr; !errors.Is(err, injected) {
+		t.Fatalf("leader error = %v", err)
+	}
+	if err := <-folErr; !errors.Is(err, injected) {
+		t.Fatalf("follower error = %v, want the leader's", err)
+	}
+}
+
+// Seed injects a proved-optimal canonical result into both tiers; a
+// permuted resubmission hits without any pipeline run — the replication
+// fill path end to end.
+func TestSeedServesPermutedResubmission(t *testing.T) {
+	dir := t.TempDir()
+	m := bitmat.MustParse(fig1b)
+	opts := core.DefaultOptions()
+
+	// Compute a canonical result out of band.
+	fp := bitmat.ComputeFingerprint(m)
+	canonRes, err := core.SolveContext(context.Background(), fp.Canonical, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !canonRes.Optimal {
+		t.Fatal("canonical solve not optimal")
+	}
+
+	c := attachedCache(t, dir)
+	var solves atomic.Int64
+	c.solveFn = func(ctx context.Context, m *bitmat.Matrix, opts core.Options) (*core.Result, error) {
+		solves.Add(1)
+		return core.SolveContext(ctx, m, opts)
+	}
+	if !c.Seed(fp.Hash, canonRes) {
+		t.Fatal("Seed rejected a proved-optimal result")
+	}
+	if c.Seed(fp.Hash, canonRes) {
+		t.Fatal("duplicate Seed reported as stored")
+	}
+	heur := &core.Result{Partition: canonRes.Partition, Depth: canonRes.Depth}
+	if c.Seed(fp.Hash, heur) {
+		t.Fatal("Seed accepted a non-optimal result")
+	}
+
+	p := permute(m, rand.New(rand.NewSource(3)))
+	r, err := c.Solve(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit || !r.Optimal || solves.Load() != 0 {
+		t.Fatalf("seeded entry missed: hit=%v optimal=%v solves=%d", r.CacheHit, r.Optimal, solves.Load())
+	}
+	if s := c.Stats(); s.Seeds != 1 {
+		t.Fatalf("seeds = %d, want 1", s.Seeds)
+	}
+
+	// The seed is durable: a restart serves it too.
+	c.Store().Close()
+	c2 := attachedCache(t, dir)
+	c2.solveFn = func(ctx context.Context, m *bitmat.Matrix, opts core.Options) (*core.Result, error) {
+		t.Error("restarted cache re-solved a seeded matrix")
+		return core.SolveContext(ctx, m, opts)
+	}
+	r2, err := c2.Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("seed did not survive restart")
+	}
+}
+
+// A durable record corrupted in a way that survives framing (wrong depth
+// metadata, bogus rectangles) must degrade to a miss-and-resolve, never an
+// error or a wrong answer.
+func TestCorruptDurableRecordDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	m := bitmat.MustParse(fig1b)
+	opts := core.DefaultOptions()
+
+	st, err := store.Open(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	fp := bitmat.ComputeFingerprint(m)
+	// A structurally valid record whose partition does not cover the
+	// matrix it claims: passes Validate, fails reconstruction's partition
+	// check or the lift re-validation.
+	bogus := &store.Record{
+		Hash: fp.Hash, Rows: 2, Cols: 2, Depth: 1,
+		Rects: []store.RectRecord{{Rows: []int{0}, Cols: []int{0}}},
+	}
+	if err := st.Put(bogus); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(0)
+	c.AttachStore(st)
+	r, err := c.Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit || !r.Optimal {
+		t.Fatalf("corrupt durable record served: hit=%v optimal=%v", r.CacheHit, r.Optimal)
+	}
+	if s := c.Stats(); s.LiftFailures == 0 {
+		t.Fatal("corrupt durable record was not counted as a lift failure")
+	}
+	// The bogus record was dropped and the real result written through.
+	if rec, ok := st.Get(fp.Hash); !ok || rec.Depth != r.Depth {
+		t.Fatalf("write-through after corrupt-record miss: %+v ok=%v", rec, ok)
+	}
+}

@@ -1,0 +1,184 @@
+package store
+
+// Disk fault injection: the OpenFile/ReadFile hooks let tests fail writes,
+// syncs and reads deterministically, without needing a faulty filesystem.
+// The invariant under every injected fault: the store never serves a wrong
+// record, never loses already-durable records, and keeps the current
+// process's results queryable in memory even when the disk is gone.
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var errInjected = errors.New("injected disk fault")
+
+// faultFile wraps a real file and fails operations on command.
+type faultFile struct {
+	f *os.File
+
+	mu         sync.Mutex
+	failWrites bool
+	failSyncs  bool
+	shortWrite bool // write half the bytes, then error: a torn append
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.shortWrite {
+		n, _ := f.f.Write(p[:len(p)/2])
+		return n, errInjected
+	}
+	if f.failWrites {
+		return 0, errInjected
+	}
+	return f.f.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failSyncs {
+		return errInjected
+	}
+	return f.f.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error { return f.f.Truncate(size) }
+func (f *faultFile) Close() error              { return f.f.Close() }
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}
+
+// faultyStore opens a store whose WAL file is a faultFile; the returned
+// handle arms the faults.
+func faultyStore(t *testing.T, dir string, opts Options) (*Store, *faultFile) {
+	t.Helper()
+	var ff *faultFile
+	opts.OpenFile = func(path string, flag int, perm fs.FileMode) (File, error) {
+		f, err := os.OpenFile(path, flag, perm)
+		if err != nil {
+			return nil, err
+		}
+		wrapped := &faultFile{f: f}
+		if strings.HasSuffix(path, walName) {
+			ff = wrapped
+		}
+		return wrapped, nil
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if ff == nil {
+		t.Fatal("WAL file never opened through the hook")
+	}
+	return s, ff
+}
+
+func TestWriteErrorKeepsRecordInMemory(t *testing.T) {
+	dir := t.TempDir()
+	s, ff := faultyStore(t, dir, Options{Sync: SyncNever})
+	mustPut(t, s, testRecord(0))
+
+	ff.mu.Lock()
+	ff.failWrites = true
+	ff.mu.Unlock()
+
+	rec := testRecord(1)
+	if err := s.Put(rec); !errors.Is(err, errInjected) {
+		t.Fatalf("Put with failing disk: %v, want injected fault", err)
+	}
+	// The record is lost to durability but not to this process.
+	if _, ok := s.Get(rec.Hash); !ok {
+		t.Fatal("record vanished from memory after disk failure")
+	}
+	if st := s.Stats(); st.AppendErrors != 1 || st.Appends != 1 {
+		t.Fatalf("stats after write fault: %+v", st)
+	}
+
+	// Disk heals: later appends work and a reopen sees everything durable.
+	ff.mu.Lock()
+	ff.failWrites = false
+	ff.mu.Unlock()
+	mustPut(t, s, testRecord(2))
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	if _, ok := s2.Get(testRecord(0).Hash); !ok {
+		t.Fatal("pre-fault record lost")
+	}
+	if _, ok := s2.Get(testRecord(2).Hash); !ok {
+		t.Fatal("post-fault record lost")
+	}
+	if st := s2.Stats(); st.SkippedCorrupt != 0 || st.TruncatedBytes != 0 {
+		t.Fatalf("healed log reports damage: %+v", st)
+	}
+}
+
+func TestShortWriteTornFrameRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s, ff := faultyStore(t, dir, Options{Sync: SyncNever})
+	mustPut(t, s, testRecord(0))
+
+	ff.mu.Lock()
+	ff.shortWrite = true
+	ff.mu.Unlock()
+	if err := s.Put(testRecord(1)); !errors.Is(err, errInjected) {
+		t.Fatalf("short write not reported: %v", err)
+	}
+	ff.mu.Lock()
+	ff.shortWrite = false
+	ff.mu.Unlock()
+
+	// The torn half-frame was truncated away; the next append must land
+	// cleanly and both durable records must survive a reopen.
+	mustPut(t, s, testRecord(2))
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	if s2.Len() != 2 {
+		t.Fatalf("recovered %d records, want 2", s2.Len())
+	}
+	for _, i := range []int{0, 2} {
+		if _, ok := s2.Get(testRecord(i).Hash); !ok {
+			t.Fatalf("record %d lost to torn frame", i)
+		}
+	}
+}
+
+func TestSyncErrorSurfacesUnderSyncAlways(t *testing.T) {
+	dir := t.TempDir()
+	s, ff := faultyStore(t, dir, Options{Sync: SyncAlways})
+	ff.mu.Lock()
+	ff.failSyncs = true
+	ff.mu.Unlock()
+	if err := s.Put(testRecord(0)); !errors.Is(err, errInjected) {
+		t.Fatalf("SyncAlways swallowed an fsync failure: %v", err)
+	}
+	// The bytes are written (only the fsync failed): the record is in
+	// memory and durable against process death, just not power loss.
+	if _, ok := s.Get(testRecord(0).Hash); !ok {
+		t.Fatal("record lost after fsync failure")
+	}
+}
+
+func TestReadErrorFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Sync: SyncNever})
+	mustPut(t, s, testRecord(0))
+	s.Close()
+
+	_, err := Open(dir, Options{
+		ReadFile: func(path string) ([]byte, error) { return nil, errInjected },
+	})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("unreadable log must fail Open loudly, got %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+)
+
+// Log format: a stream of self-delimiting frames, identical for the WAL and
+// the snapshot (a snapshot is just a compacted log replayed first on boot).
+//
+//	magic   uint32  frame marker, also the resync anchor after corruption
+//	length  uint32  payload byte count
+//	crc     uint32  CRC-32C (Castagnoli) of the payload
+//	payload []byte  one JSON-encoded Record
+//
+// All integers little-endian. Recovery tolerates two distinct failure
+// shapes:
+//
+//   - Torn/truncated tail: a crash mid-append leaves a partial frame at the
+//     end of the file. The parser stops at the first frame that runs past
+//     EOF, reports the byte count, and the store truncates the file back to
+//     the end of the last whole frame before appending again.
+//   - Corrupt record: a flipped bit anywhere in a frame fails the CRC (or
+//     the magic/length sanity checks) and the parser scans forward for the
+//     next magic marker, skipping only the damaged frame. Records after the
+//     damage are recovered.
+const (
+	logMagic    = uint32(0x45424D46) // "EBMF"
+	frameHeader = 12                 // magic + length + crc
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame encodes one record as a frame onto buf.
+func appendFrame(buf []byte, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], logMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, castagnoli))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// encodeRecord marshals one record into its framed wire form.
+func encodeRecord(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// parseResult is one log replay's outcome.
+type parseResult struct {
+	records []*Record
+	// skippedRecords counts frames dropped for CRC/decode/validation
+	// failures; skippedBytes counts raw bytes consumed by resync scans.
+	skippedRecords int64
+	skippedBytes   int64
+	// tornBytes is the length of the truncated tail (0 when the file ends
+	// exactly on a frame boundary).
+	tornBytes int64
+	// validEnd is the offset just past the last successfully parsed frame —
+	// the truncation point that removes trailing garbage without touching
+	// any recovered record.
+	validEnd int64
+}
+
+// parseLog replays one log file's bytes. It never fails: damage is skipped
+// and counted, and whatever whole valid frames exist are returned in file
+// order. maxRecord bounds a single frame's claimed payload so a corrupt
+// length field cannot make the parser swallow the rest of the file as one
+// record.
+func parseLog(data []byte, maxRecord int) parseResult {
+	var out parseResult
+	var magicBytes [4]byte
+	binary.LittleEndian.PutUint32(magicBytes[:], logMagic)
+
+	off := 0
+	// resync advances past a damaged region to the next magic marker,
+	// counting the scan. from is the first byte that might start a frame.
+	resync := func(from int) {
+		i := bytes.Index(data[from:], magicBytes[:])
+		if i < 0 {
+			out.skippedBytes += int64(len(data) - off)
+			off = len(data)
+			return
+		}
+		out.skippedBytes += int64(from + i - off)
+		off = from + i
+	}
+
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			// Partial header at EOF: torn tail.
+			out.tornBytes = int64(len(data) - off)
+			break
+		}
+		if binary.LittleEndian.Uint32(data[off:]) != logMagic {
+			// Not a frame boundary (garbage or a previous frame's damage):
+			// scan forward.
+			resync(off + 1)
+			continue
+		}
+		length := int(binary.LittleEndian.Uint32(data[off+4:]))
+		if length <= 0 || length > maxRecord {
+			// Corrupt length field; the frame cannot be trusted to delimit
+			// itself, so skip this marker and resync.
+			out.skippedRecords++
+			resync(off + 1)
+			continue
+		}
+		if off+frameHeader+length > len(data) {
+			// Frame runs past EOF. Either a torn tail (nothing but this
+			// frame left) or a corrupt length that happens to be large;
+			// both are handled by checking whether another marker follows.
+			if i := bytes.Index(data[off+1:], magicBytes[:]); i >= 0 {
+				out.skippedRecords++
+				resync(off + 1)
+				continue
+			}
+			out.tornBytes = int64(len(data) - off)
+			break
+		}
+		payload := data[off+frameHeader : off+frameHeader+length]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+8:]) {
+			out.skippedRecords++
+			resync(off + 1)
+			continue
+		}
+		rec := new(Record)
+		if err := json.Unmarshal(payload, rec); err != nil || rec.Validate() != nil {
+			// A well-framed but semantically invalid record: the frame
+			// delimits itself fine, so skip exactly this record.
+			out.skippedRecords++
+			off += frameHeader + length
+			out.validEnd = int64(off)
+			continue
+		}
+		out.records = append(out.records, rec)
+		off += frameHeader + length
+		out.validEnd = int64(off)
+	}
+	return out
+}

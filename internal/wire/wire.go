@@ -211,6 +211,47 @@ func FromResult(res *core.Result, fingerprint string) *ResultJSON {
 	return out
 }
 
+// FillRequest is the body of POST /v1/fill — the cache-fill replication
+// path: a gateway (or operator tooling) seeds a proved-optimal canonical
+// result into a backend's cache so a failover lands warm. The receiver
+// validates structure before accepting: the matrix must be its own
+// canonical form, its fingerprint must match, and the partition must be a
+// valid EBMF of it at the claimed depth. Optimality itself is taken on
+// trust — /v1/fill is a fleet-internal endpoint, and every future hit is
+// still re-validated by lifting.
+type FillRequest struct {
+	// Fingerprint is the canonical hash the result is keyed by.
+	Fingerprint string `json:"fingerprint"`
+	// Matrix is the canonical matrix in text form (bitmat.Parse format).
+	Matrix string `json:"matrix"`
+	// Result is the proved-optimal canonical-space result; its Partition
+	// indexes Matrix.
+	Result *ResultJSON `json:"result"`
+}
+
+// FillResponse answers POST /v1/fill.
+type FillResponse struct {
+	// Stored reports whether the fill added anything; false means every
+	// tier already held the fingerprint (the common case when replication
+	// races a hedged solve to the same shard).
+	Stored bool `json:"stored"`
+}
+
+// ParseCertificate inverts core.Certificate.String; unknown names map to
+// CertNone.
+func ParseCertificate(s string) core.Certificate {
+	switch s {
+	case "rank":
+		return core.CertRank
+	case "fooling-set":
+		return core.CertFooling
+	case "unsat-proof":
+		return core.CertUnsat
+	default:
+		return core.CertNone
+	}
+}
+
 // BatchRequest is the body of POST /v1/batch.
 type BatchRequest struct {
 	Requests []SolveRequest `json:"requests"`

@@ -3,9 +3,11 @@
 # start two ebmfd backends and one ebmfgw on kernel-assigned free ports,
 # solve the paper's Fig. 1b instance through the gateway, resubmit a
 # row/column permutation and assert it comes back with the same depth as a
-# cache hit (fingerprint routing + shard cache through the gateway), then
-# kill one backend and assert the gateway keeps serving. Any startup
-# timeout fails fast with the daemons' logs.
+# cache hit (fingerprint routing + shard cache through the gateway), wait
+# for the fresh result to be replicated to the ring successor so BOTH
+# backends answer it from cache, then kill one backend and assert the
+# gateway keeps serving. Any startup timeout fails fast with the daemons'
+# logs.
 set -euo pipefail
 
 FIG1B='101100\n010011\n101010\n010101\n111000\n000111'
@@ -81,6 +83,30 @@ FP1=$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$R1")
 FP2=$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$R2")
 [ -n "$FP1" ] && [ "$FP1" = "$FP2" ] || { echo "FAIL: fingerprints differ through the gateway"; exit 1; }
 
+# Cache-fill replication: the fresh Fig. 1b result is asynchronously
+# seeded to the ring successor. Wait for the gateway to report the fill
+# stored, then both backends — home shard and successor — must answer the
+# canonical instance from their own cache, with no new solve.
+REPM=
+for _ in $(seq 1 100); do
+  REPM=$(curl -sf "http://$GW/v1/metrics")
+  grep -q '"replication":{[^}]*"stored":1' <<<"$REPM" && break
+  sleep 0.1
+done
+grep -q '"replication":{[^}]*"stored":1' <<<"$REPM" \
+  || { echo "FAIL: gateway never stored a replication fill"; echo "$REPM"; exit 1; }
+for A in "$ADDR1" "$ADDR2"; do
+  RH=$(curl -sf -X POST -d "{\"matrix\":\"$FIG1B\"}" "http://$A/v1/solve")
+  grep -q '"cache_hit":true' <<<"$RH" \
+    || { echo "FAIL: backend $A cold after replication: $RH"; exit 1; }
+done
+# Exactly one backend accepted a fill; the other proved the result itself.
+FILLS=0
+for A in "$ADDR1" "$ADDR2"; do
+  curl -sf "http://$A/v1/metrics" | grep -q '"fills":{"requests":1,"stored":1' && FILLS=$((FILLS + 1))
+done
+[ "$FILLS" = 1 ] || { echo "FAIL: expected exactly 1 backend with a stored fill, got $FILLS"; exit 1; }
+
 # Batch through the gateway: split across shards, merged in order, with a
 # per-item error for the invalid middle entry.
 RB=$(curl -sf -X POST -d "{\"requests\":[{\"matrix\":\"10\\n01\"},{\"rows\":[]},{\"matrix\":\"$FIG1B\"}]}" "http://$GW/v1/batch")
@@ -121,4 +147,4 @@ if kill -0 "$PIDGW" 2>/dev/null; then
   cat "$LOGGW"
   exit 1
 fi
-echo "PASS: cluster smoke (2 backends + gateway, permuted hit through gateway, batch split, backend kill, drain)"
+echo "PASS: cluster smoke (2 backends + gateway, permuted hit through gateway, replication, batch split, backend kill, drain)"

@@ -4,8 +4,12 @@
 # runner never collide), solve the paper's Fig. 1b instance, resubmit a
 # row/column permutation of it, assert the permutation comes back with the
 # same depth as a cache hit (the canonical-fingerprint + singleflight
-# contract), and exercise the portfolio racing knobs end to end. Any
-# startup timeout fails fast with the daemon's log.
+# contract), and exercise the portfolio racing knobs end to end. Then the
+# crash-recovery phase: kill -9 the daemon, corrupt the durable store's WAL
+# (flip a byte in the last record, append a garbage tail), restart on the
+# same store directory and assert the permuted instance is still a cache
+# hit — proved work survives a crash, corruption costs only the records it
+# touches. Any startup timeout fails fast with the daemon's log.
 set -euo pipefail
 
 FIG1B='101100\n010011\n101010\n010101\n111000\n000111'
@@ -13,10 +17,11 @@ FIG1B='101100\n010011\n101010\n010101\n111000\n000111'
 FIG1B_PERM='110100\n111000\n000111\n001011\n010011\n101100'
 
 LOG=$(mktemp /tmp/ebmfd-smoke.XXXXXX.log)
+STORE=$(mktemp -d /tmp/ebmfd-smoke-store.XXXXXX)
 go build -o /tmp/ebmfd-smoke ./cmd/ebmfd
-/tmp/ebmfd-smoke -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+/tmp/ebmfd-smoke -addr 127.0.0.1:0 -store "$STORE" >"$LOG" 2>&1 &
 PID=$!
-trap 'kill $PID 2>/dev/null || true' EXIT
+trap 'kill $PID 2>/dev/null || true; rm -rf "$STORE"' EXIT
 
 # The daemon logs the actual address once the listener is up; parse it
 # instead of hardcoding a port.
@@ -82,7 +87,55 @@ METRICS=$(curl -sf "http://$ADDR/v1/metrics")
 grep -q '"hits":1' <<<"$METRICS" || { echo "FAIL: metrics report no cache hit"; exit 1; }
 grep -q '"portfolio"' <<<"$METRICS" || { echo "FAIL: metrics missing portfolio section"; exit 1; }
 
-# Graceful drain: healthz flips to 503 and the process exits cleanly.
+# Crash recovery: kill -9 (no drain, no flush beyond the write-through),
+# corrupt the WAL, restart on the same store directory. The last record
+# (the raced 8x8) gets a byte flipped — its CRC must fail and only it may
+# be dropped — and a garbage tail simulates a torn final write.
+kill -9 $PID
+wait $PID 2>/dev/null || true
+WAL="$STORE/wal.log"
+[ -s "$WAL" ] || { echo "FAIL: no WAL written at $WAL"; exit 1; }
+SIZE=$(wc -c <"$WAL")
+printf '\xff' | dd of="$WAL" bs=1 seek=$((SIZE - 1)) conv=notrunc 2>/dev/null
+printf 'torn-tail-garbage' >>"$WAL"
+
+LOG2=$(mktemp /tmp/ebmfd-smoke.XXXXXX.log)
+/tmp/ebmfd-smoke -addr 127.0.0.1:0 -store "$STORE" >"$LOG2" 2>&1 &
+PID=$!
+trap 'kill $PID 2>/dev/null || true; rm -rf "$STORE"' EXIT
+
+ADDR=
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$LOG2" | head -1)
+  [ -n "$ADDR" ] && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: ebmfd exited during crash recovery; log follows"
+    cat "$LOG2"
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: no listen address after restart; log follows"; cat "$LOG2"; exit 1; }
+for _ in $(seq 1 100); do
+  curl -sf "http://$ADDR/v1/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+# The permuted Fig. 1b must be a warm hit on a cold process: its record
+# survived the crash and the corruption of its neighbour.
+R5=$(curl -sf -X POST -d "{\"matrix\":\"$FIG1B_PERM\"}" "http://$ADDR/v1/solve")
+echo "recovered: $R5"
+grep -q '"depth":5' <<<"$R5" || { echo "FAIL: post-crash solve depth != 5"; exit 1; }
+grep -q '"cache_hit":true' <<<"$R5" || { echo "FAIL: post-crash permuted resubmission re-solved"; cat "$LOG2"; exit 1; }
+
+METRICS=$(curl -sf "http://$ADDR/v1/metrics")
+grep -q '"store":{' <<<"$METRICS" || { echo "FAIL: metrics missing store section"; exit 1; }
+grep -q '"skipped_corrupt":1' <<<"$METRICS" || { echo "FAIL: corrupted record not skipped exactly once"; echo "$METRICS"; exit 1; }
+grep -Eq '"truncated_bytes":[1-9]' <<<"$METRICS" || { echo "FAIL: damaged bytes not discarded"; echo "$METRICS"; exit 1; }
+grep -qv '"loaded_wal":0' <<<"$METRICS" || { echo "FAIL: no records recovered from the WAL"; exit 1; }
+
+# Graceful drain: healthz flips to 503, the store is flushed, and the
+# process exits cleanly.
 kill -TERM $PID
 for _ in $(seq 1 100); do
   kill -0 $PID 2>/dev/null || break
@@ -90,8 +143,10 @@ for _ in $(seq 1 100); do
 done
 if kill -0 $PID 2>/dev/null; then
   echo "FAIL: ebmfd did not drain within 10s; log follows"
-  cat "$LOG"
+  cat "$LOG2"
   exit 1
 fi
+grep -q 'store flushed' "$LOG2" || { echo "FAIL: drain did not flush the store; log follows"; cat "$LOG2"; exit 1; }
 trap - EXIT
-echo "PASS: server smoke (free port, cold solve, permuted cache hit, portfolio, drain)"
+rm -rf "$STORE"
+echo "PASS: server smoke (free port, cold solve, permuted cache hit, portfolio, crash recovery, drain)"

@@ -239,7 +239,14 @@ func BenchmarkAblationEncodingLog(b *testing.B) {
 	})
 }
 
-// Ablation 2: at-most-one encodings.
+// Ablation 2: at-most-one encodings. Native is the default (the solver's
+// built-in propagator); pairwise and sequential are the encoded ablations.
+func BenchmarkAblationAMONative(b *testing.B) {
+	benchEncoding(b, func(m *bitmat.Matrix, bound int) encode.Encoder {
+		return encode.NewOneHot(m, bound, encode.AMONative)
+	})
+}
+
 func BenchmarkAblationAMOPairwise(b *testing.B) {
 	benchEncoding(b, func(m *bitmat.Matrix, bound int) encode.Encoder {
 		return encode.NewOneHot(m, bound, encode.AMOPairwise)

@@ -125,7 +125,7 @@ func main() {
 		return match, match != ""
 	}
 
-	fmt.Printf("%-36s %14s %14s %7s\n", "benchmark", "baseline ns", "current ns", "ratio")
+	fmt.Printf("%-36s %14s %14s %7s %8s\n", "benchmark", "baseline ns", "current ns", "ratio", "delta")
 	matchedBase := map[string]bool{}
 	logSum, matched := 0.0, 0
 	var unmatched []string
@@ -139,7 +139,7 @@ func main() {
 		logSum += math.Log(ratio)
 		matched++
 		matchedBase[bn] = true
-		fmt.Printf("%-36s %14d %14.0f %7.2f\n", bn, base[bn], current[name], ratio)
+		fmt.Printf("%-36s %14d %14.0f %7.2f %+7.1f%%\n", bn, base[bn], current[name], ratio, 100*(ratio-1))
 	}
 	if len(unmatched) > 0 {
 		sort.Strings(unmatched)

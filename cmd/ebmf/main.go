@@ -11,6 +11,10 @@
 //
 //	-trials N          row-packing trials (default 100)
 //	-encoding E        onehot | log (default onehot)
+//	-amo M             at-most-one handling for onehot: native | pairwise |
+//	                   sequential (default native — the solver's built-in
+//	                   propagator; the others are encoded ablations)
+//	-no-inprocess      disable between-restart clause simplification
 //	-budget N          SAT conflict budget, 0 = unlimited (default 2000000)
 //	-timeout D         SAT wall-clock budget, e.g. 30s (default unlimited)
 //	-fooling N         fooling-set node budget, 0 = skip (default 200000)
@@ -18,8 +22,9 @@
 //	-portfolio K       race K diverse solver strategies per block (0 = off)
 //	-share-clauses     exchange short learnt clauses between racers
 //	-strategies S      comma-separated strategy names (canonical, luby,
-//	                   destructive, no-phase, seq-amo, glue4, no-symbreak,
-//	                   luby-destructive, log); implies -portfolio
+//	                   destructive, no-phase, seq-amo, native-amo,
+//	                   pairwise-amo, glue4, no-symbreak, luby-destructive,
+//	                   log); names are validated up front; implies -portfolio
 //	-factors           print the H and W factors
 //	-schedule          print the AOD schedule and per-shot frames
 //	-schedule-json F   write the AOD schedule as JSON to F ('-' for stdout)
@@ -46,6 +51,8 @@ import (
 	ebmf "repro"
 	"repro/internal/bitmat"
 	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/portfolio"
 	"repro/internal/wire"
 )
 
@@ -63,6 +70,8 @@ func main() {
 func run() int {
 	trials := flag.Int("trials", 100, "row-packing trials")
 	encoding := flag.String("encoding", "onehot", "CNF encoding: onehot or log")
+	amoMode := flag.String("amo", "native", "at-most-one handling: native, pairwise or sequential")
+	noInprocess := flag.Bool("no-inprocess", false, "disable between-restart clause simplification (ablation)")
 	budget := flag.Int64("budget", 2_000_000, "SAT conflict budget (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "SAT wall-clock budget (0 = unlimited)")
 	fooling := flag.Int64("fooling", 200_000, "fooling-set node budget (0 = skip the fooling bound)")
@@ -109,10 +118,22 @@ func run() int {
 	default:
 		return fail(fmt.Errorf("unknown encoding %q", *encoding))
 	}
+	amo, err := encode.ParseAMO(*amoMode)
+	if err != nil {
+		return fail(err)
+	}
+	opts.AMO = amo
+	opts.DisableInprocessing = *noInprocess
 	opts.Portfolio.Size = *portfolioK
 	opts.Portfolio.ShareClauses = *shareClauses
 	if *strategies != "" {
-		opts.Portfolio.Strategies = strings.Split(*strategies, ",")
+		names := strings.Split(*strategies, ",")
+		// Validate up front: a typo should be a flag error naming the valid
+		// set, not a failure halfway through the solve.
+		if _, err := portfolio.Resolve(portfolio.Canonical(), names); err != nil {
+			return fail(err)
+		}
+		opts.Portfolio.Strategies = names
 	}
 
 	res, err := ebmf.Solve(m, opts)

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	timing [-top N] [-seed S] [-gap N] [-rand N] [-budget N] [-json]
+//	timing [-cpuprofile F] [-memprofile F] ...   # pprof profiles of the run
 //	timing -portfolio [-portfolio-k K]
 //
 // With -json the command additionally runs the perf-tracked solver and SAP
@@ -30,6 +31,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/benchgen"
@@ -98,7 +100,7 @@ func writeBenchJSON(path string) error {
 			measure("SAPBlockDiagParallel", 3, func() { eval.RunBlockDiagSAP(blockDiag, true) }),
 			measure("SAPBlockDiagSequentialWhole", 3, func() { eval.RunBlockDiagSAP(blockDiag, false) }),
 			measure("SolverFig1bUnsat", 20, func() {
-				if encode.NewOneHot(fig1b, 4, encode.AMOPairwise).Solve() != sat.Unsat {
+				if encode.NewOneHot(fig1b, 4, encode.AMONative).Solve() != sat.Unsat {
 					panic("b=4 must be UNSAT")
 				}
 			}),
@@ -319,7 +321,37 @@ func main() {
 	serverJSON := flag.Bool("server-json", false, "run the serving-subsystem workloads and write BENCH_server.json")
 	portfolioCmp := flag.Bool("portfolio", false, "compare single-strategy vs portfolio racing on the Table I gap suites and exit")
 	portfolioK := flag.Int("portfolio-k", 3, "portfolio size for -portfolio")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timing:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "timing:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "timing:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "timing:", err)
+			}
+		}()
+	}
 
 	if *portfolioCmp {
 		if err := runPortfolioComparison(*portfolioK); err != nil {

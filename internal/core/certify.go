@@ -72,7 +72,7 @@ func certifyBlockDepth(m *bitmat.Matrix, depth int) error {
 	if depth <= 0 || m.Rank() >= depth {
 		return nil
 	}
-	enc := encode.NewOneHot(m, depth-1, encode.AMOPairwise)
+	enc := encode.NewOneHot(m, depth-1, encode.AMONative)
 	s := enc.Solver()
 
 	var formula bytes.Buffer

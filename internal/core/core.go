@@ -138,6 +138,10 @@ type Options struct {
 	// DisablePhaseSaving turns off the solver's saved-polarity decision
 	// heuristic (ablation).
 	DisablePhaseSaving bool
+	// DisableInprocessing turns off the solver's between-restart clause
+	// database simplification (vivification + binary self-subsumption);
+	// kept as an ablation for the native-AMO/inprocessing PR.
+	DisableInprocessing bool
 	// LBDCap overrides the solver's glue-clause threshold: learnt clauses
 	// with literal-blocks-distance at or below the cap are never evicted by
 	// database reduction. 0 keeps the solver default (2).
@@ -725,6 +729,7 @@ func resolveStrategies(m *bitmat.Matrix, opts Options) ([]portfolio.Strategy, er
 		base.Encoding = portfolio.EncodingLog
 	}
 	base.Solver.PhaseSaving = !opts.DisablePhaseSaving
+	base.Solver.Inprocess = !opts.DisableInprocessing
 	if opts.LBDCap > 0 {
 		base.Solver.LBDCap = opts.LBDCap
 	}
@@ -754,6 +759,7 @@ func newEncoder(m *bitmat.Matrix, b int, opts Options) encode.Encoder {
 	}
 	s := enc.Solver()
 	s.PhaseSaving = !opts.DisablePhaseSaving
+	s.Inprocess = !opts.DisableInprocessing
 	if opts.LBDCap > 0 {
 		s.LBDCap = opts.LBDCap
 	}

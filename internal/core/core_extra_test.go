@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bitmat"
+	"repro/internal/encode"
 )
 
 func TestSolveLogEncodingFullLoop(t *testing.T) {
@@ -106,7 +107,7 @@ func TestSolveFoolingCertificateBeatsRank(t *testing.T) {
 func TestSolveAMOSequentialPath(t *testing.T) {
 	m := bitmat.MustParse("110\n011\n111")
 	opts := fastOptions()
-	opts.AMO = 1 // encode.AMOSequential
+	opts.AMO = encode.AMOSequential
 	opts.FoolingBudget = 0
 	res, err := Solve(m, opts)
 	if err != nil {

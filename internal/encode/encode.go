@@ -32,12 +32,44 @@ import (
 type AMO int
 
 const (
-	// AMOPairwise uses O(b²) binary clauses per entry (best for small b).
-	AMOPairwise AMO = iota
+	// AMONative (the default) registers each per-entry constraint with the
+	// solver's native at-most-one propagator (sat.AddAtMostOne): no clauses,
+	// no auxiliary variables, O(b) propagation per assignment. DRAT output is
+	// unaffected — the solver renders groups as their pairwise expansion when
+	// writing the formula.
+	AMONative AMO = iota
+	// AMOPairwise uses O(b²) binary clauses per entry (the classic encoding,
+	// kept as an ablation and differential baseline).
+	AMOPairwise
 	// AMOSequential uses the sequential counter with O(b) auxiliary
 	// variables and clauses per entry.
 	AMOSequential
 )
+
+// String names the AMO mode (flag values for -amo and wire options).
+func (a AMO) String() string {
+	switch a {
+	case AMOPairwise:
+		return "pairwise"
+	case AMOSequential:
+		return "sequential"
+	default:
+		return "native"
+	}
+}
+
+// ParseAMO maps a mode name to the AMO enum.
+func ParseAMO(name string) (AMO, error) {
+	switch name {
+	case "", "native":
+		return AMONative, nil
+	case "pairwise":
+		return AMOPairwise, nil
+	case "sequential":
+		return AMOSequential, nil
+	}
+	return AMONative, fmt.Errorf("encode: unknown AMO mode %q (valid: native, pairwise, sequential)", name)
+}
 
 // Encoder is the common interface of the two compilations. A fresh encoder
 // is built at the row-packing upper bound; the SAP loop then alternates

@@ -12,11 +12,16 @@ import (
 // encoders under test, by name.
 func allEncoders(m *bitmat.Matrix, b int) map[string]Encoder {
 	return map[string]Encoder{
+		"onehot-native":     NewOneHot(m, b, AMONative),
 		"onehot-pairwise":   NewOneHot(m, b, AMOPairwise),
 		"onehot-sequential": NewOneHot(m, b, AMOSequential),
 		"log":               NewLog(m, b),
 	}
 }
+
+// amoModes is the differential matrix for the three at-most-one encodings of
+// the one-hot compilation.
+var amoModes = []AMO{AMONative, AMOPairwise, AMOSequential}
 
 // bruteBinaryRank computes r_B(M) by brute-force search over partitions of
 // the 1-entries into rectangles (exponential; tiny matrices only). It works
@@ -261,6 +266,109 @@ func TestQuickEncodersConsistent(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// narrowedDepth runs the full narrowing loop with one AMO mode and returns
+// the optimal depth plus the final SAT model's partition.
+func narrowedDepth(t *testing.T, m *bitmat.Matrix, mode AMO) int {
+	t.Helper()
+	ub := m.TrivialUpperBound()
+	if ub == 0 {
+		return 0
+	}
+	e := NewOneHot(m, ub, mode)
+	best := -1
+	for {
+		if e.Solve() != sat.Sat {
+			break
+		}
+		p, err := e.ReadPartition()
+		if err != nil {
+			t.Fatalf("%v at b=%d: %v\n%s", mode, e.Bound(), err, m)
+		}
+		if p.Depth() > e.Bound() {
+			t.Fatalf("%v at b=%d: depth %d exceeds bound\n%s", mode, e.Bound(), p.Depth(), m)
+		}
+		best = e.Bound()
+		if e.Bound() == 0 {
+			break
+		}
+		e.Narrow()
+	}
+	if best < 0 {
+		t.Fatalf("%v: UNSAT at the trivial upper bound %d\n%s", mode, ub, m)
+	}
+	return best
+}
+
+// TestAMOModesAgreeOnCorpus narrows every seed-corpus matrix to its optimal
+// depth under each of the three AMO encodings: the depths must be identical
+// and every intermediate model must decode to a valid partition.
+func TestAMOModesAgreeOnCorpus(t *testing.T) {
+	corpus := []*bitmat.Matrix{
+		bitmat.MustParse("101100\n010011\n101010\n010101\n111000\n000111"), // Fig. 1b
+		bitmat.MustParse("110\n011\n111"),                                  // Eq. 2
+		bitmat.MustParse("1"),
+		bitmat.MustParse("11\n11"),
+		bitmat.MustParse("10\n01"),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		m := bitmat.Random(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0.3+0.5*rng.Float64())
+		if m.Ones() > 0 {
+			corpus = append(corpus, m)
+		}
+	}
+	for i, m := range corpus {
+		want := narrowedDepth(t, m, AMONative)
+		for _, mode := range amoModes[1:] {
+			if got := narrowedDepth(t, m, mode); got != want {
+				t.Fatalf("corpus[%d]: %v depth %d, native depth %d\n%s", i, mode, got, want, m)
+			}
+		}
+	}
+}
+
+// FuzzAMOEquivalence: for any small matrix and bound, the three AMO
+// encodings must agree on satisfiability, and SAT models must decode to
+// valid partitions within the bound.
+func FuzzAMOEquivalence(f *testing.F) {
+	f.Add(uint8(3), uint8(3), uint8(2), "101010011")
+	f.Add(uint8(2), uint8(5), uint8(3), "1111100000")
+	f.Add(uint8(6), uint8(6), uint8(4), "101100010011101010010101111000000111")
+	f.Add(uint8(1), uint8(1), uint8(1), "1")
+	f.Fuzz(func(t *testing.T, rows, cols, bound uint8, bits string) {
+		r := int(rows%6) + 1
+		c := int(cols%6) + 1
+		m := bitmat.New(r, c)
+		for idx := 0; idx < r*c && idx < len(bits); idx++ {
+			if bits[idx]&1 == 1 {
+				m.Set(idx/c, idx%c, true)
+			}
+		}
+		if m.Ones() == 0 {
+			return
+		}
+		b := int(bound)%m.Ones() + 1
+		var status [3]sat.Status
+		for i, mode := range amoModes {
+			e := NewOneHot(m, b, mode)
+			status[i] = e.Solve()
+			if status[i] == sat.Sat {
+				p, err := e.ReadPartition()
+				if err != nil {
+					t.Fatalf("%v: %v\n%s", mode, err, m)
+				}
+				if p.Depth() > b {
+					t.Fatalf("%v: depth %d > bound %d\n%s", mode, p.Depth(), b, m)
+				}
+			}
+		}
+		if status[0] != status[1] || status[1] != status[2] {
+			t.Fatalf("AMO modes disagree at b=%d: native=%v pairwise=%v sequential=%v\n%s",
+				b, status[0], status[1], status[2], m)
+		}
+	})
 }
 
 // Property: rank(M) ≤ r_B(M) — at b = rank-1 the formula must be UNSAT.

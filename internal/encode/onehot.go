@@ -74,9 +74,16 @@ func newOneHot(m *bitmat.Matrix, b int, cfg OneHotConfig) *OneHot {
 		e.s.AddClause()
 		return e
 	}
+	// Size the solver's backing arrays up front: n*b entry-slot variables
+	// plus selectors and slot-ordering auxiliaries, and roughly n²b/2
+	// words of clause storage (the closure/conflict pair loop dominates).
+	// Pure capacity hints — encoding is allocation-bound without them.
+	e.s.ReserveVars(n*b + b + 2*(m.Rows()+1)*b)
+	e.s.ReserveClauseWords(n * b * (n/2 + 4))
 	e.vars = make([][]sat.Var, n)
+	flat := make([]sat.Var, n*b)
 	for en := range e.vars {
-		e.vars[en] = make([]sat.Var, b)
+		e.vars[en] = flat[en*b : (en+1)*b : (en+1)*b]
 		for k := range e.vars[en] {
 			e.vars[en][k] = e.s.NewVar()
 		}
@@ -205,12 +212,18 @@ func (e *OneHot) addAMO(vs []sat.Var, amo AMO) {
 	switch amo {
 	case AMOSequential:
 		e.addAMOSequential(vs)
-	default:
+	case AMOPairwise:
 		for a := 0; a < len(vs); a++ {
 			for b := a + 1; b < len(vs); b++ {
 				e.s.AddClause(sat.NegLit(vs[a]), sat.NegLit(vs[b]))
 			}
 		}
+	default: // AMONative
+		lits := make([]sat.Lit, len(vs))
+		for i, v := range vs {
+			lits[i] = sat.PosLit(v)
+		}
+		e.s.AddAtMostOne(lits...)
 	}
 }
 

@@ -41,7 +41,6 @@ func TableIGapSolverJobs() []SolverJob {
 // ablation pair for the decomposition PR's encoder change).
 func NarrowToRank(j SolverJob, incremental, symBreak bool) {
 	enc := encode.NewOneHotConfig(j.M, j.UB-1, encode.OneHotConfig{
-		AMO:                 encode.AMOPairwise,
 		Incremental:         incremental,
 		DisableSlotOrdering: !symBreak,
 	})

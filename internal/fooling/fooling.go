@@ -46,6 +46,29 @@ func (b bitset) and(o bitset) {
 	}
 }
 func (b bitset) clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) or(o bitset) {
+	for k := range b {
+		b[k] |= o[k]
+	}
+}
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// forEach visits every set bit in ascending order.
+func (b bitset) forEach(fn func(i int)) {
+	for k, w := range b {
+		for w != 0 {
+			fn(k*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
 func (b bitset) count() int {
 	t := 0
 	for _, w := range b {
@@ -62,20 +85,59 @@ func (b bitset) first() int {
 	return -1
 }
 
+// buildGraph constructs the adjacency bitsets 64 entries at a time instead
+// of testing each of the n² pairs with two matrix probes. Entry b=(i2,j2) is
+// INcompatible with a=(i,j) iff M[i][j2]=1 and M[i2][j]=1 — i.e. b's column
+// is a 1-column of a's row AND b's row is a 1-row of a's column. Both sides
+// are unions of precomputed per-row/per-column entry masks, so the bad set
+// is two word-parallel ANDs and the adjacency is its complement.
 func buildGraph(m *bitmat.Matrix) *graph {
 	pos := m.OnesPositions()
 	n := len(pos)
 	g := &graph{pos: pos, adj: make([]bitset, n)}
-	for a := range g.adj {
-		g.adj[a] = newBitset(n)
+	if n == 0 {
+		return g
 	}
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			if compatible(m, pos[a][0], pos[a][1], pos[b][0], pos[b][1]) {
-				g.adj[a].set(b)
-				g.adj[b].set(a)
-			}
+	rowMask := make([]bitset, m.Rows()) // entries in row r
+	colMask := make([]bitset, m.Cols()) // entries in column c
+	for e, p := range pos {
+		i, j := p[0], p[1]
+		if rowMask[i] == nil {
+			rowMask[i] = newBitset(n)
 		}
+		if colMask[j] == nil {
+			colMask[j] = newBitset(n)
+		}
+		rowMask[i].set(e)
+		colMask[j].set(e)
+	}
+	// rowUnion[i]: entries whose column holds a 1 in row i.
+	// colUnion[j]: entries whose row holds a 1 in column j.
+	rowUnion := make([]bitset, m.Rows())
+	colUnion := make([]bitset, m.Cols())
+	m.ForEachOne(func(i, j int) {
+		if rowUnion[i] == nil {
+			rowUnion[i] = newBitset(n)
+		}
+		rowUnion[i].or(colMask[j])
+		if colUnion[j] == nil {
+			colUnion[j] = newBitset(n)
+		}
+		colUnion[j].or(rowMask[i])
+	})
+	words := len(newBitset(n))
+	tail := uint(n % 64)
+	for e, p := range pos {
+		adj := make(bitset, words)
+		ru, cu := rowUnion[p[0]], colUnion[p[1]]
+		for k := 0; k < words; k++ {
+			adj[k] = ^(ru[k] & cu[k])
+		}
+		if tail != 0 {
+			adj[words-1] &= (1 << tail) - 1
+		}
+		adj.clear(e) // never self-adjacent (the bad set contains e anyway)
+		g.adj[e] = adj
 	}
 	return g
 }
@@ -94,18 +156,16 @@ func Greedy(m *bitmat.Matrix) [][2]int {
 		cand.set(i)
 	}
 	var out [][2]int
-	for cand.count() > 0 {
-		// Pick the candidate with maximum degree within the candidate set.
+	for !cand.empty() {
+		// Pick the candidate with maximum degree within the candidate set,
+		// visiting only set bits (the candidate set shrinks fast, so late
+		// rounds scan a handful of words instead of all n indices).
 		best, bestDeg := -1, -1
-		for i := 0; i < n; i++ {
-			if !cand.get(i) {
-				continue
-			}
-			d := degreeWithin(g.adj[i], cand)
-			if d > bestDeg {
+		cand.forEach(func(i int) {
+			if d := degreeWithin(g.adj[i], cand); d > bestDeg {
 				best, bestDeg = i, d
 			}
-		}
+		})
 		out = append(out, g.pos[best])
 		cand.and(g.adj[best])
 	}

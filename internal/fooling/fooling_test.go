@@ -154,3 +154,25 @@ func TestQuickOneEntryPerRowCol(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: the word-parallel buildGraph matches the scalar compatibility
+// predicate pair by pair (guards the bitset rewrite).
+func TestQuickGraphMatchesCompatible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := bitmat.Random(rng, 1+rng.Intn(9), 1+rng.Intn(9), rng.Float64())
+		g := buildGraph(m)
+		for a := range g.pos {
+			for b := range g.pos {
+				want := compatible(m, g.pos[a][0], g.pos[a][1], g.pos[b][0], g.pos[b][1])
+				if g.adj[a].get(b) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,7 @@ package portfolio
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bitmat"
 	"repro/internal/encode"
@@ -83,8 +84,9 @@ func (st Strategy) equivalent(o Strategy) bool {
 }
 
 // Canonical is the default single-strategy configuration: incremental
-// one-hot with pairwise AMO, slot-ordering symmetry breaking and Glucose
-// restarts — the same configuration core.Solve uses when racing is off.
+// one-hot with native AMO propagation, slot-ordering symmetry breaking and
+// Glucose restarts — the same configuration core.Solve uses when racing is
+// off.
 func Canonical() Strategy {
 	return Strategy{Name: "canonical", Solver: sat.DefaultConfig()}
 }
@@ -106,6 +108,11 @@ func variants() []Strategy {
 		{Name: "luby", Solver: luby},
 		{Name: "no-phase", Solver: noPhase},
 		{Name: "seq-amo", AMO: encode.AMOSequential, Solver: def},
+		// native-amo is the canonical configuration under its explicit name —
+		// it lets -strategies race the native propagator against the encoded
+		// ablations below (the default pool skips it as a canonical clone).
+		{Name: "native-amo", Solver: def},
+		{Name: "pairwise-amo", AMO: encode.AMOPairwise, Solver: def},
 		{Name: "glue4", Solver: glue4},
 		{Name: "no-symbreak", NoSymmetryBreaking: true, Solver: def},
 		{Name: "luby-destructive", Destructive: true, Solver: luby},
@@ -113,7 +120,21 @@ func variants() []Strategy {
 	}
 }
 
-// ByName resolves a strategy name ("canonical" or any variant name).
+// UnknownStrategyError reports a strategy name that resolves to nothing,
+// carrying the full valid-name list so callers (CLI flag validation, wire
+// option decoding) can surface it structurally instead of re-deriving it.
+type UnknownStrategyError struct {
+	Name  string
+	Valid []string
+}
+
+func (e *UnknownStrategyError) Error() string {
+	return fmt.Sprintf("portfolio: unknown strategy %q (valid: %s)",
+		e.Name, strings.Join(e.Valid, ", "))
+}
+
+// ByName resolves a strategy name ("canonical" or any variant name). The
+// error, when non-nil, is an *UnknownStrategyError.
 func ByName(name string) (Strategy, error) {
 	if name == "canonical" {
 		return Canonical(), nil
@@ -123,7 +144,7 @@ func ByName(name string) (Strategy, error) {
 			return v, nil
 		}
 	}
-	return Strategy{}, fmt.Errorf("portfolio: unknown strategy %q", name)
+	return Strategy{}, &UnknownStrategyError{Name: name, Valid: Names()}
 }
 
 // Names lists every known strategy name, canonical first.

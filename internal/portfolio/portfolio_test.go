@@ -235,11 +235,18 @@ func TestRaceDeadline(t *testing.T) {
 // soundness on every test that races).
 func TestRaceSharingTraffic(t *testing.T) {
 	m := fig1b(t)
+	// Pin an all-one-hot set (every racer has CoreVars > 0 and therefore a
+	// sharing hook): the default shuffle may draw the log encoder, which
+	// shares nothing and can win this tiny round before the sharers learn.
+	sts, err := Resolve(Canonical(), []string{"canonical", "pairwise-amo", "seq-amo", "destructive"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := Race(context.Background(), RaceSpec{
 		M:            m,
 		Start:        4,
 		LB:           m.Rank(),
-		Strategies:   DefaultStrategies(Canonical(), 4, Seed(m)),
+		Strategies:   sts,
 		ShareClauses: true,
 		Chunk:        256, // frequent import points
 		HeadStart:    -1,  // race from the first conflict

@@ -1,0 +1,279 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pigeonholeAMO is the pigeonhole formula with the per-hole at-most-one
+// constraints registered natively instead of encoded as pairwise clauses.
+func pigeonholeAMO(pigeons, holes int) *Solver {
+	s := New()
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		lits := make([]Lit, pigeons)
+		for p := 0; p < pigeons; p++ {
+			lits[p] = PosLit(vars[p][h])
+		}
+		s.AddAtMostOne(lits...)
+	}
+	return s
+}
+
+func TestAMOBasicPropagation(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddAtMostOne(PosLit(a), PosLit(b), PosLit(c))
+	s.AddClause(PosLit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("status %v", got)
+	}
+	if !s.Value(a) || s.Value(b) || s.Value(c) {
+		t.Fatalf("a=%v b=%v c=%v, want true/false/false", s.Value(a), s.Value(b), s.Value(c))
+	}
+}
+
+func TestAMOTwoTrueUnsat(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddAtMostOne(PosLit(a), PosLit(b), PosLit(c))
+	s.AddClause(PosLit(a))
+	s.AddClause(PosLit(b))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("status %v", got)
+	}
+}
+
+func TestAMODegenerateInputs(t *testing.T) {
+	t.Run("duplicate literal forces false", func(t *testing.T) {
+		s := New()
+		a, b := s.NewVar(), s.NewVar()
+		s.AddAtMostOne(PosLit(a), PosLit(a), PosLit(b))
+		if got := s.Solve(); got != Sat {
+			t.Fatalf("status %v", got)
+		}
+		if s.Value(a) {
+			t.Fatal("duplicated member must be forced false")
+		}
+	})
+	t.Run("complementary pair forces others false", func(t *testing.T) {
+		s := New()
+		a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+		s.AddAtMostOne(PosLit(a), NegLit(a), PosLit(b), PosLit(c))
+		if got := s.Solve(); got != Sat {
+			t.Fatalf("status %v", got)
+		}
+		if s.Value(b) || s.Value(c) {
+			t.Fatal("one of a/¬a is always true, so b and c must be false")
+		}
+	})
+	t.Run("root-true member forces others false", func(t *testing.T) {
+		s := New()
+		a, b := s.NewVar(), s.NewVar()
+		s.AddClause(PosLit(a))
+		s.AddAtMostOne(PosLit(a), PosLit(b))
+		if got := s.Solve(); got != Sat {
+			t.Fatalf("status %v", got)
+		}
+		if s.Value(b) {
+			t.Fatal("b must be forced false by the root-true member")
+		}
+	})
+	t.Run("root-false members drop out", func(t *testing.T) {
+		s := New()
+		a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+		s.AddClause(NegLit(a))
+		s.AddAtMostOne(PosLit(a), PosLit(b), PosLit(c))
+		if s.NumAMOGroups() != 1 {
+			t.Fatalf("groups = %d, want 1", s.NumAMOGroups())
+		}
+		s.AddClause(PosLit(b))
+		if got := s.Solve(); got != Sat {
+			t.Fatalf("status %v", got)
+		}
+		if s.Value(c) {
+			t.Fatal("c must be false once b is true")
+		}
+	})
+	t.Run("tiny groups constrain nothing", func(t *testing.T) {
+		s := New()
+		a := s.NewVar()
+		s.AddAtMostOne(PosLit(a))
+		s.AddAtMostOne()
+		if s.NumAMOGroups() != 0 {
+			t.Fatalf("groups = %d, want 0", s.NumAMOGroups())
+		}
+	})
+}
+
+func TestAMOPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := pigeonholeAMO(n+1, n)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d) with native AMO: %v", n+1, n, got)
+		}
+	}
+}
+
+func TestAMOPigeonholeSat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := pigeonholeAMO(n, n)
+		if got := s.Solve(); got != Sat {
+			t.Fatalf("PHP(%d,%d) with native AMO: %v", n, n, got)
+		}
+		// Model must respect every group.
+		for h := 0; h < n; h++ {
+			trues := 0
+			for p := 0; p < n; p++ {
+				if s.Value(p*n + h) {
+					trues++
+				}
+			}
+			if trues > 1 {
+				t.Fatalf("hole %d holds %d pigeons", h, trues)
+			}
+		}
+	}
+}
+
+func TestAMODRATProofChecks(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := pigeonholeAMO(n+1, n)
+		var formula bytes.Buffer
+		if err := s.WriteDIMACS(&formula); err != nil {
+			t.Fatal(err)
+		}
+		var proof bytes.Buffer
+		s.AttachProof(&proof)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d): %v", n+1, n, got)
+		}
+		if err := s.FlushProof(); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckDRAT(&formula, &proof); err != nil {
+			t.Fatalf("PHP(%d,%d) native-AMO proof rejected: %v", n+1, n, err)
+		}
+	}
+}
+
+func TestAMOIncrementalAssumptions(t *testing.T) {
+	// Selector-style narrowing over a native group: assumptions must compose
+	// with AMO propagation and leave no permanent constraints.
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddAtMostOne(PosLit(a), PosLit(b), PosLit(c))
+	s.AddClause(PosLit(a), PosLit(b), PosLit(c))
+	if got := s.SolveAssuming(NegLit(a), NegLit(b)); got != Sat {
+		t.Fatalf("status %v", got)
+	}
+	if !s.Value(c) {
+		t.Fatal("c must carry the clause under assumptions")
+	}
+	if got := s.SolveAssuming(PosLit(a), PosLit(b)); got != Unsat {
+		t.Fatalf("two group members assumed true: %v", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("assumptions must not persist: %v", got)
+	}
+}
+
+// randomAMOInstance builds the same random instance twice: once with native
+// groups, once with the pairwise clause expansion.
+func randomAMOInstance(rng *rand.Rand, nVars int) (native, encoded *Solver) {
+	native, encoded = New(), New()
+	for i := 0; i < nVars; i++ {
+		native.NewVar()
+		encoded.NewVar()
+	}
+	nGroups := 2 + rng.Intn(4)
+	for g := 0; g < nGroups; g++ {
+		size := 2 + rng.Intn(3)
+		lits := make([]Lit, size)
+		for i := range lits {
+			lits[i] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+		}
+		native.AddAtMostOne(lits...)
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if lits[i] == lits[j] {
+					encoded.AddClause(lits[i].Neg())
+					continue
+				}
+				encoded.AddClause(lits[i].Neg(), lits[j].Neg())
+			}
+		}
+	}
+	nClauses := 3 + rng.Intn(3*nVars)
+	for c := 0; c < nClauses; c++ {
+		k := 1 + rng.Intn(3)
+		cl := make([]Lit, k)
+		for i := range cl {
+			cl[i] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+		}
+		native.AddClause(cl...)
+		encoded.AddClause(cl...)
+	}
+	return native, encoded
+}
+
+func TestQuickAMODifferentialRandom(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 4 + rng.Intn(10)
+		native, encoded := randomAMOInstance(rng, nVars)
+		var formula bytes.Buffer
+		if err := native.WriteDIMACS(&formula); err != nil {
+			t.Fatal(err)
+		}
+		var proof bytes.Buffer
+		native.AttachProof(&proof)
+		got := native.Solve()
+		if err := native.FlushProof(); err != nil {
+			t.Fatal(err)
+		}
+		want := encoded.Solve()
+		if got != want {
+			t.Logf("seed %d: native %v, encoded %v", seed, got, want)
+			return false
+		}
+		if got == Unsat {
+			if err := CheckDRAT(&formula, &proof); err != nil {
+				t.Logf("seed %d: native proof rejected: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAMOSurvivesGarbageCollection(t *testing.T) {
+	// Force learnt-clause churn so reduceDB + arena compaction run with
+	// tagged AMO reasons live on the trail.
+	s := pigeonholeAMO(8, 7)
+	s.SetConflictBudget(50_000)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(8,7): %v", got)
+	}
+	if s.NumAMOGroups() != 7 {
+		t.Fatalf("groups = %d, want 7", s.NumAMOGroups())
+	}
+}

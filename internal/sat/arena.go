@@ -22,10 +22,9 @@ type cref = uint32
 // crefUndef is the nil clause reference (no reason / no conflict).
 const crefUndef cref = ^cref(0)
 
-// binFlag marks a watcher whose clause is binary: the blocker IS the whole
-// rest of the clause, so propagation never needs the arena. The flag lives
-// in the cref's top bit (watch lists only; reasons and clause lists always
-// hold plain crefs).
+// binFlag is the reserved top cref bit: crefs must stay below it so tagged
+// values (the AMO reason tag, crefUndef and the conflict sentinels in
+// amo.go) can never collide with a real arena address.
 const binFlag cref = 1 << 31
 
 const hdrWords = 3

@@ -14,12 +14,15 @@ type Config struct {
 	LBDCap int
 	// LubyRestarts switches from Glucose LBD restarts to the Luby sequence.
 	LubyRestarts bool
+	// Inprocess enables between-restart clause vivification and binary
+	// self-subsumption.
+	Inprocess bool
 }
 
 // DefaultConfig is the configuration New uses: deep minimization, phase
-// saving, glue cap 2, Glucose restarts.
+// saving, glue cap 2, Glucose restarts, inprocessing on.
 func DefaultConfig() Config {
-	return Config{DeepMinimize: true, PhaseSaving: true, LBDCap: 2}
+	return Config{DeepMinimize: true, PhaseSaving: true, LBDCap: 2, Inprocess: true}
 }
 
 // ApplyTo writes the configuration onto an existing solver (the way the
@@ -32,6 +35,7 @@ func (cfg Config) ApplyTo(s *Solver) {
 		s.LBDCap = cfg.LBDCap
 	}
 	s.LubyRestarts = cfg.LubyRestarts
+	s.Inprocess = cfg.Inprocess
 }
 
 // NewWithConfig returns an empty solver with the given heuristics.
@@ -48,5 +52,6 @@ func ConfigOf(s *Solver) Config {
 		PhaseSaving:  s.PhaseSaving,
 		LBDCap:       s.LBDCap,
 		LubyRestarts: s.LubyRestarts,
+		Inprocess:    s.Inprocess,
 	}
 }

@@ -70,10 +70,18 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 }
 
 // WriteDIMACS writes the problem clauses (not learnt clauses) in DIMACS CNF
-// format.
+// format. Native at-most-one groups (AddAtMostOne) are rendered as their
+// pairwise clause expansion: the groups ARE those clauses semantically, the
+// solver just never materializes them in the arena — emitting them here is
+// what makes every AMO-derived learnt clause a RUP consequence of the
+// written formula, so DRAT certification works unchanged.
 func (s *Solver) WriteDIMACS(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	nClauses := len(s.clauses)
+	for g := 0; g+1 < len(s.amoStart); g++ {
+		k := int(s.amoStart[g+1] - s.amoStart[g])
+		nClauses += k * (k - 1) / 2
+	}
 	// Root-level units are part of the formula too.
 	var units []Lit
 	for _, l := range s.trail {
@@ -123,6 +131,16 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 		buf = s.ca.appendLits(buf[:0], c)
 		if err := emit(buf); err != nil {
 			return err
+		}
+	}
+	for g := 0; g+1 < len(s.amoStart); g++ {
+		lits := s.amoLits[s.amoStart[g]:s.amoStart[g+1]]
+		for i := 0; i < len(lits); i++ {
+			for j := i + 1; j < len(lits); j++ {
+				if err := emit([]Lit{lits[i].Neg(), lits[j].Neg()}); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return bw.Flush()

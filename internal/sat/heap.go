@@ -15,6 +15,16 @@ func newVarHeap(activity *[]float64) *varHeap {
 
 func (h *varHeap) empty() bool { return len(h.heap) == 0 }
 
+// reserve pre-sizes the heap storage for n variables (capacity hint only).
+func (h *varHeap) reserve(n int) {
+	if n > cap(h.heap) {
+		h.heap = append(make([]Var, 0, n), h.heap...)
+	}
+	if n > cap(h.indices) {
+		h.indices = append(make([]int, 0, n), h.indices...)
+	}
+}
+
 func (h *varHeap) contains(v Var) bool {
 	return v < len(h.indices) && h.indices[v] >= 0
 }

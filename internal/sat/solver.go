@@ -20,10 +20,19 @@ type Solver struct {
 	ca      clauseArena
 	clauses []cref // problem clauses
 	learnts []cref // learnt clauses
-	watches [][]watcher
+	// watches holds the two-watched-literal lists of clauses with ≥3
+	// literals; binary clauses live in binWatches, where an entry's
+	// blocker is the entire rest of the clause (see attachClause).
+	watches    [][]watcher
+	binWatches [][]watcher
 
-	assign   []lbool // current assignment per variable
-	level    []int   // decision level per assigned variable
+	// assign is indexed by LITERAL, not variable: assign[l] is l's truth
+	// value under the current assignment (both polarities are written on
+	// every enqueue). Indexing by literal makes value() a single array
+	// load — no Var/Sign extraction, no conditional negation — which is
+	// what the propagate inner loop spends most of its time asking.
+	assign   []lbool
+	level    []int // decision level per assigned variable
 	reason   []cref
 	trail    []Lit
 	trailLim []int // trail index per decision level
@@ -56,6 +65,19 @@ type Solver struct {
 
 	unsatRoot bool // formula already false at level 0
 
+	// Native at-most-one propagator state (see amo.go): all groups in one
+	// flat literal store with start offsets, indexed per literal. The scratch
+	// buffers hold the synthesized conflict/justification clauses analyze
+	// dereferences through the tagged-reason scheme.
+	amoLits      []Lit
+	amoStart     []int32
+	amoOcc       [][]int32
+	amoConflLits [2]uint32
+	amoReasonBuf [2]uint32
+
+	lastInprocess int64 // Conflicts at the last inprocessing pass
+	vivifyIdx     int   // rotating cursor over the learnt list for vivification
+
 	// DeepMinimize enables recursive learnt-clause minimization (default
 	// on; switch off to fall back to one-step self-subsumption).
 	DeepMinimize bool
@@ -69,6 +91,10 @@ type Solver struct {
 	// LubyRestarts switches from the default Glucose-style LBD-driven
 	// restarts back to the Luby sequence (ablation).
 	LubyRestarts bool
+	// Inprocess enables between-restart clause vivification and binary
+	// self-subsumption (default on; see inprocess.go). Switch off for the
+	// ablation.
+	Inprocess bool
 
 	proof    *bufio.Writer // DRAT trace (nil when disabled)
 	proofBuf []Lit         // scratch for proof deletions
@@ -84,6 +110,10 @@ type Solver struct {
 	Propagations int64
 	Restarts     int64
 	Learned      int64
+	// InprocPasses and InprocStrengthened count inprocessing activity:
+	// passes run, and clauses shrunk (by vivification or self-subsumption).
+	InprocPasses       int64
+	InprocStrengthened int64
 
 	maxLearnts   float64
 	learntAdjust int64
@@ -100,16 +130,53 @@ func New() *Solver {
 		DeepMinimize:    true,
 		PhaseSaving:     true,
 		LBDCap:          2,
+		Inprocess:       true,
 		lvlStamp:        make([]int64, 1),
 	}
 	s.heap = newVarHeap(&s.activity)
 	return s
 }
 
+// ReserveVars grows the per-variable (and per-literal) backing arrays to
+// hold at least n variables, so a burst of NewVar calls — an encoder
+// building a formula — allocates each array once instead of doubling its
+// way up. Purely a capacity hint: no variables are created.
+func (s *Solver) ReserveVars(n int) {
+	if n <= cap(s.level) {
+		return
+	}
+	growL := func(b []lbool) []lbool { nb := make([]lbool, len(b), 2*n); copy(nb, b); return nb }
+	s.assign = growL(s.assign)
+	s.level = append(make([]int, 0, n), s.level...)
+	s.reason = append(make([]cref, 0, n), s.reason...)
+	s.activity = append(make([]float64, 0, n), s.activity...)
+	s.phase = append(make([]bool, 0, n), s.phase...)
+	s.seen = append(make([]bool, 0, n), s.seen...)
+	s.lvlStamp = append(make([]int64, 0, n+1), s.lvlStamp...)
+	s.redStamp = append(make([]int64, 0, n), s.redStamp...)
+	s.redVal = append(make([]bool, 0, n), s.redVal...)
+	s.watches = append(make([][]watcher, 0, 2*n), s.watches...)
+	s.binWatches = append(make([][]watcher, 0, 2*n), s.binWatches...)
+	if s.amoOcc != nil {
+		s.amoOcc = append(make([][]int32, 0, 2*n), s.amoOcc...)
+	}
+	s.heap.reserve(n)
+}
+
+// ReserveClauseWords pre-sizes the clause arena for about n words of clause
+// storage (header plus literals per clause), with the same
+// allocate-once-instead-of-doubling intent as ReserveVars.
+func (s *Solver) ReserveClauseWords(n int) {
+	if n <= cap(s.ca.data) {
+		return
+	}
+	s.ca.data = append(make([]uint32, 0, n), s.ca.data...)
+}
+
 // NewVar introduces a fresh variable and returns its index.
 func (s *Solver) NewVar() Var {
-	v := len(s.assign)
-	s.assign = append(s.assign, lUndef)
+	v := len(s.assign) / 2
+	s.assign = append(s.assign, lUndef, lUndef)
 	s.level = append(s.level, -1)
 	s.reason = append(s.reason, crefUndef)
 	s.activity = append(s.activity, 0)
@@ -119,12 +186,16 @@ func (s *Solver) NewVar() Var {
 	s.redStamp = append(s.redStamp, 0)
 	s.redVal = append(s.redVal, false)
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
+	if s.amoOcc != nil {
+		s.amoOcc = append(s.amoOcc, nil, nil)
+	}
 	s.heap.insert(v)
 	return v
 }
 
 // NumVars returns the number of variables.
-func (s *Solver) NumVars() int { return len(s.assign) }
+func (s *Solver) NumVars() int { return len(s.assign) / 2 }
 
 // NumClauses returns the number of problem clauses (excluding learnt ones).
 func (s *Solver) NumClauses() int { return len(s.clauses) }
@@ -167,19 +238,10 @@ func (s *Solver) interrupted() bool {
 	return s.interruptTick&interruptPollMask == 0 && s.interrupt()
 }
 
-func (s *Solver) value(l Lit) lbool {
-	v := s.assign[l.Var()]
-	if v == lUndef {
-		return lUndef
-	}
-	if l.Sign() {
-		return -v
-	}
-	return v
-}
+func (s *Solver) value(l Lit) lbool { return s.assign[l] }
 
 // Value returns the model value of variable v after a Sat result.
-func (s *Solver) Value(v Var) bool { return s.assign[v] == lTrue }
+func (s *Solver) Value(v Var) bool { return s.assign[PosLit(v)] == lTrue }
 
 // AddClause adds a clause over the given literals. It must be called at
 // decision level 0 (i.e. not from within Solve). Adding an empty or
@@ -303,15 +365,19 @@ func (s *Solver) ImportLearnt(lits []Lit, lbd int) bool {
 
 // attachClause installs the watchers of c: each watched literal's negation
 // maps to a watcher blocking on the other watched literal. Binary clauses
-// are tagged so propagation resolves them from the watcher alone.
+// go to the dedicated binary watch lists, where the blocker IS the whole
+// rest of the clause and propagation is a straight enqueue per entry — no
+// arena access, no flag tests, no list compaction (binary clauses are
+// never deleted).
 func (s *Solver) attachClause(c cref) {
 	l0, l1 := s.ca.lit(c, 0), s.ca.lit(c, 1)
-	wc := c
 	if s.ca.size(c) == 2 {
-		wc |= binFlag
+		s.binWatches[l0.Neg()] = append(s.binWatches[l0.Neg()], watcher{c, l1})
+		s.binWatches[l1.Neg()] = append(s.binWatches[l1.Neg()], watcher{c, l0})
+		return
 	}
-	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{wc, l1})
-	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{wc, l0})
+	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{c, l1})
+	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{c, l0})
 }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
@@ -326,12 +392,16 @@ func (s *Solver) enqueue(l Lit, from cref) bool {
 		return false
 	}
 	v := l.Var()
-	if l.Sign() {
-		s.assign[v] = lFalse
-	} else {
-		s.assign[v] = lTrue
-	}
+	s.assign[l] = lTrue
+	s.assign[l.Neg()] = lFalse
 	s.level[v] = s.decisionLevel()
+	if len(s.trailLim) == 0 {
+		// Root-level assignments never need their reason inspected
+		// (analyze skips level-0 literals), and a reason recorded here
+		// could be a clause inprocessing later deletes while the unit
+		// stays on the trail forever — arena GC must not chase it.
+		from = crefUndef
+	}
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
 	return true
@@ -344,57 +414,69 @@ func (s *Solver) propagate() cref {
 		p := s.trail[s.qhead] // p is true; visit clauses watching ¬p
 		s.qhead++
 		s.Propagations++
+		if s.amoOcc != nil && len(s.amoOcc[p]) > 0 {
+			if confl := s.amoPropagate(p); confl != crefUndef {
+				s.qhead = len(s.trail)
+				return confl
+			}
+		}
+		// Binary pass: every entry is unit, satisfied or conflicting right
+		// now, so a single enqueue resolves it — no arena access, no list
+		// compaction (binary watchers never move or die).
+		for _, w := range s.binWatches[p] {
+			if !s.enqueue(w.blocker, w.c) {
+				s.qhead = len(s.trail)
+				return w.c
+			}
+		}
 		ws := s.watches[p]
 		kept := ws[:0]
 		confl := crefUndef
+		// The arena never allocates during propagation, so its backing
+		// store can be hoisted out of the watcher loop; clauses are then
+		// addressed by absolute word index, skipping the per-watcher
+		// header decode and slice construction of ca.lits.
+		data := s.ca.data
+		falseLit := uint32(p.Neg())
 		for wi := 0; wi < len(ws); wi++ {
 			w := ws[wi]
 			// Blocker check: a true blocker means the clause is satisfied
 			// and we never touch the arena.
-			if s.value(w.blocker) == lTrue {
+			if s.assign[w.blocker] == lTrue {
 				kept = append(kept, w)
 				continue
 			}
-			if w.c&binFlag != 0 {
-				// Binary clause: the blocker is the only other literal, so
-				// it is unit (or conflicting) right now — still no arena
-				// access. Binary clauses are never deleted by reduceDB.
-				c := w.c &^ binFlag
-				kept = append(kept, w)
-				if !s.enqueue(w.blocker, c) {
-					confl = c
-					s.qhead = len(s.trail)
-					kept = append(kept, ws[wi+1:]...)
-					break
-				}
-				continue
-			}
+			// No deleted-clause check here: watch lists are swept eagerly
+			// whenever clauses are marked deleted (reduceDB, inprocessing),
+			// so the hot loop never pays for lazy deletion.
 			c := w.c
-			if s.ca.deleted(c) {
-				continue
-			}
-			lits := s.ca.lits(c)
+			base := c + hdrWords
 			// Normalize so the false literal (¬p ... i.e. the one whose
-			// negation is p) is lits[1].
-			falseLit := p.Neg()
-			if Lit(lits[0]) == falseLit {
-				lits[0], lits[1] = lits[1], lits[0]
+			// negation is p) is the second watched literal.
+			if data[base] == falseLit {
+				data[base], data[base+1] = data[base+1], data[base]
 			}
-			// If lits[0] is true the clause is satisfied; re-watch with it
-			// as the blocker.
-			first := Lit(lits[0])
+			// If the first literal is true the clause is satisfied;
+			// re-watch with it as the blocker.
+			first := Lit(data[base])
 			nw := watcher{c, first}
-			if first != w.blocker && s.value(first) == lTrue {
+			if first != w.blocker && s.assign[first] == lTrue {
 				kept = append(kept, nw)
 				continue
 			}
-			// Look for a new literal to watch.
+			// Look for a replacement for the false watched literal. Moving
+			// the watch (rather than parking on a true blocker) keeps hot
+			// literals' lists short, which measures faster on the dense
+			// EBMF instances. A CaDiCaL-style saved-position resume was
+			// also tried and rejected: changing the replacement order
+			// perturbs the learnt-clause trajectory and cost ~60% more
+			// conflicts on the Table I suites.
 			moved := false
-			for k := 2; k < len(lits); k++ {
-				if s.value(Lit(lits[k])) != lFalse {
-					lits[1], lits[k] = lits[k], lits[1]
-					nl := Lit(lits[1]).Neg()
-					s.watches[nl] = append(s.watches[nl], nw)
+			for k, end := base+2, base+cref(data[c]>>2); k < end; k++ {
+				lk := Lit(data[k])
+				if s.assign[lk] != lFalse {
+					data[base+1], data[k] = data[k], data[base+1]
+					s.watches[lk.Neg()] = append(s.watches[lk.Neg()], nw)
 					moved = true
 					break
 				}
@@ -476,14 +558,29 @@ func (s *Solver) analyze(confl cref) (learnt []Lit, btLevel int) {
 	index := len(s.trail) - 1
 
 	for {
-		if s.ca.learnt(confl) {
-			s.bumpClause(confl)
-		}
-		lits := s.ca.lits(confl)
-		if p != LitUndef && Lit(lits[0]) != p {
-			// Binary clauses propagate straight from the watcher without
-			// normalizing the asserted literal into slot 0; fix up lazily.
-			lits[0], lits[1] = lits[1], lits[0]
+		var lits []uint32
+		switch {
+		case confl == amoConflictRef:
+			// AMO conflict: the falsified pairwise clause was staged by
+			// amoPropagate (first iteration only; never stored as a reason).
+			lits = s.amoConflLits[:]
+		case confl&amoReasonFlag != 0:
+			// Tagged AMO reason of the asserted literal p: synthesize the
+			// binary justification [p, ¬trigger] — a clause of the group's
+			// pairwise expansion — on demand.
+			s.amoReasonBuf[0] = uint32(p)
+			s.amoReasonBuf[1] = uint32(amoReasonLit(confl).Neg())
+			lits = s.amoReasonBuf[:]
+		default:
+			if s.ca.learnt(confl) {
+				s.bumpClause(confl)
+			}
+			lits = s.ca.lits(confl)
+			if p != LitUndef && Lit(lits[0]) != p {
+				// Binary clauses propagate straight from the watcher without
+				// normalizing the asserted literal into slot 0; fix up lazily.
+				lits[0], lits[1] = lits[1], lits[0]
+			}
 		}
 		start := 0
 		if p != LitUndef {
@@ -585,6 +682,16 @@ func (s *Solver) litRedundantDeep(l Lit) bool {
 	if r == crefUndef {
 		return false
 	}
+	if r&amoReasonFlag != 0 {
+		// AMO reason: the justification is [l, ¬trigger] — the only other
+		// literal to chase is the trigger's negation.
+		q := amoReasonLit(r).Neg()
+		if !s.seen[q.Var()] && s.level[q.Var()] != 0 && !s.litRedundantDeep(q) {
+			return false
+		}
+		s.redVal[v] = true
+		return true
+	}
 	for i, n := 0, s.ca.size(r); i < n; i++ {
 		q := s.ca.lit(r, i)
 		if q.Var() == v {
@@ -607,6 +714,10 @@ func (s *Solver) litRedundantBasic(l Lit) bool {
 	r := s.reason[l.Var()]
 	if r == crefUndef {
 		return false
+	}
+	if r&amoReasonFlag != 0 {
+		q := amoReasonLit(r).Neg()
+		return s.seen[q.Var()] || s.level[q.Var()] == 0
 	}
 	for i, n := 0, s.ca.size(r); i < n; i++ {
 		q := s.ca.lit(r, i)
@@ -641,11 +752,14 @@ func (s *Solver) cancelUntil(lvl int) {
 	}
 	bound := s.trailLim[lvl]
 	for i := len(s.trail) - 1; i >= bound; i-- {
-		v := s.trail[i].Var()
+		l := s.trail[i]
+		v := l.Var()
 		if s.PhaseSaving {
-			s.phase[v] = s.assign[v] == lTrue
+			// The trail literal is the one that was true.
+			s.phase[v] = !l.Sign()
 		}
-		s.assign[v] = lUndef
+		s.assign[l] = lUndef
+		s.assign[l.Neg()] = lUndef
 		s.reason[v] = crefUndef
 		s.level[v] = -1
 		s.heap.insert(v)
@@ -659,7 +773,7 @@ func (s *Solver) cancelUntil(lvl int) {
 func (s *Solver) pickBranchVar() Var {
 	for !s.heap.empty() {
 		v := s.heap.pop()
-		if s.assign[v] == lUndef {
+		if s.assign[PosLit(v)] == lUndef {
 			return v
 		}
 	}
@@ -704,7 +818,7 @@ func (s *Solver) reduceDB() {
 	})
 	locked := func(c cref) bool {
 		v := ca.lit(c, 0).Var()
-		return s.assign[v] != lUndef && s.reason[v] == c
+		return s.assign[PosLit(v)] != lUndef && s.reason[v] == c
 	}
 	kept := s.learnts[:0]
 	for i, c := range s.learnts {
@@ -717,7 +831,30 @@ func (s *Solver) reduceDB() {
 		}
 	}
 	s.learnts = kept
-	s.maybeCollectGarbage()
+	s.flushDeletions()
+}
+
+// flushDeletions makes deleted clauses invisible to propagation: either the
+// arena GC ran (which rebuilds every watch list from the live clauses) or
+// the watch lists are swept in place. Must be called after any batch of
+// markDeleted calls before search resumes — propagate has no lazy
+// deleted-clause check.
+func (s *Solver) flushDeletions() {
+	if s.maybeCollectGarbage() {
+		return
+	}
+	// Binary watch lists never hold deleted clauses (binaries are never
+	// deleted), so only the long-clause lists need sweeping.
+	for i, ws := range s.watches {
+		kept := ws[:0]
+		for _, w := range ws {
+			if s.ca.deleted(w.c) {
+				continue
+			}
+			kept = append(kept, w)
+		}
+		s.watches[i] = kept
+	}
 }
 
 // maybeCollectGarbage compacts the arena when at least a third of it is
@@ -725,9 +862,9 @@ func (s *Solver) reduceDB() {
 // list order and every cref (clause lists, reasons) is remapped; watch lists
 // are rebuilt. Preserving each clause's literal order keeps the two-watched-
 // literal invariant, so compaction is sound at any decision level.
-func (s *Solver) maybeCollectGarbage() {
+func (s *Solver) maybeCollectGarbage() bool {
 	if s.ca.wasted*3 < len(s.ca.data) {
-		return
+		return false
 	}
 	old := s.ca.data
 	data := make([]uint32, 0, len(old)-s.ca.wasted)
@@ -753,14 +890,16 @@ func (s *Solver) maybeCollectGarbage() {
 		s.learnts[i] = move(c)
 	}
 	for v := range s.reason {
-		if s.reason[v] != crefUndef {
-			s.reason[v] = move(s.reason[v])
+		// Tagged AMO reasons hold a literal, not an arena address: skip.
+		if r := s.reason[v]; r != crefUndef && r&amoReasonFlag == 0 {
+			s.reason[v] = move(r)
 		}
 	}
 	s.ca.data = data
 	s.ca.wasted = 0
 	for i := range s.watches {
 		s.watches[i] = s.watches[i][:0]
+		s.binWatches[i] = s.binWatches[i][:0]
 	}
 	for _, c := range s.clauses {
 		s.attachClause(c)
@@ -768,6 +907,7 @@ func (s *Solver) maybeCollectGarbage() {
 	for _, c := range s.learnts {
 		s.attachClause(c)
 	}
+	return true
 }
 
 // recordRestartStats feeds one conflict's LBD into the restart policy.
@@ -911,6 +1051,10 @@ func (s *Solver) solve(assumptions []Lit) Status {
 			conflictsThisRestart = 0
 			restartLimit = luby(100, restartNum)
 			s.cancelUntil(0)
+			s.maybeInprocess()
+			if s.unsatRoot {
+				return Unsat
+			}
 			continue
 		}
 		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/core"
+	"repro/internal/encode"
 	"repro/internal/portfolio"
 )
 
@@ -34,6 +35,10 @@ type SolveOptions struct {
 	Trials int `json:"trials,omitempty"`
 	// Encoding selects the CNF compilation: "onehot" (default) or "log".
 	Encoding string `json:"encoding,omitempty"`
+	// AMO selects the at-most-one handling of the one-hot compilation:
+	// "native" (default — the solver's built-in propagator), "pairwise" or
+	// "sequential" (the encoded ablations).
+	AMO string `json:"amo,omitempty"`
 	// ConflictBudget bounds total SAT conflicts (<0 forces unlimited where
 	// the deployment allows it; 0 keeps the default).
 	ConflictBudget int64 `json:"conflict_budget,omitempty"`
@@ -102,6 +107,13 @@ func (o *SolveOptions) Apply(base core.Options) (core.Options, time.Duration, er
 		opts.Encoding = core.EncodingLog
 	default:
 		return opts, 0, fmt.Errorf("wire: unknown encoding %q", o.Encoding)
+	}
+	if o.AMO != "" {
+		amo, err := encode.ParseAMO(o.AMO)
+		if err != nil {
+			return opts, 0, fmt.Errorf("wire: %w", err)
+		}
+		opts.AMO = amo
 	}
 	if o.ConflictBudget != 0 {
 		opts.ConflictBudget = o.ConflictBudget

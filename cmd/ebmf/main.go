@@ -30,6 +30,9 @@
 //	-schedule-json F   write the AOD schedule as JSON to F ('-' for stdout)
 //	-json              print the result as wire JSON on stdout (the same
 //	                   schema POST /v1/solve returns, fingerprint included)
+//	-trace             print the solve's span timeline and progress samples
+//	                   to stderr (per-block, per-depth-probe timings)
+//	-trace-json F      write the trace as JSON to F ('-' for stdout)
 //	-q                 print only the depth
 //
 // Exit codes: 0 when the partition is proved depth-optimal, 2 when the
@@ -39,6 +42,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -52,6 +56,7 @@ import (
 	"repro/internal/bitmat"
 	"repro/internal/core"
 	"repro/internal/encode"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/wire"
 )
@@ -83,6 +88,8 @@ func run() int {
 	schedule := flag.Bool("schedule", false, "print the AOD schedule")
 	schedJSON := flag.String("schedule-json", "", "write the AOD schedule as JSON to this file ('-' for stdout)")
 	jsonOut := flag.Bool("json", false, "print the result as wire JSON on stdout")
+	trace := flag.Bool("trace", false, "print the solve's span timeline to stderr")
+	traceJSON := flag.String("trace-json", "", "write the trace as JSON to this file ('-' for stdout)")
 	quiet := flag.Bool("q", false, "print only the depth")
 	flag.Parse()
 
@@ -136,9 +143,25 @@ func run() int {
 		opts.Portfolio.Strategies = names
 	}
 
-	res, err := ebmf.Solve(m, opts)
-	if err != nil {
-		return fail(err)
+	// Tracing uses the context-carrying solve entry point; without the flags
+	// the plain path runs untouched (no tracer, no context plumbing).
+	var res *ebmf.Result
+	if *trace || *traceJSON != "" {
+		tracer := obs.New(obs.Config{SampleEvery: 1})
+		ctx, root := tracer.StartTrace(context.Background(), "solve", nil)
+		res, err = ebmf.SolveContext(ctx, m, opts)
+		td := root.Finish()
+		if err != nil {
+			return fail(err)
+		}
+		if err := emitTrace(td, *trace, *traceJSON); err != nil {
+			return fail(err)
+		}
+	} else {
+		res, err = ebmf.Solve(m, opts)
+		if err != nil {
+			return fail(err)
+		}
 	}
 
 	switch {
@@ -232,6 +255,32 @@ func emitSchedule(m *ebmf.Matrix, res *ebmf.Result, print bool, jsonPath string)
 		if err := sched.WriteJSON(out); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// emitTrace prints the finished span tree (human form to stderr so it never
+// mixes with -json/-q stdout) and/or writes the wire JSON form.
+func emitTrace(td *obs.TraceData, human bool, jsonPath string) error {
+	if td == nil {
+		return fmt.Errorf("trace: no trace recorded")
+	}
+	if human {
+		fmt.Fprint(os.Stderr, td.Render())
+	}
+	if jsonPath != "" {
+		var out io.Writer = os.Stdout
+		if jsonPath != "-" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(td.JSON())
 	}
 	return nil
 }

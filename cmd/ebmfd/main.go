@@ -19,6 +19,9 @@
 //	-max-portfolio K    clamp per-request portfolio sizes (default 8, 0/-1 = off)
 //	-store DIR          durable result store directory (default: no store)
 //	-store-sync MODE    store fsync policy: interval, always, never (default interval)
+//	-trace-sample N     trace one solve in N (1 = every solve; -1 = tracing off)
+//	-slow-solve-ms N    log solves slower than N ms with their span tree (0 = off)
+//	-debug-addr A       serve net/http/pprof and expvar on a separate listener (default: off)
 //	-quiet              no per-request log lines
 //
 // With -addr ending in :0 the kernel picks a free port; the actual address
@@ -31,6 +34,7 @@
 //	POST /v1/fill     cache-fill replication (gateway-internal)
 //	GET  /v1/healthz
 //	GET  /v1/metrics
+//	GET  /v1/debug/traces   recent and slowest solve traces (span trees + progress)
 //
 // With -store, every proved-optimal result is written through to a
 // checksummed WAL + snapshot in DIR and reloaded on boot: a restarted
@@ -49,6 +53,7 @@ import (
 	"flag"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -58,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -74,6 +80,9 @@ func main() {
 	maxPortfolio := flag.Int("max-portfolio", 8, "clamp per-request portfolio sizes (0 or -1 disables racing)")
 	storeDir := flag.String("store", "", "durable result store directory (empty = no store)")
 	storeSync := flag.String("store-sync", "interval", "store fsync policy: interval, always, never")
+	traceSample := flag.Int("trace-sample", 1, "trace one solve in N (1 = every solve, negative = off)")
+	slowSolveMS := flag.Int64("slow-solve-ms", 0, "log solves slower than this with their span tree (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar on this separate address (empty = off)")
 	quiet := flag.Bool("quiet", false, "no per-request log lines")
 	flag.Parse()
 
@@ -117,6 +126,12 @@ func main() {
 		}
 	}
 
+	tracer := obs.New(obs.Config{
+		SampleEvery:   *traceSample,
+		SlowThreshold: time.Duration(*slowSolveMS) * time.Millisecond,
+		Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	})
+
 	srv := server.New(server.Config{
 		CacheCapacity:     *cache,
 		MaxConcurrent:     *concurrency,
@@ -129,10 +144,28 @@ func main() {
 		Options:           &baseOpts,
 		Logger:            reqLogger,
 		Store:             durable,
+		Tracer:            tracer,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The debug listener (pprof, expvar) is deliberately separate from the
+	// serving address: profiles and goroutine dumps must not be reachable by
+	// solve clients, so -debug-addr is bound to loopback in practice and off
+	// by default.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Fatalf("debug listen: %v", err)
+		}
+		go func() {
+			if err := http.Serve(dln, obs.DebugMux()); err != nil {
+				logger.Printf("debug serve: %v", err)
+			}
+		}()
+		logger.Printf("debug listening on %s (pprof, expvar)", dln.Addr())
 	}
 
 	// Listen explicitly (instead of ListenAndServe) so -addr :0 works: the

@@ -23,6 +23,9 @@
 //	-max-entries N       reject matrices with more than N cells (default 1048576)
 //	-replicate N         seed each fresh proved-optimal result to N ring successors (default 1, 0 = off)
 //	-fill-timeout D      per-fill request deadline (default 5s)
+//	-trace-sample N      trace one request in N (1 = every request; -1 = tracing off)
+//	-slow-solve-ms N     log requests slower than N ms with their span tree (0 = off)
+//	-debug-addr A        serve net/http/pprof and expvar on a separate listener (default: off)
 //	-quiet               no per-request log lines
 //
 // With -addr ending in :0 the kernel picks a free port; the actual address
@@ -35,6 +38,7 @@
 //	POST /v1/batch    split across shards, merged in request order
 //	GET  /v1/healthz  gateway + fleet liveness
 //	GET  /v1/metrics  gateway counters and per-backend state
+//	GET  /v1/debug/traces   stitched cross-tier traces (gateway + backend spans)
 //
 // Every result a backend proves fresh (not a cache hit) is asynchronously
 // replicated to its -replicate ring successors via POST /v1/fill, so a shard
@@ -50,6 +54,7 @@ import (
 	"flag"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -59,6 +64,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -73,6 +79,9 @@ func main() {
 	maxEntries := flag.Int("max-entries", 1<<20, "reject matrices with more cells than this")
 	replicate := flag.Int("replicate", 1, "ring successors to seed with each fresh proved-optimal result (0 = off)")
 	fillTimeout := flag.Duration("fill-timeout", 5*time.Second, "per-fill request deadline")
+	traceSample := flag.Int("trace-sample", 1, "trace one request in N (1 = every request, negative = off)")
+	slowSolveMS := flag.Int64("slow-solve-ms", 0, "log requests slower than this with their span tree (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar on this separate address (empty = off)")
 	quiet := flag.Bool("quiet", false, "no per-request log lines")
 	flag.Parse()
 
@@ -115,11 +124,31 @@ func main() {
 		ReplicateFills:   *replicate,
 		FillTimeout:      *fillTimeout,
 		Logger:           reqLogger,
+		Tracer: obs.New(obs.Config{
+			SampleEvery:   *traceSample,
+			SlowThreshold: time.Duration(*slowSolveMS) * time.Millisecond,
+			Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		}),
 	})
 	if err != nil {
 		logger.Fatal(err)
 	}
 	defer gw.Close()
+
+	// Same split as ebmfd: profiling endpoints live on their own listener,
+	// never the serving port.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Fatalf("debug listen: %v", err)
+		}
+		go func() {
+			if err := http.Serve(dln, obs.DebugMux()); err != nil {
+				logger.Printf("debug serve: %v", err)
+			}
+		}()
+		logger.Printf("debug listening on %s (pprof, expvar)", dln.Addr())
+	}
 
 	httpSrv := &http.Server{
 		Handler:           gw.Handler(),

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // jitter spreads d uniformly over [0.75d, 1.25d) so a fleet of gateways (or
@@ -66,6 +68,12 @@ type backend struct {
 	requests atomic.Int64 // attempts sent (including failures)
 	failures atomic.Int64 // attempts that ended in a refusal
 	reopens  atomic.Int64 // open transitions (for metrics)
+
+	// latency is the round-trip time of answered attempts (request sent to
+	// body read), whatever the status code. Abandoned hedges and transport
+	// errors never reach the observation, so the histogram reflects what the
+	// backend actually served.
+	latency obs.Histogram
 }
 
 func newBackend(url string, maxInflight int) *backend {

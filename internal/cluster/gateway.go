@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/bitmat"
+	"repro/internal/obs"
 	"repro/internal/solvecache"
 	"repro/internal/wire"
 )
@@ -108,6 +109,11 @@ type Config struct {
 	// Logger receives health transitions and one line per request (default:
 	// discard).
 	Logger *log.Logger
+	// Tracer records gateway traces for GET /v1/debug/traces. Each proxied
+	// solve sends a traceparent header to its backend and grafts the spans
+	// the backend returns, so a gateway trace shows the whole cross-tier
+	// request (default: a tracer with obs defaults).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +164,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.New(obs.Config{})
 	}
 	return c
 }
@@ -243,6 +252,7 @@ func (g *Gateway) routes() {
 	g.mux.HandleFunc("POST /v1/batch", g.handleBatch)
 	g.mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /v1/debug/traces", g.handleTraces)
 }
 
 // ---------------------------------------------------------------------------
@@ -275,6 +285,11 @@ func (r fwdResult) authoritative() bool {
 // attempt sends one request to one backend, feeding the breaker and
 // in-flight bookkeeping. force bypasses the breaker gate (last-resort pass:
 // a request may only be failed once every candidate truly refused it).
+//
+// This is the single choke point of backend traffic, so the tracing header
+// and the per-backend latency histogram both live here: a traced request
+// opens a "proxy" span and hands it to the backend as a traceparent header,
+// and every answered attempt (even an abandoned hedge) feeds b.latency.
 func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload []byte, force bool) fwdResult {
 	select {
 	case b.inflight <- struct{}{}:
@@ -287,13 +302,21 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload 
 		return fwdResult{err: errBreakerOpen, backend: b}
 	}
 	b.requests.Add(1)
+	pctx, psp := obs.StartSpan(ctx, "proxy")
+	psp.SetAttr("backend", b.url)
+	defer psp.End()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(payload))
 	if err != nil {
 		return fwdResult{err: err, backend: b}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp := obs.Traceparent(pctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	t0 := time.Now()
 	resp, err := g.client.Do(req)
 	if err != nil {
+		psp.SetAttr("error", err.Error())
 		if ctx.Err() != nil {
 			// The gateway abandoned this attempt (a hedge rival won, or the
 			// client went away) — that says nothing about the backend's
@@ -311,6 +334,7 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload 
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxRespBytes))
 	if err != nil {
+		psp.SetAttr("error", err.Error())
 		if ctx.Err() != nil {
 			b.absolve()
 			return fwdResult{err: err, backend: b}
@@ -319,6 +343,8 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload 
 		b.report(false, time.Now(), g.cfg.BreakerThreshold, g.cfg.BreakerCooldown)
 		return fwdResult{err: err, backend: b}
 	}
+	b.latency.Observe(time.Since(t0))
+	psp.SetAttrInt("status", int64(resp.StatusCode))
 	out := fwdResult{status: resp.StatusCode, body: body, backend: b}
 	ok := out.authoritative()
 	if !ok {
@@ -521,13 +547,18 @@ func (g *Gateway) solveOne(ctx context.Context, it *solveItem) (int, any, []byte
 	}
 	if !it.exact {
 		g.met.relayed.Add(1)
-		return http.StatusOK, nil, fr.body
+		return http.StatusOK, nil, g.stitchRelay(ctx, fr.body)
 	}
 	var canon wire.ResultJSON
 	if err := json.Unmarshal(fr.body, &canon); err != nil {
 		g.met.failed.Add(1)
 		return http.StatusBadGateway, wire.ErrorResponse{Error: fmt.Sprintf("bad backend response: %v", err)}, nil
 	}
+	// Graft the backend's span subtree into this request's trace, then strip
+	// it: the stitched trace lives on the gateway's /v1/debug/traces, and
+	// neither clients nor cache entries should carry backend spans. Must
+	// happen before liftJSON copies the result and before the cache put.
+	g.stitch(ctx, &canon)
 	if canon.CacheHit {
 		g.met.remoteHits.Add(1)
 	}
@@ -545,6 +576,42 @@ func (g *Gateway) solveOne(ctx context.Context, it *solveItem) (int, any, []byte
 		g.replicate(it.fp.Hash, it.payload.Matrix, &canon, fr.backend)
 	}
 	return http.StatusOK, res, nil
+}
+
+// stitch grafts a backend response's span subtree into the current request's
+// trace and strips it from the result. The backend root span's parent is the
+// proxy span's ID (sent in the traceparent header), so the graft is a plain
+// append — the tree links itself up at read time. Safe on untraced requests
+// and trace-less responses.
+func (g *Gateway) stitch(ctx context.Context, canon *wire.ResultJSON) {
+	if canon.Trace == nil {
+		return
+	}
+	if sp := obs.FromContext(ctx); sp != nil {
+		spans, progress := obs.FromJSON(canon.Trace)
+		sp.Merge(spans, progress)
+	}
+	canon.Trace = nil
+}
+
+// stitchRelay is stitch for the inexact-fingerprint relay path, where the
+// response is normally passed through verbatim: when the backend attached a
+// trace, the body is decoded, stitched, stripped and re-encoded so clients
+// never see backend spans. Bodies without a trace relay untouched.
+func (g *Gateway) stitchRelay(ctx context.Context, body []byte) []byte {
+	if !bytes.Contains(body, []byte(`"trace"`)) {
+		return body
+	}
+	var canon wire.ResultJSON
+	if err := json.Unmarshal(body, &canon); err != nil || canon.Trace == nil {
+		return body
+	}
+	g.stitch(ctx, &canon)
+	out, err := json.Marshal(&canon)
+	if err != nil {
+		return body
+	}
+	return out
 }
 
 // statusClientClosedRequest mirrors ebmfd's use of nginx's non-standard 499

@@ -1,15 +1,29 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/bitmat"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
+
+// startTrace opens a root span for one gateway request, honoring an incoming
+// traceparent header (a client or an upstream gateway asking for the spans
+// back).
+func (g *Gateway) startTrace(r *http.Request, name string) (context.Context, *obs.Span) {
+	var remote *obs.Remote
+	if rm, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		remote = &rm
+	}
+	return g.cfg.Tracer.StartTrace(r.Context(), name, remote)
+}
 
 // handleSolve answers POST /v1/solve: decode, fingerprint, route, lift.
 func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -28,12 +42,33 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 		g.badRequest(w, err)
 		return
 	}
-	status, v, raw := g.solveOne(r.Context(), prepare(&req, m))
+	ctx, root := g.startTrace(r, "gw.solve")
+	t0 := time.Now()
+	status, v, raw := g.solveOne(ctx, prepare(&req, m))
+	if status == http.StatusOK {
+		g.met.solveHist.Observe(time.Since(t0))
+	} else {
+		root.SetAttrInt("status", int64(status))
+	}
 	if raw != nil {
+		root.Finish()
 		relayJSON(w, status, raw)
 		return
 	}
+	// When this gateway is itself being traced by an upstream tier (nested
+	// gateways), hand the stitched tree back the same way a backend does.
+	if td := root.Finish(); td != nil && root.IsRemote() {
+		if res, ok := v.(*wire.ResultJSON); ok {
+			res.Trace = td.JSON()
+		}
+	}
 	writeJSON(w, status, v)
+}
+
+// handleTraces answers GET /v1/debug/traces with the gateway tracer's recent
+// and slowest stitched traces.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.cfg.Tracer.Traces())
 }
 
 // handleBatch answers POST /v1/batch: fingerprint every item, serve local
@@ -60,6 +95,9 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			wire.ErrorResponse{Error: "batch exceeds limit"})
 		return
 	}
+
+	ctx, root := g.startTrace(r, "gw.batch")
+	defer root.Finish()
 
 	resp := wire.BatchResponse{Results: make([]wire.BatchItem, len(req.Requests))}
 	// Per-shard sub-batches: position i of shard s's sub-batch is the
@@ -114,7 +152,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// Route the sub-batch by its first item's fingerprint: the group
 			// was formed by that key's home shard, and failover order follows
 			// the same ring walk.
-			fr := g.forward(r.Context(), gr.items[0].fp.Hash, "/v1/batch", payload)
+			fr := g.forward(ctx, gr.items[0].fp.Hash, "/v1/batch", payload)
 			if fr.err != nil {
 				g.met.failed.Add(1)
 				g.failGroup(resp.Results, gr.idx, fmt.Errorf("all backends refused: %w", fr.err))
@@ -143,6 +181,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if item.Result.CacheHit {
 					g.met.remoteHits.Add(1)
 				}
+				g.stitch(ctx, item.Result)
 				res, err := it.liftJSON(item.Result, false)
 				if err != nil {
 					g.met.failed.Add(1)

@@ -3,6 +3,8 @@ package cluster
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // gwMetrics holds the gateway's counters; all atomics, snapshotted without
@@ -26,13 +28,23 @@ type gwMetrics struct {
 	fillsDuplicate atomic.Int64 // fills the target already had
 	fillsFailed    atomic.Int64 // fills refused or unreachable
 	fillsDropped   atomic.Int64 // fills skipped at the concurrency cap
+
+	// solveHist is the gateway's end-to-end /v1/solve latency (decode to
+	// answer, local hits included). Per-backend round-trip histograms live on
+	// the backends themselves (backend.latency).
+	solveHist obs.Histogram
 }
 
 // MetricsSnapshot is the GET /v1/metrics response body: gateway-level
 // counters plus the live per-backend state.
 type MetricsSnapshot struct {
-	UptimeMS    int64              `json:"uptime_ms"`
-	Requests    GWRequestMetrics   `json:"requests"`
+	UptimeMS int64            `json:"uptime_ms"`
+	Requests GWRequestMetrics `json:"requests"`
+	// Latency is end-to-end /v1/solve time at the gateway (local cache hits
+	// included); Proxy merges every backend's round-trip histogram, so
+	// Latency minus Proxy percentile-wise approximates gateway overhead.
+	Latency     obs.HistSnapshot   `json:"latency"`
+	Proxy       obs.HistSnapshot   `json:"proxy_latency"`
 	Routing     RoutingMetrics     `json:"routing"`
 	Cache       GWCacheMetrics     `json:"cache"`
 	Replication ReplicationMetrics `json:"replication"`
@@ -83,6 +95,8 @@ type BackendStatus struct {
 	// Reopens counts breaker open transitions; climbing reopens with a
 	// still-open breaker means the backoff is in its exponential phase.
 	Reopens int64 `json:"reopens"`
+	// Latency is this backend's answered-attempt round-trip histogram.
+	Latency obs.HistSnapshot `json:"latency"`
 }
 
 // MetricsSnapshot assembles the /v1/metrics body.
@@ -115,8 +129,12 @@ func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 			Dropped:   m.fillsDropped.Load(),
 		},
 	}
+	snap.Latency = m.solveHist.Snapshot()
 	now := time.Now()
+	var proxy obs.HistogramData
 	for _, b := range g.backends {
+		bd := b.latency.Data()
+		proxy.Merge(bd)
 		snap.Backends = append(snap.Backends, BackendStatus{
 			URL:      b.url,
 			Healthy:  b.healthy.Load(),
@@ -125,8 +143,10 @@ func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 			Requests: b.requests.Load(),
 			Failures: b.failures.Load(),
 			Reopens:  b.reopens.Load(),
+			Latency:  bd.Snapshot(),
 		})
 	}
+	snap.Proxy = proxy.Snapshot()
 	return snap
 }
 

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// gap8 needs real SAT probes (heuristic depth > rank bound), so its trace
+// carries probe spans and progress samples — the cross-tier acceptance shape.
+const gap8 = `10110101
+01101110
+11010011
+00111101
+11101010
+01011101
+10110110
+01101011`
+
+func spanNames(tj *obs.TraceJSON) map[string]int {
+	names := make(map[string]int)
+	for _, sp := range tj.Spans {
+		names[sp.Name]++
+	}
+	return names
+}
+
+// TestGatewayStitchedTrace is the end-to-end observability acceptance test:
+// one solve through the gateway must yield ONE trace on the gateway's
+// /v1/debug/traces containing the gateway root, the proxy span, and the
+// backend's whole subtree (solve, block, probe) plus solver progress — all
+// under a single trace ID, linked into a single tree.
+func TestGatewayStitchedTrace(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	resp, body := postJSON(t, tc.ts.URL+"/v1/solve", wire.SolveRequest{Matrix: gap8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	res := decodeResult(t, body)
+	if res.Depth != 8 {
+		t.Fatalf("depth %d, want 8", res.Depth)
+	}
+	// The client must never see the stitched payload.
+	if res.Trace != nil {
+		t.Fatalf("gateway leaked the trace to the client")
+	}
+
+	httpResp, err := http.Get(tc.ts.URL + "/v1/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var traces obs.TracesJSON
+	if err := json.NewDecoder(httpResp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces.Recent) != 1 {
+		t.Fatalf("%d traces after one solve, want 1", len(traces.Recent))
+	}
+	tj := traces.Recent[0]
+	if tj.Name != "gw.solve" {
+		t.Fatalf("trace name %q, want gw.solve", tj.Name)
+	}
+	names := spanNames(tj)
+	for _, want := range []string{"gw.solve", "proxy", "solve", "block", "probe"} {
+		if names[want] == 0 {
+			t.Fatalf("stitched trace missing %q span; have %v", want, names)
+		}
+	}
+	if len(tj.Progress) == 0 {
+		t.Fatalf("stitched trace carries no solver progress samples")
+	}
+
+	// The graft must link: the backend root's parent is the proxy span, the
+	// proxy's parent the gateway root, so the tree assembles with one root.
+	byID := make(map[string]obs.SpanJSON, len(tj.Spans))
+	for _, sp := range tj.Spans {
+		byID[sp.ID] = sp
+	}
+	var solveSpan obs.SpanJSON
+	for _, sp := range tj.Spans {
+		if sp.Name == "solve" {
+			solveSpan = sp
+		}
+	}
+	proxy, ok := byID[solveSpan.Parent]
+	if !ok || proxy.Name != "proxy" {
+		t.Fatalf("backend root's parent is %+v, want the proxy span", proxy)
+	}
+	gwRoot, ok := byID[proxy.Parent]
+	if !ok || gwRoot.Name != "gw.solve" {
+		t.Fatalf("proxy's parent is %+v, want the gateway root", gwRoot)
+	}
+	if gwRoot.Parent != "" {
+		t.Fatalf("gateway root has a parent %q", gwRoot.Parent)
+	}
+
+	// The backend records its half in its own ring too (same trace ID) —
+	// the cross-tier correlation an operator pivots on.
+	backendSaw := false
+	for _, s := range tc.servers {
+		for _, btj := range s.Tracer().Traces().Recent {
+			if btj.TraceID == tj.TraceID {
+				backendSaw = true
+			}
+		}
+	}
+	if !backendSaw {
+		t.Fatalf("no backend recorded trace %s", tj.TraceID)
+	}
+}
+
+// TestGatewayMetricsLatencyHistograms: the gateway snapshot carries its own
+// end-to-end histogram plus per-backend and merged proxy round-trip ones.
+func TestGatewayMetricsLatencyHistograms(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	for i := 0; i < 2; i++ {
+		postJSON(t, tc.ts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b})
+	}
+	snap := tc.gw.MetricsSnapshot()
+	if snap.Latency.Count != 2 || snap.Latency.P50NS <= 0 {
+		t.Fatalf("gateway latency snapshot: %+v", snap.Latency)
+	}
+	// First solve forwarded, second was a local cache hit: exactly one
+	// proxied attempt across the fleet.
+	if snap.Proxy.Count != 1 {
+		t.Fatalf("proxy count %d, want 1", snap.Proxy.Count)
+	}
+	var perBackend int64
+	for _, b := range snap.Backends {
+		perBackend += b.Latency.Count
+	}
+	if perBackend != snap.Proxy.Count {
+		t.Fatalf("per-backend latency total %d != merged proxy count %d",
+			perBackend, snap.Proxy.Count)
+	}
+}
+
+// TestGatewayBatchTraced: a traced batch records one gw.batch trace with the
+// backend subtrees of each sub-batch stitched in (no client-visible traces).
+func TestGatewayBatchTraced(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	req := wire.BatchRequest{Requests: []wire.SolveRequest{
+		{Matrix: fig1b}, {Matrix: "11\n01"},
+	}}
+	resp, body := postJSON(t, tc.ts.URL+"/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var batch wire.BatchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range batch.Results {
+		if item.Error != "" {
+			t.Fatalf("item %d: %s", i, item.Error)
+		}
+		if item.Result.Trace != nil {
+			t.Fatalf("item %d leaked a trace", i)
+		}
+	}
+	found := false
+	for _, tj := range tc.gw.cfg.Tracer.Traces().Recent {
+		if tj.Name == "gw.batch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no gw.batch trace recorded")
+	}
+}

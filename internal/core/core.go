@@ -36,6 +36,7 @@ import (
 	"repro/internal/bitmat"
 	"repro/internal/encode"
 	"repro/internal/fooling"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/rect"
 	"repro/internal/rowpack"
@@ -328,8 +329,12 @@ func SolveContext(ctx context.Context, m *bitmat.Matrix, opts Options) (*Result,
 	work := m
 	var comp *bitmat.Compression
 	if !opts.DisableCompression {
+		_, sp := obs.StartSpan(ctx, "preprocess")
 		comp = bitmat.Compress(m)
 		work = comp.Reduced
+		sp.SetAttrInt("rows", int64(work.Rows()))
+		sp.SetAttrInt("cols", int64(work.Cols()))
+		sp.End()
 	}
 
 	finish := func(res *Result, p *rect.Partition) (*Result, error) {
@@ -354,7 +359,10 @@ func SolveContext(ctx context.Context, m *bitmat.Matrix, opts Options) (*Result,
 	if opts.DisableDecomposition {
 		blocks = []bitmat.Block{wholeBlock(work)}
 	} else {
+		_, sp := obs.StartSpan(ctx, "decompose")
 		blocks = bitmat.Decompose(work).Blocks
+		sp.SetAttrInt("blocks", int64(len(blocks)))
+		sp.End()
 	}
 
 	deadline := time.Time{}
@@ -368,7 +376,7 @@ func SolveContext(ctx context.Context, m *bitmat.Matrix, opts Options) (*Result,
 	errs := make([]error, len(blocks))
 	if par := parallelism(opts, len(blocks)); par <= 1 {
 		for i := range blocks {
-			results[i], errs[i] = solveBlock(ctx, blocks[i].M, opts, budgets[i], deadline)
+			results[i], errs[i] = solveBlock(ctx, i, blocks[i].M, opts, budgets[i], deadline)
 		}
 	} else {
 		idx := make(chan int)
@@ -378,7 +386,7 @@ func SolveContext(ctx context.Context, m *bitmat.Matrix, opts Options) (*Result,
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i], errs[i] = solveBlock(ctx, blocks[i].M, opts, budgets[i], deadline)
+					results[i], errs[i] = solveBlock(ctx, i, blocks[i].M, opts, budgets[i], deadline)
 				}
 			}()
 		}
@@ -396,6 +404,8 @@ func SolveContext(ctx context.Context, m *bitmat.Matrix, opts Options) (*Result,
 
 	// Stage 4: Recombine — union the block partitions on the work matrix
 	// and stitch the per-block provenance together.
+	_, rsp := obs.StartSpan(ctx, "recombine")
+	defer rsp.End()
 	res := &Result{Blocks: len(blocks), Optimal: true, Certificate: CertRank}
 	union := rect.NewPartition(work)
 	for bi, br := range results {
@@ -517,7 +527,7 @@ func apportionConflicts(total int64, blocks []bitmat.Block) []int64 {
 // solveBlock runs Algorithm 1 — heuristic pack, lower bounds, SAT narrowing —
 // on one connected block. The returned Result carries a block-local partition
 // (not yet lifted or validated) plus the block's provenance fields.
-func solveBlock(ctx context.Context, m *bitmat.Matrix, opts Options, conflictBudget int64, deadline time.Time) (*Result, error) {
+func solveBlock(ctx context.Context, blockIdx int, m *bitmat.Matrix, opts Options, conflictBudget int64, deadline time.Time) (*Result, error) {
 	res := &Result{Blocks: 1}
 	if m.Ones() == 0 {
 		res.Optimal = true
@@ -525,10 +535,23 @@ func solveBlock(ctx context.Context, m *bitmat.Matrix, opts Options, conflictBud
 		res.Partition = rect.NewPartition(m)
 		return res, nil
 	}
+	ctx, bsp := obs.StartSpan(ctx, "block")
+	bsp.SetAttrInt("block", int64(blockIdx))
+	bsp.SetAttrInt("ones", int64(m.Ones()))
+	defer bsp.End()
+	defer func() {
+		if res.Partition != nil {
+			bsp.SetAttrInt("depth", int64(res.Partition.Depth()))
+		}
+		bsp.SetAttrInt("conflicts", res.Conflicts)
+	}()
 
 	// Stage 1: heuristic upper bound (Algorithm 1, line 1).
 	t0 := time.Now()
+	_, psp := obs.StartSpan(ctx, "pack")
 	best := rowpack.Pack(m, opts.Packing)
+	psp.SetAttrInt("depth", int64(best.Depth()))
+	psp.End()
 	res.PackTime = time.Since(t0)
 	res.HeuristicDepth = best.Depth()
 
@@ -569,13 +592,15 @@ func solveBlock(ctx context.Context, m *bitmat.Matrix, opts Options, conflictBud
 	defer func() { res.SATTime = time.Since(tSAT) }()
 
 	if opts.Portfolio.Enabled() {
-		return solveBlockPortfolio(ctx, m, opts, conflictBudget, deadline, res, best, lb)
+		return solveBlockPortfolio(ctx, blockIdx, m, opts, conflictBudget, deadline, res, best, lb)
 	}
 
 	enc := newEncoder(m, best.Depth()-1, opts)
 	s := enc.Solver()
 	s.SetInterrupt(func() bool { return ctx.Err() != nil })
 	defer s.SetInterrupt(nil)
+	installProgress(ctx, s, blockIdx, enc.Bound)
+	defer s.SetProgress(0, nil)
 	remaining := conflictBudget // <=0: unlimited
 	for enc.Bound() >= lb {
 		if conflictBudget > 0 && remaining <= 0 {
@@ -585,7 +610,12 @@ func solveBlock(ctx context.Context, m *bitmat.Matrix, opts Options, conflictBud
 			res.TimedOut = true
 			break
 		}
+		_, probe := obs.StartSpan(ctx, "probe")
+		probe.SetAttrInt("bound", int64(enc.Bound()))
 		status, spent := solveWithBudgets(ctx, enc, remaining, deadline)
+		probe.SetAttr("status", status.String())
+		probe.SetAttrInt("conflicts", spent)
+		probe.End()
 		res.SATCalls++
 		res.Conflicts += spent
 		if remaining > 0 {
@@ -630,13 +660,18 @@ func solveBlock(ctx context.Context, m *bitmat.Matrix, opts Options, conflictBud
 // canonical solver at the proven bound, a pure function of (matrix, bound,
 // options): race timing and the identity of the winning racer can change
 // only the stats, never the result.
-func solveBlockPortfolio(ctx context.Context, m *bitmat.Matrix, opts Options, conflictBudget int64, deadline time.Time, res *Result, best *rect.Partition, lb int) (*Result, error) {
+func solveBlockPortfolio(ctx context.Context, blockIdx int, m *bitmat.Matrix, opts Options, conflictBudget int64, deadline time.Time, res *Result, best *rect.Partition, lb int) (*Result, error) {
 	strategies, err := resolveStrategies(m, opts)
 	if err != nil {
 		return nil, err
 	}
+	if obs.ProgressEvery(ctx) > 0 {
+		// Initial sample at SAT-stage start, mirroring installProgress.
+		obs.AddProgress(ctx, obs.ProgressSample{Time: time.Now(), Block: blockIdx, Bound: best.Depth() - 1})
+	}
 	out := portfolio.Race(ctx, portfolio.RaceSpec{
 		M:               m,
+		Block:           blockIdx,
 		Start:           best.Depth() - 1,
 		LB:              lb,
 		Strategies:      strategies,
@@ -679,7 +714,12 @@ func solveBlockPortfolio(ctx context.Context, m *bitmat.Matrix, opts Options, co
 		s := enc.Solver()
 		s.SetInterrupt(func() bool { return ctx.Err() != nil })
 		defer s.SetInterrupt(nil)
+		_, rsp := obs.StartSpan(ctx, "rederive")
+		rsp.SetAttrInt("bound", int64(out.BestBound))
 		status, spent := solveWithBudgets(ctx, enc, conflictBudget, deadline)
+		rsp.SetAttr("status", status.String())
+		rsp.SetAttrInt("conflicts", spent)
+		rsp.End()
 		res.SATCalls++
 		res.Conflicts += spent
 		switch status {
@@ -764,6 +804,32 @@ func newEncoder(m *bitmat.Matrix, b int, opts Options) encode.Encoder {
 		s.LBDCap = opts.LBDCap
 	}
 	return enc
+}
+
+// installProgress wires the solver's sampled search telemetry into the
+// context's trace: an initial sample marks the SAT stage start (so every
+// traced solve that reaches SAT has at least one sample even when it decides
+// in fewer conflicts than the sampling interval), then one sample per
+// ProgressEvery conflicts. No-op on untraced contexts. The hook runs on the
+// solver's search goroutine, which is the caller's — bound() must be safe to
+// call from there.
+func installProgress(ctx context.Context, s *sat.Solver, blockIdx int, bound func() int) {
+	every := obs.ProgressEvery(ctx)
+	if every <= 0 {
+		return
+	}
+	obs.AddProgress(ctx, obs.ProgressSample{Time: time.Now(), Block: blockIdx, Bound: bound()})
+	s.SetProgress(every, func(p sat.Progress) {
+		obs.AddProgress(ctx, obs.ProgressSample{
+			Time:         time.Now(),
+			Block:        blockIdx,
+			Bound:        bound(),
+			Conflicts:    p.Conflicts,
+			Restarts:     p.Restarts,
+			Propagations: p.Propagations,
+			Learnts:      p.Learnts,
+		})
+	})
 }
 
 // solveWithBudgets runs the encoder's solver in conflict chunks so that the

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is one bucket per bit length of the nanosecond value (0..63),
+// i.e. power-of-two bucket boundaries: bucket i holds values in
+// [2^(i-1), 2^i). That bounds quantile estimation error to the bucket width
+// (≤ ~41% relative at the geometric midpoint) while costing one atomic add
+// per observation — the right trade for latency monitoring, where the
+// interesting signal is orders of magnitude, not microseconds.
+const histBuckets = 64
+
+// Windowed-max bookkeeping: the max decays by rotating through winSlots
+// time slots of winSlotDur each, so the reported max covers the last
+// winSlots×winSlotDur (~2 minutes) instead of the whole process lifetime —
+// the /v1/metrics max_ns staleness fix.
+const (
+	winSlots   = 8
+	winSlotDur = 15 // seconds
+)
+
+// Histogram is a lock-free log-bucketed latency histogram with a windowed
+// max. The zero value is ready to use; do not copy after first use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+	win     [winSlots]winSlot
+}
+
+type winSlot struct {
+	epoch atomic.Int64 // unix seconds / winSlotDur when the slot was last reset
+	max   atomic.Int64
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bits.Len64(uint64(ns))&(histBuckets-1)].Add(1)
+
+	epoch := time.Now().Unix() / winSlotDur
+	slot := &h.win[int(epoch%winSlots)]
+	if old := slot.epoch.Load(); old != epoch {
+		// Benign race: a concurrent Observe may land between the swap and
+		// the reset and lose its max for this slot — acceptable for a
+		// monitoring max, and it self-corrects within one slot duration.
+		if slot.epoch.CompareAndSwap(old, epoch) {
+			slot.max.Store(0)
+		}
+	}
+	for {
+		cur := slot.max.Load()
+		if ns <= cur || slot.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// windowedMax returns the max over the slots still inside the window.
+func (h *Histogram) windowedMax() int64 {
+	epoch := time.Now().Unix() / winSlotDur
+	var max int64
+	for i := range h.win {
+		if e := h.win[i].epoch.Load(); e > epoch-winSlots && e <= epoch {
+			if m := h.win[i].max.Load(); m > max {
+				max = m
+			}
+		}
+	}
+	return max
+}
+
+// HistogramData is a point-in-time copy of a histogram's counters — the
+// mergeable form (the gateway merges per-backend histograms into a
+// fleet-wide one).
+type HistogramData struct {
+	Count   int64
+	Sum     int64
+	Max     int64 // windowed max at capture time
+	Buckets [histBuckets]int64
+}
+
+// Data captures the histogram's counters. Loads are not mutually atomic;
+// the snapshot is eventually consistent, which monitoring tolerates.
+func (h *Histogram) Data() HistogramData {
+	var d HistogramData
+	d.Count = h.count.Load()
+	d.Sum = h.sum.Load()
+	d.Max = h.windowedMax()
+	for i := range d.Buckets {
+		d.Buckets[i] = h.buckets[i].Load()
+	}
+	return d
+}
+
+// Merge folds another histogram's counters into d (max combines as max).
+func (d *HistogramData) Merge(o HistogramData) {
+	d.Count += o.Count
+	d.Sum += o.Sum
+	if o.Max > d.Max {
+		d.Max = o.Max
+	}
+	for i := range d.Buckets {
+		d.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) in nanoseconds: walk the
+// buckets to the one containing the rank, report its geometric midpoint
+// (3·2^(i-2) for bucket i, whose range is [2^(i-1), 2^i)).
+func (d HistogramData) Quantile(p float64) int64 {
+	if d.Count == 0 {
+		return 0
+	}
+	rank := int64(p * float64(d.Count))
+	if rank >= d.Count {
+		rank = d.Count - 1
+	}
+	var cum int64
+	for i, n := range d.Buckets {
+		cum += n
+		if cum > rank {
+			if i <= 1 {
+				return int64(i) // buckets 0 and 1 hold exactly 0 and 1 ns
+			}
+			return 3 << (i - 2)
+		}
+	}
+	return 0
+}
+
+// HistSnapshot is the JSON form of a histogram in /v1/metrics.
+type HistSnapshot struct {
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	AvgNS int64 `json:"avg_ns"`
+	P50NS int64 `json:"p50_ns"`
+	P90NS int64 `json:"p90_ns"`
+	P99NS int64 `json:"p99_ns"`
+	// MaxNS is windowed: the largest observation of the last ~2 minutes,
+	// not a lifetime high-water mark.
+	MaxNS int64 `json:"max_ns"`
+}
+
+// Snapshot derives the percentile summary.
+func (d HistogramData) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: d.Count,
+		SumNS: d.Sum,
+		P50NS: d.Quantile(0.50),
+		P90NS: d.Quantile(0.90),
+		P99NS: d.Quantile(0.99),
+		MaxNS: d.Max,
+	}
+	if d.Count > 0 {
+		s.AvgNS = d.Sum / d.Count
+	}
+	return s
+}
+
+// Snapshot is Data().Snapshot() — the common read path.
+func (h *Histogram) Snapshot() HistSnapshot { return h.Data().Snapshot() }

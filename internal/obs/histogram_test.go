@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantiles checks that percentile estimates land within one
+// log-bucket of the true value across a few magnitudes.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations: 900 at ~1ms, 90 at ~10ms, 10 at ~100ms.
+	for i := 0; i < 900; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	d := h.Data()
+	if d.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", d.Count)
+	}
+	wantSum := int64(900)*1e6 + 90*1e7 + 10*1e8
+	if d.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", d.Sum, wantSum)
+	}
+	within := func(got, want int64) bool {
+		// Log-bucketed: accept a factor-of-2 band around the true value.
+		return float64(got) >= float64(want)/2 && float64(got) <= float64(want)*2
+	}
+	if p50 := d.Quantile(0.50); !within(p50, 1e6) {
+		t.Errorf("p50 = %d, want ~1e6", p50)
+	}
+	if p99 := d.Quantile(0.99); !within(p99, 1e7) && !within(p99, 1e8) {
+		t.Errorf("p99 = %d, want ~1e7..1e8", p99)
+	}
+	if p999 := d.Quantile(0.999); !within(p999, 1e8) {
+		t.Errorf("p99.9 = %d, want ~1e8", p999)
+	}
+}
+
+// TestHistogramQuantileMonotone: quantiles never decrease in p, and the
+// estimate for a single-valued distribution is within its bucket.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	d := h.Data()
+	prev := int64(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := d.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile(%v) = %d < quantile(prev) = %d", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+// TestHistogramMerge: merging two histograms equals observing the union.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	for i := 0; i < 500; i++ {
+		a.Observe(time.Millisecond)
+		both.Observe(time.Millisecond)
+	}
+	for i := 0; i < 500; i++ {
+		b.Observe(20 * time.Millisecond)
+		both.Observe(20 * time.Millisecond)
+	}
+	da, db, dboth := a.Data(), b.Data(), both.Data()
+	da.Merge(db)
+	if da.Count != dboth.Count || da.Sum != dboth.Sum {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", da.Count, da.Sum, dboth.Count, dboth.Sum)
+	}
+	if da.Buckets != dboth.Buckets {
+		t.Fatalf("merged buckets differ from combined observation")
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if da.Quantile(p) != dboth.Quantile(p) {
+			t.Fatalf("quantile(%v): merged %d != combined %d", p, da.Quantile(p), dboth.Quantile(p))
+		}
+	}
+	if da.Max != dboth.Max {
+		t.Fatalf("merged max = %d, want %d", da.Max, dboth.Max)
+	}
+}
+
+// TestHistogramWindowedMax: the max reflects recent observations, not a
+// lifetime high-water mark (it must decay once the window rotates past).
+func TestHistogramWindowedMax(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Second)
+	if got := h.windowedMax(); got != (5 * time.Second).Nanoseconds() {
+		t.Fatalf("windowedMax = %d right after observe, want 5s", got)
+	}
+	// Simulate the window rotating past every slot: age all epochs beyond
+	// the window instead of sleeping 2 minutes.
+	for i := range h.win {
+		h.win[i].epoch.Add(-int64(winSlots + 1))
+	}
+	if got := h.windowedMax(); got != 0 {
+		t.Fatalf("windowedMax = %d after window rotation, want 0 (decayed)", got)
+	}
+	h.Observe(time.Millisecond)
+	if got := h.windowedMax(); got != time.Millisecond.Nanoseconds() {
+		t.Fatalf("windowedMax = %d after new observe, want 1ms", got)
+	}
+}
+
+// TestHistogramSnapshotAvg checks the derived average.
+func TestHistogramSnapshotAvg(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.AvgNS != 0 || s.Count != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	if s := h.Snapshot(); s.AvgNS != 3e6 {
+		t.Fatalf("avg = %d, want 3e6", s.AvgNS)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many goroutines
+// (meaningful under -race) and checks nothing is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 2000
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(1+(w*per+i)%1000) * time.Microsecond)
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	d := h.Data()
+	if d.Count != workers*per {
+		t.Fatalf("count = %d, want %d", d.Count, workers*per)
+	}
+	var bucketSum int64
+	for _, n := range d.Buckets {
+		bucketSum += n
+	}
+	if bucketSum != d.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, d.Count)
+	}
+	if math.IsNaN(float64(d.Quantile(0.5))) || d.Quantile(0.5) <= 0 {
+		t.Fatalf("p50 = %d, want > 0", d.Quantile(0.5))
+	}
+}

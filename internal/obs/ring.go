@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+)
+
+// ring holds the finished traces behind /v1/debug/traces: a circular buffer
+// of the most recent N plus a separate top-K by duration, so one slow solve
+// stays inspectable after a burst of fast requests has lapped the recent
+// ring.
+type ring struct {
+	mu      sync.Mutex
+	recent  []*TraceData // circular; next is the write position
+	next    int
+	filled  bool
+	slowest []*TraceData // ascending by duration, ≤ slowCap entries
+	slowCap int
+}
+
+func newRing(recentCap, slowCap int) *ring {
+	return &ring{recent: make([]*TraceData, recentCap), slowCap: slowCap}
+}
+
+func (r *ring) add(td *TraceData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recent[r.next] = td
+	r.next++
+	if r.next == len(r.recent) {
+		r.next, r.filled = 0, true
+	}
+	if len(r.slowest) < r.slowCap {
+		r.slowest = append(r.slowest, td)
+		sort.Slice(r.slowest, func(i, j int) bool { return r.slowest[i].Duration < r.slowest[j].Duration })
+		return
+	}
+	if td.Duration > r.slowest[0].Duration {
+		r.slowest[0] = td
+		sort.Slice(r.slowest, func(i, j int) bool { return r.slowest[i].Duration < r.slowest[j].Duration })
+	}
+}
+
+// snapshot returns the recent traces newest-first and the slowest traces
+// slowest-first.
+func (r *ring) snapshot() (recent, slowest []*TraceData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.filled {
+		n = len(r.recent)
+	}
+	recent = make([]*TraceData, 0, n)
+	for i := 1; i <= n; i++ {
+		recent = append(recent, r.recent[(r.next-i+len(r.recent))%len(r.recent)])
+	}
+	slowest = make([]*TraceData, len(r.slowest))
+	for i, td := range r.slowest {
+		slowest[len(r.slowest)-1-i] = td
+	}
+	return recent, slowest
+}
+
+// DebugMux returns a fresh mux exposing net/http/pprof and expvar — wired by
+// the daemons onto a separate -debug-addr listener, never the serving port
+// (profiles and goroutine dumps must not be reachable by solve clients).
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

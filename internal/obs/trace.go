@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SpanData is one finished span: flat, parent-linked. The tree is assembled
+// at read time so recording stays an append and cross-tier merging needs no
+// renumbering.
+type SpanData struct {
+	ID       uint64
+	Parent   uint64 // 0 = trace root
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// TraceData is one finished trace: the flat span list (root first) plus the
+// solver progress timeline.
+type TraceData struct {
+	TraceID         string
+	Name            string
+	Start           time.Time
+	Duration        time.Duration
+	Spans           []SpanData
+	Progress        []ProgressSample
+	ProgressDropped int64
+}
+
+// SpanNode is one node of the assembled span tree.
+type SpanNode struct {
+	SpanData
+	Children []*SpanNode
+}
+
+// Tree assembles the parent-linked span list into trees, children ordered by
+// start time. Spans whose parent is unknown (e.g. a backend subtree whose
+// graft point was never recorded) become additional roots rather than being
+// dropped — a stitched trace must never silently lose a tier.
+func (td *TraceData) Tree() []*SpanNode {
+	nodes := make(map[uint64]*SpanNode, len(td.Spans))
+	for i := range td.Spans {
+		sd := td.Spans[i]
+		nodes[sd.ID] = &SpanNode{SpanData: sd}
+	}
+	var roots []*SpanNode
+	for _, sd := range td.Spans {
+		n := nodes[sd.ID]
+		if p, ok := nodes[sd.Parent]; ok && sd.Parent != sd.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortChildren func(n *SpanNode)
+	sortChildren = func(n *SpanNode) {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].Start.Before(n.Children[j].Start)
+		})
+		for _, c := range n.Children {
+			sortChildren(c)
+		}
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].Start.Before(roots[j].Start) })
+	for _, r := range roots {
+		sortChildren(r)
+	}
+	return roots
+}
+
+// Render draws the trace as an indented timeline — the `ebmf -trace` and
+// slow-solve log format. Offsets are relative to the trace start; clock skew
+// between tiers can make a grafted subtree's offsets slightly inconsistent
+// with the local spans (same-host fleets won't notice).
+func (td *TraceData) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s %s %s\n", td.TraceID, td.Name, td.Duration.Round(time.Microsecond))
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		fmt.Fprintf(&b, "%s%-12s +%-10s %s%s\n",
+			strings.Repeat("  ", depth+1), n.Name,
+			n.Start.Sub(td.Start).Round(time.Microsecond),
+			n.Duration.Round(time.Microsecond), renderAttrs(n.Attrs))
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range td.Tree() {
+		walk(r, 0)
+	}
+	for _, p := range td.Progress {
+		fmt.Fprintf(&b, "  progress t=+%-9s block=%d bound=%d conflicts=%d restarts=%d props=%d learnts=%d\n",
+			p.Time.Sub(td.Start).Round(time.Microsecond), p.Block, p.Bound,
+			p.Conflicts, p.Restarts, p.Propagations, p.Learnts)
+	}
+	if td.ProgressDropped > 0 {
+		fmt.Fprintf(&b, "  progress (%d samples dropped at cap)\n", td.ProgressDropped)
+	}
+	return b.String()
+}
+
+func renderAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range attrs {
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Val)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Wire form. These types ARE the JSON schema carried in internal/wire
+// responses and served by /v1/debug/traces, so the backend→gateway graft is
+// a decode plus an append.
+
+// TracesJSON is the GET /v1/debug/traces response body.
+type TracesJSON struct {
+	Recent  []*TraceJSON `json:"recent"`
+	Slowest []*TraceJSON `json:"slowest"`
+}
+
+// TraceJSON is one trace on the wire.
+type TraceJSON struct {
+	TraceID         string         `json:"trace_id"`
+	Name            string         `json:"name"`
+	StartUS         int64          `json:"start_us"` // unix microseconds
+	DurationUS      int64          `json:"duration_us"`
+	Spans           []SpanJSON     `json:"spans"`
+	Progress        []ProgressJSON `json:"progress,omitempty"`
+	ProgressDropped int64          `json:"progress_dropped,omitempty"`
+}
+
+// SpanJSON is one span on the wire; IDs are 16-hex strings.
+type SpanJSON struct {
+	ID      string            `json:"id"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// ProgressJSON is one progress sample on the wire.
+type ProgressJSON struct {
+	TUS          int64 `json:"t_us"` // unix microseconds
+	Block        int   `json:"block"`
+	Bound        int   `json:"bound"`
+	Conflicts    int64 `json:"conflicts"`
+	Restarts     int64 `json:"restarts"`
+	Propagations int64 `json:"propagations"`
+	Learnts      int   `json:"learnts"`
+}
+
+// JSON converts a finished trace to wire form.
+func (td *TraceData) JSON() *TraceJSON {
+	out := &TraceJSON{
+		TraceID:         td.TraceID,
+		Name:            td.Name,
+		StartUS:         td.Start.UnixMicro(),
+		DurationUS:      td.Duration.Microseconds(),
+		Spans:           make([]SpanJSON, 0, len(td.Spans)),
+		ProgressDropped: td.ProgressDropped,
+	}
+	for _, sd := range td.Spans {
+		sj := SpanJSON{
+			ID:      strconv.FormatUint(sd.ID, 16),
+			Name:    sd.Name,
+			StartUS: sd.Start.UnixMicro(),
+			DurUS:   sd.Duration.Microseconds(),
+		}
+		if sd.Parent != 0 {
+			sj.Parent = strconv.FormatUint(sd.Parent, 16)
+		}
+		if len(sd.Attrs) > 0 {
+			sj.Attrs = make(map[string]string, len(sd.Attrs))
+			for _, a := range sd.Attrs {
+				sj.Attrs[a.Key] = a.Val
+			}
+		}
+		out.Spans = append(out.Spans, sj)
+	}
+	for _, p := range td.Progress {
+		out.Progress = append(out.Progress, ProgressJSON{
+			TUS:          p.Time.UnixMicro(),
+			Block:        p.Block,
+			Bound:        p.Bound,
+			Conflicts:    p.Conflicts,
+			Restarts:     p.Restarts,
+			Propagations: p.Propagations,
+			Learnts:      p.Learnts,
+		})
+	}
+	return out
+}
+
+// FromJSON converts a wire trace back to span/progress data, for grafting a
+// backend's subtree into the gateway's trace. Spans with unparseable IDs are
+// dropped (they could not be linked anyway).
+func FromJSON(tj *TraceJSON) ([]SpanData, []ProgressSample) {
+	if tj == nil {
+		return nil, nil
+	}
+	spans := make([]SpanData, 0, len(tj.Spans))
+	for _, sj := range tj.Spans {
+		id, err := strconv.ParseUint(sj.ID, 16, 64)
+		if err != nil || id == 0 {
+			continue
+		}
+		var parent uint64
+		if sj.Parent != "" {
+			parent, _ = strconv.ParseUint(sj.Parent, 16, 64)
+		}
+		sd := SpanData{
+			ID:       id,
+			Parent:   parent,
+			Name:     sj.Name,
+			Start:    time.UnixMicro(sj.StartUS),
+			Duration: time.Duration(sj.DurUS) * time.Microsecond,
+		}
+		if len(sj.Attrs) > 0 {
+			keys := make([]string, 0, len(sj.Attrs))
+			for k := range sj.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				sd.Attrs = append(sd.Attrs, Attr{k, sj.Attrs[k]})
+			}
+		}
+		spans = append(spans, sd)
+	}
+	var progress []ProgressSample
+	for _, p := range tj.Progress {
+		progress = append(progress, ProgressSample{
+			Time:         time.UnixMicro(p.TUS),
+			Block:        p.Block,
+			Bound:        p.Bound,
+			Conflicts:    p.Conflicts,
+			Restarts:     p.Restarts,
+			Propagations: p.Propagations,
+			Learnts:      p.Learnts,
+		})
+	}
+	return spans, progress
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/encode"
+	"repro/internal/obs"
 	"repro/internal/rect"
 	"repro/internal/sat"
 )
@@ -17,6 +18,9 @@ import (
 type RaceSpec struct {
 	// M is the (block) matrix.
 	M *bitmat.Matrix
+	// Block is the block's index within the enclosing solve — telemetry
+	// only (round spans and progress samples are labelled with it).
+	Block int
 	// Start is the first bound to decide — heuristic depth − 1, exactly
 	// where the sequential narrowing loop starts.
 	Start int
@@ -218,15 +222,21 @@ func Race(ctx context.Context, spec RaceSpec) *Outcome {
 			winSpent  int64
 			loseSpent int64
 		)
+		_, rsp := obs.StartSpan(ctx, "round")
+		rsp.SetAttrInt("bound", int64(b))
 		solo := !out.Escalated && len(spec.Strategies) > 1 && headStart > 0
 		if solo {
+			stopProgress := soloProgress(ctx, racers[0], spec.Block, b)
 			status, winSpent = racers[0].soloAttempt(ctx, spec.Deadline, headStart, remaining)
+			stopProgress()
 			out.WinnerConflicts += winSpent
 			if status == sat.Unknown {
 				if ctx.Err() != nil || deadlineExpired(spec.Deadline) || !charge(winSpent) {
 					out.TimedOut = true
 					out.Canceled = ctx.Err() != nil
 					out.Winner = "" // any earlier round's winner did not decide this block
+					rsp.SetAttr("status", status.String())
+					rsp.End()
 					return out
 				}
 				// Note: a lead racer that exhausted its own strategy cap
@@ -252,11 +262,17 @@ func Race(ctx context.Context, spec RaceSpec) *Outcome {
 			out.TimedOut = true
 			out.Canceled = ctx.Err() != nil
 			out.Winner = "" // any earlier round's winner did not decide this block
+			rsp.SetAttr("status", status.String())
+			rsp.End()
 			return out
 		}
 		name := racers[winner].strat.Name
 		out.Wins[name]++
 		out.Winner = name
+		rsp.SetAttr("status", status.String())
+		rsp.SetAttr("winner", name)
+		rsp.SetAttrInt("conflicts", winSpent)
+		rsp.End()
 		if status == sat.Unsat {
 			out.UnsatProven = true
 			return out
@@ -285,6 +301,31 @@ func Race(ctx context.Context, spec RaceSpec) *Outcome {
 		}
 	}
 	return out
+}
+
+// soloProgress installs the sampled search-telemetry hook on the lead racer
+// for one solo round and returns the uninstaller. Solo only: the hook and
+// soloAttempt run on Race's own goroutine, so the captured bound needs no
+// synchronization — raced rounds (runRound) deliberately carry no hook.
+// No-op on untraced contexts.
+func soloProgress(ctx context.Context, r *racer, block, bound int) func() {
+	every := obs.ProgressEvery(ctx)
+	if every <= 0 {
+		return func() {}
+	}
+	s := r.enc.Solver()
+	s.SetProgress(every, func(p sat.Progress) {
+		obs.AddProgress(ctx, obs.ProgressSample{
+			Time:         time.Now(),
+			Block:        block,
+			Bound:        bound,
+			Conflicts:    p.Conflicts,
+			Restarts:     p.Restarts,
+			Propagations: p.Propagations,
+			Learnts:      p.Learnts,
+		})
+	})
+	return func() { s.SetProgress(0, nil) }
 }
 
 // soloAttempt is the head-start phase of a round: the lead racer alone, one

@@ -104,6 +104,10 @@ type Solver struct {
 	interrupt     func() bool // polled during search; true stops with Unknown
 	interruptTick uint32      // iteration counter between interrupt polls
 
+	progressFn    func(Progress) // sampled search telemetry (nil = off)
+	progressEvery int64          // conflicts between samples
+	progressNext  int64          // conflict count at which to fire next
+
 	// Statistics.
 	Conflicts    int64
 	Decisions    int64
@@ -223,6 +227,49 @@ func (s *Solver) SetInterrupt(fn func() bool) { s.interrupt = fn }
 // loop. nil removes the hook. This is the export side of portfolio clause
 // sharing (see internal/portfolio).
 func (s *Solver) SetLearntHook(fn func(lits []Lit, lbd int)) { s.learntHook = fn }
+
+// Progress is a point-in-time sample of the search, handed to the hook
+// installed with SetProgress.
+type Progress struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learned      int64 // clauses learnt in total
+	Learnts      int   // learnt clauses currently retained
+}
+
+// SetProgress installs a callback fired roughly every `every` conflicts with
+// a snapshot of the search counters — the feed for live solve telemetry. The
+// hook runs inside the search loop and must not block. every <= 0 or fn ==
+// nil removes the hook. The off state costs one nil check per conflict.
+func (s *Solver) SetProgress(every int64, fn func(Progress)) {
+	if fn == nil || every <= 0 {
+		s.progressFn = nil
+		s.progressEvery = 0
+		return
+	}
+	s.progressFn = fn
+	s.progressEvery = every
+	s.progressNext = s.Conflicts + every
+}
+
+// pollProgress fires the progress hook when the conflict count has crossed
+// the next sampling point.
+func (s *Solver) pollProgress() {
+	if s.progressFn == nil || s.Conflicts < s.progressNext {
+		return
+	}
+	s.progressNext = s.Conflicts + s.progressEvery
+	s.progressFn(Progress{
+		Conflicts:    s.Conflicts,
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Restarts:     s.Restarts,
+		Learned:      s.Learned,
+		Learnts:      len(s.learnts),
+	})
+}
 
 // interruptPollMask spaces interrupt polls: a closure call per propagate
 // round would be measurable on hot UNSAT proofs, so poll every 128 rounds
@@ -1037,6 +1084,7 @@ func (s *Solver) solve(assumptions []Lit) Status {
 				s.learntAdjust = 100
 				s.maxLearnts *= 1.05
 			}
+			s.pollProgress()
 			if budget >= 0 && s.Conflicts-startConflicts >= budget {
 				s.cancelUntil(0)
 				return Unknown

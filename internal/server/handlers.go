@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rect"
 	"repro/internal/wire"
 )
@@ -22,6 +23,17 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/fill", s.handleFill)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
+}
+
+// startTrace begins a trace for one request, honouring an upstream
+// traceparent header (which forces sampling — the gateway already decided).
+func (s *Server) startTrace(r *http.Request, name string) (context.Context, *obs.Span) {
+	var remote *obs.Remote
+	if rm, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		remote = &rm
+	}
+	return s.cfg.Tracer.StartTrace(r.Context(), name, remote)
 }
 
 // handleSolve answers POST /v1/solve: decode, admit, budget, solve, encode.
@@ -37,11 +49,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	res, status, err := s.solveOne(r.Context(), m, &req)
+	ctx, root := s.startTrace(r, "solve")
+	res, status, err := s.solveOne(ctx, m, &req)
 	if err != nil {
+		root.SetAttr("error", err.Error())
+		root.Finish()
 		s.met.countRejection(status)
 		writeJSON(w, status, wire.ErrorResponse{Error: err.Error()})
 		return
+	}
+	if td := root.Finish(); td != nil && root.IsRemote() {
+		// The upstream gateway asked for the spans back to stitch them into
+		// its own trace.
+		res.Trace = td.JSON()
 	}
 	writeJSON(w, http.StatusOK, res)
 }
@@ -67,6 +87,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			wire.ErrorResponse{Error: "batch exceeds limit"})
 		return
 	}
+	// One trace spans the whole batch, with one "item" span per request.
+	// Item traces are not attached to the response items — a batch is a
+	// client-facing shape, not a gateway proxy hop.
+	ctx, root := s.startTrace(r, "batch")
 	resp := wire.BatchResponse{Results: make([]wire.BatchItem, len(req.Requests))}
 	var wg sync.WaitGroup
 	for i := range req.Requests {
@@ -75,13 +99,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			item := &req.Requests[i]
 			s.met.solveRequests.Add(1)
+			ictx, isp := obs.StartSpan(ctx, "item")
+			isp.SetAttrInt("item", int64(i))
+			defer isp.End()
 			m, err := s.requestMatrix(item)
 			if err != nil {
 				s.met.badRequests.Add(1)
 				resp.Results[i] = wire.BatchItem{Error: err.Error()}
 				return
 			}
-			res, status, err := s.solveOne(r.Context(), m, item)
+			res, status, err := s.solveOne(ictx, m, item)
 			if err != nil {
 				s.met.countRejection(status)
 				resp.Results[i] = wire.BatchItem{Error: err.Error()}
@@ -91,6 +118,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
+	root.Finish()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -104,7 +132,10 @@ func (s *Server) solveOne(ctx context.Context, m *bitmat.Matrix, req *wire.Solve
 	}
 	opts, timeout = s.solveBudgets(opts, timeout)
 
+	tq := time.Now()
+	_, qsp := obs.StartSpan(ctx, "queue")
 	release, err := s.admit(ctx)
+	qsp.End()
 	if err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
@@ -115,6 +146,7 @@ func (s *Server) solveOne(ctx context.Context, m *bitmat.Matrix, req *wire.Solve
 			return nil, statusClientClosedRequest, err
 		}
 	}
+	s.met.queueHist.Observe(time.Since(tq))
 	defer release()
 
 	solveCtx := ctx
@@ -129,6 +161,14 @@ func (s *Server) solveOne(ctx context.Context, m *bitmat.Matrix, req *wire.Solve
 		return nil, http.StatusInternalServerError, err
 	}
 	s.met.observeSolve(res, time.Since(t0))
+	if sp := obs.FromContext(ctx); sp != nil {
+		sp.SetAttr("fingerprint", fp)
+		if res.CacheHit {
+			sp.SetAttr("cache_hit", "true")
+		}
+		sp.SetAttrInt("depth", int64(res.Depth))
+		sp.SetAttrInt("conflicts", res.Conflicts)
+	}
 	return wire.FromResult(res, fp), http.StatusOK, nil
 }
 
@@ -263,6 +303,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics answers GET /v1/metrics with the counter snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// handleTraces answers GET /v1/debug/traces with the finished-trace rings:
+// the most recent traces plus the slowest retained ones.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Tracer.Traces())
 }
 
 // decode reads one JSON body within the configured size cap.

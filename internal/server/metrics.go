@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/solvecache"
 	"repro/internal/store"
 )
@@ -34,13 +35,22 @@ type metrics struct {
 	optimal    atomic.Int64
 	timedOut   atomic.Int64
 	canceled   atomic.Int64
-	totalNS    atomic.Int64
-	maxNS      atomic.Int64
-	packNS     atomic.Int64
-	satNS      atomic.Int64
 	satCalls   atomic.Int64
 	conflicts  atomic.Int64
 	depthTotal atomic.Int64
+
+	// Latency histograms (log-bucketed, lock-free). solveHist covers the
+	// whole solve wall time per request; packHist and satHist split the
+	// stages (observed only for solves that actually ran the pipeline —
+	// cache hits would drown the stage split in zeros); queueHist is
+	// admission wait. The old avg/max scalar fields derive from solveHist
+	// now, which also fixes the stale-max bug: the high-water mark never
+	// decayed, so one slow solve at startup pinned max_ns forever. The
+	// histogram's max is windowed (~2 minutes).
+	solveHist obs.Histogram
+	packHist  obs.Histogram
+	satHist   obs.Histogram
+	queueHist obs.Histogram
 
 	// Portfolio counters. The win map is keyed by dynamic strategy names,
 	// so unlike the counters above it sits behind a small mutex — it is
@@ -74,15 +84,11 @@ func (m *metrics) countRejection(status int) {
 // Result.CacheHit contract), so the stage split mirrors actual work done.
 func (m *metrics) observeSolve(res *core.Result, wall time.Duration) {
 	m.solves.Add(1)
-	m.totalNS.Add(wall.Nanoseconds())
-	for {
-		cur := m.maxNS.Load()
-		if wall.Nanoseconds() <= cur || m.maxNS.CompareAndSwap(cur, wall.Nanoseconds()) {
-			break
-		}
+	m.solveHist.Observe(wall)
+	if !res.CacheHit {
+		m.packHist.Observe(res.PackTime)
+		m.satHist.Observe(res.SATTime)
 	}
-	m.packNS.Add(res.PackTime.Nanoseconds())
-	m.satNS.Add(res.SATTime.Nanoseconds())
 	m.satCalls.Add(int64(res.SATCalls))
 	m.conflicts.Add(res.Conflicts)
 	m.depthTotal.Add(int64(res.Depth))
@@ -172,7 +178,10 @@ type RequestMetrics struct {
 }
 
 // SolveMetrics aggregates completed solves, with the per-stage split carried
-// over from Result timings.
+// over from Result timings. The scalar total/avg/max/pack/sat fields are
+// derived from the histograms and kept for compatibility; MaxNS is windowed
+// (largest observation of the last ~2 minutes), not a lifetime high-water
+// mark.
 type SolveMetrics struct {
 	Completed  int64 `json:"completed"`
 	Optimal    int64 `json:"optimal"`
@@ -186,6 +195,13 @@ type SolveMetrics struct {
 	SATCalls   int64 `json:"sat_calls"`
 	Conflicts  int64 `json:"conflicts"`
 	DepthTotal int64 `json:"depth_total"`
+	// Latency is the full solve wall time per request (cache hits included);
+	// PackLatency and SATLatency split the pipeline stages of non-cached
+	// solves; QueueWait is time spent in admission control.
+	Latency     obs.HistSnapshot `json:"latency"`
+	PackLatency obs.HistSnapshot `json:"pack_latency"`
+	SATLatency  obs.HistSnapshot `json:"sat_latency"`
+	QueueWait   obs.HistSnapshot `json:"queue_wait"`
 }
 
 // QueueMetrics reports the admission-control state.
@@ -211,17 +227,17 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 			InternalErrors: m.internalErrors.Load(),
 		},
 		Solves: SolveMetrics{
-			Completed:  m.solves.Load(),
-			Optimal:    m.optimal.Load(),
-			TimedOut:   m.timedOut.Load(),
-			Canceled:   m.canceled.Load(),
-			TotalNS:    m.totalNS.Load(),
-			MaxNS:      m.maxNS.Load(),
-			PackNS:     m.packNS.Load(),
-			SATNS:      m.satNS.Load(),
-			SATCalls:   m.satCalls.Load(),
-			Conflicts:  m.conflicts.Load(),
-			DepthTotal: m.depthTotal.Load(),
+			Completed:   m.solves.Load(),
+			Optimal:     m.optimal.Load(),
+			TimedOut:    m.timedOut.Load(),
+			Canceled:    m.canceled.Load(),
+			SATCalls:    m.satCalls.Load(),
+			Conflicts:   m.conflicts.Load(),
+			DepthTotal:  m.depthTotal.Load(),
+			Latency:     m.solveHist.Snapshot(),
+			PackLatency: m.packHist.Snapshot(),
+			SATLatency:  m.satHist.Snapshot(),
+			QueueWait:   m.queueHist.Snapshot(),
 		},
 		Portfolio: PortfolioMetrics{
 			Solves:             m.portfolioSolves.Load(),
@@ -249,9 +265,12 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 		stats := st.Stats()
 		snap.Store = &stats
 	}
-	if snap.Solves.Completed > 0 {
-		snap.Solves.AvgNS = snap.Solves.TotalNS / snap.Solves.Completed
-	}
+	// Compatibility scalars, derived from the histograms.
+	snap.Solves.TotalNS = snap.Solves.Latency.SumNS
+	snap.Solves.AvgNS = snap.Solves.Latency.AvgNS
+	snap.Solves.MaxNS = snap.Solves.Latency.MaxNS
+	snap.Solves.PackNS = snap.Solves.PackLatency.SumNS
+	snap.Solves.SATNS = snap.Solves.SATLatency.SumNS
 	snap.HitRate = snap.Cache.HitRate()
 	return snap
 }

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/solvecache"
 	"repro/internal/store"
 )
@@ -79,6 +80,10 @@ type Config struct {
 	Store *store.Store
 	// Logger receives one line per request (default: discard).
 	Logger *log.Logger
+	// Tracer records solve traces for GET /v1/debug/traces and stitches
+	// gateway-forwarded traceparent headers into cross-tier traces (default:
+	// a tracer with obs defaults — every request traced, ring of 64).
+	Tracer *obs.Tracer
 }
 
 // DefaultConflictBudget bounds SAT conflicts for requests that do not ask
@@ -127,6 +132,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
 	}
+	if c.Tracer == nil {
+		c.Tracer = obs.New(obs.Config{})
+	}
 	return c
 }
 
@@ -164,6 +172,9 @@ func (s *Server) Handler() http.Handler { return s.logged(s.mux) }
 
 // Cache exposes the underlying result cache (stats, test hooks).
 func (s *Server) Cache() *solvecache.Cache { return s.cache }
+
+// Tracer exposes the server's tracer (debug endpoints, test hooks).
+func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
 
 // BeginDrain makes the server reject new work with 503 (and healthz report
 // draining) while in-flight solves complete. Pair with http.Server.Shutdown,

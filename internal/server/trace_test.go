@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// gap8 is a matrix whose heuristic depth exceeds its rank lower bound, so a
+// solve genuinely runs SAT depth probes — the spans and progress samples the
+// trace assertions need. (fig1b's packing matches the bound, so its trace
+// has no probe span.)
+const gap8 = `10110101
+01101110
+11010011
+00111101
+11101010
+01011101
+10110110
+01101011`
+
+// postTraced posts one solve with a traceparent header, as a gateway would.
+func postTraced(t *testing.T, url, traceparent string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func spanNames(tj *obs.TraceJSON) map[string]int {
+	names := make(map[string]int)
+	for _, sp := range tj.Spans {
+		names[sp.Name]++
+	}
+	return names
+}
+
+// TestSolveWithTraceparentReturnsTrace is the backend half of cross-tier
+// stitching: a request carrying a traceparent header gets the span tree back
+// in the response, under the caller's trace ID, rooted at the caller's span.
+func TestSolveWithTraceparentReturnsTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const traceID = "0123456789abcdef0123456789abcdef"
+	const parentID = "00000000000000aa"
+	resp, body := postTraced(t, ts.URL+"/v1/solve", "00-"+traceID+"-"+parentID+"-01",
+		wire.SolveRequest{Matrix: gap8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	res := decodeResult(t, body)
+	if res.Trace == nil {
+		t.Fatalf("no trace in response to traced request")
+	}
+	if res.Trace.TraceID != traceID {
+		t.Fatalf("trace ID %s, want caller's %s", res.Trace.TraceID, traceID)
+	}
+	names := spanNames(res.Trace)
+	for _, want := range []string{"solve", "preprocess", "decompose", "block", "pack", "probe"} {
+		if names[want] == 0 {
+			t.Fatalf("trace missing %q span; have %v", want, names)
+		}
+	}
+	// The backend root must link to the caller's span so the gateway-side
+	// tree assembles without extra roots.
+	for _, sp := range res.Trace.Spans {
+		if sp.Name == "solve" {
+			if sp.Parent != "aa" {
+				t.Fatalf("backend root parent %q, want %q", sp.Parent, "aa")
+			}
+		}
+	}
+	if len(res.Trace.Progress) == 0 {
+		t.Fatalf("no progress samples in traced SAT solve")
+	}
+}
+
+// TestSolveWithoutTraceparentOmitsTrace: plain clients never pay for (or
+// see) the span payload, but the ring still records the trace server-side.
+func TestSolveWithoutTraceparentOmitsTrace(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if res := decodeResult(t, body); res.Trace != nil {
+		t.Fatalf("untraced request got a trace payload")
+	}
+	if traces := s.cfg.Tracer.Traces(); len(traces.Recent) == 0 {
+		t.Fatalf("server ring recorded no traces")
+	}
+}
+
+// TestDebugTracesEndpoint: GET /v1/debug/traces serves the rings.
+func TestDebugTracesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b})
+	resp, err := http.Get(ts.URL + "/v1/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var traces obs.TracesJSON
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces.Recent) == 0 || len(traces.Slowest) == 0 {
+		t.Fatalf("empty trace rings after a solve: %d recent, %d slowest",
+			len(traces.Recent), len(traces.Slowest))
+	}
+	if names := spanNames(traces.Recent[0]); names["solve"] == 0 {
+		t.Fatalf("recent trace has no solve span: %v", names)
+	}
+}
+
+// TestMetricsHistogramPercentiles: /v1/metrics carries percentile summaries
+// and the legacy scalars now derive from them.
+func TestMetricsHistogramPercentiles(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.URL+"/v1/solve", wire.SolveRequest{Matrix: fig1b})
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	lat := snap.Solves.Latency
+	if lat.Count != 3 || lat.P50NS <= 0 || lat.P99NS < lat.P50NS || lat.MaxNS <= 0 {
+		t.Fatalf("bad latency snapshot: %+v", lat)
+	}
+	if snap.Solves.AvgNS != lat.AvgNS || snap.Solves.MaxNS != lat.MaxNS {
+		t.Fatalf("compat scalars diverge from histogram: %+v vs %+v", snap.Solves, lat)
+	}
+	if snap.Solves.QueueWait.Count == 0 {
+		t.Fatalf("queue wait histogram never observed")
+	}
+}

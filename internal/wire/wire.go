@@ -13,6 +13,7 @@ import (
 	"repro/internal/bitmat"
 	"repro/internal/core"
 	"repro/internal/encode"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 )
 
@@ -167,7 +168,12 @@ type ResultJSON struct {
 	SATNS          int64          `json:"sat_ns"`
 	Fingerprint    string         `json:"fingerprint,omitempty"`
 	Portfolio      *PortfolioJSON `json:"portfolio,omitempty"`
-	Partition      []RectJSON     `json:"partition"`
+	// Trace carries the serving tier's finished span tree back to the
+	// requester. Attached only when the request arrived with a traceparent
+	// header (a gateway asking for the spans to stitch into its own trace);
+	// gateways strip it before caching or answering clients.
+	Trace     *obs.TraceJSON `json:"trace,omitempty"`
+	Partition []RectJSON     `json:"partition"`
 }
 
 // PortfolioJSON is the wire form of core.PortfolioStats (present only when

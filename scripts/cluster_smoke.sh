@@ -115,6 +115,33 @@ grep -q '"depth":2' <<<"$RB" || { echo "FAIL: batch item 0 depth != 2"; exit 1; 
 grep -q '"error":' <<<"$RB" || { echo "FAIL: zero-dimension batch item carried no error"; exit 1; }
 grep -q '"depth":5' <<<"$RB" || { echo "FAIL: batch item 2 depth != 5"; exit 1; }
 
+# Observability: a fresh solve that genuinely runs SAT (8×8 gap matrix, so
+# the trace carries depth-probe spans and solver progress) must yield ONE
+# stitched trace on the gateway's debug endpoint — gateway root + proxy span
+# + the backend's solve/block/probe subtree — while the client response
+# carries no trace payload.
+GAP8='10110101\n01101110\n11010011\n00111101\n11101010\n01011101\n10110110\n01101011'
+RT=$(curl -sf -X POST -d "{\"matrix\":\"$GAP8\"}" "http://$GW/v1/solve")
+grep -q '"depth":8' <<<"$RT" || { echo "FAIL: gap8 solve depth != 8"; exit 1; }
+if grep -q '"trace"' <<<"$RT"; then
+  echo "FAIL: gateway leaked the trace to the client"; exit 1
+fi
+GWTRACES=$(curl -sf "http://$GW/v1/debug/traces")
+for span in gw.solve proxy solve block probe; do
+  grep -q "\"name\":\"$span\"" <<<"$GWTRACES" \
+    || { echo "FAIL: stitched trace missing $span span"; echo "$GWTRACES"; exit 1; }
+done
+grep -q '"t_us":' <<<"$GWTRACES" || { echo "FAIL: stitched trace carries no progress samples"; exit 1; }
+# Cross-tier correlation: the newest gateway trace and the serving backend's
+# ring must share one trace ID.
+TID=$(grep -o '"trace_id":"[0-9a-f]*"' <<<"$GWTRACES" | head -1 | cut -d'"' -f4)
+[ -n "$TID" ] || { echo "FAIL: no trace ID in gateway traces"; exit 1; }
+BHIT=0
+for A in "$ADDR1" "$ADDR2"; do
+  curl -sf "http://$A/v1/debug/traces" | grep -q "$TID" && BHIT=$((BHIT + 1))
+done
+[ "$BHIT" -ge 1 ] || { echo "FAIL: no backend ring shares trace ID $TID"; exit 1; }
+
 # A dimensionally invalid matrix must be a structured 400 at the gateway.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"rows":[[]]}' "http://$GW/v1/solve")
 [ "$CODE" = "400" ] || { echo "FAIL: zero-dimension matrix returned $CODE, want 400"; exit 1; }
@@ -130,11 +157,14 @@ R4=$(curl -sf -X POST -d "{\"matrix\":\"$FIG1B_PERM\"}" "http://$GW/v1/solve") \
   || { echo "FAIL: cached solve after backend kill failed"; exit 1; }
 grep -q '"depth":5' <<<"$R4" || { echo "FAIL: post-kill cached solve depth != 5"; exit 1; }
 
-# Metrics aggregate per-backend state and the cache split.
+# Metrics aggregate per-backend state, the cache split and the latency
+# histograms (gateway end-to-end + merged per-backend proxy round-trips).
 METRICS=$(curl -sf "http://$GW/v1/metrics")
 grep -q '"backends":\[' <<<"$METRICS" || { echo "FAIL: metrics missing backends section"; exit 1; }
 grep -q '"breaker"' <<<"$METRICS" || { echo "FAIL: metrics missing breaker state"; exit 1; }
 grep -q '"local"' <<<"$METRICS" || { echo "FAIL: metrics missing local cache section"; exit 1; }
+grep -q '"p50_ns":' <<<"$METRICS" || { echo "FAIL: metrics missing latency percentiles"; exit 1; }
+grep -q '"proxy_latency":{' <<<"$METRICS" || { echo "FAIL: metrics missing merged proxy histogram"; exit 1; }
 
 # Graceful drain: gateway healthz flips and the process exits cleanly.
 kill -TERM "$PIDGW"
@@ -147,4 +177,4 @@ if kill -0 "$PIDGW" 2>/dev/null; then
   cat "$LOGGW"
   exit 1
 fi
-echo "PASS: cluster smoke (2 backends + gateway, permuted hit through gateway, replication, batch split, backend kill, drain)"
+echo "PASS: cluster smoke (2 backends + gateway, permuted hit through gateway, replication, batch split, stitched trace, backend kill, drain)"

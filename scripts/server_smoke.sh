@@ -86,6 +86,18 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
 METRICS=$(curl -sf "http://$ADDR/v1/metrics")
 grep -q '"hits":1' <<<"$METRICS" || { echo "FAIL: metrics report no cache hit"; exit 1; }
 grep -q '"portfolio"' <<<"$METRICS" || { echo "FAIL: metrics missing portfolio section"; exit 1; }
+grep -q '"p50_ns":' <<<"$METRICS" || { echo "FAIL: metrics missing latency percentiles"; exit 1; }
+grep -q '"queue_wait":{' <<<"$METRICS" || { echo "FAIL: metrics missing queue wait histogram"; exit 1; }
+
+# Observability: solves are traced by default; the debug endpoint must hold
+# span trees (per-block, per-stage, portfolio rounds) plus progress samples
+# from the raced GAP8 solve, and a cached solve must be marked as a hit.
+TRACES=$(curl -sf "http://$ADDR/v1/debug/traces")
+for span in solve preprocess decompose block pack round; do
+  grep -q "\"name\":\"$span\"" <<<"$TRACES" || { echo "FAIL: traces missing $span span"; echo "$TRACES"; exit 1; }
+done
+grep -q '"t_us":' <<<"$TRACES" || { echo "FAIL: traces carry no solver progress samples"; exit 1; }
+grep -q '"cache_hit":"true"' <<<"$TRACES" || { echo "FAIL: no trace records a cache hit"; exit 1; }
 
 # Crash recovery: kill -9 (no drain, no flush beyond the write-through),
 # corrupt the WAL, restart on the same store directory. The last record
@@ -149,4 +161,4 @@ fi
 grep -q 'store flushed' "$LOG2" || { echo "FAIL: drain did not flush the store; log follows"; cat "$LOG2"; exit 1; }
 trap - EXIT
 rm -rf "$STORE"
-echo "PASS: server smoke (free port, cold solve, permuted cache hit, portfolio, crash recovery, drain)"
+echo "PASS: server smoke (free port, cold solve, permuted cache hit, portfolio, traces, crash recovery, drain)"

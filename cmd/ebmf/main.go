@@ -33,6 +33,12 @@
 //	-trace             print the solve's span timeline and progress samples
 //	                   to stderr (per-block, per-depth-probe timings)
 //	-trace-json F      write the trace as JSON to F ('-' for stdout)
+//	-server URL        submit to a running ebmfd/ebmfgw as an async job:
+//	                   progress streams to stderr, the result prints under
+//	                   the same output flags and exit-code contract
+//	-api-key K         API key for -server (Authorization: Bearer)
+//	-degrade           with -server: under overload accept a heuristic-only
+//	                   answer (exit code 2) instead of a 429
 //	-q                 print only the depth
 //
 // Exit codes: 0 when the partition is proved depth-optimal, 2 when the
@@ -90,6 +96,9 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "print the result as wire JSON on stdout")
 	trace := flag.Bool("trace", false, "print the solve's span timeline to stderr")
 	traceJSON := flag.String("trace-json", "", "write the trace as JSON to this file ('-' for stdout)")
+	serverURL := flag.String("server", "", "submit to a running ebmfd/ebmfgw as an async job instead of solving locally")
+	apiKey := flag.String("api-key", "", "API key for -server (sent as Authorization: Bearer)")
+	degrade := flag.Bool("degrade", false, "with -server: accept a heuristic-only answer under overload instead of a 429")
 	quiet := flag.Bool("q", false, "print only the depth")
 	flag.Parse()
 
@@ -109,6 +118,26 @@ func run() int {
 	m, err := ebmf.Parse(string(data))
 	if err != nil {
 		return fail(err)
+	}
+
+	// Remote mode: the solve runs server-side as an async job; the flag
+	// surface maps onto wire options and the exit-code contract is shared
+	// with the local path.
+	if *serverURL != "" {
+		wopts := &wire.SolveOptions{
+			Trials:         *trials,
+			Encoding:       *encoding,
+			AMO:            *amoMode,
+			ConflictBudget: *budget,
+			TimeoutMS:      timeout.Milliseconds(),
+			Heuristic:      *heuristic,
+			Portfolio:      *portfolioK,
+			ShareClauses:   *shareClauses,
+		}
+		if *strategies != "" {
+			wopts.PortfolioStrategies = strings.Split(*strategies, ",")
+		}
+		return runRemote(*serverURL, *apiKey, *degrade, m, wopts, *jsonOut, *quiet)
 	}
 
 	opts := ebmf.DefaultOptions()

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	ebmf "repro"
+	"repro/internal/wire"
+)
+
+// runRemote submits the matrix as an async job to a running ebmfd or ebmfgw,
+// streams the anytime progress events to stderr, and prints the terminal
+// result with the same output flags and exit-code contract as a local solve:
+// 0 proved optimal, 2 valid-but-unproven (budget exhausted, degraded or
+// canceled with a partial answer), 1 on error.
+//
+// The job is submitted with cancel_on_disconnect, so killing the CLI cancels
+// the remote solve instead of leaving it running server-side.
+func runRemote(serverURL, apiKey string, degrade bool, m *ebmf.Matrix,
+	opts *wire.SolveOptions, jsonOut, quiet bool) int {
+	serverURL = strings.TrimRight(serverURL, "/")
+	req := wire.JobRequest{
+		API:                wire.V1,
+		Matrix:             m.String(),
+		Options:            opts,
+		CancelOnDisconnect: true,
+		Degrade:            degrade,
+	}
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		return fail(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, serverURL+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return fail(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+apiKey)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return fail(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fail(fmt.Errorf("submit: %s: %s", resp.Status, errorMessage(body)))
+	}
+	var j wire.JobJSON
+	if err := json.Unmarshal(body, &j); err != nil {
+		return fail(fmt.Errorf("submit: bad job response: %v", err))
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "ebmf: job %s %s (tenant %s)\n", j.ID, j.State, j.Tenant)
+	}
+
+	final, err := streamJob(serverURL, apiKey, j.ID, quiet)
+	if err != nil {
+		return fail(err)
+	}
+	return printRemote(m, final, jsonOut, quiet)
+}
+
+// streamJob follows GET /v1/jobs/{id}/events until the terminal frame,
+// echoing progress to stderr, and falls back to polling if the stream drops.
+func streamJob(serverURL, apiKey, id string, quiet bool) (*wire.JobJSON, error) {
+	hreq, err := http.NewRequest(http.MethodGet, serverURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	if apiKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+apiKey)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("events: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("events: %s: %s", resp.Status, errorMessage(body))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev wire.JobEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return nil, fmt.Errorf("events: bad frame: %v", err)
+		}
+		switch {
+		case ev.Job != nil:
+			return ev.Job, nil
+		case ev.Progress != nil && !quiet:
+			p := ev.Progress
+			fmt.Fprintf(os.Stderr, "ebmf: block %d bound=%d lb=%d conflicts=%d\n",
+				p.Block, p.Bound, p.LB, p.Conflicts)
+		case !quiet:
+			fmt.Fprintf(os.Stderr, "ebmf: job %s\n", ev.State)
+		}
+	}
+	// The stream dropped without a terminal frame (proxy restart, network
+	// blip): the job itself is still running server-side, so poll it out.
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "ebmf: event stream dropped, polling\n")
+	}
+	return pollJob(serverURL, apiKey, id)
+}
+
+func pollJob(serverURL, apiKey, id string) (*wire.JobJSON, error) {
+	for {
+		hreq, err := http.NewRequest(http.MethodGet, serverURL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return nil, err
+		}
+		if apiKey != "" {
+			hreq.Header.Set("Authorization", "Bearer "+apiKey)
+		}
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			return nil, fmt.Errorf("poll: %w", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("poll: %s: %s", resp.Status, errorMessage(body))
+		}
+		var j wire.JobJSON
+		if err := json.Unmarshal(body, &j); err != nil {
+			return nil, fmt.Errorf("poll: bad job response: %v", err)
+		}
+		if wire.JobTerminal(j.State) {
+			return &j, nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// printRemote renders the terminal job under the local output flags and maps
+// its state to the CLI exit-code contract.
+func printRemote(m *ebmf.Matrix, j *wire.JobJSON, jsonOut, quiet bool) int {
+	if j.State == wire.JobFailed {
+		return fail(fmt.Errorf("job failed: %s", j.Error))
+	}
+	if j.Result == nil {
+		return fail(fmt.Errorf("job %s without a result", j.State))
+	}
+	res := j.Result
+	switch {
+	case jsonOut:
+		if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+			return fail(err)
+		}
+	case quiet:
+		fmt.Println(res.Depth)
+	default:
+		fmt.Printf("matrix: %d×%d, %d ones (occupancy %.1f%%)\n",
+			m.Rows(), m.Cols(), m.Ones(), 100*m.Occupancy())
+		fmt.Printf("depth:  %d rectangles", res.Depth)
+		if res.Optimal {
+			fmt.Printf("  (optimal, certificate: %s)", res.Certificate)
+		} else {
+			lb := res.RankLB
+			if res.FoolingLB > lb {
+				lb = res.FoolingLB
+			}
+			fmt.Printf("  (upper bound; lower bound %d)", lb)
+		}
+		fmt.Println()
+		state := j.State
+		if j.Degraded {
+			state += ", degraded to heuristic under load"
+		}
+		fmt.Printf("job:    %s (%s; queued %dms, ran %dms, cache_hit=%v)\n",
+			j.ID, state, j.QueuedMS, j.RunMS, res.CacheHit)
+	}
+	if !res.Optimal {
+		return exitNonOptimal
+	}
+	return exitOptimal
+}
+
+// errorMessage extracts the message from a wire error body, falling back to
+// the raw bytes.
+func errorMessage(body []byte) string {
+	var e wire.ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		if e.Code != "" {
+			return e.Code + ": " + e.Error
+		}
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}

@@ -17,6 +17,9 @@
 //	-budget N           default/maximum SAT conflict budget (default 2000000)
 //	-max-entries N      reject matrices with more than N cells (default 1048576)
 //	-max-portfolio K    clamp per-request portfolio sizes (default 8, 0/-1 = off)
+//	-tenants SPEC       tenant map: name:key:weight[:quota[:priority]],... (default: none)
+//	-max-jobs N         async jobs retained in the registry (default 1024)
+//	-job-ttl D          how long a finished job stays pollable (default 10m)
 //	-store DIR          durable result store directory (default: no store)
 //	-store-sync MODE    store fsync policy: interval, always, never (default interval)
 //	-trace-sample N     trace one solve in N (1 = every solve; -1 = tracing off)
@@ -31,10 +34,20 @@
 //
 //	POST /v1/solve    {"matrix":"101\n011", "options":{"timeout_ms":500}}
 //	POST /v1/batch    {"requests":[{...},{...}]}
+//	POST /v1/jobs     async submit: 202 + job ID immediately
+//	GET  /v1/jobs/{id}          poll a job snapshot
+//	DELETE /v1/jobs/{id}        cancel (propagates into the SAT search)
+//	GET  /v1/jobs/{id}/events   SSE anytime progress + terminal result
 //	POST /v1/fill     cache-fill replication (gateway-internal)
 //	GET  /v1/healthz
 //	GET  /v1/metrics
 //	GET  /v1/debug/traces   recent and slowest solve traces (span trees + progress)
+//
+// -tenants maps API keys to tenants with a fair-share weight, an optional
+// outstanding-work quota and a strict-priority lane; under contention slots
+// are granted by deficit round robin in weight proportion. Example:
+//
+//	-tenants 'prod:key1:3:0:-1,batch:key2:1:16:1'
 //
 // With -store, every proved-optimal result is written through to a
 // checksummed WAL + snapshot in DIR and reloaded on boot: a restarted
@@ -78,6 +91,9 @@ func main() {
 	budget := flag.Int64("budget", server.DefaultConflictBudget, "default and maximum SAT conflict budget (0 = unlimited, trusted clients only)")
 	maxEntries := flag.Int("max-entries", 1<<20, "reject matrices with more cells than this")
 	maxPortfolio := flag.Int("max-portfolio", 8, "clamp per-request portfolio sizes (0 or -1 disables racing)")
+	tenantSpec := flag.String("tenants", "", "tenant map: name:key:weight[:quota[:priority]],... (empty = default tenant only)")
+	maxJobs := flag.Int("max-jobs", 1024, "async jobs retained in the registry")
+	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "how long a finished job stays pollable")
 	storeDir := flag.String("store", "", "durable result store directory (empty = no store)")
 	storeSync := flag.String("store-sync", "interval", "store fsync policy: interval, always, never")
 	traceSample := flag.Int("trace-sample", 1, "trace one solve in N (1 = every solve, negative = off)")
@@ -102,6 +118,11 @@ func main() {
 	// only).
 	baseOpts := core.DefaultOptions()
 	baseOpts.ConflictBudget = *budget
+
+	tenants, err := server.ParseTenantFlag(*tenantSpec)
+	if err != nil {
+		logger.Fatalf("-tenants: %v", err)
+	}
 
 	// The store outlives the server: opened before New so boot warms the
 	// cache from disk, closed only after Shutdown returns so solves that
@@ -141,6 +162,9 @@ func main() {
 		MaxConflictBudget: *budget,
 		MaxMatrixEntries:  *maxEntries,
 		MaxPortfolio:      *maxPortfolio,
+		Tenants:           tenants,
+		MaxJobs:           *maxJobs,
+		JobTTL:            *jobTTL,
 		Options:           &baseOpts,
 		Logger:            reqLogger,
 		Store:             durable,

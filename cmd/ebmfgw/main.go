@@ -22,6 +22,7 @@
 //	-max-inflight N      per-backend in-flight cap (default 256)
 //	-max-entries N       reject matrices with more than N cells (default 1048576)
 //	-replicate N         seed each fresh proved-optimal result to N ring successors (default 1, 0 = off)
+//	-max-job-routes N    gateway job ID → backend routes remembered (default 4096)
 //	-fill-timeout D      per-fill request deadline (default 5s)
 //	-trace-sample N      trace one request in N (1 = every request; -1 = tracing off)
 //	-slow-solve-ms N     log requests slower than N ms with their span tree (0 = off)
@@ -36,6 +37,10 @@
 //
 //	POST /v1/solve    routed to the matrix's fingerprint shard
 //	POST /v1/batch    split across shards, merged in request order
+//	POST /v1/jobs     async submit, offered to shard candidates sequentially
+//	GET  /v1/jobs/{id}          poll, sticky to the accepting backend
+//	DELETE /v1/jobs/{id}        cancel through the proxy
+//	GET  /v1/jobs/{id}/events   SSE stream proxied frame by frame
 //	GET  /v1/healthz  gateway + fleet liveness
 //	GET  /v1/metrics  gateway counters and per-backend state
 //	GET  /v1/debug/traces   stitched cross-tier traces (gateway + backend spans)
@@ -78,6 +83,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "per-backend in-flight request cap")
 	maxEntries := flag.Int("max-entries", 1<<20, "reject matrices with more cells than this")
 	replicate := flag.Int("replicate", 1, "ring successors to seed with each fresh proved-optimal result (0 = off)")
+	maxJobRoutes := flag.Int("max-job-routes", 4096, "gateway job ID to backend routes remembered")
 	fillTimeout := flag.Duration("fill-timeout", 5*time.Second, "per-fill request deadline")
 	traceSample := flag.Int("trace-sample", 1, "trace one request in N (1 = every request, negative = off)")
 	slowSolveMS := flag.Int64("slow-solve-ms", 0, "log requests slower than this with their span tree (0 = off)")
@@ -123,6 +129,7 @@ func main() {
 		MaxMatrixEntries: *maxEntries,
 		ReplicateFills:   *replicate,
 		FillTimeout:      *fillTimeout,
+		MaxJobRoutes:     *maxJobRoutes,
 		Logger:           reqLogger,
 		Tracer: obs.New(obs.Config{
 			SampleEvery:   *traceSample,

@@ -2,10 +2,21 @@
 // front of a fleet of ebmfd backends. It speaks the same internal/wire
 // schema on both sides, so ebmf/ebmfd clients work unchanged against it.
 //
-//	POST /v1/solve    routed by canonical fingerprint to one shard
-//	POST /v1/batch    split across shards, merged in request order
-//	GET  /v1/healthz  gateway liveness (+ healthy-backend count)
-//	GET  /v1/metrics  gateway counters + per-backend state
+//	POST /v1/solve            routed by canonical fingerprint to one shard
+//	POST /v1/batch            split across shards, merged in request order
+//	POST /v1/jobs             async job submit, sticky-routed by fingerprint
+//	GET  /v1/jobs/{id}        poll a proxied job on its home backend
+//	DELETE /v1/jobs/{id}      cancel a proxied job
+//	GET  /v1/jobs/{id}/events SSE passthrough with done-event lifting
+//	GET  /v1/healthz          gateway liveness (+ healthy-backend count)
+//	GET  /v1/metrics          gateway counters + per-backend state
+//
+// Jobs are sticky: the submit walks the ring sequentially (no hedging — a
+// submit is not idempotent, racing it would run the solve twice) and the
+// gateway remembers which backend accepted each job, so polls, cancels and
+// event streams reach the same machine. Tenant API keys (Authorization /
+// X-API-Key) forward unchanged on every proxied call: admission, QoS
+// accounting and job visibility are the backend's decisions.
 //
 // The routing insight is that the canonical fingerprint (PR 3) is the
 // perfect shard key: it is invariant under row/column permutation,
@@ -94,6 +105,10 @@ type Config struct {
 	MaxMatrixEntries int
 	// MaxBatch caps the number of requests in one batch (default 64).
 	MaxBatch int
+	// MaxJobRoutes caps the job → home-backend routing entries the gateway
+	// retains (default 4096; the oldest routes are evicted first, after
+	// which the job remains pollable directly on its backend).
+	MaxJobRoutes int
 	// ReplicateFills is how many ring successors receive an asynchronous
 	// POST /v1/fill of each freshly proved-optimal result (default 1;
 	// negative disables replication). Successor caches warm before any
@@ -147,6 +162,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.MaxJobRoutes <= 0 {
+		c.MaxJobRoutes = 4096
+	}
 	if c.ReplicateFills == 0 {
 		c.ReplicateFills = 1
 	}
@@ -179,6 +197,7 @@ type Gateway struct {
 	backends []*backend
 	ring     *ring
 	cache    *localCache // nil when disabled
+	jobs     *jobTable   // job ID → home backend routes
 	mux      *http.ServeMux
 	draining atomic.Bool
 	started  time.Time
@@ -209,6 +228,7 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:     cfg,
 		client:  cfg.Client,
 		ring:    newRing(urls),
+		jobs:    newJobTable(cfg.MaxJobRoutes),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 		fillSem: make(chan struct{}, maxConcurrentFills),
@@ -250,6 +270,10 @@ func (g *Gateway) Draining() bool { return g.draining.Load() }
 func (g *Gateway) routes() {
 	g.mux.HandleFunc("POST /v1/solve", g.handleSolve)
 	g.mux.HandleFunc("POST /v1/batch", g.handleBatch)
+	g.mux.HandleFunc("POST /v1/jobs", g.handleJobSubmit)
+	g.mux.HandleFunc("GET /v1/jobs/{id}", g.handleJobGet)
+	g.mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleJobCancel)
+	g.mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleJobEvents)
 	g.mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /v1/debug/traces", g.handleTraces)
@@ -290,7 +314,7 @@ func (r fwdResult) authoritative() bool {
 // and the per-backend latency histogram both live here: a traced request
 // opens a "proxy" span and hands it to the backend as a traceparent header,
 // and every answered attempt (even an abandoned hedge) feeds b.latency.
-func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload []byte, force bool) fwdResult {
+func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload []byte, force bool, hdr http.Header) fwdResult {
 	select {
 	case b.inflight <- struct{}{}:
 		defer func() { <-b.inflight }()
@@ -310,6 +334,7 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload 
 		return fwdResult{err: err, backend: b}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	copyAuth(req.Header, hdr)
 	if tp := obs.Traceparent(pctx); tp != "" {
 		req.Header.Set("traceparent", tp)
 	}
@@ -354,6 +379,20 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, payload 
 	return out
 }
 
+// copyAuth forwards the tenant-identifying headers (and only those) from an
+// incoming request to a backend request: admission and QoS accounting happen
+// on the backend, so it must see the same API key the client presented.
+func copyAuth(dst, src http.Header) {
+	if src == nil {
+		return
+	}
+	for _, h := range []string{"Authorization", "X-Api-Key"} {
+		if v := src.Get(h); v != "" {
+			dst.Set(h, v)
+		}
+	}
+}
+
 // candidateOrder is the ring walk for key, partitioned into available
 // backends first (probe-healthy, breaker admitting) and the rest as a
 // last-resort tail. Relative ring order is preserved within each part, so
@@ -378,7 +417,7 @@ func (g *Gateway) candidateOrder(key string) (order []*backend, forceFrom int) {
 // HedgeAfter of silence. The first authoritative answer wins and cancels
 // the rest. Safe to re-execute on several shards because solve results are
 // deterministic functions of the matrix (DESIGN.md §10).
-func (g *Gateway) forward(ctx context.Context, key, path string, payload []byte) fwdResult {
+func (g *Gateway) forward(ctx context.Context, key, path string, payload []byte, hdr http.Header) fwdResult {
 	order, forceFrom := g.candidateOrder(key)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -391,7 +430,7 @@ func (g *Gateway) forward(ctx context.Context, key, path string, payload []byte)
 		}
 		b, force := order[next], next >= forceFrom
 		next++
-		go func() { results <- g.attempt(ctx, b, path, payload, force) }()
+		go func() { results <- g.attempt(ctx, b, path, payload, force, hdr) }()
 		return true
 	}
 	launch()
@@ -515,7 +554,7 @@ func cacheableJSON(res *wire.ResultJSON) bool {
 // to its fingerprint shard, then lifting. It returns the HTTP status and
 // the response value to encode (a *wire.ResultJSON or wire.ErrorResponse),
 // or raw bytes to relay verbatim.
-func (g *Gateway) solveOne(ctx context.Context, it *solveItem) (int, any, []byte) {
+func (g *Gateway) solveOne(ctx context.Context, it *solveItem, hdr http.Header) (int, any, []byte) {
 	if it.exact && g.cache != nil {
 		if canon, ok := g.cache.get(it.fp.Hash); ok {
 			if res, err := it.liftJSON(canon, true); err == nil {
@@ -527,15 +566,15 @@ func (g *Gateway) solveOne(ctx context.Context, it *solveItem) (int, any, []byte
 	}
 	payload, err := json.Marshal(&it.payload)
 	if err != nil {
-		return http.StatusInternalServerError, wire.ErrorResponse{Error: err.Error()}, nil
+		return http.StatusInternalServerError, wire.Errorf(wire.CodeInternal, "%v", err), nil
 	}
-	fr := g.forward(ctx, it.fp.Hash, "/v1/solve", payload)
+	fr := g.forward(ctx, it.fp.Hash, "/v1/solve", payload, hdr)
 	if fr.err != nil {
 		if ctx.Err() != nil {
-			return statusClientClosedRequest, wire.ErrorResponse{Error: ctx.Err().Error()}, nil
+			return statusClientClosedRequest, wire.Errorf(wire.CodeClientGone, "%v", ctx.Err()), nil
 		}
 		g.met.failed.Add(1)
-		return http.StatusBadGateway, wire.ErrorResponse{Error: fmt.Sprintf("all backends refused: %v", fr.err)}, nil
+		return http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "all backends refused: %v", fr.err), nil
 	}
 	if fr.status != http.StatusOK {
 		// Authoritative non-200 (or everyone-refused 429/503/5xx): relay the
@@ -552,7 +591,7 @@ func (g *Gateway) solveOne(ctx context.Context, it *solveItem) (int, any, []byte
 	var canon wire.ResultJSON
 	if err := json.Unmarshal(fr.body, &canon); err != nil {
 		g.met.failed.Add(1)
-		return http.StatusBadGateway, wire.ErrorResponse{Error: fmt.Sprintf("bad backend response: %v", err)}, nil
+		return http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "bad backend response: %v", err), nil
 	}
 	// Graft the backend's span subtree into this request's trace, then strip
 	// it: the stitched trace lives on the gateway's /v1/debug/traces, and
@@ -565,7 +604,7 @@ func (g *Gateway) solveOne(ctx context.Context, it *solveItem) (int, any, []byte
 	res, err := it.liftJSON(&canon, false)
 	if err != nil {
 		g.met.failed.Add(1)
-		return http.StatusBadGateway, wire.ErrorResponse{Error: err.Error()}, nil
+		return http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "%v", err), nil
 	}
 	if g.cache != nil && cacheableJSON(&canon) {
 		g.cache.put(it.fp.Hash, &canon)

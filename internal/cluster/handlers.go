@@ -29,7 +29,7 @@ func (g *Gateway) startTrace(r *http.Request, name string) (context.Context, *ob
 func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 	g.met.solveRequests.Add(1)
 	if g.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "gateway draining"})
+		writeJSON(w, http.StatusServiceUnavailable, wire.Errorf(wire.CodeDraining, "gateway draining"))
 		return
 	}
 	var req wire.SolveRequest
@@ -37,14 +37,20 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 		g.badRequest(w, err)
 		return
 	}
-	m, err := g.requestMatrix(&req)
-	if err != nil {
-		g.badRequest(w, err)
+	if err := wire.CheckAPI(req.API); err != nil {
+		g.met.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, wire.Errorf(wire.CodeUnsupportedAPI, "%v", err))
+		return
+	}
+	m, gerr := g.requestMatrix(&req)
+	if gerr != nil {
+		g.met.badRequests.Add(1)
+		writeJSON(w, gerr.status, wire.Errorf(gerr.code, "%s", gerr.msg))
 		return
 	}
 	ctx, root := g.startTrace(r, "gw.solve")
 	t0 := time.Now()
-	status, v, raw := g.solveOne(ctx, prepare(&req, m))
+	status, v, raw := g.solveOne(ctx, prepare(&req, m), r.Header)
 	if status == http.StatusOK {
 		g.met.solveHist.Observe(time.Since(t0))
 	} else {
@@ -78,12 +84,17 @@ func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	g.met.batchRequests.Add(1)
 	if g.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "gateway draining"})
+		writeJSON(w, http.StatusServiceUnavailable, wire.Errorf(wire.CodeDraining, "gateway draining"))
 		return
 	}
 	var req wire.BatchRequest
 	if err := g.decode(w, r, &req); err != nil {
 		g.badRequest(w, err)
+		return
+	}
+	if err := wire.CheckAPI(req.API); err != nil {
+		g.met.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, wire.Errorf(wire.CodeUnsupportedAPI, "%v", err))
 		return
 	}
 	if len(req.Requests) == 0 {
@@ -92,14 +103,14 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Requests) > g.cfg.MaxBatch {
 		writeJSON(w, http.StatusRequestEntityTooLarge,
-			wire.ErrorResponse{Error: "batch exceeds limit"})
+			wire.Errorf(wire.CodeBudgetExceeded, "batch exceeds limit"))
 		return
 	}
 
 	ctx, root := g.startTrace(r, "gw.batch")
 	defer root.Finish()
 
-	resp := wire.BatchResponse{Results: make([]wire.BatchItem, len(req.Requests))}
+	resp := wire.BatchResponse{API: wire.V1, Results: make([]wire.BatchItem, len(req.Requests))}
 	// Per-shard sub-batches: position i of shard s's sub-batch is the
 	// request at original index groups[s].idx[i].
 	type group struct {
@@ -109,9 +120,9 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	groups := make(map[int]*group)
 	for i := range req.Requests {
 		item := &req.Requests[i]
-		m, err := g.requestMatrix(item)
-		if err != nil {
-			resp.Results[i] = wire.BatchItem{Error: err.Error()}
+		m, gerr := g.requestMatrix(item)
+		if gerr != nil {
+			resp.Results[i] = wire.BatchItem{Error: gerr.msg}
 			continue
 		}
 		it := prepare(item, m)
@@ -135,6 +146,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		gr.idx = append(gr.idx, i)
 	}
 
+	hdr := r.Header
 	var wg sync.WaitGroup
 	for _, gr := range groups {
 		wg.Add(1)
@@ -152,7 +164,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// Route the sub-batch by its first item's fingerprint: the group
 			// was formed by that key's home shard, and failover order follows
 			// the same ring walk.
-			fr := g.forward(ctx, gr.items[0].fp.Hash, "/v1/batch", payload)
+			fr := g.forward(ctx, gr.items[0].fp.Hash, "/v1/batch", payload, hdr)
 			if fr.err != nil {
 				g.met.failed.Add(1)
 				g.failGroup(resp.Results, gr.idx, fmt.Errorf("all backends refused: %w", fr.err))
@@ -258,33 +270,51 @@ func (g *Gateway) decode(w http.ResponseWriter, r *http.Request, dst any) error 
 	return dec.Decode(dst)
 }
 
+// gwError is a gateway-side coded failure, mirroring ebmfd's
+// classification so clients see the same codes no matter which tier
+// rejected them.
+type gwError struct {
+	status int
+	code   string
+	msg    string
+}
+
 // requestMatrix parses and size-checks one request's matrix. Dimensional
-// invalidity (ragged rows, zero dimensions) surfaces here as a 400.
-func (g *Gateway) requestMatrix(req *wire.SolveRequest) (*bitmat.Matrix, error) {
+// invalidity (ragged rows, zero dimensions) surfaces as CodeBadMatrix, an
+// oversize one as CodeBudgetExceeded — both 400, matching ebmfd.
+func (g *Gateway) requestMatrix(req *wire.SolveRequest) (*bitmat.Matrix, *gwError) {
 	m, err := req.ParseMatrix()
 	if err != nil {
-		return nil, err
+		return nil, &gwError{http.StatusBadRequest, wire.CodeBadMatrix, err.Error()}
 	}
 	if m.Rows()*m.Cols() > g.cfg.MaxMatrixEntries {
-		return nil, errors.New("matrix exceeds size limit")
+		return nil, &gwError{http.StatusBadRequest, wire.CodeBudgetExceeded, "matrix exceeds size limit"}
 	}
 	return m, nil
 }
 
 func (g *Gateway) badRequest(w http.ResponseWriter, err error) {
 	g.met.badRequests.Add(1)
-	writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
+	writeJSON(w, http.StatusBadRequest, wire.Errorf(wire.CodeBadRequest, "%v", err))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
 }
 
-// relayJSON writes a backend's response bytes through unchanged.
+// relayJSON writes a backend's response bytes through unchanged. Relayed
+// 429s re-carry the Retry-After hint (response headers are not captured by
+// the forwarding machinery, only bodies).
 func relayJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(status)
 	w.Write(body)
 }

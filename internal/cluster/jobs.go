@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// The async-job proxy. Jobs differ from solves in two ways that shape this
+// code:
+//
+//   - A submit is NOT idempotent: re-executing it on two backends would run
+//     (and bill) the solve twice and leave an orphan job behind. So the
+//     submit walks the candidate ring SEQUENTIALLY — failover happens only
+//     after a backend refused — and never hedges.
+//   - A job has a home: every later poll, cancel and event stream must
+//     reach the backend that accepted the submit. The jobTable remembers
+//     that route under a gateway-minted ID (backend IDs are only unique
+//     per backend), together with the solveItem needed to lift canonical
+//     results back onto the client's matrix.
+//
+// The event stream is a byte-level SSE passthrough: status and progress
+// frames relay verbatim (nothing in them is backend-specific), while
+// terminal "done" frames are decoded, their job ID rewritten and their
+// result lifted from canonical space, then re-encoded. Closing the client
+// connection closes the proxied backend request, so cancel_on_disconnect
+// semantics propagate through the gateway unchanged.
+
+// jobEntry is one proxied job's route: where it lives and how to lift its
+// result.
+type jobEntry struct {
+	backend   *backend
+	backendID string
+	it        *solveItem // nil lift context means relay results verbatim
+}
+
+// jobTable maps gateway job IDs to their routes, bounded by evicting the
+// oldest entries (an evicted job is still pollable directly on its backend;
+// the gateway just no longer knows the way).
+type jobTable struct {
+	mu    sync.Mutex
+	seq   uint64
+	jobs  map[string]*jobEntry
+	order []string
+	max   int
+}
+
+func newJobTable(max int) *jobTable {
+	return &jobTable{jobs: make(map[string]*jobEntry), max: max}
+}
+
+func (t *jobTable) add(e *jobEntry) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := fmt.Sprintf("gw-%08x", t.seq)
+	t.jobs[id] = e
+	t.order = append(t.order, id)
+	for len(t.order) > t.max {
+		delete(t.jobs, t.order[0])
+		t.order = t.order[1:]
+	}
+	return id
+}
+
+func (t *jobTable) get(id string) *jobEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.jobs[id]
+}
+
+func (t *jobTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.jobs)
+}
+
+// rewriteJob maps a backend job snapshot into gateway space: the gateway ID
+// replaces the backend's, and a canonical-space result is lifted onto the
+// client's original matrix. Returns an error only when lifting fails — a
+// backend or routing bug, never a client mistake.
+func (e *jobEntry) rewriteJob(gwID string, j *wire.JobJSON) error {
+	j.ID = gwID
+	if j.Result == nil || e.it == nil || !e.it.exact {
+		return nil
+	}
+	res, err := e.it.liftJSON(j.Result, false)
+	if err != nil {
+		return err
+	}
+	j.Result = res
+	return nil
+}
+
+// handleJobSubmit proxies POST /v1/jobs: validate locally (cheap, and the
+// fingerprint is needed for routing anyway), then offer the job to the
+// ring's candidates one at a time until a backend accepts it.
+func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	g.met.jobSubmits.Add(1)
+	if g.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, wire.Errorf(wire.CodeDraining, "gateway draining"))
+		return
+	}
+	var req wire.JobRequest
+	if err := g.decode(w, r, &req); err != nil {
+		g.badRequest(w, err)
+		return
+	}
+	if err := wire.CheckAPI(req.API); err != nil {
+		g.met.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, wire.Errorf(wire.CodeUnsupportedAPI, "%v", err))
+		return
+	}
+	sreq := req.SolveRequest()
+	m, gerr := g.requestMatrix(sreq)
+	if gerr != nil {
+		g.met.badRequests.Add(1)
+		writeJSON(w, gerr.status, wire.Errorf(gerr.code, "%s", gerr.msg))
+		return
+	}
+	it := prepare(sreq, m)
+	// Forward the canonical matrix exactly like the solve path, so the
+	// backend's cache and singleflight see the same key space either way.
+	fwd := req
+	fwd.Matrix, fwd.Rows = it.payload.Matrix, it.payload.Rows
+	payload, err := json.Marshal(&fwd)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, wire.Errorf(wire.CodeInternal, "%v", err))
+		return
+	}
+
+	ctx := r.Context()
+	order, forceFrom := g.candidateOrder(it.fp.Hash)
+	var last fwdResult
+	for i, b := range order {
+		fr := g.attempt(ctx, b, "/v1/jobs", payload, i >= forceFrom, r.Header)
+		if ctx.Err() != nil {
+			writeJSON(w, statusClientClosedRequest, wire.Errorf(wire.CodeClientGone, "%v", ctx.Err()))
+			return
+		}
+		last = fr
+		if !fr.authoritative() {
+			if fr.err == nil {
+				g.met.failovers.Add(1)
+			}
+			continue
+		}
+		if fr.status != http.StatusAccepted {
+			// The backend made a decision a different shard would repeat
+			// (bad request, quota, auth): relay it.
+			relayJSON(w, fr.status, fr.body)
+			return
+		}
+		var j wire.JobJSON
+		if err := json.Unmarshal(fr.body, &j); err != nil {
+			g.met.failed.Add(1)
+			writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "bad backend job response: %v", err))
+			return
+		}
+		e := &jobEntry{backend: b, backendID: j.ID, it: it}
+		gwID := g.jobs.add(e)
+		if err := e.rewriteJob(gwID, &j); err != nil {
+			g.met.failed.Add(1)
+			writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "%v", err))
+			return
+		}
+		g.met.jobsAccepted.Add(1)
+		writeJSON(w, http.StatusAccepted, &j)
+		return
+	}
+	// No candidate accepted. Relay the most recent refusal (a 429/503 tells
+	// the client the fleet's actual state) or fail coded.
+	if last.err == nil && last.status != 0 {
+		g.met.failed.Add(1)
+		relayJSON(w, last.status, last.body)
+		return
+	}
+	g.met.failed.Add(1)
+	writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "all backends refused the job: %v", last.err))
+}
+
+// jobRoute resolves {id} to its route, answering the 404 itself. A route the
+// gateway evicted or never knew is indistinguishable from a job that never
+// existed — same contract as the backend's per-tenant visibility.
+func (g *Gateway) jobRoute(w http.ResponseWriter, r *http.Request) (string, *jobEntry, bool) {
+	id := r.PathValue("id")
+	e := g.jobs.get(id)
+	if e == nil {
+		writeJSON(w, http.StatusNotFound, wire.Errorf(wire.CodeNotFound, "no such job"))
+		return "", nil, false
+	}
+	return id, e, true
+}
+
+// proxyJobCall forwards one GET/DELETE to a job's home backend and rewrites
+// the snapshot on success.
+func (g *Gateway) proxyJobCall(w http.ResponseWriter, r *http.Request, method string) {
+	gwID, e, ok := g.jobRoute(w, r)
+	if !ok {
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method,
+		e.backend.url+"/v1/jobs/"+e.backendID, nil)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, wire.Errorf(wire.CodeInternal, "%v", err))
+		return
+	}
+	copyAuth(req.Header, r.Header)
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.met.failed.Add(1)
+		writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "job backend unreachable: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxRespBytes))
+	if err != nil {
+		g.met.failed.Add(1)
+		writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "job backend read: %v", err))
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		relayJSON(w, resp.StatusCode, body)
+		return
+	}
+	var j wire.JobJSON
+	if err := json.Unmarshal(body, &j); err != nil {
+		g.met.failed.Add(1)
+		writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "bad backend job response: %v", err))
+		return
+	}
+	if err := e.rewriteJob(gwID, &j); err != nil {
+		g.met.failed.Add(1)
+		writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, &j)
+}
+
+// handleJobGet proxies GET /v1/jobs/{id} to the job's home backend.
+func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	g.proxyJobCall(w, r, http.MethodGet)
+}
+
+// handleJobCancel proxies DELETE /v1/jobs/{id} to the job's home backend.
+func (g *Gateway) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	g.proxyJobCall(w, r, http.MethodDelete)
+}
+
+// handleJobEvents proxies the SSE stream from the job's home backend,
+// frame by frame: live passthrough for status/progress, decode-and-lift for
+// the terminal frame. The client's Last-Event-ID forwards so resumption
+// works through the proxy.
+func (g *Gateway) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	gwID, e, ok := g.jobRoute(w, r)
+	if !ok {
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		e.backend.url+"/v1/jobs/"+e.backendID+"/events", nil)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, wire.Errorf(wire.CodeInternal, "%v", err))
+		return
+	}
+	copyAuth(req.Header, r.Header)
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		req.Header.Set("Last-Event-ID", lid)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.met.failed.Add(1)
+		writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "job backend unreachable: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxRespBytes))
+		relayJSON(w, resp.StatusCode, body)
+		return
+	}
+	g.met.jobStreams.Add(1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+
+	// Relay frame by frame. A frame is a run of non-empty lines closed by a
+	// blank line; only "data:" lines of terminal frames need rewriting.
+	br := bufio.NewReader(resp.Body)
+	var frame []string
+	flushFrame := func() bool {
+		if len(frame) == 0 {
+			return true
+		}
+		terminal := false
+		for i, line := range frame {
+			data, ok := strings.CutPrefix(line, "data: ")
+			if !ok {
+				continue
+			}
+			var ev wire.JobEvent
+			if err := json.Unmarshal([]byte(data), &ev); err != nil || ev.Job == nil {
+				continue // status/progress frames pass through untouched
+			}
+			terminal = true
+			if err := e.rewriteJob(gwID, ev.Job); err != nil {
+				// Lifting failed mid-stream: surface it as the stream's
+				// terminal event rather than a silent truncation.
+				ev.Job.State = wire.JobFailed
+				ev.Job.Result = nil
+				ev.Job.Error = err.Error()
+			}
+			out, err := json.Marshal(&ev)
+			if err != nil {
+				return false
+			}
+			frame[i] = "data: " + string(out)
+		}
+		for _, line := range frame {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return false
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return false
+		}
+		rc.Flush()
+		frame = frame[:0]
+		return !terminal
+	}
+	for {
+		line, err := br.ReadString('\n')
+		line = strings.TrimRight(line, "\r\n")
+		if line != "" {
+			frame = append(frame, line)
+		} else if !flushFrame() {
+			return
+		}
+		if err != nil {
+			flushFrame() // backend closed mid-frame: relay what arrived
+			return
+		}
+	}
+}

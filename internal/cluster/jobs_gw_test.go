@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// newJobCluster is newTestCluster with a custom backend config (tenant maps,
+// concurrency caps) shared by every backend.
+func newJobCluster(t *testing.T, n int, scfg server.Config, gcfg Config) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < n; i++ {
+		s := server.New(scfg)
+		bts := httptest.NewServer(s.Handler())
+		t.Cleanup(bts.Close)
+		tc.servers = append(tc.servers, s)
+		tc.backends = append(tc.backends, bts)
+		gcfg.Backends = append(gcfg.Backends, bts.URL)
+	}
+	if gcfg.ProbeInterval == 0 {
+		gcfg.ProbeInterval = -1
+	}
+	if gcfg.HedgeAfter == 0 {
+		gcfg.HedgeAfter = -1
+	}
+	gw, err := New(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	tc.gw = gw
+	tc.ts = httptest.NewServer(gw.Handler())
+	t.Cleanup(tc.ts.Close)
+	return tc
+}
+
+// gwHardMatrix is a reproducible instance whose exact solve takes long
+// enough (~1s) to cancel mid-flight through the proxy.
+func gwHardMatrix() *bitmat.Matrix {
+	return bitmat.Random(rand.New(rand.NewSource(6509)), 10, 10, 0.55)
+}
+
+// jobCall sends one job-API request with optional Bearer auth and returns
+// the response and body.
+func jobCall(t *testing.T, method, url, key string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func decodeGWJob(t *testing.T, data []byte) *wire.JobJSON {
+	t.Helper()
+	var j wire.JobJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		t.Fatalf("bad job JSON: %v\n%s", err, data)
+	}
+	return &j
+}
+
+// waitGWJob polls GET /v1/jobs/{id} until the job reaches a terminal state.
+func waitGWJob(t *testing.T, base, id, key string) *wire.JobJSON {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, body := jobCall(t, http.MethodGet, base+"/v1/jobs/"+id, key, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		j := decodeGWJob(t, body)
+		if wire.JobTerminal(j.State) {
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return nil
+}
+
+func TestGatewayJobLifecycleLiftsAndSticks(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+
+	// Submit a permuted Fig.1b: the gateway must forward the canonical form
+	// and lift the terminal result back onto this exact matrix.
+	m := permute(bitmat.MustParse(fig1b), rand.New(rand.NewSource(11)))
+	resp, body := jobCall(t, http.MethodPost, tc.ts.URL+"/v1/jobs", "",
+		wire.JobRequest{API: wire.V1, Matrix: m.String()})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	j := decodeGWJob(t, body)
+	if !strings.HasPrefix(j.ID, "gw-") {
+		t.Fatalf("job ID %q not gateway-minted", j.ID)
+	}
+	if j.API != wire.V1 || j.Tenant != "default" {
+		t.Fatalf("submit snapshot: %+v", j)
+	}
+
+	done := waitGWJob(t, tc.ts.URL, j.ID, "")
+	if done.State != wire.JobDone || done.Result == nil {
+		t.Fatalf("terminal job: %+v", done)
+	}
+	if done.ID != j.ID {
+		t.Fatalf("poll rewrote ID %q -> %q", j.ID, done.ID)
+	}
+	if done.Result.Depth != 5 || !done.Result.Optimal {
+		t.Fatalf("job result: %+v", done.Result)
+	}
+	assertPartitionCovers(t, m, done.Result.Partition)
+
+	// The event stream's terminal frame must carry the same lifted result
+	// under the gateway ID.
+	ev := streamGWTerminal(t, tc.ts.URL, j.ID, "")
+	if ev.Job == nil || ev.Job.ID != j.ID || ev.Job.State != wire.JobDone {
+		t.Fatalf("terminal event: %+v", ev)
+	}
+	if ev.Job.Result == nil || ev.Job.Result.Depth != 5 {
+		t.Fatalf("terminal event result: %+v", ev.Job.Result)
+	}
+	assertPartitionCovers(t, m, ev.Job.Result.Partition)
+
+	// The job path shares the sync path's canonical key space: the same
+	// matrix submitted as a plain solve is a fleet cache hit.
+	sresp, sbody := postJSON(t, tc.ts.URL+"/v1/solve", wire.SolveRequest{Matrix: m.String()})
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("solve after job: status %d: %s", sresp.StatusCode, sbody)
+	}
+	if res := decodeResult(t, sbody); !res.CacheHit {
+		t.Fatalf("sync solve after job missed the cache: %+v", res)
+	}
+	if n := tc.fleetSolves(); n != 1 {
+		t.Fatalf("fleet ran %d pipeline solves, want 1", n)
+	}
+
+	snap := tc.gw.MetricsSnapshot()
+	if snap.Jobs.Submitted < 1 || snap.Jobs.Accepted < 1 || snap.Jobs.Streams < 1 || snap.Jobs.Routes < 1 {
+		t.Fatalf("job metrics not recorded: %+v", snap.Jobs)
+	}
+}
+
+// streamGWTerminal reads GET /v1/jobs/{id}/events until the terminal frame.
+func streamGWTerminal(t *testing.T, base, id, key string) *wire.JobEvent {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lastSeq := int64(-1)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var ev wire.JobEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad event JSON: %v\n%s", err, data)
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event seq went backwards: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.Job != nil {
+			return &ev
+		}
+	}
+	t.Fatalf("stream ended without a terminal frame: %v", sc.Err())
+	return nil
+}
+
+func TestGatewayJobSubmitFailsOverWhenHomeDown(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+	req := wire.JobRequest{Matrix: fig1b}
+	m, gerr := tc.gw.requestMatrix(req.SolveRequest())
+	if gerr != nil {
+		t.Fatal(gerr.msg)
+	}
+	it := prepare(req.SolveRequest(), m)
+	order, _ := tc.gw.candidateOrder(it.fp.Hash)
+
+	// Kill the fingerprint's home backend: the sequential submit walk must
+	// offer the job to the next candidate instead of failing.
+	for i, bts := range tc.backends {
+		if tc.gw.backends[i] == order[0] {
+			bts.Close()
+		}
+	}
+	resp, body := jobCall(t, http.MethodPost, tc.ts.URL+"/v1/jobs", "", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit with home down: status %d: %s", resp.StatusCode, body)
+	}
+	j := decodeGWJob(t, body)
+	done := waitGWJob(t, tc.ts.URL, j.ID, "")
+	if done.State != wire.JobDone || done.Result == nil || done.Result.Depth != 5 {
+		t.Fatalf("failover job: %+v", done)
+	}
+}
+
+func TestGatewayJobUnknownIDIsCoded404(t *testing.T) {
+	tc := newTestCluster(t, 1, Config{})
+	for _, call := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/jobs/gw-ffffffff"},
+		{http.MethodDelete, "/v1/jobs/gw-ffffffff"},
+		{http.MethodGet, "/v1/jobs/gw-ffffffff/events"},
+	} {
+		resp, body := jobCall(t, call.method, tc.ts.URL+call.path, "", nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s: status %d", call.method, call.path, resp.StatusCode)
+		}
+		var e wire.ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Code != wire.CodeNotFound {
+			t.Fatalf("%s %s: body %s", call.method, call.path, body)
+		}
+	}
+}
+
+func TestGatewayJobCancelPropagates(t *testing.T) {
+	tc := newTestCluster(t, 1, Config{})
+	resp, body := jobCall(t, http.MethodPost, tc.ts.URL+"/v1/jobs", "",
+		wire.JobRequest{Matrix: gwHardMatrix().String()})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	j := decodeGWJob(t, body)
+
+	// Wait for the solve to actually start, then cancel through the proxy.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gr, gb := jobCall(t, http.MethodGet, tc.ts.URL+"/v1/jobs/"+j.ID, "", nil)
+		if gr.StatusCode != http.StatusOK {
+			t.Fatalf("poll: status %d: %s", gr.StatusCode, gb)
+		}
+		if decodeGWJob(t, gb).State == wire.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	dr, db := jobCall(t, http.MethodDelete, tc.ts.URL+"/v1/jobs/"+j.ID, "", nil)
+	if dr.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d: %s", dr.StatusCode, db)
+	}
+	done := waitGWJob(t, tc.ts.URL, j.ID, "")
+	if done.State != wire.JobCanceled {
+		t.Fatalf("after cancel: %+v", done)
+	}
+	if done.ID != j.ID {
+		t.Fatalf("cancel rewrote ID %q -> %q", j.ID, done.ID)
+	}
+}
+
+func TestGatewayJobQuotaRejectionCarriesCodeThroughProxy(t *testing.T) {
+	tc := newJobCluster(t, 1, server.Config{
+		MaxQueue: 256,
+		Tenants: []server.TenantConfig{
+			{Name: "acme", Keys: []string{"k-acme"}, Weight: 1, Quota: 1},
+		},
+	}, Config{})
+
+	// First job fills acme's quota of one outstanding job.
+	resp, body := jobCall(t, http.MethodPost, tc.ts.URL+"/v1/jobs", "k-acme",
+		wire.JobRequest{Matrix: gwHardMatrix().String()})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d: %s", resp.StatusCode, body)
+	}
+	j := decodeGWJob(t, body)
+	if j.Tenant != "acme" {
+		t.Fatalf("auth not forwarded: tenant %q", j.Tenant)
+	}
+
+	// Second must be the backend's 429 relayed with its machine-readable
+	// code and a Retry-After hint.
+	resp2, body2 := jobCall(t, http.MethodPost, tc.ts.URL+"/v1/jobs", "k-acme",
+		wire.JobRequest{Matrix: fig1b})
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d: %s", resp2.StatusCode, body2)
+	}
+	var e wire.ErrorResponse
+	if err := json.Unmarshal(body2, &e); err != nil || e.Code != wire.CodeQuotaExceeded {
+		t.Fatalf("over-quota body: %s", body2)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 relayed without Retry-After")
+	}
+
+	// Tenant visibility holds through the proxy: another key cannot see
+	// acme's job.
+	nr, _ := jobCall(t, http.MethodGet, tc.ts.URL+"/v1/jobs/"+j.ID, "", nil)
+	if nr.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant poll: status %d, want 404", nr.StatusCode)
+	}
+	if wj := waitGWJob(t, tc.ts.URL, j.ID, "k-acme"); wj.State != wire.JobDone {
+		t.Fatalf("quota job: %+v", wj)
+	}
+}

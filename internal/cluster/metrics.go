@@ -15,6 +15,10 @@ type gwMetrics struct {
 	badRequests   atomic.Int64
 	failed        atomic.Int64 // requests/items with no authoritative answer
 
+	jobSubmits   atomic.Int64 // POST /v1/jobs received
+	jobsAccepted atomic.Int64 // submissions a backend accepted (202)
+	jobStreams   atomic.Int64 // SSE event streams proxied
+
 	localHits      atomic.Int64 // served from the gateway-local LRU
 	remoteHits     atomic.Int64 // backend answered with cache_hit=true
 	relayed        atomic.Int64 // inexact-fingerprint responses passed through unlifted
@@ -45,6 +49,7 @@ type MetricsSnapshot struct {
 	// Latency minus Proxy percentile-wise approximates gateway overhead.
 	Latency     obs.HistSnapshot   `json:"latency"`
 	Proxy       obs.HistSnapshot   `json:"proxy_latency"`
+	Jobs        GWJobMetrics       `json:"jobs"`
 	Routing     RoutingMetrics     `json:"routing"`
 	Cache       GWCacheMetrics     `json:"cache"`
 	Replication ReplicationMetrics `json:"replication"`
@@ -67,6 +72,14 @@ type GWRequestMetrics struct {
 	Batch  int64 `json:"batch"`
 	Bad    int64 `json:"bad"`
 	Failed int64 `json:"failed"`
+}
+
+// GWJobMetrics counts the async-job proxy path.
+type GWJobMetrics struct {
+	Submitted int64 `json:"submitted"`
+	Accepted  int64 `json:"accepted"`
+	Streams   int64 `json:"streams"`
+	Routes    int   `json:"routes"` // live gateway-ID → backend mappings
 }
 
 // RoutingMetrics aggregates the failover machinery's behaviour.
@@ -109,6 +122,12 @@ func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 			Batch:  m.batchRequests.Load(),
 			Bad:    m.badRequests.Load(),
 			Failed: m.failed.Load(),
+		},
+		Jobs: GWJobMetrics{
+			Submitted: m.jobSubmits.Load(),
+			Accepted:  m.jobsAccepted.Load(),
+			Streams:   m.jobStreams.Load(),
+			Routes:    g.jobs.len(),
 		},
 		Routing: RoutingMetrics{
 			Hedges:         m.hedges.Load(),

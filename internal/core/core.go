@@ -599,7 +599,7 @@ func solveBlock(ctx context.Context, blockIdx int, m *bitmat.Matrix, opts Option
 	s := enc.Solver()
 	s.SetInterrupt(func() bool { return ctx.Err() != nil })
 	defer s.SetInterrupt(nil)
-	installProgress(ctx, s, blockIdx, enc.Bound)
+	installProgress(ctx, s, blockIdx, lb, enc.Bound)
 	defer s.SetProgress(0, nil)
 	remaining := conflictBudget // <=0: unlimited
 	for enc.Bound() >= lb {
@@ -667,7 +667,7 @@ func solveBlockPortfolio(ctx context.Context, blockIdx int, m *bitmat.Matrix, op
 	}
 	if obs.ProgressEvery(ctx) > 0 {
 		// Initial sample at SAT-stage start, mirroring installProgress.
-		obs.AddProgress(ctx, obs.ProgressSample{Time: time.Now(), Block: blockIdx, Bound: best.Depth() - 1})
+		obs.AddProgress(ctx, obs.ProgressSample{Time: time.Now(), Block: blockIdx, Bound: best.Depth() - 1, LB: lb})
 	}
 	out := portfolio.Race(ctx, portfolio.RaceSpec{
 		M:               m,
@@ -813,17 +813,18 @@ func newEncoder(m *bitmat.Matrix, b int, opts Options) encode.Encoder {
 // ProgressEvery conflicts. No-op on untraced contexts. The hook runs on the
 // solver's search goroutine, which is the caller's — bound() must be safe to
 // call from there.
-func installProgress(ctx context.Context, s *sat.Solver, blockIdx int, bound func() int) {
+func installProgress(ctx context.Context, s *sat.Solver, blockIdx, lb int, bound func() int) {
 	every := obs.ProgressEvery(ctx)
 	if every <= 0 {
 		return
 	}
-	obs.AddProgress(ctx, obs.ProgressSample{Time: time.Now(), Block: blockIdx, Bound: bound()})
+	obs.AddProgress(ctx, obs.ProgressSample{Time: time.Now(), Block: blockIdx, Bound: bound(), LB: lb})
 	s.SetProgress(every, func(p sat.Progress) {
 		obs.AddProgress(ctx, obs.ProgressSample{
 			Time:         time.Now(),
 			Block:        blockIdx,
 			Bound:        bound(),
+			LB:           lb,
 			Conflicts:    p.Conflicts,
 			Restarts:     p.Restarts,
 			Propagations: p.Propagations,

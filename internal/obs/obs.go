@@ -322,15 +322,49 @@ type ProgressSample struct {
 	Time         time.Time
 	Block        int // block index within the solve
 	Bound        int // current SAP depth bound under decision
+	LB           int // proven lower bound on the block's depth
 	Conflicts    int64
 	Restarts     int64
 	Propagations int64
 	Learnts      int // retained learnt clauses
 }
 
-// AddProgress appends a solver progress sample to the context's trace,
-// bounded by the tracer's MaxProgress cap. No-op on untraced contexts.
+// progressSink is a per-request consumer of solver progress samples attached
+// to the context independently of tracing — the bridge that feeds live job
+// event streams without requiring the request to be sampled into a trace.
+type progressSink struct {
+	every int64
+	fn    func(ProgressSample)
+}
+
+type progressSinkKey struct{}
+
+// WithProgressSink returns a context whose solve delivers progress samples to
+// fn every `every` conflicts (<=0 means the 1024 default), in addition to any
+// trace the context carries. fn is called from solver goroutines — it must be
+// safe for concurrent use and must not block (drop, don't queue).
+func WithProgressSink(ctx context.Context, every int64, fn func(ProgressSample)) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	if every <= 0 {
+		every = 1024
+	}
+	return context.WithValue(ctx, progressSinkKey{}, &progressSink{every: every, fn: fn})
+}
+
+func sinkFromContext(ctx context.Context) *progressSink {
+	sink, _ := ctx.Value(progressSinkKey{}).(*progressSink)
+	return sink
+}
+
+// AddProgress delivers a solver progress sample to the context's progress
+// sink (if any) and appends it to the context's trace, bounded by the
+// tracer's MaxProgress cap. No-op on contexts with neither.
 func AddProgress(ctx context.Context, s ProgressSample) {
+	if sink := sinkFromContext(ctx); sink != nil {
+		sink.fn(s)
+	}
 	sp := FromContext(ctx)
 	if sp == nil {
 		return
@@ -349,17 +383,27 @@ func AddProgress(ctx context.Context, s ProgressSample) {
 	tr.mu.Unlock()
 }
 
-// ProgressEvery returns the tracer's progress sampling interval for the
-// context's trace, or 0 when untraced (callers then skip installing hooks).
+// ProgressEvery returns the progress sampling interval for the context: the
+// tracer's interval when traced, the sink's when a sink is attached (the
+// smaller of the two when both), or 0 when neither — callers then skip
+// installing hooks entirely.
 func ProgressEvery(ctx context.Context) int64 {
+	var every int64
+	if sink := sinkFromContext(ctx); sink != nil {
+		every = sink.every
+	}
 	sp := FromContext(ctx)
 	if sp == nil {
-		return 0
+		return every
 	}
+	traced := int64(1024)
 	if t := sp.trace.tracer; t != nil {
-		return t.cfg.ProgressEvery
+		traced = t.cfg.ProgressEvery
 	}
-	return 1024
+	if every == 0 || traced < every {
+		return traced
+	}
+	return every
 }
 
 // IsRemote reports whether the span's trace arrived with a traceparent — the

@@ -318,3 +318,49 @@ func TestDebugMuxRoutes(t *testing.T) {
 		}
 	}
 }
+
+// TestProgressSink pins the trace-independent progress bridge that feeds job
+// event streams: a sink receives samples on an untraced context, makes
+// ProgressEvery non-zero so solvers install their hooks, and composes with a
+// trace (both consumers see the sample; the smaller interval wins).
+func TestProgressSink(t *testing.T) {
+	var got []ProgressSample
+	ctx := WithProgressSink(context.Background(), 256, func(s ProgressSample) {
+		got = append(got, s)
+	})
+	if ProgressEvery(ctx) != 256 {
+		t.Fatalf("ProgressEvery with sink = %d, want 256", ProgressEvery(ctx))
+	}
+	AddProgress(ctx, ProgressSample{Block: 1, Bound: 4, LB: 2, Conflicts: 512})
+	if len(got) != 1 || got[0].Bound != 4 || got[0].LB != 2 {
+		t.Fatalf("sink missed the sample: %+v", got)
+	}
+
+	// Sink + trace: both consumers record; interval is the smaller.
+	tr := New(Config{ProgressEvery: 64})
+	tctx, root := tr.StartTrace(ctx, "solve", nil)
+	if ProgressEvery(tctx) != 64 {
+		t.Fatalf("ProgressEvery traced+sink = %d, want 64", ProgressEvery(tctx))
+	}
+	AddProgress(tctx, ProgressSample{Block: 2, Bound: 3, LB: 3})
+	td := root.Finish()
+	if len(got) != 2 || got[1].Block != 2 {
+		t.Fatalf("sink missed the traced sample: %+v", got)
+	}
+	if len(td.Progress) != 1 || td.Progress[0].LB != 3 {
+		t.Fatalf("trace missed the sample: %+v", td.Progress)
+	}
+
+	// A sink coarser than the tracer must not slow tracing down.
+	coarse := WithProgressSink(context.Background(), 100_000, func(ProgressSample) {})
+	cctx, croot := tr.StartTrace(coarse, "solve", nil)
+	if ProgressEvery(cctx) != 64 {
+		t.Fatalf("coarse sink overrode the tracer: %d", ProgressEvery(cctx))
+	}
+	croot.Finish()
+
+	// Nil fn: no-op wrapper.
+	if nctx := WithProgressSink(context.Background(), 1, nil); ProgressEvery(nctx) != 0 {
+		t.Fatal("nil sink changed ProgressEvery")
+	}
+}

@@ -94,8 +94,8 @@ func (td *TraceData) Render() string {
 		walk(r, 0)
 	}
 	for _, p := range td.Progress {
-		fmt.Fprintf(&b, "  progress t=+%-9s block=%d bound=%d conflicts=%d restarts=%d props=%d learnts=%d\n",
-			p.Time.Sub(td.Start).Round(time.Microsecond), p.Block, p.Bound,
+		fmt.Fprintf(&b, "  progress t=+%-9s block=%d bound=%d lb=%d conflicts=%d restarts=%d props=%d learnts=%d\n",
+			p.Time.Sub(td.Start).Round(time.Microsecond), p.Block, p.Bound, p.LB,
 			p.Conflicts, p.Restarts, p.Propagations, p.Learnts)
 	}
 	if td.ProgressDropped > 0 {
@@ -152,10 +152,26 @@ type ProgressJSON struct {
 	TUS          int64 `json:"t_us"` // unix microseconds
 	Block        int   `json:"block"`
 	Bound        int   `json:"bound"`
+	LB           int   `json:"lb,omitempty"` // proven lower bound on the block
 	Conflicts    int64 `json:"conflicts"`
 	Restarts     int64 `json:"restarts"`
 	Propagations int64 `json:"propagations"`
 	Learnts      int   `json:"learnts"`
+}
+
+// ProgressToJSON converts one sample to wire form (shared by trace bodies
+// and job event streams).
+func ProgressToJSON(p ProgressSample) ProgressJSON {
+	return ProgressJSON{
+		TUS:          p.Time.UnixMicro(),
+		Block:        p.Block,
+		Bound:        p.Bound,
+		LB:           p.LB,
+		Conflicts:    p.Conflicts,
+		Restarts:     p.Restarts,
+		Propagations: p.Propagations,
+		Learnts:      p.Learnts,
+	}
 }
 
 // JSON converts a finished trace to wire form.
@@ -187,15 +203,7 @@ func (td *TraceData) JSON() *TraceJSON {
 		out.Spans = append(out.Spans, sj)
 	}
 	for _, p := range td.Progress {
-		out.Progress = append(out.Progress, ProgressJSON{
-			TUS:          p.Time.UnixMicro(),
-			Block:        p.Block,
-			Bound:        p.Bound,
-			Conflicts:    p.Conflicts,
-			Restarts:     p.Restarts,
-			Propagations: p.Propagations,
-			Learnts:      p.Learnts,
-		})
+		out.Progress = append(out.Progress, ProgressToJSON(p))
 	}
 	return out
 }

@@ -226,7 +226,7 @@ func Race(ctx context.Context, spec RaceSpec) *Outcome {
 		rsp.SetAttrInt("bound", int64(b))
 		solo := !out.Escalated && len(spec.Strategies) > 1 && headStart > 0
 		if solo {
-			stopProgress := soloProgress(ctx, racers[0], spec.Block, b)
+			stopProgress := soloProgress(ctx, racers[0], spec.Block, b, spec.LB)
 			status, winSpent = racers[0].soloAttempt(ctx, spec.Deadline, headStart, remaining)
 			stopProgress()
 			out.WinnerConflicts += winSpent
@@ -308,7 +308,7 @@ func Race(ctx context.Context, spec RaceSpec) *Outcome {
 // soloAttempt run on Race's own goroutine, so the captured bound needs no
 // synchronization — raced rounds (runRound) deliberately carry no hook.
 // No-op on untraced contexts.
-func soloProgress(ctx context.Context, r *racer, block, bound int) func() {
+func soloProgress(ctx context.Context, r *racer, block, bound, lb int) func() {
 	every := obs.ProgressEvery(ctx)
 	if every <= 0 {
 		return func() {}
@@ -319,6 +319,7 @@ func soloProgress(ctx context.Context, r *racer, block, bound int) func() {
 			Time:         time.Now(),
 			Block:        block,
 			Bound:        bound,
+			LB:           lb,
 			Conflicts:    p.Conflicts,
 			Restarts:     p.Restarts,
 			Propagations: p.Propagations,

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -21,9 +22,65 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/fill", s.handleFill)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
+}
+
+// apiError is a handler failure with everything needed to answer it: HTTP
+// status, machine-readable wire code, human message, and an optional
+// Retry-After hint (429s carry one so clients back off deliberately).
+type apiError struct {
+	status     int
+	code       string
+	msg        string
+	retryAfter int // seconds; >0 adds a Retry-After header
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func apiErrorf(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// admissionError maps scheduler failures onto coded responses.
+func admissionError(err error) *apiError {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return &apiError{status: http.StatusTooManyRequests, code: wire.CodeQueueFull,
+			msg: "solve queue full, retry later", retryAfter: 1}
+	case errors.Is(err, errQuotaFull):
+		return &apiError{status: http.StatusTooManyRequests, code: wire.CodeQuotaExceeded,
+			msg: "tenant quota exceeded, retry later", retryAfter: 1}
+	case errors.Is(err, errDraining):
+		return apiErrorf(http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
+	default: // client went away while queued
+		return apiErrorf(statusClientClosedRequest, wire.CodeClientGone, "%v", err)
+	}
+}
+
+// writeError answers a request with its coded error envelope.
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	writeJSON(w, e.status, wire.Errorf(e.code, "%s", e.msg))
+}
+
+// resolveTenant authenticates the request's API key, answering the 401
+// itself on unknown keys (nil tenant return).
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant, bool) {
+	t, err := s.tenantFor(r)
+	if err != nil {
+		s.met.rejectedAuth.Add(1)
+		s.writeError(w, apiErrorf(http.StatusUnauthorized, wire.CodeUnauthorized, "unknown API key"))
+		return nil, false
+	}
+	return t, true
 }
 
 // startTrace begins a trace for one request, honouring an upstream
@@ -39,23 +96,33 @@ func (s *Server) startTrace(r *http.Request, name string) (context.Context, *obs
 // handleSolve answers POST /v1/solve: decode, admit, budget, solve, encode.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.met.solveRequests.Add(1)
+	t, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
 	var req wire.SolveRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.badRequest(w, err)
 		return
 	}
-	m, err := s.requestMatrix(&req)
-	if err != nil {
-		s.badRequest(w, err)
+	if err := wire.CheckAPI(req.API); err != nil {
+		s.met.badRequests.Add(1)
+		s.writeError(w, apiErrorf(http.StatusBadRequest, wire.CodeUnsupportedAPI, "%v", err))
+		return
+	}
+	m, aerr := s.requestMatrix(&req)
+	if aerr != nil {
+		s.met.badRequests.Add(1)
+		s.writeError(w, aerr)
 		return
 	}
 	ctx, root := s.startTrace(r, "solve")
-	res, status, err := s.solveOne(ctx, m, &req)
-	if err != nil {
-		root.SetAttr("error", err.Error())
+	res, aerr := s.solveOne(ctx, t, m, &req)
+	if aerr != nil {
+		root.SetAttr("error", aerr.msg)
 		root.Finish()
-		s.met.countRejection(status)
-		writeJSON(w, status, wire.ErrorResponse{Error: err.Error()})
+		s.met.countRejection(aerr)
+		s.writeError(w, aerr)
 		return
 	}
 	if td := root.Finish(); td != nil && root.IsRemote() {
@@ -72,9 +139,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // response preserves request order with per-item errors.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.batchRequests.Add(1)
+	t, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
 	var req wire.BatchRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.badRequest(w, err)
+		return
+	}
+	if err := wire.CheckAPI(req.API); err != nil {
+		s.met.badRequests.Add(1)
+		s.writeError(w, apiErrorf(http.StatusBadRequest, wire.CodeUnsupportedAPI, "%v", err))
 		return
 	}
 	if len(req.Requests) == 0 {
@@ -83,15 +159,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Requests) > s.cfg.MaxBatch {
 		s.met.rejectedBatch.Add(1)
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			wire.ErrorResponse{Error: "batch exceeds limit"})
+		s.writeError(w, apiErrorf(http.StatusRequestEntityTooLarge, wire.CodeBudgetExceeded,
+			"batch exceeds limit"))
 		return
 	}
 	// One trace spans the whole batch, with one "item" span per request.
 	// Item traces are not attached to the response items — a batch is a
 	// client-facing shape, not a gateway proxy hop.
 	ctx, root := s.startTrace(r, "batch")
-	resp := wire.BatchResponse{Results: make([]wire.BatchItem, len(req.Requests))}
+	resp := wire.BatchResponse{API: wire.V1, Results: make([]wire.BatchItem, len(req.Requests))}
 	var wg sync.WaitGroup
 	for i := range req.Requests {
 		wg.Add(1)
@@ -102,16 +178,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ictx, isp := obs.StartSpan(ctx, "item")
 			isp.SetAttrInt("item", int64(i))
 			defer isp.End()
-			m, err := s.requestMatrix(item)
-			if err != nil {
+			m, aerr := s.requestMatrix(item)
+			if aerr != nil {
 				s.met.badRequests.Add(1)
-				resp.Results[i] = wire.BatchItem{Error: err.Error()}
+				resp.Results[i] = wire.BatchItem{Error: aerr.msg}
 				return
 			}
-			res, status, err := s.solveOne(ictx, m, item)
-			if err != nil {
-				s.met.countRejection(status)
-				resp.Results[i] = wire.BatchItem{Error: err.Error()}
+			res, aerr := s.solveOne(ictx, t, m, item)
+			if aerr != nil {
+				s.met.countRejection(aerr)
+				resp.Results[i] = wire.BatchItem{Error: aerr.msg}
 				return
 			}
 			resp.Results[i] = wire.BatchItem{Result: res}
@@ -123,28 +199,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // solveOne runs the admission + budget + cached-solve path shared by the
-// solve and batch handlers. On error the returned status is the HTTP code
-// the failure maps to.
-func (s *Server) solveOne(ctx context.Context, m *bitmat.Matrix, req *wire.SolveRequest) (*wire.ResultJSON, int, error) {
+// solve and batch handlers, admitted as tenant t.
+func (s *Server) solveOne(ctx context.Context, t *tenant, m *bitmat.Matrix, req *wire.SolveRequest) (*wire.ResultJSON, *apiError) {
 	opts, timeout, err := req.Options.Apply(*s.cfg.Options)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, apiErrorf(http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 	}
 	opts, timeout = s.solveBudgets(opts, timeout)
 
 	tq := time.Now()
 	_, qsp := obs.StartSpan(ctx, "queue")
-	release, err := s.admit(ctx)
+	release, err := s.admit(ctx, t)
 	qsp.End()
 	if err != nil {
-		switch {
-		case errors.Is(err, errQueueFull):
-			return nil, http.StatusTooManyRequests, errors.New("solve queue full, retry later")
-		case errors.Is(err, errDraining):
-			return nil, http.StatusServiceUnavailable, errors.New("server draining")
-		default: // client went away while queued
-			return nil, statusClientClosedRequest, err
-		}
+		return nil, admissionError(err)
 	}
 	s.met.queueHist.Observe(time.Since(tq))
 	defer release()
@@ -158,7 +226,7 @@ func (s *Server) solveOne(ctx context.Context, m *bitmat.Matrix, req *wire.Solve
 	t0 := time.Now()
 	res, fp, err := s.cache.SolveContextKeyed(solveCtx, m, opts)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return nil, apiErrorf(http.StatusInternalServerError, wire.CodeInternal, "%v", err)
 	}
 	s.met.observeSolve(res, time.Since(t0))
 	if sp := obs.FromContext(ctx); sp != nil {
@@ -169,7 +237,7 @@ func (s *Server) solveOne(ctx context.Context, m *bitmat.Matrix, req *wire.Solve
 		sp.SetAttrInt("depth", int64(res.Depth))
 		sp.SetAttrInt("conflicts", res.Conflicts)
 	}
-	return wire.FromResult(res, fp), http.StatusOK, nil
+	return wire.FromResult(res, fp), nil
 }
 
 // statusClientClosedRequest mirrors nginx's non-standard 499 for requests
@@ -185,13 +253,18 @@ func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
 	s.met.fillRequests.Add(1)
 	if s.draining.Load() {
 		s.met.rejectedDrain.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorResponse{Error: "server draining"})
+		s.writeError(w, apiErrorf(http.StatusServiceUnavailable, wire.CodeDraining, "server draining"))
 		return
 	}
 	var req wire.FillRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.met.fillRejected.Add(1)
 		s.badRequest(w, err)
+		return
+	}
+	if err := wire.CheckAPI(req.API); err != nil {
+		s.met.fillRejected.Add(1)
+		s.writeError(w, apiErrorf(http.StatusBadRequest, wire.CodeUnsupportedAPI, "%v", err))
 		return
 	}
 	hash, res, err := s.validateFill(&req)
@@ -206,7 +279,7 @@ func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.met.fillDuplicate.Add(1)
 	}
-	writeJSON(w, http.StatusOK, wire.FillResponse{Stored: stored})
+	writeJSON(w, http.StatusOK, wire.FillResponse{API: wire.V1, Stored: stored})
 }
 
 // validateFill checks a fill's structure before it may touch the cache: the
@@ -322,21 +395,24 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
-// requestMatrix parses and size-checks one request's matrix.
-func (s *Server) requestMatrix(req *wire.SolveRequest) (*bitmat.Matrix, error) {
+// requestMatrix parses and size-checks one request's matrix, classifying
+// failures: an unparseable matrix is CodeBadMatrix, one over the configured
+// cell budget is CodeBudgetExceeded (both 400 — the request itself is well
+// formed JSON, its payload is what's unacceptable).
+func (s *Server) requestMatrix(req *wire.SolveRequest) (*bitmat.Matrix, *apiError) {
 	m, err := req.ParseMatrix()
 	if err != nil {
-		return nil, err
+		return nil, apiErrorf(http.StatusBadRequest, wire.CodeBadMatrix, "%v", err)
 	}
 	if m.Rows()*m.Cols() > s.cfg.MaxMatrixEntries {
-		return nil, errors.New("matrix exceeds size limit")
+		return nil, apiErrorf(http.StatusBadRequest, wire.CodeBudgetExceeded, "matrix exceeds size limit")
 	}
 	return m, nil
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, err error) {
 	s.met.badRequests.Add(1)
-	writeJSON(w, http.StatusBadRequest, wire.ErrorResponse{Error: err.Error()})
+	s.writeError(w, apiErrorf(http.StatusBadRequest, wire.CodeBadRequest, "%v", err))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,587 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// The async job surface:
+//
+//	POST   /v1/jobs             submit; 202 + job snapshot (state "queued")
+//	GET    /v1/jobs/{id}        poll; snapshot with result once done
+//	DELETE /v1/jobs/{id}        cancel; propagated into the CDCL search via
+//	                            the job context → SolveContext/SetInterrupt
+//	GET    /v1/jobs/{id}/events SSE: status transitions, anytime progress
+//	                            (best depth, proven lower bound, conflicts,
+//	                            per-block position), terminal snapshot
+//
+// A job is a solve whose lifetime is decoupled from any HTTP request: the
+// submit returns immediately, the solve runs under the job's own context,
+// and any number of watchers stream its events. Jobs go through the same
+// tenant scheduler as sync solves — one admission economy, so a tenant
+// cannot bypass its fair share by switching surfaces.
+//
+// Overload shedding: a job submitted with "degrade": true converts an
+// admission rejection (queue full, tenant quota) into a heuristic-only
+// answer — the SkipSAT pipeline's row packing plus rank/greedy-fooling
+// bounds, optimal=false (the CLI's exit-code-2 semantics) — instead of a
+// 429. Sheds bypass the solve slots but are bounded by their own small
+// semaphore; they cost milliseconds, not solver minutes.
+
+// jobRegistry owns every live and recently-terminal job, bounded by
+// MaxJobs with terminal-first eviction.
+type jobRegistry struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []*job // insertion order, for eviction scans
+	max   int
+	ttl   time.Duration
+	seq   uint64
+}
+
+func newJobRegistry(max int, ttl time.Duration) *jobRegistry {
+	return &jobRegistry{jobs: make(map[string]*job), max: max, ttl: ttl}
+}
+
+// jobEventRing caps the per-job replay buffer. Progress events beyond it
+// age out oldest-first; late subscribers still see every state transition
+// they need because the terminal snapshot is delivered from the job, not
+// the ring.
+const jobEventRing = 256
+
+// job is one async solve. Mutable state sits behind mu; the runner
+// goroutine is the only writer of state transitions.
+type job struct {
+	id       string
+	tenant   *tenant
+	lifetime context.Context    // the job's own context; outlives the submit request
+	cancel   context.CancelFunc // aborts queue wait and CDCL search
+
+	cancelOnDisconnect bool
+
+	mu       sync.Mutex
+	state    string
+	degraded bool
+	created  time.Time
+	started  time.Time // slot granted
+	finished time.Time
+	result   *wire.ResultJSON
+	errMsg   string
+
+	seq      int64            // last event sequence number issued
+	events   []wire.JobEvent  // replay ring, oldest first
+	subs     map[*jobSub]bool // live /events watchers
+	watchers int
+	done     chan struct{} // closed on terminal transition
+}
+
+// jobSub is one /events subscriber: a buffered live feed. A slow consumer
+// drops progress events (the channel is full) but never the terminal
+// snapshot — that is read from the job after done closes.
+type jobSub struct {
+	ch chan wire.JobEvent
+}
+
+func (r *jobRegistry) newJob(t *tenant, cancelOnDisconnect bool, cancel context.CancelFunc) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	j := &job{
+		id:                 fmt.Sprintf("j-%08x-%04x", r.seq, rand.Uint32()%0x10000),
+		tenant:             t,
+		cancel:             cancel,
+		cancelOnDisconnect: cancelOnDisconnect,
+		state:              wire.JobQueued,
+		created:            time.Now(),
+		subs:               make(map[*jobSub]bool),
+		done:               make(chan struct{}),
+	}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j)
+	r.evictLocked()
+	return j
+}
+
+// evictLocked drops expired terminal jobs, then — if still over capacity —
+// the oldest terminal jobs. Live jobs are never evicted: their runner
+// goroutine and cancellation handle must stay reachable.
+func (r *jobRegistry) evictLocked() {
+	now := time.Now()
+	kept := r.order[:0]
+	for _, j := range r.order {
+		j.mu.Lock()
+		expired := wire.JobTerminal(j.state) && r.ttl > 0 && now.Sub(j.finished) > r.ttl
+		j.mu.Unlock()
+		if expired {
+			delete(r.jobs, j.id)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	r.order = kept
+	if len(r.order) <= r.max {
+		return
+	}
+	kept = r.order[:0]
+	over := len(r.order) - r.max
+	for _, j := range r.order {
+		j.mu.Lock()
+		terminal := wire.JobTerminal(j.state)
+		j.mu.Unlock()
+		if over > 0 && terminal {
+			delete(r.jobs, j.id)
+			over--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	r.order = kept
+}
+
+func (r *jobRegistry) get(id string) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs[id]
+}
+
+func (r *jobRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
+
+// snapshot renders the job's wire form.
+func (j *job) snapshot() *wire.JobJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *job) snapshotLocked() *wire.JobJSON {
+	out := &wire.JobJSON{
+		API:      wire.V1,
+		ID:       j.id,
+		State:    j.state,
+		Tenant:   j.tenant.cfg.Name,
+		Degraded: j.degraded,
+		Result:   j.result,
+		Error:    j.errMsg,
+	}
+	switch {
+	case !j.started.IsZero():
+		out.QueuedMS = j.started.Sub(j.created).Milliseconds()
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		out.RunMS = end.Sub(j.started).Milliseconds()
+	case !j.finished.IsZero(): // terminal without ever running
+		out.QueuedMS = j.finished.Sub(j.created).Milliseconds()
+	default:
+		out.QueuedMS = time.Since(j.created).Milliseconds()
+	}
+	return out
+}
+
+// publishLocked appends an event to the ring and fans it out to live
+// subscribers. Callers hold j.mu.
+func (j *job) publishLocked(ev wire.JobEvent) {
+	j.seq++
+	ev.API = wire.V1
+	ev.Seq = j.seq
+	if len(j.events) >= jobEventRing {
+		j.events = j.events[1:]
+	}
+	j.events = append(j.events, ev)
+	for sub := range j.subs {
+		select {
+		case sub.ch <- ev:
+		default: // slow consumer: drop; the ring and done-snapshot recover
+		}
+	}
+}
+
+// publishProgress converts one solver sample into a progress event. Called
+// from solver goroutines via the obs progress sink.
+func (j *job) publishProgress(s obs.ProgressSample) {
+	p := obs.ProgressToJSON(s)
+	j.mu.Lock()
+	if !wire.JobTerminal(j.state) {
+		j.publishLocked(wire.JobEvent{State: j.state, Progress: &p})
+	}
+	j.mu.Unlock()
+}
+
+// setRunning transitions queued → running (no-op if the job was canceled
+// first) and reports whether the transition happened.
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != wire.JobQueued {
+		return false
+	}
+	j.state = wire.JobRunning
+	j.started = time.Now()
+	j.publishLocked(wire.JobEvent{State: j.state})
+	return true
+}
+
+// finish moves the job to a terminal state, publishes the terminal event
+// and wakes every watcher. Only the first terminal transition wins.
+func (j *job) finish(state string, res *wire.ResultJSON, errMsg string, degraded bool) bool {
+	j.mu.Lock()
+	if wire.JobTerminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.degraded = degraded
+	j.finished = time.Now()
+	j.publishLocked(wire.JobEvent{State: state, Job: j.snapshotLocked()})
+	j.mu.Unlock()
+	close(j.done)
+	return true
+}
+
+// subscribe registers an /events watcher and returns the replay of events
+// after seq (0 = from the start) plus the live feed.
+func (j *job) subscribe(after int64) (replay []wire.JobEvent, sub *jobSub) {
+	sub = &jobSub{ch: make(chan wire.JobEvent, 64)}
+	j.mu.Lock()
+	for _, ev := range j.events {
+		if ev.Seq > after {
+			replay = append(replay, ev)
+		}
+	}
+	j.subs[sub] = true
+	j.watchers++
+	j.mu.Unlock()
+	return replay, sub
+}
+
+// unsubscribe drops a watcher. When the last watcher of a
+// cancel_on_disconnect job leaves before the job finished, the job is
+// canceled — the client that wanted the stream is gone.
+func (j *job) unsubscribe(sub *jobSub) {
+	j.mu.Lock()
+	delete(j.subs, sub)
+	j.watchers--
+	cancelNow := j.watchers == 0 && j.cancelOnDisconnect && !wire.JobTerminal(j.state)
+	j.mu.Unlock()
+	if cancelNow {
+		j.cancel()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Handlers.
+
+// handleJobSubmit answers POST /v1/jobs: authenticate, validate, make the
+// admission decision now (queue position, shed, or coded rejection), then
+// hand the solve to the runner goroutine and answer 202 with the snapshot.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.met.jobsSubmitted.Add(1)
+	t, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	if s.draining.Load() {
+		s.met.rejectedDrain.Add(1)
+		s.writeError(w, apiErrorf(http.StatusServiceUnavailable, wire.CodeDraining, "server draining"))
+		return
+	}
+	var req wire.JobRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if err := wire.CheckAPI(req.API); err != nil {
+		s.met.badRequests.Add(1)
+		s.writeError(w, apiErrorf(http.StatusBadRequest, wire.CodeUnsupportedAPI, "%v", err))
+		return
+	}
+	sreq := req.SolveRequest()
+	m, aerr := s.requestMatrix(sreq)
+	if aerr != nil {
+		s.met.badRequests.Add(1)
+		s.writeError(w, aerr)
+		return
+	}
+	opts, timeout, err := sreq.Options.Apply(*s.cfg.Options)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	opts, timeout = s.solveBudgets(opts, timeout)
+
+	// The admission decision happens here, synchronously and exactly: a
+	// queue position (or immediate slot) is reserved before the 202 goes
+	// out, so MaxQueue bounds jobs and sync solves together and a rejected
+	// job never exists.
+	resv, rerr := s.sched.reserve(t)
+	if rerr != nil {
+		if req.Degrade {
+			// Graceful shed: answer with a heuristic-only result instead of
+			// a 429. The job exists, runs the cheap pipeline, and completes
+			// degraded.
+			j := s.newJob(t, &req)
+			go s.runShedJob(j, t, m, opts)
+			writeJSON(w, http.StatusAccepted, j.snapshot())
+			return
+		}
+		s.met.countRejection(admissionError(rerr))
+		s.writeError(w, admissionError(rerr))
+		return
+	}
+	j := s.newJob(t, &req)
+	go s.runJob(j, t, m, opts, timeout, resv)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// newJob creates the registry entry with its cancelable lifetime context
+// already wired into j.cancel.
+func (s *Server) newJob(t *tenant, req *wire.JobRequest) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := s.jobs.newJob(t, req.CancelOnDisconnect, cancel)
+	j.mu.Lock()
+	j.lifetime = ctx
+	j.publishLocked(wire.JobEvent{State: wire.JobQueued})
+	j.mu.Unlock()
+	return j
+}
+
+// runJob is the job runner: wait for the reserved slot, solve under the
+// job's own context (so DELETE interrupts the CDCL search), finish.
+func (s *Server) runJob(j *job, t *tenant, m *bitmat.Matrix, opts core.Options, timeout time.Duration, resv *reservation) {
+	tq := time.Now()
+	release, err := resv.wait(j.lifetime)
+	if err != nil {
+		// Canceled while queued: never ran, slot never held.
+		s.met.jobsCanceled.Add(1)
+		j.finish(wire.JobCanceled, nil, "", false)
+		return
+	}
+	s.met.queueHist.Observe(time.Since(tq))
+	defer release()
+	if !j.setRunning() {
+		return // already terminal (defensive; cancellation flows via ctx)
+	}
+
+	solveCtx := obs.WithProgressSink(j.lifetime, 0, j.publishProgress)
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		solveCtx, cancel = context.WithTimeout(solveCtx, timeout)
+		defer cancel()
+	}
+	t0 := time.Now()
+	res, fp, err := s.cache.SolveContextKeyed(solveCtx, m, opts)
+	if err != nil {
+		s.met.jobsFailed.Add(1)
+		s.met.internalErrors.Add(1)
+		j.finish(wire.JobFailed, nil, err.Error(), false)
+		return
+	}
+	s.met.observeSolve(res, time.Since(t0))
+	rj := wire.FromResult(res, fp)
+	if res.Canceled && j.lifetime.Err() != nil {
+		// DELETE mid-solve: the partial result (best depth so far) is kept
+		// on the canceled snapshot.
+		s.met.jobsCanceled.Add(1)
+		j.finish(wire.JobCanceled, rj, "", false)
+		return
+	}
+	s.met.jobsDone.Add(1)
+	j.finish(wire.JobDone, rj, "", false)
+}
+
+// shedConcurrency bounds concurrent shed (heuristic-only) solves. Sheds
+// bypass the solve slots — that is their point: answer when the queue
+// can't — but they are not free, so a saturated server under a shed storm
+// still does bounded work.
+const shedConcurrency = 2
+
+// runShedJob answers an admission-rejected, degrade-opted job with the
+// heuristic-only pipeline: row packing plus rank/greedy-fooling lower
+// bounds, never the SAT stage. The result is marked optimal=false unless
+// the bounds happen to close the gap (or the cache already holds the
+// proved answer — shedding never makes a cached instance worse).
+func (s *Server) runShedJob(j *job, t *tenant, m *bitmat.Matrix, opts core.Options) {
+	s.shedSem <- struct{}{}
+	defer func() { <-s.shedSem }()
+	if !j.setRunning() {
+		return // already terminal (defensive; cancellation flows via ctx)
+	}
+	s.met.jobsShed.Add(1)
+	s.sched.countShed(t)
+	opts.SkipSAT = true
+	opts.Portfolio = core.PortfolioOptions{}
+	t0 := time.Now()
+	res, fp, err := s.cache.SolveContextKeyed(j.lifetime, m, opts)
+	if err != nil {
+		s.met.jobsFailed.Add(1)
+		j.finish(wire.JobFailed, nil, err.Error(), true)
+		return
+	}
+	s.met.observeSolve(res, time.Since(t0))
+	if j.lifetime.Err() != nil {
+		s.met.jobsCanceled.Add(1)
+		j.finish(wire.JobCanceled, nil, "", true)
+		return
+	}
+	s.met.jobsDone.Add(1)
+	j.finish(wire.JobDone, wire.FromResult(res, fp), "", true)
+}
+
+// jobFor resolves {id} to a job visible to the requesting tenant,
+// answering the error itself otherwise. Visibility is per-tenant: a job ID
+// from another tenant is a 404, not a 403 — existence is not leaked.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	t, ok := s.resolveTenant(w, r)
+	if !ok {
+		return nil, false
+	}
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil || j.tenant != t {
+		s.writeError(w, apiErrorf(http.StatusNotFound, wire.CodeNotFound, "no such job"))
+		return nil, false
+	}
+	return j, true
+}
+
+// handleJobGet answers GET /v1/jobs/{id} with the current snapshot.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleJobCancel answers DELETE /v1/jobs/{id}: cancel the job's context —
+// a queued job leaves the queue, a running one interrupts its CDCL search
+// via the SolveContext/SetInterrupt plumbing and frees its slot. Canceling
+// a terminal job is a no-op answering the final snapshot (idempotent).
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleJobEvents answers GET /v1/jobs/{id}/events with an SSE stream:
+// replayed history (resumable via Last-Event-ID), live status/progress
+// events, and a final terminal snapshot, after which the stream closes.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	rc := http.NewResponseController(w)
+	s.met.jobStreams.Add(1)
+
+	after, _ := strconv.ParseInt(r.Header.Get("Last-Event-ID"), 10, 64)
+	replay, sub := j.subscribe(after)
+	defer j.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer SSE
+	w.WriteHeader(http.StatusOK)
+
+	var last int64
+	write := func(ev wire.JobEvent) bool {
+		if ev.Seq <= last {
+			return true
+		}
+		last = ev.Seq
+		if err := writeSSE(w, ev); err != nil {
+			return false
+		}
+		rc.Flush()
+		return true
+	}
+	for _, ev := range replay {
+		if !write(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-sub.ch:
+			if !write(ev) {
+				return
+			}
+			if ev.Job != nil {
+				return // terminal event delivered live
+			}
+		case <-j.done:
+			// Drain anything still buffered, then deliver the terminal tail
+			// from the ring — a slow consumer may have dropped live events,
+			// but the terminal snapshot must always arrive.
+			for {
+				select {
+				case ev := <-sub.ch:
+					if !write(ev) {
+						return
+					}
+					if ev.Job != nil {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			j.mu.Lock()
+			tail := make([]wire.JobEvent, 0, 2)
+			for _, ev := range j.events {
+				if ev.Seq > last {
+					tail = append(tail, ev)
+				}
+			}
+			j.mu.Unlock()
+			for _, ev := range tail {
+				if !write(ev) {
+					return
+				}
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one event in text/event-stream framing: the sequence as
+// id (resumption via Last-Event-ID), the event name from the payload
+// shape, the JSON-encoded JobEvent as data.
+func writeSSE(w http.ResponseWriter, ev wire.JobEvent) error {
+	name := wire.EventStatus
+	switch {
+	case ev.Job != nil:
+		name = wire.EventDone
+	case ev.Progress != nil:
+		name = wire.EventProgress
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, name, data)
+	return err
+}

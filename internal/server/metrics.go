@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/solvecache"
 	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 // metrics holds the service counters. All fields are atomics so the handlers
@@ -20,10 +21,20 @@ type metrics struct {
 	batchRequests  atomic.Int64
 	badRequests    atomic.Int64
 	rejectedQueue  atomic.Int64
+	rejectedQuota  atomic.Int64
 	rejectedDrain  atomic.Int64
 	rejectedBatch  atomic.Int64
+	rejectedAuth   atomic.Int64
 	clientGone     atomic.Int64
 	internalErrors atomic.Int64
+
+	// Job counters (POST /v1/jobs lifecycle).
+	jobsSubmitted atomic.Int64
+	jobsDone      atomic.Int64
+	jobsCanceled  atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsShed      atomic.Int64 // degraded to the heuristic-only path
+	jobStreams    atomic.Int64 // /events subscriptions opened
 
 	// Fill counters (POST /v1/fill, the cache-fill replication path).
 	fillRequests  atomic.Int64
@@ -63,19 +74,25 @@ type metrics struct {
 	wins               map[string]int64
 }
 
-// countRejection buckets a failed solveOne by its HTTP status.
-func (m *metrics) countRejection(status int) {
-	switch status {
-	case http.StatusTooManyRequests:
+// countRejection buckets a failed solveOne by its wire code (falling back to
+// the HTTP status for codes without a dedicated counter).
+func (m *metrics) countRejection(e *apiError) {
+	switch e.code {
+	case wire.CodeQueueFull:
 		m.rejectedQueue.Add(1)
-	case http.StatusServiceUnavailable:
+	case wire.CodeQuotaExceeded:
+		m.rejectedQuota.Add(1)
+	case wire.CodeDraining:
 		m.rejectedDrain.Add(1)
-	case statusClientClosedRequest:
+	case wire.CodeClientGone:
 		m.clientGone.Add(1)
-	case http.StatusBadRequest:
-		m.badRequests.Add(1)
 	default:
-		m.internalErrors.Add(1)
+		switch e.status {
+		case http.StatusBadRequest:
+			m.badRequests.Add(1)
+		default:
+			m.internalErrors.Add(1)
+		}
 	}
 }
 
@@ -134,6 +151,7 @@ func (m *metrics) portfolioWins() map[string]int64 {
 type MetricsSnapshot struct {
 	UptimeMS  int64            `json:"uptime_ms"`
 	Requests  RequestMetrics   `json:"requests"`
+	Jobs      JobMetrics       `json:"jobs"`
 	Solves    SolveMetrics     `json:"solves"`
 	Portfolio PortfolioMetrics `json:"portfolio"`
 	Queue     QueueMetrics     `json:"queue"`
@@ -171,10 +189,23 @@ type RequestMetrics struct {
 	Batch          int64 `json:"batch"`
 	Bad            int64 `json:"bad"`
 	RejectedQueue  int64 `json:"rejected_queue_full"`
+	RejectedQuota  int64 `json:"rejected_quota"`
 	RejectedDrain  int64 `json:"rejected_draining"`
 	RejectedBatch  int64 `json:"rejected_batch_size"`
+	RejectedAuth   int64 `json:"rejected_auth"`
 	ClientGone     int64 `json:"client_gone"`
 	InternalErrors int64 `json:"internal_errors"`
+}
+
+// JobMetrics counts the async job surface's lifecycle dispositions.
+type JobMetrics struct {
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Canceled  int64 `json:"canceled"`
+	Failed    int64 `json:"failed"`
+	Shed      int64 `json:"shed"`
+	Streams   int64 `json:"streams"`
+	Live      int   `json:"live"` // jobs currently in the registry
 }
 
 // SolveMetrics aggregates completed solves, with the per-stage split carried
@@ -204,16 +235,19 @@ type SolveMetrics struct {
 	QueueWait   obs.HistSnapshot `json:"queue_wait"`
 }
 
-// QueueMetrics reports the admission-control state.
+// QueueMetrics reports the admission-control state, per-tenant scheduler
+// included.
 type QueueMetrics struct {
-	Depth         int64 `json:"depth"`
-	Running       int   `json:"running"`
-	MaxConcurrent int   `json:"max_concurrent"`
-	MaxQueue      int   `json:"max_queue"`
+	Depth         int64            `json:"depth"`
+	Running       int              `json:"running"`
+	MaxConcurrent int              `json:"max_concurrent"`
+	MaxQueue      int              `json:"max_queue"`
+	Tenants       []TenantSnapshot `json:"tenants"`
 }
 
 func (s *Server) metricsSnapshot() MetricsSnapshot {
 	m := &s.met
+	queued, running, tenants := s.sched.snapshot()
 	snap := MetricsSnapshot{
 		UptimeMS: time.Since(s.started).Milliseconds(),
 		Requests: RequestMetrics{
@@ -221,10 +255,21 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 			Batch:          m.batchRequests.Load(),
 			Bad:            m.badRequests.Load(),
 			RejectedQueue:  m.rejectedQueue.Load(),
+			RejectedQuota:  m.rejectedQuota.Load(),
 			RejectedDrain:  m.rejectedDrain.Load(),
 			RejectedBatch:  m.rejectedBatch.Load(),
+			RejectedAuth:   m.rejectedAuth.Load(),
 			ClientGone:     m.clientGone.Load(),
 			InternalErrors: m.internalErrors.Load(),
+		},
+		Jobs: JobMetrics{
+			Submitted: m.jobsSubmitted.Load(),
+			Done:      m.jobsDone.Load(),
+			Canceled:  m.jobsCanceled.Load(),
+			Failed:    m.jobsFailed.Load(),
+			Shed:      m.jobsShed.Load(),
+			Streams:   m.jobStreams.Load(),
+			Live:      s.jobs.len(),
 		},
 		Solves: SolveMetrics{
 			Completed:   m.solves.Load(),
@@ -248,10 +293,11 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 			MaxPortfolio:       s.cfg.MaxPortfolio,
 		},
 		Queue: QueueMetrics{
-			Depth:         s.queued.Load(),
-			Running:       len(s.sem),
+			Depth:         int64(queued),
+			Running:       running,
 			MaxConcurrent: s.cfg.MaxConcurrent,
 			MaxQueue:      s.cfg.MaxQueue,
+			Tenants:       tenants,
 		},
 		Cache: s.cache.Stats(),
 		Fills: FillMetrics{

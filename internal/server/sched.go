@@ -1,0 +1,425 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TenantConfig declares one tenant of the service: who may submit work (API
+// keys), how much of the machine they are entitled to under contention
+// (weight, priority lane) and how much they may have outstanding (quota).
+type TenantConfig struct {
+	// Name identifies the tenant in job snapshots and metrics.
+	Name string
+	// Keys are the API keys (Authorization: Bearer <key> or X-API-Key) that
+	// resolve to this tenant. The built-in "default" tenant has no key and
+	// serves unauthenticated requests; naming a config entry "default"
+	// overrides its weight/quota/priority instead of adding a tenant.
+	Keys []string
+	// Weight is the tenant's fair share within its priority lane (default 1).
+	// Under contention two same-lane tenants with weights 3:1 get slots in a
+	// 3:1 ratio.
+	Weight int
+	// Quota caps the tenant's outstanding work — queued plus running — across
+	// solves and jobs (0 = no per-tenant cap; the global MaxQueue still
+	// applies). Exceeding it is a 429 with code "quota_exceeded".
+	Quota int
+	// Priority selects the strict-priority lane (lower = served first;
+	// default 0). A lane is considered only when every lower lane is empty.
+	Priority int
+}
+
+// ParseTenantFlag parses the ebmfd -tenants flag syntax: comma-separated
+// entries of name:key:weight[:quota[:priority]]. An empty key makes the
+// entry apply to unauthenticated traffic (the "default" tenant).
+func ParseTenantFlag(s string) ([]TenantConfig, error) {
+	var out []TenantConfig
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 3 || len(parts) > 5 {
+			return nil, fmt.Errorf("tenant %q: want name:key:weight[:quota[:priority]]", entry)
+		}
+		tc := TenantConfig{Name: parts[0]}
+		if tc.Name == "" {
+			return nil, fmt.Errorf("tenant %q: empty name", entry)
+		}
+		if parts[1] != "" {
+			tc.Keys = []string{parts[1]}
+		}
+		var err error
+		if tc.Weight, err = strconv.Atoi(parts[2]); err != nil || tc.Weight <= 0 {
+			return nil, fmt.Errorf("tenant %q: bad weight %q", entry, parts[2])
+		}
+		if len(parts) > 3 && parts[3] != "" {
+			if tc.Quota, err = strconv.Atoi(parts[3]); err != nil || tc.Quota < 0 {
+				return nil, fmt.Errorf("tenant %q: bad quota %q", entry, parts[3])
+			}
+		}
+		if len(parts) > 4 && parts[4] != "" {
+			if tc.Priority, err = strconv.Atoi(parts[4]); err != nil {
+				return nil, fmt.Errorf("tenant %q: bad priority %q", entry, parts[4])
+			}
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
+// DefaultTenant is the tenant unauthenticated requests are accounted to.
+const DefaultTenant = "default"
+
+// Admission errors surfaced by the scheduler.
+var (
+	errQuotaFull  = errors.New("server: tenant quota exceeded")
+	errUnknownKey = errors.New("server: unknown API key")
+)
+
+// scheduler replaces the old semaphore+atomic-counter admission pair with an
+// exact, tenant-aware gate: MaxConcurrent slots, at most maxQueue waiters
+// in total, per-tenant FIFO queues served by deficit round-robin within
+// strict priority lanes. Everything mutates under one mutex, which makes the
+// old overshoot bug (a burst of atomics transiently exceeding MaxQueue)
+// structurally impossible and keeps these invariants:
+//
+//   - free > 0 ⇒ every queue is empty (a releasing slot is handed to a
+//     waiter before it is returned to the pool).
+//   - queued == Σ tenant.queued ≤ maxQueue, exactly, at every instant.
+//   - within a lane, grant counts converge to the weight ratio (unit-cost
+//     DRR: a visit tops the tenant's deficit up by its weight, each grant
+//     spends 1, the rotation pointer only advances when the deficit is
+//     spent or the queue empties).
+type scheduler struct {
+	mu     sync.Mutex
+	free   int // unheld solve slots
+	queued int // total waiters, all tenants
+
+	maxConcurrent int
+	maxQueue      int
+
+	lanes  []*lane // ascending Priority
+	byName map[string]*tenant
+	byKey  map[string]*tenant
+	def    *tenant
+
+	granted int64 // lifetime slot grants (fast path + queue)
+}
+
+type lane struct {
+	prio   int
+	active []*tenant // tenants with waiters, DRR rotation order
+	cur    int       // rotation pointer into active
+}
+
+type tenant struct {
+	cfg     TenantConfig
+	lane    *lane
+	deficit int
+	queue   []*waiter // waiting admissions, FIFO
+	running int       // slots held
+
+	// Lifetime counters, mutated under the scheduler mutex.
+	admitted      int64 // slots granted
+	rejectedQuota int64
+	shed          int64 // jobs degraded to the heuristic path
+}
+
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+// newScheduler builds the admission gate. The default tenant always exists;
+// cfg entries named "default" override it, others add keyed tenants.
+func newScheduler(maxConcurrent, maxQueue int, tenants []TenantConfig) *scheduler {
+	sc := &scheduler{
+		free:          maxConcurrent,
+		maxConcurrent: maxConcurrent,
+		maxQueue:      maxQueue,
+		byName:        make(map[string]*tenant),
+		byKey:         make(map[string]*tenant),
+	}
+	add := func(tc TenantConfig) *tenant {
+		if tc.Weight <= 0 {
+			tc.Weight = 1
+		}
+		t, ok := sc.byName[tc.Name]
+		if !ok {
+			t = &tenant{}
+			sc.byName[tc.Name] = t
+		}
+		t.cfg = tc
+		for _, k := range tc.Keys {
+			if k != "" {
+				sc.byKey[k] = t
+			}
+		}
+		return t
+	}
+	sc.def = add(TenantConfig{Name: DefaultTenant, Weight: 1})
+	for _, tc := range tenants {
+		add(tc)
+	}
+	// Build the strict-priority lanes from the distinct priorities in use.
+	prios := map[int]*lane{}
+	for _, t := range sc.byName {
+		ln, ok := prios[t.cfg.Priority]
+		if !ok {
+			ln = &lane{prio: t.cfg.Priority}
+			prios[t.cfg.Priority] = ln
+			sc.lanes = append(sc.lanes, ln)
+		}
+		t.lane = ln
+	}
+	sort.Slice(sc.lanes, func(i, j int) bool { return sc.lanes[i].prio < sc.lanes[j].prio })
+	return sc
+}
+
+// tenantForKey resolves an API key to its tenant. An empty key is the
+// default tenant; an unknown key is errUnknownKey (a 401, never a silent
+// fallback to default — that would let a typo'd key consume another
+// tenant's share).
+func (sc *scheduler) tenantForKey(key string) (*tenant, error) {
+	if key == "" {
+		return sc.def, nil
+	}
+	sc.mu.Lock()
+	t := sc.byKey[key]
+	sc.mu.Unlock()
+	if t == nil {
+		return nil, errUnknownKey
+	}
+	return t, nil
+}
+
+// reservation is a slot grant or a held queue position: the admission
+// decision made synchronously (exactly, under the lock), with the wait
+// deferred so async submitters can answer the client before a slot frees.
+type reservation struct {
+	sc *scheduler
+	t  *tenant
+	w  *waiter // nil: a slot is already held
+}
+
+// reserve makes the admission decision for tenant t (nil = default): an
+// immediate slot grant when one is free, a queue position otherwise, or a
+// rejection (errQuotaFull / errQueueFull) — never an overshoot, the counts
+// are checked and updated under one lock. A successful reservation MUST be
+// consumed by wait (or abandon, for a queued one).
+func (sc *scheduler) reserve(t *tenant) (*reservation, error) {
+	if t == nil {
+		t = sc.def
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if q := t.cfg.Quota; q > 0 && len(t.queue)+t.running >= q {
+		t.rejectedQuota++
+		return nil, errQuotaFull
+	}
+	if sc.free > 0 {
+		// Invariant: free slots mean empty queues, so this cannot jump the
+		// line ahead of a waiter.
+		sc.free--
+		t.running++
+		t.admitted++
+		sc.granted++
+		return &reservation{sc: sc, t: t}, nil
+	}
+	if sc.queued >= sc.maxQueue {
+		return nil, errQueueFull
+	}
+	w := &waiter{ch: make(chan struct{})}
+	t.queue = append(t.queue, w)
+	sc.queued++
+	if len(t.queue) == 1 {
+		t.lane.activate(t)
+	}
+	return &reservation{sc: sc, t: t, w: w}, nil
+}
+
+// wait blocks until the reservation's slot is granted (immediately for a
+// fast-path grant) or ctx aborts, in which case the queue position — or the
+// racing grant — is given back exactly.
+func (res *reservation) wait(ctx context.Context) (release func(), err error) {
+	sc, t := res.sc, res.t
+	if res.w == nil {
+		return func() { sc.release(t) }, nil
+	}
+	select {
+	case <-res.w.ch:
+		return func() { sc.release(t) }, nil
+	case <-ctx.Done():
+		res.abandon()
+		return nil, ctx.Err()
+	}
+}
+
+// abandon gives up a reservation without running: the queue position is
+// vacated, or — when a grant raced the abort — the slot is released to the
+// next waiter.
+func (res *reservation) abandon() {
+	sc, t, w := res.sc, res.t, res.w
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if w == nil || w.granted {
+		sc.releaseLocked(t)
+		return
+	}
+	t.unqueue(w)
+	sc.queued--
+	if len(t.queue) == 0 {
+		t.lane.deactivate(t)
+		t.deficit = 0
+	}
+}
+
+// acquire obtains a solve slot for tenant t (nil = default), waiting in t's
+// queue when none is free. The returned release must be called once the
+// solve finishes. ctx abort while waiting leaves the queue exactly.
+func (sc *scheduler) acquire(ctx context.Context, t *tenant) (release func(), err error) {
+	res, err := sc.reserve(t)
+	if err != nil {
+		return nil, err
+	}
+	return res.wait(ctx)
+}
+
+// release returns a slot and hands it to the next waiter per DRR.
+func (sc *scheduler) release(t *tenant) {
+	sc.mu.Lock()
+	sc.releaseLocked(t)
+	sc.mu.Unlock()
+}
+
+func (sc *scheduler) releaseLocked(t *tenant) {
+	t.running--
+	sc.free++
+	sc.dispatch()
+}
+
+// dispatch grants free slots to waiters: strict priority between lanes,
+// unit-cost deficit round-robin within a lane. Called with sc.mu held.
+func (sc *scheduler) dispatch() {
+	for sc.free > 0 && sc.queued > 0 {
+		var ln *lane
+		for _, l := range sc.lanes {
+			if len(l.active) > 0 {
+				ln = l
+				break
+			}
+		}
+		if ln == nil {
+			return
+		}
+		for sc.free > 0 && len(ln.active) > 0 {
+			if ln.cur >= len(ln.active) {
+				ln.cur = 0
+			}
+			t := ln.active[ln.cur]
+			if t.deficit <= 0 {
+				t.deficit += t.cfg.Weight
+			}
+			for sc.free > 0 && t.deficit > 0 && len(t.queue) > 0 {
+				w := t.queue[0]
+				t.queue = t.queue[1:]
+				sc.queued--
+				sc.free--
+				t.running++
+				t.admitted++
+				sc.granted++
+				t.deficit--
+				w.granted = true
+				close(w.ch)
+			}
+			switch {
+			case len(t.queue) == 0:
+				// Emptied: leave the rotation; an idle tenant banks no credit.
+				t.deficit = 0
+				ln.deactivate(t)
+			case t.deficit <= 0:
+				ln.cur++
+			default:
+				// Out of slots mid-deficit: keep cur and the remaining
+				// deficit so the tenant resumes exactly here next release.
+				return
+			}
+		}
+	}
+}
+
+func (ln *lane) activate(t *tenant) { ln.active = append(ln.active, t) }
+
+func (ln *lane) deactivate(t *tenant) {
+	for i, at := range ln.active {
+		if at == t {
+			ln.active = append(ln.active[:i], ln.active[i+1:]...)
+			if i < ln.cur {
+				ln.cur--
+			}
+			return
+		}
+	}
+}
+
+func (t *tenant) unqueue(w *waiter) {
+	for i, qw := range t.queue {
+		if qw == w {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// countShed records one degraded (shed-to-heuristic) answer for t.
+func (sc *scheduler) countShed(t *tenant) {
+	if t == nil {
+		t = sc.def
+	}
+	sc.mu.Lock()
+	t.shed++
+	sc.mu.Unlock()
+}
+
+// TenantSnapshot is one tenant's scheduler state in /v1/metrics.
+type TenantSnapshot struct {
+	Name          string `json:"name"`
+	Weight        int    `json:"weight"`
+	Priority      int    `json:"priority"`
+	Quota         int    `json:"quota,omitempty"`
+	Queued        int    `json:"queued"`
+	Running       int    `json:"running"`
+	Admitted      int64  `json:"admitted"`
+	RejectedQuota int64  `json:"rejected_quota"`
+	Shed          int64  `json:"shed"`
+}
+
+// snapshot reports the scheduler's queue depth, running count and per-tenant
+// state (sorted by name for stable output).
+func (sc *scheduler) snapshot() (queued, running int, tenants []TenantSnapshot) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for name, t := range sc.byName {
+		tenants = append(tenants, TenantSnapshot{
+			Name:          name,
+			Weight:        t.cfg.Weight,
+			Priority:      t.cfg.Priority,
+			Quota:         t.cfg.Quota,
+			Queued:        len(t.queue),
+			Running:       t.running,
+			Admitted:      t.admitted,
+			RejectedQuota: t.rejectedQuota,
+			Shed:          t.shed,
+		})
+		running += t.running
+	}
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Name < tenants[j].Name })
+	return sc.queued, running, tenants
+}

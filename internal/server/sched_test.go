@@ -1,0 +1,312 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// grab acquires a slot for t (nil = default) and fails the test on error.
+func grab(t *testing.T, sc *scheduler, tn *tenant) func() {
+	t.Helper()
+	release, err := sc.acquire(context.Background(), tn)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	return release
+}
+
+// TestSchedulerDRRFairness pins the deficit-round-robin grant order exactly:
+// one slot, two same-lane tenants with weights 3:1, 32 queued waiters each.
+// While both queues are non-empty, every window of four consecutive grants
+// must contain exactly three for the heavy tenant and one for the light one.
+func TestSchedulerDRRFairness(t *testing.T) {
+	sc := newScheduler(1, 128, []TenantConfig{
+		{Name: "heavy", Keys: []string{"kh"}, Weight: 3},
+		{Name: "light", Keys: []string{"kl"}, Weight: 1},
+	})
+	heavy, err := sc.tenantForKey("kh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := sc.tenantForKey("kl")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hold := grab(t, sc, nil) // occupy the only slot so every reserve queues
+
+	const perTenant = 32
+	order := make(chan string, 2*perTenant)
+	var wg sync.WaitGroup
+	enqueue := func(tag string, tn *tenant) {
+		res, err := sc.reserve(tn)
+		if err != nil {
+			t.Fatalf("reserve %s: %v", tag, err)
+		}
+		if res.w == nil {
+			t.Fatalf("reserve %s got a slot while one is held", tag)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := res.wait(context.Background())
+			if err != nil {
+				t.Errorf("wait %s: %v", tag, err)
+				return
+			}
+			// Record before releasing: with one slot the next grant cannot
+			// happen until this release, so channel order == grant order.
+			order <- tag
+			release()
+		}()
+	}
+	for i := 0; i < perTenant; i++ {
+		enqueue("heavy", heavy)
+		enqueue("light", light)
+	}
+
+	hold() // start the drain
+	wg.Wait()
+	close(order)
+
+	var got []string
+	counts := map[string]int{}
+	for tag := range order {
+		got = append(got, tag)
+		counts[tag]++
+	}
+	if counts["heavy"] != perTenant || counts["light"] != perTenant {
+		t.Fatalf("grant counts %v, want %d each", counts, perTenant)
+	}
+	// Both queues are non-empty for the first 10 full DRR rounds
+	// (10×(3+1) = 40 grants ≤ 32+10): windows of 4 must split 3:1 exactly.
+	for win := 0; win < 10; win++ {
+		h := 0
+		for _, tag := range got[4*win : 4*win+4] {
+			if tag == "heavy" {
+				h++
+			}
+		}
+		if h != 3 {
+			t.Fatalf("grant window %d is %v: want exactly 3 heavy + 1 light\nfull order: %v",
+				win, got[4*win:4*win+4], got)
+		}
+	}
+}
+
+// TestSchedulerExactMaxQueue is the regression test for the old admission
+// bug: Server.admit used a bare atomic counter, so a concurrent burst could
+// transiently overshoot MaxQueue before any request was rejected. Under the
+// scheduler every reserve decides under one lock: a 64-goroutine burst
+// against MaxQueue=4 admits exactly 4 and rejects exactly 60 — never more,
+// never transiently.
+func TestSchedulerExactMaxQueue(t *testing.T) {
+	const maxQueue = 4
+	sc := newScheduler(1, maxQueue, nil)
+	hold := grab(t, sc, nil)
+
+	const burst = 64
+	var (
+		mu       sync.Mutex
+		reserved []*reservation
+		rejected atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := sc.reserve(nil)
+			switch err {
+			case nil:
+				mu.Lock()
+				reserved = append(reserved, res)
+				mu.Unlock()
+			case errQueueFull:
+				rejected.Add(1)
+			default:
+				t.Errorf("reserve: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(reserved) != maxQueue || rejected.Load() != burst-maxQueue {
+		t.Fatalf("burst admitted %d queued %d rejections, want exactly %d and %d",
+			len(reserved), rejected.Load(), maxQueue, burst-maxQueue)
+	}
+	queued, running, _ := sc.snapshot()
+	if queued != maxQueue || running != 1 {
+		t.Fatalf("snapshot queued=%d running=%d, want %d/1", queued, running, maxQueue)
+	}
+
+	// Abandoned reservations leave exactly; the counts return to zero.
+	for _, res := range reserved {
+		res.abandon()
+	}
+	hold()
+	queued, running, _ = sc.snapshot()
+	if queued != 0 || running != 0 {
+		t.Fatalf("after cleanup queued=%d running=%d, want 0/0", queued, running)
+	}
+}
+
+// TestSchedulerQuota: a tenant with quota 2 may have two outstanding
+// admissions (running + queued); the third is errQuotaFull while the global
+// queue still has room for other tenants.
+func TestSchedulerQuota(t *testing.T) {
+	sc := newScheduler(1, 64, []TenantConfig{
+		{Name: "capped", Keys: []string{"kc"}, Quota: 2},
+	})
+	capped, err := sc.tenantForKey("kc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := sc.reserve(capped) // takes the slot
+	if err != nil || r1.w != nil {
+		t.Fatalf("first reserve: res=%+v err=%v, want immediate grant", r1, err)
+	}
+	r2, err := sc.reserve(capped) // queues
+	if err != nil || r2.w == nil {
+		t.Fatalf("second reserve: res=%+v err=%v, want queue position", r2, err)
+	}
+	if _, err := sc.reserve(capped); err != errQuotaFull {
+		t.Fatalf("third reserve: err=%v, want errQuotaFull", err)
+	}
+	// The quota is per-tenant: the default tenant still gets a queue spot.
+	rd, err := sc.reserve(nil)
+	if err != nil {
+		t.Fatalf("default tenant blocked by another tenant's quota: %v", err)
+	}
+
+	_, _, tenants := sc.snapshot()
+	for _, ts := range tenants {
+		if ts.Name == "capped" && ts.RejectedQuota != 1 {
+			t.Fatalf("capped tenant snapshot %+v, want rejected_quota=1", ts)
+		}
+	}
+
+	rd.abandon()
+	r2.abandon()
+	rel, err := r1.wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}
+
+// TestSchedulerPriorityLanes: a lower-Priority tenant's waiter is served
+// before an earlier-queued waiter from a higher-Priority lane.
+func TestSchedulerPriorityLanes(t *testing.T) {
+	sc := newScheduler(1, 64, []TenantConfig{
+		{Name: "vip", Keys: []string{"kv"}, Priority: -1},
+		{Name: "batch", Keys: []string{"kb"}, Priority: 1},
+	})
+	vip, _ := sc.tenantForKey("kv")
+	batch, _ := sc.tenantForKey("kb")
+
+	hold := grab(t, sc, nil)
+	resBatch, err := sc.reserve(batch) // queued first
+	if err != nil {
+		t.Fatal(err)
+	}
+	resVip, err := sc.reserve(vip) // queued second, but lower lane
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold()
+
+	relVip, err := resVip.wait(context.Background())
+	if err != nil {
+		t.Fatalf("vip wait: %v", err)
+	}
+	select {
+	case <-resBatch.w.ch:
+		t.Fatal("batch lane granted before the vip lane drained")
+	default:
+	}
+	relVip()
+	relBatch, err := resBatch.wait(context.Background())
+	if err != nil {
+		t.Fatalf("batch wait: %v", err)
+	}
+	relBatch()
+}
+
+// TestSchedulerCancelWhileQueued: a waiter whose context aborts vacates its
+// queue position exactly; the slot then goes to the next waiter.
+func TestSchedulerCancelWhileQueued(t *testing.T) {
+	sc := newScheduler(1, 8, nil)
+	hold := grab(t, sc, nil)
+
+	res1, err := sc.reserve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sc.reserve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := res1.wait(ctx); err != context.Canceled {
+		t.Fatalf("canceled wait: %v, want context.Canceled", err)
+	}
+	if queued, _, _ := sc.snapshot(); queued != 1 {
+		t.Fatalf("queued=%d after abort, want 1", queued)
+	}
+
+	hold()
+	done := make(chan struct{})
+	go func() {
+		rel, err := res2.wait(context.Background())
+		if err != nil {
+			t.Errorf("survivor wait: %v", err)
+		} else {
+			rel()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("surviving waiter never granted after the abort freed the slot")
+	}
+}
+
+func TestParseTenantFlag(t *testing.T) {
+	got, err := ParseTenantFlag(" teamA:ka:3 , teamB:kb:1:5:2 , default::2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TenantConfig{
+		{Name: "teamA", Keys: []string{"ka"}, Weight: 3},
+		{Name: "teamB", Keys: []string{"kb"}, Weight: 1, Quota: 5, Priority: 2},
+		{Name: "default", Weight: 2},
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %+v\nwant %+v", got, want)
+	}
+	for _, bad := range []string{
+		"noweight:k",        // too few fields
+		"a:k:zero",          // non-numeric weight
+		"a:k:0",             // weight must be positive
+		"a:k:1:-2",          // negative quota
+		":k:1",              // empty name
+		"a:k:1:2:3:4",       // too many fields
+		"ok:k:1,broken:k:x", // error anywhere poisons the flag
+	} {
+		if _, err := ParseTenantFlag(bad); err == nil {
+			t.Errorf("ParseTenantFlag(%q) accepted invalid input", bad)
+		}
+	}
+	if got, err := ParseTenantFlag(" , "); err != nil || got != nil {
+		t.Errorf("empty flag: got %v, %v; want nil, nil", got, err)
+	}
+}

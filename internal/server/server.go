@@ -1,19 +1,29 @@
 // Package server implements the ebmfd solve service: an HTTP JSON API over
 // the cached solve pipeline.
 //
-//	POST /v1/solve    one matrix in, one wire.ResultJSON out
+//	POST /v1/solve    one matrix in, one wire.ResultJSON out (synchronous)
 //	POST /v1/batch    several matrices, results in request order
+//	POST /v1/jobs     async submit: 202 + job ID before any work runs
+//	GET  /v1/jobs/{id}          poll a job snapshot
+//	DELETE /v1/jobs/{id}        cancel (propagates into the SAT search)
+//	GET  /v1/jobs/{id}/events   SSE anytime progress + terminal result
 //	POST /v1/fill     cache-fill replication: seed a proved-optimal result
 //	GET  /v1/healthz  liveness (503 while draining)
 //	GET  /v1/metrics  counters: solves, cache hit rate, queue, latencies
 //
-// Three service concerns live here, in front of internal/solvecache:
+// Four service concerns live here, in front of internal/solvecache:
 //
 //   - Admission control. At most MaxConcurrent solves run at once; up to
 //     MaxQueue more may wait. Anything beyond that is rejected immediately
 //     with 429 — a solve is CPU-bound, so letting requests pile up only
 //     converts overload into timeouts. Waiting requests abort when the
 //     client disconnects.
+//   - Tenant QoS. API keys resolve to tenants (Config.Tenants); waiting
+//     requests sit in per-tenant queues drained by deficit round robin in
+//     weight proportion within strict priority lanes, with optional
+//     per-tenant outstanding-work quotas. Jobs that opted in degrade to a
+//     heuristic-only answer instead of a 429 when admission would reject
+//     them.
 //   - Budget mapping. Per-request timeout/conflict budgets (clamped to
 //     configured maxima) become a context deadline and core.Options for
 //     that request; the deadline starts after admission, so queueing time
@@ -30,6 +40,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -68,6 +79,17 @@ type Config struct {
 	// single-strategy solver). Racing multiplies a request's CPU cost by up
 	// to K, so an unclamped K would let one request monopolize the pool.
 	MaxPortfolio int
+	// Tenants declares the API-key → tenant map for QoS scheduling. The
+	// built-in "default" tenant (weight 1, no key, no quota) always exists
+	// for unauthenticated traffic; an entry named "default" overrides its
+	// weight/quota/priority instead of adding a tenant.
+	Tenants []TenantConfig
+	// MaxJobs caps jobs retained in the registry, terminal ones included
+	// (default 1024; the oldest terminal jobs are evicted first).
+	MaxJobs int
+	// JobTTL is how long a terminal job stays pollable before it may be
+	// evicted even without registry pressure (default 10m).
+	JobTTL time.Duration
 	// Options is the base solver configuration (default: core defaults with
 	// a 2M conflict budget — an unbudgeted exact solver must not be exposed
 	// to arbitrary clients).
@@ -124,6 +146,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxPortfolio < 0 {
 		c.MaxPortfolio = 1 // clamp target: portfolio of 1 = no racing
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 10 * time.Minute
+	}
 	if c.Options == nil {
 		opts := core.DefaultOptions()
 		opts.ConflictBudget = DefaultConflictBudget
@@ -142,8 +170,9 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	cache    *solvecache.Cache
-	sem      chan struct{} // MaxConcurrent tokens; holding one = solving
-	queued   atomic.Int64  // requests waiting for a token
+	sched    *scheduler // tenant-aware admission: slots, queues, fair share
+	jobs     *jobRegistry
+	shedSem  chan struct{} // bounds concurrent heuristic-only shed solves
 	draining atomic.Bool
 	started  time.Time
 	mux      *http.ServeMux
@@ -156,10 +185,12 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		cache:   solvecache.New(cfg.CacheCapacity),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		sched:   newScheduler(cfg.MaxConcurrent, cfg.MaxQueue, cfg.Tenants),
 		started: time.Now(),
 		mux:     http.NewServeMux(),
 	}
+	s.jobs = newJobRegistry(cfg.MaxJobs, cfg.JobTTL)
+	s.shedSem = make(chan struct{}, shedConcurrency)
 	if cfg.Store != nil {
 		s.cache.AttachStore(cfg.Store)
 	}
@@ -190,32 +221,33 @@ var (
 	errDraining  = errors.New("server: draining")
 )
 
-// admit acquires a solve slot, waiting in the bounded queue if necessary.
-// The returned release function must be called when the solve finishes. ctx
-// should be the request context, so a disconnected client leaves the queue.
-func (s *Server) admit(ctx context.Context) (release func(), err error) {
+// admit acquires a solve slot for the tenant (nil = default), waiting in the
+// tenant's queue if necessary. The returned release function must be called
+// when the solve finishes. ctx should be the request context, so a
+// disconnected client leaves the queue.
+func (s *Server) admit(ctx context.Context, t *tenant) (release func(), err error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
-	select {
-	case s.sem <- struct{}{}:
-		return s.release, nil
-	default:
-	}
-	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
-		s.queued.Add(-1)
-		return nil, errQueueFull
-	}
-	defer s.queued.Add(-1)
-	select {
-	case s.sem <- struct{}{}:
-		return s.release, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	return s.sched.acquire(ctx, t)
 }
 
-func (s *Server) release() { <-s.sem }
+// tenantFor resolves the request's API key (Authorization: Bearer <key> or
+// X-API-Key) to its tenant. No key means the default tenant; an unknown key
+// is errUnknownKey.
+func (s *Server) tenantFor(r *http.Request) (*tenant, error) {
+	return s.sched.tenantForKey(apiKey(r))
+}
+
+// apiKey extracts the request's API key ("" when unauthenticated).
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
 
 // solveBudgets resolves the effective options and deadline for one request's
 // wire options: defaults overlaid, then clamped to the configured maxima.
@@ -266,3 +298,7 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's Flush
+// (the SSE job-event stream needs it through this middleware).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -241,15 +242,34 @@ func get(t *testing.T, url string) (*http.Response, []byte) {
 	return resp, buf.Bytes()
 }
 
+// holdSlot occupies one solve slot through the scheduler (as the default
+// tenant) and returns its release.
+func holdSlot(t *testing.T, s *Server) func() {
+	t.Helper()
+	release, err := s.sched.acquire(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("holdSlot: %v", err)
+	}
+	return release
+}
+
 func TestAdmissionQueueFull(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: -1})
-	// Occupy the only solve slot directly, then any request must bounce with
-	// 429 because no waiting is allowed.
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	// Occupy the only solve slot, then any request must bounce with 429
+	// because no waiting is allowed.
+	release := holdSlot(t, s)
+	defer release()
 	resp, body := postJSON(t, ts.URL+"/v1/solve", wire.SolveRequest{Matrix: "1"})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	// The rejection carries the machine-readable code and a Retry-After hint.
+	var e wire.ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != wire.CodeQueueFull {
+		t.Fatalf("429 body code = %q (%v), want %q: %s", e.Code, err, wire.CodeQueueFull, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After header")
 	}
 	snap := s.metricsSnapshot()
 	if snap.Requests.RejectedQueue != 1 {
@@ -259,7 +279,7 @@ func TestAdmissionQueueFull(t *testing.T) {
 
 func TestAdmissionQueueWaitsForSlot(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 4})
-	s.sem <- struct{}{}
+	release := holdSlot(t, s)
 	done := make(chan *http.Response, 1)
 	go func() {
 		resp, _ := postJSON(t, ts.URL+"/v1/solve", wire.SolveRequest{Matrix: "10\n01"})
@@ -271,7 +291,7 @@ func TestAdmissionQueueWaitsForSlot(t *testing.T) {
 		t.Fatalf("request completed with %d while the slot was held", resp.StatusCode)
 	case <-time.After(100 * time.Millisecond):
 	}
-	<-s.sem // free the slot
+	release() // free the slot
 	select {
 	case resp := <-done:
 		if resp.StatusCode != http.StatusOK {

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestJobRoundTrip pins the job wire schema the same way
+// TestRoundTripEveryWireType pins the sync schema: the gateway re-encodes job
+// submissions and decodes job snapshots/events, so lossy fields corrupt
+// cross-tier traffic.
+func TestJobRoundTrip(t *testing.T) {
+	done := &JobJSON{
+		API:      V1,
+		ID:       "j-0000002a",
+		State:    JobDone,
+		Tenant:   "acme",
+		Degraded: true,
+		QueuedMS: 12,
+		RunMS:    340,
+		Result:   &ResultJSON{API: V1, Depth: 3, Partition: []RectJSON{{Rows: []int{0}, Cols: []int{1}}}},
+	}
+	cases := []struct {
+		name string
+		v    any
+	}{
+		{"JobRequest/minimal", &JobRequest{Matrix: "101\n011"}},
+		{"JobRequest/full", &JobRequest{
+			API:                V1,
+			Rows:               [][]int{{1, 0}, {0, 1}},
+			Options:            &SolveOptions{Portfolio: 3, ShareClauses: true},
+			CancelOnDisconnect: true,
+			Degrade:            true,
+		}},
+		{"JobJSON/queued", &JobJSON{ID: "j-1", State: JobQueued, Tenant: "default"}},
+		{"JobJSON/failed", &JobJSON{ID: "j-2", State: JobFailed, Error: "matrix exceeds size limit"}},
+		{"JobJSON/done", done},
+		{"JobEvent/status", &JobEvent{API: V1, Seq: 1, State: JobQueued}},
+		{"JobEvent/progress", &JobEvent{API: V1, Seq: 2, State: JobRunning,
+			Progress: &obs.ProgressJSON{TUS: 1700000000000000, Block: 1, Bound: 4, LB: 3, Conflicts: 2048, Learnts: 77}}},
+		{"JobEvent/done", &JobEvent{API: V1, Seq: 3, State: JobDone, Job: done}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := roundTrip(t, tc.v)
+			if !reflect.DeepEqual(got, tc.v) {
+				t.Fatalf("round trip changed the value:\n got %+v\nwant %+v", got, tc.v)
+			}
+		})
+	}
+}
+
+// TestJobRequestSolveView pins that the solve-payload view loses nothing the
+// solve pipeline consumes.
+func TestJobRequestSolveView(t *testing.T) {
+	jr := &JobRequest{
+		API:     V1,
+		Matrix:  "10\n01",
+		Options: &SolveOptions{Trials: 9},
+		Degrade: true,
+	}
+	sr := jr.SolveRequest()
+	if sr.API != V1 || sr.Matrix != jr.Matrix || sr.Options != jr.Options {
+		t.Fatalf("solve view lost fields: %+v", sr)
+	}
+	m, err := sr.ParseMatrix()
+	if err != nil || m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("solve view unparseable: %v", err)
+	}
+}
+
+func TestJobTerminal(t *testing.T) {
+	for state, terminal := range map[string]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobCanceled: true, JobFailed: true,
+		"": false, "bogus": false,
+	} {
+		if JobTerminal(state) != terminal {
+			t.Fatalf("JobTerminal(%q) = %v, want %v", state, !terminal, terminal)
+		}
+	}
+}
+
+func TestCheckAPI(t *testing.T) {
+	for _, v := range []int{0, V1} {
+		if err := CheckAPI(v); err != nil {
+			t.Fatalf("CheckAPI(%d): %v", v, err)
+		}
+	}
+	for _, v := range []int{V1 + 1, -1, 99} {
+		if err := CheckAPI(v); err == nil {
+			t.Fatalf("CheckAPI(%d) accepted", v)
+		}
+	}
+}
+
+// TestErrorfEnvelope pins the coded error constructor: version stamped, code
+// machine-readable, message formatted — and the whole envelope survives the
+// wire.
+func TestErrorfEnvelope(t *testing.T) {
+	e := Errorf(CodeQuotaExceeded, "tenant %q at quota %d", "acme", 8)
+	if e.API != V1 || e.Code != CodeQuotaExceeded || e.Error != `tenant "acme" at quota 8` {
+		t.Fatalf("bad envelope: %+v", e)
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ErrorResponse
+	if err := json.Unmarshal(data, &back); err != nil || back != e {
+		t.Fatalf("envelope did not survive: %+v (%v)", back, err)
+	}
+	// Pre-versioning body (bare string) still decodes; Code stays empty so
+	// callers can detect the old tier.
+	var old ErrorResponse
+	if err := json.Unmarshal([]byte(`{"error":"queue full"}`), &old); err != nil ||
+		old.Code != "" || old.Error != "queue full" {
+		t.Fatalf("legacy envelope broke: %+v (%v)", old, err)
+	}
+}

@@ -1,8 +1,41 @@
-// Package wire defines the JSON schema shared by the ebmfd service and the
-// ebmf CLI: one request shape (matrix + per-request options) and one result
-// shape (depth, provenance, partition). Keeping it in a single package means
-// a client can drive the CLI and the daemon interchangeably — `ebmf -json`
-// prints exactly what `POST /v1/solve` returns.
+// Package wire defines the JSON schema shared by the ebmfd service, the
+// ebmfgw gateway and the ebmf CLI: request shapes (matrix + per-request
+// options, job submissions) and result shapes (depth, provenance, partition,
+// job status, streamed events). Keeping it in a single package means a
+// client can drive the CLI, the daemon and the gateway interchangeably —
+// `ebmf -json` prints exactly what `POST /v1/solve` returns.
+//
+// # Versioning and compatibility contract
+//
+// Every top-level request and response type carries an optional "api" field.
+// The contract, which lets the job-oriented surface evolve without breaking
+// deployed clients:
+//
+//   - A request may state the schema version it speaks ("api": 1). Absent or
+//     zero means V1 — the pre-versioning schema is retroactively version 1.
+//     Servers reject versions above their own with a structured error, code
+//     "unsupported_api" (CheckAPI) — never by guessing at semantics.
+//   - Responses echo the version they were produced under, so clients can
+//     log and assert what they are decoding.
+//   - Responses evolve additively within a version: new response fields may
+//     appear at any time, and clients MUST tolerate unknown response fields
+//     (Go's encoding/json default — this tolerance is what let the "api"
+//     field itself ship without a flag day, and both tiers rely on it when
+//     decoding each other's responses).
+//   - Requests are decoded strictly at every tier (DisallowUnknownFields): a
+//     typo'd option must be a 400, not a silently ignored knob. New request
+//     fields therefore ship together with the server that understands them;
+//     a client needing to know whether a field is understood checks the
+//     server's advertised version first.
+//   - Semantic changes — repurposed fields, changed defaults, removed
+//     endpoints — require bumping V. There has been no such change yet.
+//
+// # Error envelope
+//
+// Every non-2xx response body is an ErrorResponse: a human-readable message
+// plus a machine-readable code from the Code* constants, so clients and
+// gateways branch on the code and never parse message text. 429 responses
+// additionally carry a Retry-After header.
 package wire
 
 import (
@@ -17,9 +50,25 @@ import (
 	"repro/internal/portfolio"
 )
 
+// V1 is the current wire schema version. See the package comment for the
+// compatibility contract.
+const V1 = 1
+
+// CheckAPI validates a request's claimed schema version: 0 (unversioned)
+// and every version up to V1 are accepted, anything newer is an error the
+// caller maps to code CodeUnsupportedAPI.
+func CheckAPI(api int) error {
+	if api < 0 || api > V1 {
+		return fmt.Errorf("wire: unsupported api version %d (this server speaks %d)", api, V1)
+	}
+	return nil
+}
+
 // SolveRequest is the body of POST /v1/solve (and one element of a batch).
 // Exactly one of Matrix and Rows must be set.
 type SolveRequest struct {
+	// API is the wire schema version the client speaks (0 = V1).
+	API int `json:"api,omitempty"`
 	// Matrix is the pattern in text form: rows of '0'/'1' characters
 	// separated by newlines (the bitmat.Parse format).
 	Matrix string `json:"matrix,omitempty"`
@@ -152,6 +201,8 @@ type RectJSON struct {
 // ResultJSON is the wire form of core.Result — the body of a /v1/solve
 // response and of `ebmf -json` output.
 type ResultJSON struct {
+	// API echoes the wire schema version the result was produced under.
+	API            int            `json:"api,omitempty"`
 	Depth          int            `json:"depth"`
 	Optimal        bool           `json:"optimal"`
 	Certificate    string         `json:"certificate"`
@@ -194,6 +245,7 @@ type PortfolioJSON struct {
 // empty (it is filled by layers that computed one).
 func FromResult(res *core.Result, fingerprint string) *ResultJSON {
 	out := &ResultJSON{
+		API:            V1,
 		Depth:          res.Depth,
 		Optimal:        res.Optimal,
 		Certificate:    res.Certificate.String(),
@@ -238,6 +290,8 @@ func FromResult(res *core.Result, fingerprint string) *ResultJSON {
 // trust — /v1/fill is a fleet-internal endpoint, and every future hit is
 // still re-validated by lifting.
 type FillRequest struct {
+	// API is the wire schema version the sender speaks (0 = V1).
+	API int `json:"api,omitempty"`
 	// Fingerprint is the canonical hash the result is keyed by.
 	Fingerprint string `json:"fingerprint"`
 	// Matrix is the canonical matrix in text form (bitmat.Parse format).
@@ -249,6 +303,8 @@ type FillRequest struct {
 
 // FillResponse answers POST /v1/fill.
 type FillResponse struct {
+	// API echoes the wire schema version.
+	API int `json:"api,omitempty"`
 	// Stored reports whether the fill added anything; false means every
 	// tier already held the fingerprint (the common case when replication
 	// races a hedged solve to the same shard).
@@ -272,6 +328,8 @@ func ParseCertificate(s string) core.Certificate {
 
 // BatchRequest is the body of POST /v1/batch.
 type BatchRequest struct {
+	// API is the wire schema version the client speaks (0 = V1).
+	API      int            `json:"api,omitempty"`
 	Requests []SolveRequest `json:"requests"`
 }
 
@@ -283,10 +341,59 @@ type BatchItem struct {
 
 // BatchResponse answers a batch in request order.
 type BatchResponse struct {
+	// API echoes the wire schema version.
+	API     int         `json:"api,omitempty"`
 	Results []BatchItem `json:"results"`
 }
 
+// Machine-readable error codes carried by ErrorResponse. Clients and
+// gateways branch on these; the human-readable message is for logs only.
+const (
+	// CodeBadRequest: malformed JSON, unknown fields, or invalid options.
+	CodeBadRequest = "bad_request"
+	// CodeBadMatrix: the request's matrix is missing, ragged, non-binary or
+	// otherwise unparseable.
+	CodeBadMatrix = "bad_matrix"
+	// CodeUnsupportedAPI: the request's "api" field names a schema version
+	// newer than this server speaks (CheckAPI).
+	CodeUnsupportedAPI = "unsupported_api"
+	// CodeBudgetExceeded: the request exceeds a configured server budget —
+	// matrix cells, batch length, or body bytes.
+	CodeBudgetExceeded = "budget_exceeded"
+	// CodeQueueFull: admission control rejected the request because the
+	// global queue is saturated. Carries Retry-After.
+	CodeQueueFull = "queue_full"
+	// CodeQuotaExceeded: the requesting tenant is at its queued-work quota
+	// while the server still has room for other tenants. Carries Retry-After.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeUnauthorized: the request presented an API key no tenant owns.
+	CodeUnauthorized = "unauthorized"
+	// CodeDraining: the server is shutting down and rejects new work.
+	CodeDraining = "draining"
+	// CodeNotFound: the named resource (a job ID) does not exist or is not
+	// visible to the requesting tenant.
+	CodeNotFound = "not_found"
+	// CodeClientGone: the client disconnected while the request was queued
+	// (nginx-style 499; seen only in logs and metrics, never by the client).
+	CodeClientGone = "client_gone"
+	// CodeUpstream: a gateway could not obtain an answer from any backend.
+	CodeUpstream = "backend_unavailable"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
+	// API echoes the wire schema version.
+	API int `json:"api,omitempty"`
+	// Error is the human-readable message.
 	Error string `json:"error"`
+	// Code is the machine-readable classification (Code* constants). Empty
+	// only in responses from pre-versioning servers.
+	Code string `json:"code,omitempty"`
+}
+
+// Errorf builds a coded error envelope.
+func Errorf(code, format string, args ...any) ErrorResponse {
+	return ErrorResponse{API: V1, Code: code, Error: fmt.Sprintf(format, args...)}
 }

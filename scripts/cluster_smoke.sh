@@ -115,6 +115,24 @@ grep -q '"depth":2' <<<"$RB" || { echo "FAIL: batch item 0 depth != 2"; exit 1; 
 grep -q '"error":' <<<"$RB" || { echo "FAIL: zero-dimension batch item carried no error"; exit 1; }
 grep -q '"depth":5' <<<"$RB" || { echo "FAIL: batch item 2 depth != 5"; exit 1; }
 
+# Async job through the gateway: submit answers 202 with a gateway-minted
+# ID, the SSE stream proxies through to a terminal done frame, the poll is
+# sticky to the accepting backend, and the job shares the sync path's
+# canonical key space (the same matrix re-solves as a cache hit).
+JOBM='110101\n011011\n101110\n010111\n111010\n001101'
+JOB=$(curl -sf -X POST -d "{\"matrix\":\"$JOBM\"}" "http://$GW/v1/jobs")
+echo "job:      $JOB"
+JOB_ID=$(sed -n 's/.*"id":"\(gw-[0-9a-f]*\)".*/\1/p' <<<"$JOB")
+[ -n "$JOB_ID" ] || { echo "FAIL: gateway job submit returned no gw- ID: $JOB"; exit 1; }
+STREAM=$(curl -sfN --max-time 60 "http://$GW/v1/jobs/$JOB_ID/events")
+grep -q 'event: done' <<<"$STREAM" || { echo "FAIL: proxied job stream had no done event"; echo "$STREAM"; exit 1; }
+grep -q "\"id\":\"$JOB_ID\"" <<<"$STREAM" || { echo "FAIL: proxied done frame not rewritten to gateway ID"; echo "$STREAM"; exit 1; }
+JG=$(curl -sf "http://$GW/v1/jobs/$JOB_ID")
+grep -q '"state":"done"' <<<"$JG" || { echo "FAIL: proxied job not done: $JG"; exit 1; }
+grep -q '"optimal":true' <<<"$JG" || { echo "FAIL: proxied job not optimal: $JG"; exit 1; }
+RJ=$(curl -sf -X POST -d "{\"matrix\":\"$JOBM\"}" "http://$GW/v1/solve")
+grep -q '"cache_hit":true' <<<"$RJ" || { echo "FAIL: sync solve after job missed the cache: $RJ"; exit 1; }
+
 # Observability: a fresh solve that genuinely runs SAT (8×8 gap matrix, so
 # the trace carries depth-probe spans and solver progress) must yield ONE
 # stitched trace on the gateway's debug endpoint — gateway root + proxy span
@@ -177,4 +195,4 @@ if kill -0 "$PIDGW" 2>/dev/null; then
   cat "$LOGGW"
   exit 1
 fi
-echo "PASS: cluster smoke (2 backends + gateway, permuted hit through gateway, replication, batch split, stitched trace, backend kill, drain)"
+echo "PASS: cluster smoke (2 backends + gateway, permuted hit through gateway, replication, batch split, proxied job+SSE, stitched trace, backend kill, drain)"

@@ -10,16 +10,27 @@
 # same store directory and assert the permuted instance is still a cache
 # hit — proved work survives a crash, corruption costs only the records it
 # touches. Any startup timeout fails fast with the daemon's log.
+#
+# In between, the async job API: submit → SSE stream → terminal result,
+# cancel-mid-solve frees the slot, a tenant over its quota gets a coded 429,
+# and a degrade-opted submit under the same quota pressure gets a heuristic
+# answer instead.
 set -euo pipefail
 
 FIG1B='101100\n010011\n101010\n010101\n111000\n000111'
 # Fig. 1b with rows and columns permuted; same canonical fingerprint.
 FIG1B_PERM='110100\n111000\n000111\n001011\n010011\n101100'
+# A reproducible 10x10 whose exact solve takes ~1s: wide enough a window to
+# cancel mid-solve deterministically.
+HARD='1110101100\n1101010001\n1010111001\n1111101110\n0010101011\n0111001111\n1011000110\n0100101111\n0101010001\n1101100010'
+# A reproducible 9x9 where the packing heuristic provably over-shoots the
+# lower bound, so a heuristic-only (degraded) answer must be optimal=false.
+GAPM='011100101\n010001001\n011101001\n100110100\n001101000\n010110110\n100100101\n101101110\n010100111'
 
 LOG=$(mktemp /tmp/ebmfd-smoke.XXXXXX.log)
 STORE=$(mktemp -d /tmp/ebmfd-smoke-store.XXXXXX)
 go build -o /tmp/ebmfd-smoke ./cmd/ebmfd
-/tmp/ebmfd-smoke -addr 127.0.0.1:0 -store "$STORE" >"$LOG" 2>&1 &
+/tmp/ebmfd-smoke -addr 127.0.0.1:0 -store "$STORE" -tenants 'smoke:smoke-key:3:1' >"$LOG" 2>&1 &
 PID=$!
 trap 'kill $PID 2>/dev/null || true; rm -rf "$STORE"' EXIT
 
@@ -99,6 +110,70 @@ done
 grep -q '"t_us":' <<<"$TRACES" || { echo "FAIL: traces carry no solver progress samples"; exit 1; }
 grep -q '"cache_hit":"true"' <<<"$TRACES" || { echo "FAIL: no trace records a cache hit"; exit 1; }
 
+# --- Async jobs: submit → stream → result ---------------------------------
+# A submit answers 202 with an ID immediately; the SSE stream must deliver
+# lifecycle events and end with a terminal done frame carrying the result.
+JOB=$(curl -sf -X POST -d "{\"matrix\":\"$GAP8\"}" "http://$ADDR/v1/jobs")
+echo "job:      $JOB"
+JOB_ID=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$JOB")
+[ -n "$JOB_ID" ] || { echo "FAIL: job submit returned no ID"; exit 1; }
+STREAM=$(curl -sfN --max-time 60 "http://$ADDR/v1/jobs/$JOB_ID/events")
+grep -q 'event: done' <<<"$STREAM" || { echo "FAIL: job stream had no done event"; echo "$STREAM"; exit 1; }
+grep -q '"depth":8' <<<"$STREAM" || { echo "FAIL: job stream result depth != 8"; echo "$STREAM"; exit 1; }
+J=$(curl -sf "http://$ADDR/v1/jobs/$JOB_ID")
+grep -q '"state":"done"' <<<"$J" || { echo "FAIL: streamed job not done: $J"; exit 1; }
+grep -q '"optimal":true' <<<"$J" || { echo "FAIL: streamed job not optimal: $J"; exit 1; }
+
+# --- Cancel mid-solve frees the slot --------------------------------------
+JOB=$(curl -sf -X POST -d "{\"matrix\":\"$HARD\"}" "http://$ADDR/v1/jobs")
+JOB_ID=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$JOB")
+for _ in $(seq 1 100); do
+  STATE=$(curl -sf "http://$ADDR/v1/jobs/$JOB_ID" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+  [ "$STATE" = running ] && break
+  sleep 0.1
+done
+[ "$STATE" = running ] || { echo "FAIL: hard job never started running (state=$STATE)"; exit 1; }
+curl -sf -X DELETE "http://$ADDR/v1/jobs/$JOB_ID" >/dev/null
+for _ in $(seq 1 100); do
+  STATE=$(curl -sf "http://$ADDR/v1/jobs/$JOB_ID" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+  [ "$STATE" = canceled ] && break
+  sleep 0.1
+done
+[ "$STATE" = canceled ] || { echo "FAIL: canceled job state=$STATE"; exit 1; }
+# The freed slot must serve new work promptly (a cached solve suffices).
+R6=$(curl -sf --max-time 5 -X POST -d "{\"matrix\":\"$FIG1B\"}" "http://$ADDR/v1/solve")
+grep -q '"depth":5' <<<"$R6" || { echo "FAIL: solve after cancel broken: $R6"; exit 1; }
+
+# --- Tenant quota: coded 429, degrade opt-in sheds gracefully -------------
+# Tenant "smoke" has quota 1: a second outstanding job must be rejected with
+# the machine-readable code and a Retry-After hint...
+JOB=$(curl -sf -X POST -H 'Authorization: Bearer smoke-key' \
+  -d "{\"matrix\":\"$HARD\"}" "http://$ADDR/v1/jobs")
+QUOTA_JOB_ID=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$JOB")
+HDRS=$(mktemp /tmp/ebmfd-smoke.XXXXXX.hdrs)
+OVER=$(curl -s -D "$HDRS" -X POST -H 'Authorization: Bearer smoke-key' \
+  -d "{\"matrix\":\"$FIG1B\"}" "http://$ADDR/v1/jobs")
+echo "quota:    $OVER"
+grep -q '"code":"quota_exceeded"' <<<"$OVER" || { echo "FAIL: quota rejection lacks code: $OVER"; exit 1; }
+grep -qi '^HTTP/.* 429' "$HDRS" || { echo "FAIL: quota rejection not a 429"; cat "$HDRS"; exit 1; }
+grep -qi '^Retry-After:' "$HDRS" || { echo "FAIL: quota 429 without Retry-After"; cat "$HDRS"; exit 1; }
+rm -f "$HDRS"
+# ...unless the client opted into degradation: then it gets a heuristic-only
+# answer (optimal=false) instead of the 429.
+DEG=$(curl -sf -X POST -H 'Authorization: Bearer smoke-key' \
+  -d "{\"matrix\":\"$GAPM\",\"degrade\":true}" "http://$ADDR/v1/jobs")
+DEG_ID=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$DEG")
+for _ in $(seq 1 100); do
+  DJ=$(curl -sf "http://$ADDR/v1/jobs/$DEG_ID" -H 'Authorization: Bearer smoke-key')
+  grep -q '"state":"done"' <<<"$DJ" && break
+  sleep 0.1
+done
+echo "degraded: $DJ"
+grep -q '"degraded":true' <<<"$DJ" || { echo "FAIL: shed job not marked degraded: $DJ"; exit 1; }
+grep -q '"optimal":false' <<<"$DJ" || { echo "FAIL: shed job claims optimality: $DJ"; exit 1; }
+# Free the quota-filling job so it does not burn CPU into the next phase.
+curl -sf -X DELETE "http://$ADDR/v1/jobs/$QUOTA_JOB_ID" -H 'Authorization: Bearer smoke-key' >/dev/null
+
 # Crash recovery: kill -9 (no drain, no flush beyond the write-through),
 # corrupt the WAL, restart on the same store directory. The last record
 # (the raced 8x8) gets a byte flipped — its CRC must fail and only it may
@@ -161,4 +236,4 @@ fi
 grep -q 'store flushed' "$LOG2" || { echo "FAIL: drain did not flush the store; log follows"; cat "$LOG2"; exit 1; }
 trap - EXIT
 rm -rf "$STORE"
-echo "PASS: server smoke (free port, cold solve, permuted cache hit, portfolio, traces, crash recovery, drain)"
+echo "PASS: server smoke (free port, cold solve, permuted cache hit, portfolio, traces, jobs+SSE, cancel, quota codes, degrade, crash recovery, drain)"

@@ -39,6 +39,8 @@
 //	-api-key K         API key for -server (Authorization: Bearer)
 //	-degrade           with -server: under overload accept a heuristic-only
 //	                   answer (exit code 2) instead of a 429
+//	-callback URL      with -server: webhook URL POSTed the terminal job
+//	                   snapshot (must be on the server's -webhook-allow list)
 //	-q                 print only the depth
 //
 // Exit codes: 0 when the partition is proved depth-optimal, 2 when the
@@ -99,6 +101,7 @@ func run() int {
 	serverURL := flag.String("server", "", "submit to a running ebmfd/ebmfgw as an async job instead of solving locally")
 	apiKey := flag.String("api-key", "", "API key for -server (sent as Authorization: Bearer)")
 	degrade := flag.Bool("degrade", false, "with -server: accept a heuristic-only answer under overload instead of a 429")
+	callback := flag.String("callback", "", "with -server: webhook URL POSTed the terminal job (must be on the server's allowlist)")
 	quiet := flag.Bool("q", false, "print only the depth")
 	flag.Parse()
 
@@ -137,7 +140,7 @@ func run() int {
 		if *strategies != "" {
 			wopts.PortfolioStrategies = strings.Split(*strategies, ",")
 		}
-		return runRemote(*serverURL, *apiKey, *degrade, m, wopts, *jsonOut, *quiet)
+		return runRemote(*serverURL, *apiKey, *degrade, *callback, m, wopts, *jsonOut, *quiet)
 	}
 
 	opts := ebmf.DefaultOptions()

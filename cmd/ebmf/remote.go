@@ -23,15 +23,16 @@ import (
 //
 // The job is submitted with cancel_on_disconnect, so killing the CLI cancels
 // the remote solve instead of leaving it running server-side.
-func runRemote(serverURL, apiKey string, degrade bool, m *ebmf.Matrix,
+func runRemote(serverURL, apiKey string, degrade bool, callback string, m *ebmf.Matrix,
 	opts *wire.SolveOptions, jsonOut, quiet bool) int {
 	serverURL = strings.TrimRight(serverURL, "/")
 	req := wire.JobRequest{
 		API:                wire.V1,
 		Matrix:             m.String(),
 		Options:            opts,
-		CancelOnDisconnect: true,
+		CancelOnDisconnect: callback == "", // a webhook outlives the CLI; don't cancel its job
 		Degrade:            degrade,
+		CallbackURL:        callback,
 	}
 	payload, err := json.Marshal(&req)
 	if err != nil {

@@ -22,6 +22,8 @@
 //	-job-ttl D          how long a finished job stays pollable (default 10m)
 //	-store DIR          durable result store directory (default: no store)
 //	-store-sync MODE    store fsync policy: interval, always, never (default interval)
+//	-job-journal DIR    job journal directory: journaled submits survive restarts (default: off)
+//	-webhook-allow LIST callback_url allowlist: URL prefixes or hosts, comma-separated (default: webhooks off)
 //	-trace-sample N     trace one solve in N (1 = every solve; -1 = tracing off)
 //	-slow-solve-ms N    log solves slower than N ms with their span tree (0 = off)
 //	-debug-addr A       serve net/http/pprof and expvar on a separate listener (default: off)
@@ -54,6 +56,15 @@
 // daemon (even after kill -9) answers its whole history from cache without
 // re-solving. The "listening on" line reports how many records loaded.
 //
+// With -job-journal, every accepted async job is journaled at admission and
+// again at its terminal state (same -store-sync fsync policy). A restarted
+// daemon replays the journal: unfinished jobs are re-admitted under their
+// original IDs (clients polling see "queued" again, never a 404), and with
+// -store alongside, already-proved results are served from the store
+// instead of re-solved. Terminal webhooks (callback_url on submit, gated by
+// -webhook-allow) are journaled too, so a notification that hadn't been
+// acknowledged before a crash is retried after the restart.
+//
 // SIGINT/SIGTERM drains gracefully: healthz flips to 503, new solves are
 // rejected, in-flight solves get up to the max timeout to finish, and the
 // store is flushed and closed only after the listener has fully drained —
@@ -72,6 +83,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -80,6 +92,17 @@ import (
 	"repro/internal/server"
 	"repro/internal/store"
 )
+
+// splitList parses a comma-separated flag value, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", ":8421", "listen address")
@@ -96,6 +119,8 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "how long a finished job stays pollable")
 	storeDir := flag.String("store", "", "durable result store directory (empty = no store)")
 	storeSync := flag.String("store-sync", "interval", "store fsync policy: interval, always, never")
+	journalDir := flag.String("job-journal", "", "job journal directory (empty = jobs do not survive restarts)")
+	webhookAllow := flag.String("webhook-allow", "", "callback_url allowlist: URL prefixes or hosts, comma-separated (empty = webhooks off)")
 	traceSample := flag.Int("trace-sample", 1, "trace one solve in N (1 = every solve, negative = off)")
 	slowSolveMS := flag.Int64("slow-solve-ms", 0, "log solves slower than this with their span tree (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar on this separate address (empty = off)")
@@ -124,26 +149,40 @@ func main() {
 		logger.Fatalf("-tenants: %v", err)
 	}
 
+	var syncPolicy store.SyncPolicy
+	switch *storeSync {
+	case "interval":
+		syncPolicy = store.SyncInterval
+	case "always":
+		syncPolicy = store.SyncAlways
+	case "never":
+		syncPolicy = store.SyncNever
+	default:
+		logger.Fatalf("-store-sync %q: want interval, always, or never", *storeSync)
+	}
+
 	// The store outlives the server: opened before New so boot warms the
 	// cache from disk, closed only after Shutdown returns so solves that
 	// finish during the drain window still reach the WAL.
 	var durable *store.Store
 	if *storeDir != "" {
-		var sync store.SyncPolicy
-		switch *storeSync {
-		case "interval":
-			sync = store.SyncInterval
-		case "always":
-			sync = store.SyncAlways
-		case "never":
-			sync = store.SyncNever
-		default:
-			logger.Fatalf("-store-sync %q: want interval, always, or never", *storeSync)
-		}
 		var err error
-		durable, err = store.Open(*storeDir, store.Options{Sync: sync, Logger: logger})
+		durable, err = store.Open(*storeDir, store.Options{Sync: syncPolicy, Logger: logger})
 		if err != nil {
 			logger.Fatalf("store: %v", err)
+		}
+	}
+
+	// The job journal follows the same lifecycle as the store: opened before
+	// New so the server can replay unfinished jobs during construction,
+	// closed last so terminal records and webhook acks written during the
+	// drain window reach disk.
+	var journal *store.Journal
+	if *journalDir != "" {
+		var err error
+		journal, err = store.OpenJournal(*journalDir, store.Options{Sync: syncPolicy, Logger: logger})
+		if err != nil {
+			logger.Fatalf("job journal: %v", err)
 		}
 	}
 
@@ -168,6 +207,8 @@ func main() {
 		Options:           &baseOpts,
 		Logger:            reqLogger,
 		Store:             durable,
+		Journal:           journal,
+		WebhookAllow:      splitList(*webhookAllow),
 		Tracer:            tracer,
 	})
 	httpSrv := &http.Server{
@@ -205,8 +246,12 @@ func main() {
 	if durable != nil {
 		records = durable.Len()
 	}
-	logger.Printf("listening on %s (concurrency=%d queue=%d cache=%d max-portfolio=%d store-records=%d)",
-		ln.Addr(), *concurrency, *queue, *cache, *maxPortfolio, records)
+	var recovered int64
+	if journal != nil {
+		recovered = journal.Stats().Loaded
+	}
+	logger.Printf("listening on %s (concurrency=%d queue=%d cache=%d max-portfolio=%d store-records=%d journal-jobs=%d)",
+		ln.Addr(), *concurrency, *queue, *cache, *maxPortfolio, records, recovered)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -229,6 +274,10 @@ func main() {
 			logger.Printf("serve: %v", err)
 			exit = 1
 		}
+		// Stop the webhook deliverer and job janitor after the listener has
+		// drained: an undelivered webhook stays journaled and is retried on
+		// the next boot.
+		srv.Close()
 		if durable != nil {
 			if err := durable.Close(); err != nil {
 				logger.Printf("store close: %v", err)
@@ -237,6 +286,16 @@ func main() {
 				ss := durable.Stats()
 				logger.Printf("store flushed (%d records, %d appended this run)",
 					ss.Records, ss.Appends)
+			}
+		}
+		if journal != nil {
+			js := journal.Stats()
+			if err := journal.Close(); err != nil {
+				logger.Printf("journal close: %v", err)
+				exit = 1
+			} else {
+				logger.Printf("journal flushed (%d pending jobs, %d undelivered webhooks)",
+					js.Pending, js.Undelivered)
 			}
 		}
 		if exit != 0 {

@@ -41,6 +41,13 @@
 //	GET  /v1/jobs/{id}          poll, sticky to the accepting backend
 //	DELETE /v1/jobs/{id}        cancel through the proxy
 //	GET  /v1/jobs/{id}/events   SSE stream proxied frame by frame
+//
+// A job whose home backend dies is re-homed: the gateway resubmits the
+// pinned canonical matrix to the next ring candidate under the same gw- ID
+// and flags later snapshots with "rehomed":true (counted in /v1/metrics as
+// jobs.rehomed). Progress restarts on the new home, but the result is the
+// same — it is a deterministic property of the matrix.
+//
 //	GET  /v1/healthz  gateway + fleet liveness
 //	GET  /v1/metrics  gateway counters and per-backend state
 //	GET  /v1/debug/traces   stitched cross-tier traces (gateway + backend spans)

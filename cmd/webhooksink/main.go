@@ -1,0 +1,85 @@
+// Command webhooksink is a tiny webhook receiver for smoke tests: it
+// accepts POSTed terminal-job notifications, appends each body as one JSON
+// line to -out (or stdout), and can fail the first N deliveries to exercise
+// the sender's retry path.
+//
+// Usage:
+//
+//	webhooksink [flags]
+//
+// Flags:
+//
+//	-addr A        listen address (default 127.0.0.1:0; the bound address is
+//	               printed in the "listening on" log line, which scripts parse)
+//	-out F         append received bodies to this file, one JSON per line
+//	               (default: stdout)
+//	-fail-first N  respond 500 to the first N deliveries (default 0)
+//
+// Every delivery is logged to stderr with its disposition, so a smoke run's
+// transcript shows the at-least-once retry sequence.
+package main
+
+import (
+	"flag"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	out := flag.String("out", "", "append received webhook bodies to this file (empty = stdout)")
+	failFirst := flag.Int64("fail-first", 0, "respond 500 to the first N deliveries")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "webhooksink: ", log.LstdFlags)
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatalf("-out: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var mu sync.Mutex // serializes writes so concurrent deliveries stay one-per-line
+	var seen atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /", func(rw http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := seen.Add(1)
+		if n <= *failFirst {
+			logger.Printf("delivery %d: rejected (fail-first %d)", n, *failFirst)
+			http.Error(rw, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		mu.Lock()
+		_, werr := w.Write(append(body, '\n'))
+		mu.Unlock()
+		if werr != nil {
+			logger.Printf("delivery %d: write: %v", n, werr)
+			http.Error(rw, werr.Error(), http.StatusInternalServerError)
+			return
+		}
+		logger.Printf("delivery %d: accepted (%d bytes)", n, len(body))
+		rw.WriteHeader(http.StatusOK)
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("listening on %s", ln.Addr())
+	if err := http.Serve(ln, mux); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+}

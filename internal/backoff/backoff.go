@@ -1,0 +1,42 @@
+// Package backoff is the fleet's shared retry arithmetic: jittered
+// exponential delays used by the gateway's circuit breaker and probe loops
+// and by the daemon's webhook deliverer. Keeping it in one place keeps the
+// retry behavior uniform — every component that hammers a struggling peer
+// backs off on the same curve, desynchronized by the same jitter.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Shift caps exponential growth at 2^Shift (64×).
+const Shift = 6
+
+// Jitter spreads d uniformly over [0.75d, 1.25d) so a fleet of clients (or
+// one process's many retry loops) never synchronizes its retries into
+// thundering herds against a recovering peer.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d - d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// Delay is the jittered exponential schedule: base doubled per failure
+// (capped at 2^Shift×), clamped to max when max > 0, then jittered. fails
+// counts consecutive failures so far, so the first retry (fails 0) waits
+// about base.
+func Delay(base time.Duration, fails int, max time.Duration) time.Duration {
+	if fails < 0 {
+		fails = 0
+	}
+	if fails > Shift {
+		fails = Shift
+	}
+	d := base << fails
+	if max > 0 && d > max {
+		d = max
+	}
+	return Jitter(d)
+}

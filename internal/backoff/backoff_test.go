@@ -1,0 +1,47 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJitterBounds(t *testing.T) {
+	const d = 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := Jitter(d)
+		if j < d-d/4 || j >= d+d/4+1 {
+			t.Fatalf("Jitter(%v) = %v outside [0.75d, 1.25d]", d, j)
+		}
+	}
+	if Jitter(0) != 0 || Jitter(-time.Second) != -time.Second {
+		t.Fatal("non-positive durations must pass through unchanged")
+	}
+}
+
+func TestDelayGrowthAndCaps(t *testing.T) {
+	const base = 100 * time.Millisecond
+	// Growth: each step's nominal value doubles until Shift caps it. Jitter
+	// is ±25%, so comparing against 0.75/1.25 of the nominal is exact.
+	for fails := 0; fails <= Shift+3; fails++ {
+		shift := fails
+		if shift > Shift {
+			shift = Shift
+		}
+		nominal := base << shift
+		d := Delay(base, fails, 0)
+		if d < nominal-nominal/4 || d >= nominal+nominal/4+1 {
+			t.Fatalf("Delay(base, %d, 0) = %v, nominal %v", fails, d, nominal)
+		}
+	}
+	// max clamps the pre-jitter value.
+	const max = 300 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		if d := Delay(base, Shift, max); d >= max+max/4+1 {
+			t.Fatalf("Delay with max %v returned %v", max, d)
+		}
+	}
+	// Negative fails behaves like zero.
+	if d := Delay(base, -5, 0); d < base-base/4 || d >= base+base/4+1 {
+		t.Fatalf("Delay with negative fails = %v", d)
+	}
+}

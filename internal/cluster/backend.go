@@ -2,27 +2,14 @@ package cluster
 
 import (
 	"context"
-	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/obs"
 )
-
-// jitter spreads d uniformly over [0.75d, 1.25d) so a fleet of gateways (or
-// one gateway's many probe loops) never synchronizes its retries into
-// thundering herds against a recovering backend.
-func jitter(d time.Duration) time.Duration {
-	if d <= 0 {
-		return d
-	}
-	return d - d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
-}
-
-// backoffShift caps exponential growth at 2^backoffShift (64×).
-const backoffShift = 6
 
 // breakerState is the per-backend circuit-breaker position.
 type breakerState int
@@ -143,8 +130,8 @@ func (b *backend) absolve() {
 // from any state (and resets the backoff); a failure in half-open (or the
 // threshold-th consecutive failure in closed) opens it. Each re-open
 // without an intervening success doubles the cooldown — jittered, capped at
-// 2^backoffShift× — so a backend that keeps failing its half-open trials is
-// probed ever less often instead of on a fixed drumbeat.
+// 2^backoff.Shift× — so a backend that keeps failing its half-open trials
+// is probed ever less often instead of on a fixed drumbeat.
 func (b *backend) report(ok bool, now time.Time, threshold int, cooldown time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -161,12 +148,8 @@ func (b *backend) report(ok bool, now time.Time, threshold int, cooldown time.Du
 	if b.state == brHalfOpen || (b.state == brClosed && b.consecFails >= threshold) {
 		b.state = brOpen
 		b.reopens.Add(1)
-		shift := b.consecOpens
-		if shift > backoffShift {
-			shift = backoffShift
-		}
+		b.retryAt = now.Add(backoff.Delay(cooldown, b.consecOpens, 0))
 		b.consecOpens++
-		b.retryAt = now.Add(jitter(cooldown << shift))
 	}
 }
 
@@ -193,18 +176,11 @@ const probeMaxBackoff = 30 * time.Second
 // when it is configured even longer). The jitter keeps a fleet of gateways
 // from stampeding a backend the moment it comes back.
 func probeDelay(base time.Duration, fails int) time.Duration {
-	if fails > backoffShift {
-		fails = backoffShift
-	}
-	d := base << fails
 	max := probeMaxBackoff
 	if base > max {
 		max = base
 	}
-	if d > max {
-		d = max
-	}
-	return jitter(d)
+	return backoff.Delay(base, fails, max)
 }
 
 // probeLoop polls GET /v1/healthz until ctx is canceled, flipping the
@@ -214,7 +190,7 @@ func probeDelay(base time.Duration, fails int) time.Duration {
 // handful of connection attempts per half-minute, not per interval.
 func (g *Gateway) probeLoop(ctx context.Context, b *backend) {
 	fails := 0
-	t := time.NewTimer(jitter(g.cfg.ProbeInterval))
+	t := time.NewTimer(backoff.Jitter(g.cfg.ProbeInterval))
 	defer t.Stop()
 	for {
 		select {

@@ -3,6 +3,8 @@ package cluster
 import (
 	"testing"
 	"time"
+
+	"repro/internal/backoff"
 )
 
 func TestBreakerOpensAfterThresholdAndRecovers(t *testing.T) {
@@ -128,7 +130,7 @@ func TestProbeDelaySchedule(t *testing.T) {
 	base := 2 * time.Second
 	for fails := 0; fails < 12; fails++ {
 		d := probeDelay(base, fails)
-		want := base << min(fails, backoffShift)
+		want := base << min(fails, backoff.Shift)
 		if want > probeMaxBackoff {
 			want = probeMaxBackoff
 		}

@@ -2,12 +2,16 @@ package cluster
 
 import (
 	"bufio"
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -32,20 +36,59 @@ import (
 // connection closes the proxied backend request, so cancel_on_disconnect
 // semantics propagate through the gateway unchanged.
 
-// jobEntry is one proxied job's route: where it lives and how to lift its
-// result.
+// jobEntry is one proxied job's route: where it lives, how to lift its
+// result, and everything needed to re-home it — the canonical submit
+// payload is pinned so a dead backend's job can be resubmitted to the next
+// ring candidate under the same gateway ID.
 type jobEntry struct {
+	mu        sync.Mutex
 	backend   *backend
 	backendID string
 	it        *solveItem // nil lift context means relay results verbatim
+	payload   []byte     // canonical submit body (re-homing resubmits it)
+	fpHash    string     // ring key, for the re-home candidate order
+	terminal  bool       // a terminal snapshot was observed through this route
+	rehomed   bool       // the route no longer points at the original home
 }
 
-// jobTable maps gateway job IDs to their routes, bounded by evicting the
-// oldest entries (an evicted job is still pollable directly on its backend;
-// the gateway just no longer knows the way).
+// route reads the entry's current backend and backend-side job ID.
+func (e *jobEntry) route() (*backend, string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.backend, e.backendID
+}
+
+// markTerminal records that a terminal snapshot passed through this route:
+// the job is finished, so this entry is first in line for eviction.
+func (e *jobEntry) markTerminal() {
+	e.mu.Lock()
+	e.terminal = true
+	e.mu.Unlock()
+}
+
+func (e *jobEntry) isTerminal() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.terminal
+}
+
+// newGatewayJobID mints an unguessable gateway job ID (64 bits of
+// crypto/rand), matching the backend registry's ID policy.
+func newGatewayJobID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("cluster: crypto/rand unavailable: %v", err))
+	}
+	return "gw-" + hex.EncodeToString(b[:])
+}
+
+// jobTable maps gateway job IDs to their routes, bounded by evicting
+// terminal entries first and only then the oldest live ones — a submit
+// burst must not drop the route of a still-running streamed job (an evicted
+// job is still pollable directly on its backend; the gateway just no longer
+// knows the way).
 type jobTable struct {
 	mu    sync.Mutex
-	seq   uint64
 	jobs  map[string]*jobEntry
 	order []string
 	max   int
@@ -58,15 +101,42 @@ func newJobTable(max int) *jobTable {
 func (t *jobTable) add(e *jobEntry) string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.seq++
-	id := fmt.Sprintf("gw-%08x", t.seq)
+	var id string
+	for {
+		id = newGatewayJobID()
+		if _, taken := t.jobs[id]; !taken {
+			break
+		}
+	}
 	t.jobs[id] = e
 	t.order = append(t.order, id)
-	for len(t.order) > t.max {
+	t.evictLocked()
+	return id
+}
+
+// evictLocked enforces max: finished jobs age out first (oldest terminal
+// first), and only when every remaining entry is live does it fall back to
+// strict FIFO.
+func (t *jobTable) evictLocked() {
+	over := len(t.order) - t.max
+	if over <= 0 {
+		return
+	}
+	kept := t.order[:0]
+	for _, id := range t.order {
+		if over > 0 && t.jobs[id].isTerminal() {
+			delete(t.jobs, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	t.order = kept
+	for over > 0 && len(t.order) > 0 {
 		delete(t.jobs, t.order[0])
 		t.order = t.order[1:]
+		over--
 	}
-	return id
 }
 
 func (t *jobTable) get(id string) *jobEntry {
@@ -82,20 +152,70 @@ func (t *jobTable) len() int {
 }
 
 // rewriteJob maps a backend job snapshot into gateway space: the gateway ID
-// replaces the backend's, and a canonical-space result is lifted onto the
-// client's original matrix. Returns an error only when lifting fails — a
-// backend or routing bug, never a client mistake.
+// replaces the backend's, the rehomed flag surfaces, and a canonical-space
+// result is lifted onto the client's original matrix. Returns an error only
+// when lifting fails — a backend or routing bug, never a client mistake.
 func (e *jobEntry) rewriteJob(gwID string, j *wire.JobJSON) error {
 	j.ID = gwID
-	if j.Result == nil || e.it == nil || !e.it.exact {
+	e.mu.Lock()
+	rehomed, it := e.rehomed, e.it
+	e.mu.Unlock()
+	if rehomed {
+		j.Rehomed = true
+	}
+	if wire.JobTerminal(j.State) {
+		e.markTerminal()
+	}
+	if j.Result == nil || it == nil || !it.exact {
 		return nil
 	}
-	res, err := e.it.liftJSON(j.Result, false)
+	res, err := it.liftJSON(j.Result, false)
 	if err != nil {
 		return err
 	}
 	j.Result = res
 	return nil
+}
+
+// rehome resubmits a job whose home backend stopped answering: the pinned
+// canonical payload is offered to the remaining ring candidates in order,
+// and the first 202 becomes the entry's new route — same gateway ID,
+// Rehomed surfaced on every later snapshot. Sound because a solve result is
+// a deterministic property of the matrix: the new backend re-derives (or
+// cache-hits) the same answer the dead one would have produced. Progress is
+// reset — the client may see "queued" again — which is the trade against a
+// permanent 502. Reports whether a new home accepted.
+func (g *Gateway) rehome(ctx context.Context, gwID string, e *jobEntry, hdr http.Header) bool {
+	e.mu.Lock()
+	payload, dead, fpHash, terminal := e.payload, e.backend, e.fpHash, e.terminal
+	e.mu.Unlock()
+	if len(payload) == 0 || terminal {
+		return false
+	}
+	order, forceFrom := g.candidateOrder(fpHash)
+	for i, b := range order {
+		if b == dead {
+			continue
+		}
+		fr := g.attempt(ctx, b, "/v1/jobs", payload, i >= forceFrom, hdr)
+		if ctx.Err() != nil {
+			return false
+		}
+		if !fr.authoritative() || fr.status != http.StatusAccepted {
+			continue
+		}
+		var j wire.JobJSON
+		if err := json.Unmarshal(fr.body, &j); err != nil {
+			continue
+		}
+		e.mu.Lock()
+		e.backend, e.backendID, e.rehomed = b, j.ID, true
+		e.mu.Unlock()
+		g.met.jobsRehomed.Add(1)
+		g.cfg.Logger.Printf("job %s: re-homed %s -> %s", gwID, dead.url, b.url)
+		return true
+	}
+	return false
 }
 
 // handleJobSubmit proxies POST /v1/jobs: validate locally (cheap, and the
@@ -163,7 +283,7 @@ func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "bad backend job response: %v", err))
 			return
 		}
-		e := &jobEntry{backend: b, backendID: j.ID, it: it}
+		e := &jobEntry{backend: b, backendID: j.ID, it: it, payload: payload, fpHash: it.fp.Hash}
 		gwID := g.jobs.add(e)
 		if err := e.rewriteJob(gwID, &j); err != nil {
 			g.met.failed.Add(1)
@@ -199,21 +319,34 @@ func (g *Gateway) jobRoute(w http.ResponseWriter, r *http.Request) (string, *job
 }
 
 // proxyJobCall forwards one GET/DELETE to a job's home backend and rewrites
-// the snapshot on success.
+// the snapshot on success. A transport error (home died) triggers one
+// re-home attempt: the pinned submit resubmits to the next ring candidate
+// and the call retries against the new route, so a single poll of a
+// dead-backend job answers 200 with a live (re-homed) snapshot instead
+// of 502.
 func (g *Gateway) proxyJobCall(w http.ResponseWriter, r *http.Request, method string) {
 	gwID, e, ok := g.jobRoute(w, r)
 	if !ok {
 		return
 	}
-	req, err := http.NewRequestWithContext(r.Context(), method,
-		e.backend.url+"/v1/jobs/"+e.backendID, nil)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, wire.Errorf(wire.CodeInternal, "%v", err))
-		return
-	}
-	copyAuth(req.Header, r.Header)
-	resp, err := g.client.Do(req)
-	if err != nil {
+	var resp *http.Response
+	for try := 0; ; try++ {
+		b, backendID := e.route()
+		req, err := http.NewRequestWithContext(r.Context(), method,
+			b.url+"/v1/jobs/"+backendID, nil)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, wire.Errorf(wire.CodeInternal, "%v", err))
+			return
+		}
+		copyAuth(req.Header, r.Header)
+		resp, err = g.client.Do(req)
+		if err == nil {
+			break
+		}
+		b.report(false, time.Now(), g.cfg.BreakerThreshold, g.cfg.BreakerCooldown)
+		if try == 0 && g.rehome(r.Context(), gwID, e, r.Header) {
+			continue
+		}
 		g.met.failed.Add(1)
 		writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "job backend unreachable: %v", err))
 		return
@@ -262,18 +395,27 @@ func (g *Gateway) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
-		e.backend.url+"/v1/jobs/"+e.backendID+"/events", nil)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, wire.Errorf(wire.CodeInternal, "%v", err))
-		return
-	}
-	copyAuth(req.Header, r.Header)
-	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
-		req.Header.Set("Last-Event-ID", lid)
-	}
-	resp, err := g.client.Do(req)
-	if err != nil {
+	var resp *http.Response
+	for try := 0; ; try++ {
+		b, backendID := e.route()
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			b.url+"/v1/jobs/"+backendID+"/events", nil)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, wire.Errorf(wire.CodeInternal, "%v", err))
+			return
+		}
+		copyAuth(req.Header, r.Header)
+		if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+			req.Header.Set("Last-Event-ID", lid)
+		}
+		resp, err = g.client.Do(req)
+		if err == nil {
+			break
+		}
+		b.report(false, time.Now(), g.cfg.BreakerThreshold, g.cfg.BreakerCooldown)
+		if try == 0 && g.rehome(r.Context(), gwID, e, r.Header) {
+			continue
+		}
 		g.met.failed.Add(1)
 		writeJSON(w, http.StatusBadGateway, wire.Errorf(wire.CodeUpstream, "job backend unreachable: %v", err))
 		return

@@ -18,6 +18,7 @@ type gwMetrics struct {
 	jobSubmits   atomic.Int64 // POST /v1/jobs received
 	jobsAccepted atomic.Int64 // submissions a backend accepted (202)
 	jobStreams   atomic.Int64 // SSE event streams proxied
+	jobsRehomed  atomic.Int64 // jobs resubmitted to a new backend after their home died
 
 	localHits      atomic.Int64 // served from the gateway-local LRU
 	remoteHits     atomic.Int64 // backend answered with cache_hit=true
@@ -79,7 +80,8 @@ type GWJobMetrics struct {
 	Submitted int64 `json:"submitted"`
 	Accepted  int64 `json:"accepted"`
 	Streams   int64 `json:"streams"`
-	Routes    int   `json:"routes"` // live gateway-ID → backend mappings
+	Rehomed   int64 `json:"rehomed"` // re-homed after a dead backend
+	Routes    int   `json:"routes"`  // live gateway-ID → backend mappings
 }
 
 // RoutingMetrics aggregates the failover machinery's behaviour.
@@ -127,6 +129,7 @@ func (g *Gateway) MetricsSnapshot() MetricsSnapshot {
 			Submitted: m.jobSubmits.Load(),
 			Accepted:  m.jobsAccepted.Load(),
 			Streams:   m.jobStreams.Load(),
+			Rehomed:   m.jobsRehomed.Load(),
 			Routes:    g.jobs.len(),
 		},
 		Routing: RoutingMetrics{

@@ -2,9 +2,10 @@ package server
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"sync"
@@ -40,18 +41,71 @@ import (
 // semaphore; they cost milliseconds, not solver minutes.
 
 // jobRegistry owns every live and recently-terminal job, bounded by
-// MaxJobs with terminal-first eviction.
+// MaxJobs with terminal-first eviction. TTL expiry runs on every lookup and
+// on a periodic janitor sweep, so terminal jobs expire on schedule even on
+// an otherwise idle daemon.
 type jobRegistry struct {
 	mu    sync.Mutex
 	jobs  map[string]*job
 	order []*job // insertion order, for eviction scans
 	max   int
 	ttl   time.Duration
-	seq   uint64
+	now   func() time.Time // injectable clock for TTL tests
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
 }
 
 func newJobRegistry(max int, ttl time.Duration) *jobRegistry {
-	return &jobRegistry{jobs: make(map[string]*job), max: max, ttl: ttl}
+	return &jobRegistry{jobs: make(map[string]*job), max: max, ttl: ttl, now: time.Now}
+}
+
+// startJanitor begins the periodic TTL sweep. Stop with stopJanitor.
+func (r *jobRegistry) startJanitor() {
+	r.janitorStop = make(chan struct{})
+	r.janitorDone = make(chan struct{})
+	period := r.ttl / 4
+	if period <= 0 || period > time.Minute {
+		period = time.Minute
+	}
+	go func() {
+		defer close(r.janitorDone)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.janitorStop:
+				return
+			case <-t.C:
+				r.mu.Lock()
+				r.evictLocked()
+				r.mu.Unlock()
+			}
+		}
+	}()
+}
+
+func (r *jobRegistry) stopJanitor() {
+	if r.janitorStop == nil {
+		return
+	}
+	close(r.janitorStop)
+	<-r.janitorDone
+	r.janitorStop = nil
+}
+
+// newJobID mints an unguessable job ID: 64 bits from crypto/rand. IDs are
+// bearer-ish (tenant visibility is checked, but an unauthenticated default-
+// tenant job is reachable by anyone who knows the ID), so they must not be
+// enumerable from a counter.
+func newJobID(prefix string) string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform's entropy source is gone;
+		// refusing to mint guessable IDs is the safe failure.
+		panic(fmt.Sprintf("server: crypto/rand unavailable: %v", err))
+	}
+	return prefix + hex.EncodeToString(b[:])
 }
 
 // jobEventRing caps the per-job replay buffer. Progress events beyond it
@@ -69,6 +123,8 @@ type job struct {
 	cancel   context.CancelFunc // aborts queue wait and CDCL search
 
 	cancelOnDisconnect bool
+	callback           string // validated callback_url ("" = no webhook)
+	recovered          bool   // re-admitted from the journal after a restart
 
 	mu       sync.Mutex
 	state    string
@@ -94,16 +150,33 @@ type jobSub struct {
 }
 
 func (r *jobRegistry) newJob(t *tenant, cancelOnDisconnect bool, cancel context.CancelFunc) *job {
+	return r.insert("", t, cancelOnDisconnect, cancel)
+}
+
+// insert registers a job under id — freshly minted when empty (the normal
+// submit path), or a journaled ID being restored after a restart so clients
+// polling it keep working. A restore colliding with a live entry yields the
+// existing job (replay is idempotent).
+func (r *jobRegistry) insert(id string, t *tenant, cancelOnDisconnect bool, cancel context.CancelFunc) *job {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.seq++
+	if id == "" {
+		for {
+			id = newJobID("j-")
+			if _, taken := r.jobs[id]; !taken {
+				break
+			}
+		}
+	} else if existing := r.jobs[id]; existing != nil {
+		return existing
+	}
 	j := &job{
-		id:                 fmt.Sprintf("j-%08x-%04x", r.seq, rand.Uint32()%0x10000),
+		id:                 id,
 		tenant:             t,
 		cancel:             cancel,
 		cancelOnDisconnect: cancelOnDisconnect,
 		state:              wire.JobQueued,
-		created:            time.Now(),
+		created:            r.now(),
 		subs:               make(map[*jobSub]bool),
 		done:               make(chan struct{}),
 	}
@@ -117,7 +190,7 @@ func (r *jobRegistry) newJob(t *tenant, cancelOnDisconnect bool, cancel context.
 // the oldest terminal jobs. Live jobs are never evicted: their runner
 // goroutine and cancellation handle must stay reachable.
 func (r *jobRegistry) evictLocked() {
-	now := time.Now()
+	now := r.now()
 	kept := r.order[:0]
 	for _, j := range r.order {
 		j.mu.Lock()
@@ -149,9 +222,13 @@ func (r *jobRegistry) evictLocked() {
 	r.order = kept
 }
 
+// get resolves a job ID, expiring on the way: TTL eviction runs before the
+// lookup so a terminal job past its TTL 404s even when no submission has
+// run the eviction scan since it expired.
 func (r *jobRegistry) get(id string) *job {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.evictLocked()
 	return r.jobs[id]
 }
 
@@ -170,13 +247,14 @@ func (j *job) snapshot() *wire.JobJSON {
 
 func (j *job) snapshotLocked() *wire.JobJSON {
 	out := &wire.JobJSON{
-		API:      wire.V1,
-		ID:       j.id,
-		State:    j.state,
-		Tenant:   j.tenant.cfg.Name,
-		Degraded: j.degraded,
-		Result:   j.result,
-		Error:    j.errMsg,
+		API:       wire.V1,
+		ID:        j.id,
+		State:     j.state,
+		Tenant:    j.tenant.cfg.Name,
+		Degraded:  j.degraded,
+		Recovered: j.recovered,
+		Result:    j.result,
+		Error:     j.errMsg,
 	}
 	switch {
 	case !j.started.IsZero():
@@ -313,6 +391,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, apiErrorf(http.StatusBadRequest, wire.CodeUnsupportedAPI, "%v", err))
 		return
 	}
+	if req.CallbackURL != "" {
+		if err := s.validateCallback(req.CallbackURL); err != nil {
+			s.met.badRequests.Add(1)
+			s.writeError(w, apiErrorf(http.StatusBadRequest, wire.CodeBadRequest, "callback_url: %v", err))
+			return
+		}
+	}
 	sreq := req.SolveRequest()
 	m, aerr := s.requestMatrix(sreq)
 	if aerr != nil {
@@ -337,7 +422,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			// Graceful shed: answer with a heuristic-only result instead of
 			// a 429. The job exists, runs the cheap pipeline, and completes
 			// degraded.
-			j := s.newJob(t, &req)
+			j := s.newJob(t, &req, m)
 			go s.runShedJob(j, t, m, opts)
 			writeJSON(w, http.StatusAccepted, j.snapshot())
 			return
@@ -346,21 +431,39 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, admissionError(rerr))
 		return
 	}
-	j := s.newJob(t, &req)
+	j := s.newJob(t, &req, m)
 	go s.runJob(j, t, m, opts, timeout, resv)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
 // newJob creates the registry entry with its cancelable lifetime context
-// already wired into j.cancel.
-func (s *Server) newJob(t *tenant, req *wire.JobRequest) *job {
+// already wired into j.cancel, and journals the accepted submission — the
+// record hits the journal before the 202 goes out, so an accepted job is
+// never forgotten by a crash.
+func (s *Server) newJob(t *tenant, req *wire.JobRequest, m *bitmat.Matrix) *job {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := s.jobs.newJob(t, req.CancelOnDisconnect, cancel)
+	j.callback = req.CallbackURL
 	j.mu.Lock()
 	j.lifetime = ctx
 	j.publishLocked(wire.JobEvent{State: wire.JobQueued})
 	j.mu.Unlock()
+	s.journalSubmit(j, req, m)
 	return j
+}
+
+// finishJob is the server-level terminal transition: the job's own finish
+// (first win only), then the durability tail — terminal record to the
+// journal, webhook delivery if the job asked for one.
+func (s *Server) finishJob(j *job, state string, res *wire.ResultJSON, errMsg string, degraded bool) {
+	if !j.finish(state, res, errMsg, degraded) {
+		return
+	}
+	snap := j.snapshot()
+	s.journalTerminal(j, snap)
+	if j.callback != "" && s.webhooks != nil {
+		s.webhooks.enqueue(j.id, j.callback, snap)
+	}
 }
 
 // runJob is the job runner: wait for the reserved slot, solve under the
@@ -371,7 +474,7 @@ func (s *Server) runJob(j *job, t *tenant, m *bitmat.Matrix, opts core.Options, 
 	if err != nil {
 		// Canceled while queued: never ran, slot never held.
 		s.met.jobsCanceled.Add(1)
-		j.finish(wire.JobCanceled, nil, "", false)
+		s.finishJob(j, wire.JobCanceled, nil, "", false)
 		return
 	}
 	s.met.queueHist.Observe(time.Since(tq))
@@ -391,7 +494,7 @@ func (s *Server) runJob(j *job, t *tenant, m *bitmat.Matrix, opts core.Options, 
 	if err != nil {
 		s.met.jobsFailed.Add(1)
 		s.met.internalErrors.Add(1)
-		j.finish(wire.JobFailed, nil, err.Error(), false)
+		s.finishJob(j, wire.JobFailed, nil, err.Error(), false)
 		return
 	}
 	s.met.observeSolve(res, time.Since(t0))
@@ -400,11 +503,11 @@ func (s *Server) runJob(j *job, t *tenant, m *bitmat.Matrix, opts core.Options, 
 		// DELETE mid-solve: the partial result (best depth so far) is kept
 		// on the canceled snapshot.
 		s.met.jobsCanceled.Add(1)
-		j.finish(wire.JobCanceled, rj, "", false)
+		s.finishJob(j, wire.JobCanceled, rj, "", false)
 		return
 	}
 	s.met.jobsDone.Add(1)
-	j.finish(wire.JobDone, rj, "", false)
+	s.finishJob(j, wire.JobDone, rj, "", false)
 }
 
 // shedConcurrency bounds concurrent shed (heuristic-only) solves. Sheds
@@ -432,17 +535,17 @@ func (s *Server) runShedJob(j *job, t *tenant, m *bitmat.Matrix, opts core.Optio
 	res, fp, err := s.cache.SolveContextKeyed(j.lifetime, m, opts)
 	if err != nil {
 		s.met.jobsFailed.Add(1)
-		j.finish(wire.JobFailed, nil, err.Error(), true)
+		s.finishJob(j, wire.JobFailed, nil, err.Error(), true)
 		return
 	}
 	s.met.observeSolve(res, time.Since(t0))
 	if j.lifetime.Err() != nil {
 		s.met.jobsCanceled.Add(1)
-		j.finish(wire.JobCanceled, nil, "", true)
+		s.finishJob(j, wire.JobCanceled, nil, "", true)
 		return
 	}
 	s.met.jobsDone.Add(1)
-	j.finish(wire.JobDone, wire.FromResult(res, fp), "", true)
+	s.finishJob(j, wire.JobDone, wire.FromResult(res, fp), "", true)
 }
 
 // jobFor resolves {id} to a job visible to the requesting tenant,

@@ -34,7 +34,13 @@ type metrics struct {
 	jobsCanceled  atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsShed      atomic.Int64 // degraded to the heuristic-only path
+	jobsRecovered atomic.Int64 // re-admitted from the journal after restart
 	jobStreams    atomic.Int64 // /events subscriptions opened
+
+	// Webhook counters (terminal callback_url deliveries).
+	webhooksDelivered atomic.Int64 // 2xx acknowledged
+	webhooksRetried   atomic.Int64 // individual failed attempts
+	webhooksAbandoned atomic.Int64 // gave up this run (journal retries after restart)
 
 	// Fill counters (POST /v1/fill, the cache-fill replication path).
 	fillRequests  atomic.Int64
@@ -152,15 +158,18 @@ type MetricsSnapshot struct {
 	UptimeMS  int64            `json:"uptime_ms"`
 	Requests  RequestMetrics   `json:"requests"`
 	Jobs      JobMetrics       `json:"jobs"`
+	Webhooks  WebhookMetrics   `json:"webhooks"`
 	Solves    SolveMetrics     `json:"solves"`
 	Portfolio PortfolioMetrics `json:"portfolio"`
 	Queue     QueueMetrics     `json:"queue"`
 	Cache     solvecache.Stats `json:"cache"`
 	HitRate   float64          `json:"cache_hit_rate"`
 	// Fills reports the replication endpoint's activity; Store the durable
-	// tier's state (nil when no store is attached).
-	Fills FillMetrics  `json:"fills"`
-	Store *store.Stats `json:"store,omitempty"`
+	// tier's state (nil when no store is attached); Journal the job
+	// journal's state (nil when jobs are memory-only).
+	Fills   FillMetrics         `json:"fills"`
+	Store   *store.Stats        `json:"store,omitempty"`
+	Journal *store.JournalStats `json:"journal,omitempty"`
 }
 
 // FillMetrics counts POST /v1/fill dispositions.
@@ -204,8 +213,16 @@ type JobMetrics struct {
 	Canceled  int64 `json:"canceled"`
 	Failed    int64 `json:"failed"`
 	Shed      int64 `json:"shed"`
+	Recovered int64 `json:"recovered"` // journal-replayed after a restart
 	Streams   int64 `json:"streams"`
 	Live      int   `json:"live"` // jobs currently in the registry
+}
+
+// WebhookMetrics counts terminal callback deliveries.
+type WebhookMetrics struct {
+	Delivered int64 `json:"delivered"`
+	Retried   int64 `json:"retried"`
+	Abandoned int64 `json:"abandoned"`
 }
 
 // SolveMetrics aggregates completed solves, with the per-stage split carried
@@ -268,8 +285,14 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 			Canceled:  m.jobsCanceled.Load(),
 			Failed:    m.jobsFailed.Load(),
 			Shed:      m.jobsShed.Load(),
+			Recovered: m.jobsRecovered.Load(),
 			Streams:   m.jobStreams.Load(),
 			Live:      s.jobs.len(),
+		},
+		Webhooks: WebhookMetrics{
+			Delivered: m.webhooksDelivered.Load(),
+			Retried:   m.webhooksRetried.Load(),
+			Abandoned: m.webhooksAbandoned.Load(),
 		},
 		Solves: SolveMetrics{
 			Completed:   m.solves.Load(),
@@ -310,6 +333,10 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 	if st := s.cache.Store(); st != nil {
 		stats := st.Stats()
 		snap.Store = &stats
+	}
+	if s.cfg.Journal != nil {
+		stats := s.cfg.Journal.Stats()
+		snap.Journal = &stats
 	}
 	// Compatibility scalars, derived from the histograms.
 	snap.Solves.TotalNS = snap.Solves.Latency.SumNS

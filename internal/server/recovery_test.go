@@ -1,0 +1,341 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// openTestJournal opens (or reopens) a job journal in dir.
+func openTestJournal(t *testing.T, dir string) *store.Journal {
+	t.Helper()
+	jn, err := store.OpenJournal(dir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jn.Close() })
+	return jn
+}
+
+// TestRestartResumesJournaledJobs is the tentpole's acceptance path: jobs
+// queued at crash time are re-admitted by the next boot under the same IDs
+// and run to a terminal state.
+func TestRestartResumesJournaledJobs(t *testing.T) {
+	dir := t.TempDir()
+	jn := openTestJournal(t, dir)
+	s1, ts1 := newTestServer(t, Config{MaxConcurrent: 1, Journal: jn})
+
+	// Hold the only slot so the submissions stay queued — the crash happens
+	// before either job ran.
+	release := holdSlot(t, s1)
+	defer release()
+	var ids []string
+	for i := 0; i < 2; i++ {
+		resp, body := submitJob(t, ts1.URL, "", wire.JobRequest{Matrix: progressMatrix().String()})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+		ids = append(ids, decodeJob(t, body).ID)
+	}
+
+	// Crash: drop the server without letting the jobs finish. The journal
+	// handle is closed cleanly (the bytes are identical either way — crash
+	// realism for torn frames is covered by the store's own fault tests).
+	ts1.Close()
+	s1.Close()
+	jn.Close()
+
+	jn2 := openTestJournal(t, dir)
+	s2, ts2 := newTestServer(t, Config{Journal: jn2})
+	for _, id := range ids {
+		j := waitJobState(t, ts2.URL, "", id, func(j *wire.JobJSON) bool {
+			return wire.JobTerminal(j.State)
+		})
+		if j.State != wire.JobDone {
+			t.Fatalf("replayed job %s: state %q error %q", id, j.State, j.Error)
+		}
+		if !j.Recovered {
+			t.Fatalf("replayed job %s not marked recovered: %+v", id, j)
+		}
+	}
+	if got := s2.met.jobsRecovered.Load(); got != 2 {
+		t.Fatalf("jobs recovered = %d, want 2", got)
+	}
+	// Settled jobs compact away: a third boot has nothing to replay.
+	s2.Close()
+}
+
+// TestReplayServesStoredResultWithoutResolve: a job that crashed before
+// finishing, whose matrix was already proved into the durable result store,
+// completes on replay as a store hit — recovery re-admits, never re-proves.
+func TestReplayServesStoredResultWithoutResolve(t *testing.T) {
+	jdir, sdir := t.TempDir(), t.TempDir()
+	jn := openTestJournal(t, jdir)
+	st, err := store.Open(sdir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s1, ts1 := newTestServer(t, Config{MaxConcurrent: 1, Journal: jn, Store: st})
+
+	// Prove the matrix synchronously first — the result store now holds it.
+	m := progressMatrix().String()
+	resp, body := postJSON(t, ts1.URL+"/v1/solve", wire.SolveRequest{Matrix: m})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming solve: %d %s", resp.StatusCode, body)
+	}
+	// Queue the same matrix as a job behind a held slot, then crash.
+	release := holdSlot(t, s1)
+	resp, body = submitJob(t, ts1.URL, "", wire.JobRequest{Matrix: m})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	id := decodeJob(t, body).ID
+	_ = release // never released: the job is still queued at "crash" time
+	ts1.Close()
+	s1.Close()
+	jn.Close()
+	st.Close()
+
+	jn2 := openTestJournal(t, jdir)
+	st2, err := store.Open(sdir, store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	s2, ts2 := newTestServer(t, Config{Journal: jn2, Store: st2})
+	j := waitJobState(t, ts2.URL, "", id, func(j *wire.JobJSON) bool {
+		return wire.JobTerminal(j.State)
+	})
+	if j.State != wire.JobDone || j.Result == nil || !j.Result.Optimal {
+		t.Fatalf("replayed job: %+v", j)
+	}
+	if cs := s2.Cache().Stats(); cs.Hits+cs.DurableHits < 1 || cs.Solves != 0 {
+		t.Fatalf("replayed solve missed the durable store and re-proved: %+v", cs)
+	}
+}
+
+// webhookSink is a test receiver that can fail its first n requests.
+type webhookSink struct {
+	mu       sync.Mutex
+	failLeft int
+	got      []wire.JobJSON
+}
+
+func (ws *webhookSink) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ws.mu.Lock()
+		defer ws.mu.Unlock()
+		if ws.failLeft > 0 {
+			ws.failLeft--
+			http.Error(w, "outage", http.StatusServiceUnavailable)
+			return
+		}
+		var j wire.JobJSON
+		if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ws.got = append(ws.got, j)
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+func (ws *webhookSink) deliveries() []wire.JobJSON {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return append([]wire.JobJSON(nil), ws.got...)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestWebhookAtLeastOnceAcrossOutage: the terminal webhook survives a
+// receiver outage (in-process retries) and a daemon restart (journal
+// resume), reaching the receiver at least once in both cases.
+func TestWebhookAtLeastOnceAcrossOutage(t *testing.T) {
+	sink := &webhookSink{failLeft: 2}
+	recv := httptest.NewServer(sink.handler())
+	t.Cleanup(recv.Close)
+
+	dir := t.TempDir()
+	jn := openTestJournal(t, dir)
+	cfg := Config{
+		Journal:          jn,
+		WebhookAllow:     []string{recv.URL},
+		WebhookRetryBase: 10 * time.Millisecond,
+	}
+	_, ts := newTestServer(t, cfg)
+	resp, body := submitJob(t, ts.URL, "", wire.JobRequest{
+		Matrix:      progressMatrix().String(),
+		CallbackURL: recv.URL + "/hook",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit with callback: %d %s", resp.StatusCode, body)
+	}
+	id := decodeJob(t, body).ID
+	waitFor(t, "webhook delivery after outage", func() bool {
+		return len(sink.deliveries()) >= 1
+	})
+	got := sink.deliveries()[0]
+	if got.ID != id || got.State != wire.JobDone {
+		t.Fatalf("webhook payload: %+v", got)
+	}
+}
+
+// TestWebhookResumesAfterRestart: a webhook the first process never managed
+// to deliver (receiver down the whole run, retries exhausted) is delivered
+// by the next boot's journal replay.
+func TestWebhookResumesAfterRestart(t *testing.T) {
+	sink := &webhookSink{failLeft: 1 << 30} // receiver down for the whole first run
+	recv := httptest.NewServer(sink.handler())
+	t.Cleanup(recv.Close)
+
+	dir := t.TempDir()
+	jn := openTestJournal(t, dir)
+	cfg := Config{
+		Journal:           jn,
+		WebhookAllow:      []string{recv.URL},
+		WebhookRetryBase:  time.Millisecond,
+		WebhookMaxRetries: 2,
+	}
+	s1, ts1 := newTestServer(t, cfg)
+	resp, body := submitJob(t, ts1.URL, "", wire.JobRequest{
+		Matrix:      progressMatrix().String(),
+		CallbackURL: recv.URL + "/hook",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	id := decodeJob(t, body).ID
+	waitJobState(t, ts1.URL, "", id, func(j *wire.JobJSON) bool {
+		return wire.JobTerminal(j.State)
+	})
+	waitFor(t, "first run to abandon the delivery", func() bool {
+		return s1.met.webhooksAbandoned.Load() >= 1
+	})
+	ts1.Close()
+	s1.Close()
+	jn.Close()
+
+	// Receiver heals; the restarted daemon must deliver from the journal
+	// with no new submission involved.
+	sink.mu.Lock()
+	sink.failLeft = 0
+	sink.mu.Unlock()
+	jn2 := openTestJournal(t, dir)
+	cfg.Journal = jn2
+	s2, _ := newTestServer(t, cfg)
+	waitFor(t, "webhook delivery after restart", func() bool {
+		return len(sink.deliveries()) >= 1
+	})
+	if got := sink.deliveries()[0]; got.ID != id || got.State != wire.JobDone {
+		t.Fatalf("resumed webhook payload: %+v", got)
+	}
+	_ = s2
+}
+
+// TestCallbackURLValidation: callback_url is rejected without an allowlist,
+// outside the allowlist, with a non-HTTP scheme, and — the SSRF classic —
+// when the allowed prefix is a proper prefix of a hostile host.
+func TestCallbackURLValidation(t *testing.T) {
+	_, tsNone := newTestServer(t, Config{})
+	resp, body := submitJob(t, tsNone.URL, "", wire.JobRequest{
+		Matrix: "1", CallbackURL: "http://hooks.internal/cb",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("callback without allowlist: %d %s", resp.StatusCode, body)
+	}
+
+	_, ts := newTestServer(t, Config{WebhookAllow: []string{"http://hooks.internal", "10.0.0.7:9000"}})
+	cases := []struct {
+		url string
+		ok  bool
+	}{
+		{"http://hooks.internal/cb", true},
+		{"http://hooks.internal:8080/cb", true},
+		{"http://10.0.0.7:9000/x", true},
+		{"http://hooks.internal.evil.example/cb", false},
+		{"http://evil.example/cb", false},
+		{"ftp://hooks.internal/cb", false},
+		{"not a url at all ://", false},
+	}
+	for _, tc := range cases {
+		resp, body := submitJob(t, ts.URL, "", wire.JobRequest{Matrix: "1", CallbackURL: tc.url})
+		want := http.StatusAccepted
+		if !tc.ok {
+			want = http.StatusBadRequest
+		}
+		if resp.StatusCode != want {
+			t.Errorf("callback %q: got %d want %d (%s)", tc.url, resp.StatusCode, want, body)
+		}
+	}
+}
+
+// TestTerminalJobExpiresWithoutNewSubmission is the satellite-1 regression:
+// TTL eviction must not depend on a later submit to run. Fails against the
+// pre-fix code, where eviction only ran inside newJob.
+func TestTerminalJobExpiresWithoutNewSubmission(t *testing.T) {
+	s, ts := newTestServer(t, Config{JobTTL: time.Minute})
+	resp, body := submitJob(t, ts.URL, "", wire.JobRequest{Matrix: "1"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	id := decodeJob(t, body).ID
+	waitJobState(t, ts.URL, "", id, func(j *wire.JobJSON) bool {
+		return wire.JobTerminal(j.State)
+	})
+
+	// Advance the registry's clock past the TTL — no new submission happens.
+	s.jobs.mu.Lock()
+	s.jobs.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
+	s.jobs.mu.Unlock()
+
+	resp, body = getJob(t, ts.URL, "", id)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired terminal job still pollable: %d %s", resp.StatusCode, body)
+	}
+	if n := s.jobs.len(); n != 0 {
+		t.Fatalf("expired job still in the registry (len=%d)", n)
+	}
+}
+
+// TestJobIDsUnguessable is the satellite-3 regression: IDs carry 64 bits
+// from crypto/rand, not a counter plus 16 bits. Fails against the pre-fix
+// "j-%08x-%04x" format.
+func TestJobIDsUnguessable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	idRE := regexp.MustCompile(`^j-[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		resp, body := submitJob(t, ts.URL, "", wire.JobRequest{Matrix: "1"})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+		id := decodeJob(t, body).ID
+		if !idRE.MatchString(id) {
+			t.Fatalf("job ID %q is not 64 random bits", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate job ID %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -200,6 +200,20 @@ func (sc *scheduler) tenantForKey(key string) (*tenant, error) {
 	return t, nil
 }
 
+// tenantByName resolves a tenant name to its tenant, falling back to the
+// default tenant for names no longer configured. Used by journal replay: a
+// job journaled under a tenant that was removed across the restart is still
+// re-admitted, just under default accounting.
+func (sc *scheduler) tenantByName(name string) *tenant {
+	sc.mu.Lock()
+	t := sc.byName[name]
+	sc.mu.Unlock()
+	if t == nil {
+		return sc.def
+	}
+	return t
+}
+
 // reservation is a slot grant or a held queue position: the admission
 // decision made synchronously (exactly, under the lock), with the wait
 // deferred so async submitters can answer the client before a slot frees.

@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -100,6 +101,27 @@ type Config struct {
 	// open it before New and close it after http.Server.Shutdown returns, so
 	// in-flight solves can still write through during a drain.
 	Store *store.Store
+	// Journal, when non-nil, is the durable job journal: accepted
+	// submissions, terminal snapshots, and webhook acks are logged through
+	// it, and New replays it — re-admitting unfinished jobs under their old
+	// IDs and resuming undelivered webhooks. The caller owns the journal's
+	// lifecycle, like Store's: open before New, close after Shutdown+Close.
+	Journal *store.Journal
+	// WebhookAllow is the callback_url allowlist: entries are bare hosts
+	// ("hooks.internal", "10.0.0.7:9000") or URL prefixes
+	// ("http://hooks.internal:9000/ebmf"). Empty means callback_url is
+	// rejected at submit — webhooks are a server-originated request, so the
+	// operator must opt destinations in.
+	WebhookAllow []string
+	// WebhookTimeout bounds one delivery attempt (default 5s).
+	WebhookTimeout time.Duration
+	// WebhookRetryBase is the first retry delay, doubling per failure
+	// jittered (default 500ms); WebhookRetryMax caps the delay (default
+	// 30s); WebhookMaxRetries bounds attempts per process run (default 8 —
+	// the journal re-attempts after a restart).
+	WebhookRetryBase  time.Duration
+	WebhookRetryMax   time.Duration
+	WebhookMaxRetries int
 	// Logger receives one line per request (default: discard).
 	Logger *log.Logger
 	// Tracer records solve traces for GET /v1/debug/traces and stitches
@@ -152,6 +174,18 @@ func (c Config) withDefaults() Config {
 	if c.JobTTL <= 0 {
 		c.JobTTL = 10 * time.Minute
 	}
+	if c.WebhookTimeout <= 0 {
+		c.WebhookTimeout = 5 * time.Second
+	}
+	if c.WebhookRetryBase <= 0 {
+		c.WebhookRetryBase = 500 * time.Millisecond
+	}
+	if c.WebhookRetryMax <= 0 {
+		c.WebhookRetryMax = 30 * time.Second
+	}
+	if c.WebhookMaxRetries <= 0 {
+		c.WebhookMaxRetries = 8
+	}
 	if c.Options == nil {
 		opts := core.DefaultOptions()
 		opts.ConflictBudget = DefaultConflictBudget
@@ -166,20 +200,26 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the ebmfd HTTP service. Create with New; serve via Handler.
+// Server is the ebmfd HTTP service. Create with New; serve via Handler;
+// stop background goroutines with Close after http.Server.Shutdown.
 type Server struct {
 	cfg      Config
 	cache    *solvecache.Cache
 	sched    *scheduler // tenant-aware admission: slots, queues, fair share
 	jobs     *jobRegistry
+	webhooks *webhookDeliverer
 	shedSem  chan struct{} // bounds concurrent heuristic-only shed solves
 	draining atomic.Bool
 	started  time.Time
 	mux      *http.ServeMux
 	met      metrics
+	closed   sync.Once
 }
 
-// New builds a server from cfg.
+// New builds a server from cfg. When cfg.Journal is set, the journal's
+// unfinished jobs are re-admitted (and undelivered webhooks resumed) before
+// New returns, so a restarted daemon answers polls for pre-crash job IDs
+// from its first request on.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -195,7 +235,26 @@ func New(cfg Config) *Server {
 		s.cache.AttachStore(cfg.Store)
 	}
 	s.routes()
+	s.webhooks = newWebhookDeliverer(s)
+	s.jobs.startJanitor()
+	if cfg.Journal != nil {
+		s.replayJournal()
+	}
 	return s
+}
+
+// Close stops the server's background goroutines: the job-TTL janitor and
+// the webhook deliverer. Call after http.Server.Shutdown; a webhook caught
+// mid-retry stays unacked in the journal and is re-delivered by the next
+// boot's replay. Close does not wait for running solves (Shutdown does) and
+// does not close cfg.Store or cfg.Journal (the caller owns both).
+func (s *Server) Close() {
+	s.closed.Do(func() {
+		s.jobs.stopJanitor()
+		if s.webhooks != nil {
+			s.webhooks.close()
+		}
+	})
 }
 
 // Handler returns the service's HTTP handler.

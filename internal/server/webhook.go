@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/wire"
+)
+
+// Terminal webhooks: a job submitted with callback_url receives its
+// terminal JobJSON as a POST, at least once. "At least once" is split
+// between two mechanisms: within one process run, the deliverer retries
+// with jittered exponential backoff until WebhookMaxRetries; across runs,
+// the journal holds the terminal record until a delivery is acked (the ack
+// is written only after a 2xx), so a crash — or exhausted retries — leaves
+// the delivery to be resumed by the next boot's replay. Receivers must
+// therefore deduplicate by job ID.
+//
+// The URL is validated at submit against Config.WebhookAllow — a webhook
+// target is a server-side request (SSRF surface), so only fleet-internal
+// destinations the operator listed are accepted, and a server configured
+// without an allowlist rejects callback_url outright.
+
+// validateCallback checks a submit's callback_url against the allowlist.
+func (s *Server) validateCallback(raw string) error {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("invalid URL: %v", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return errors.New("scheme must be http or https")
+	}
+	if u.Host == "" {
+		return errors.New("missing host")
+	}
+	if len(s.cfg.WebhookAllow) == 0 {
+		return errors.New("webhooks are not enabled on this server")
+	}
+	for _, allow := range s.cfg.WebhookAllow {
+		if allow == "" {
+			continue
+		}
+		if strings.Contains(allow, "://") {
+			// URL-prefix entry. The prefix must end on a component boundary:
+			// "http://hooks.internal" may not authorize
+			// "http://hooks.internal.evil.example".
+			if !strings.HasPrefix(raw, allow) {
+				continue
+			}
+			if len(raw) == len(allow) || strings.HasSuffix(allow, "/") {
+				return nil
+			}
+			switch raw[len(allow)] {
+			case '/', '?', '#', ':':
+				return nil
+			}
+			continue
+		}
+		// Bare host (or host:port) entry.
+		if u.Host == allow || u.Hostname() == allow {
+			return nil
+		}
+	}
+	return errors.New("URL not in the webhook allowlist")
+}
+
+// webhookTask is one pending delivery: the terminal snapshot, pre-encoded.
+type webhookTask struct {
+	id      string
+	url     string
+	payload []byte
+}
+
+// webhookDeliverer drains deliveries one at a time on its own goroutine.
+// Serial delivery is deliberate: webhook targets are fleet-internal
+// services, and a burst of terminals must not open a connection storm
+// against them. The queue is unbounded in memory but bounded in practice by
+// MaxJobs and the journal's outstanding set.
+type webhookDeliverer struct {
+	s      *Server
+	client *http.Client
+
+	mu    sync.Mutex
+	queue []webhookTask
+
+	wake chan struct{} // capacity 1: enqueue signal
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newWebhookDeliverer(s *Server) *webhookDeliverer {
+	d := &webhookDeliverer{
+		s:      s,
+		client: &http.Client{Timeout: s.cfg.WebhookTimeout},
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go d.loop()
+	return d
+}
+
+// enqueue schedules a terminal snapshot for delivery.
+func (d *webhookDeliverer) enqueue(id, url string, snap *wire.JobJSON) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		d.s.cfg.Logger.Printf("webhook %s: encode: %v", id, err)
+		return
+	}
+	d.enqueueRaw(id, url, payload)
+}
+
+// enqueueRaw schedules a pre-encoded payload (the journal replay path).
+func (d *webhookDeliverer) enqueueRaw(id, url string, payload []byte) {
+	d.mu.Lock()
+	d.queue = append(d.queue, webhookTask{id: id, url: url, payload: payload})
+	d.mu.Unlock()
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (d *webhookDeliverer) loop() {
+	defer close(d.done)
+	for {
+		d.mu.Lock()
+		var task *webhookTask
+		if len(d.queue) > 0 {
+			t := d.queue[0]
+			d.queue = d.queue[1:]
+			task = &t
+		}
+		d.mu.Unlock()
+		if task == nil {
+			select {
+			case <-d.stop:
+				return
+			case <-d.wake:
+				continue
+			}
+		}
+		if !d.deliver(*task) {
+			return // stopped mid-retry; the journal still holds the record
+		}
+	}
+}
+
+// deliver runs one task's retry loop. Returns false only when the
+// deliverer was stopped (server shutdown) — the journal's unacked terminal
+// record carries the delivery obligation across the restart.
+func (d *webhookDeliverer) deliver(task webhookTask) bool {
+	met := &d.s.met
+	for attempt := 0; ; attempt++ {
+		if d.attempt(task) {
+			met.webhooksDelivered.Add(1)
+			d.s.journalWebhookAck(task.id)
+			return true
+		}
+		met.webhooksRetried.Add(1)
+		if attempt >= d.s.cfg.WebhookMaxRetries {
+			met.webhooksAbandoned.Add(1)
+			d.s.cfg.Logger.Printf("webhook %s -> %s: gave up after %d attempts (journal retries after restart)",
+				task.id, task.url, attempt+1)
+			return true
+		}
+		select {
+		case <-d.stop:
+			return false
+		case <-time.After(backoff.Delay(d.s.cfg.WebhookRetryBase, attempt, d.s.cfg.WebhookRetryMax)):
+		}
+	}
+}
+
+// attempt makes one POST; any 2xx acknowledges the delivery.
+func (d *webhookDeliverer) attempt(task webhookTask) bool {
+	req, err := http.NewRequest(http.MethodPost, task.url, bytes.NewReader(task.payload))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+func (d *webhookDeliverer) close() {
+	close(d.stop)
+	<-d.done
+}

@@ -1,0 +1,525 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The job journal: the async job surface's crash log, built on the same
+// checksummed WAL framing as the result store. Where the result store holds
+// facts (proved-optimal results, immutable forever), the journal holds
+// intentions: "this submission was accepted and must reach a terminal
+// state", "this terminal snapshot must be delivered to its callback URL".
+//
+// Per job the journal sees at most three records, appended in order:
+//
+//	submit    at admission, before the 202 goes out — the matrix, options
+//	          and callback needed to re-admit the job after a crash
+//	terminal  at completion — the final JobJSON snapshot
+//	webhook   after the callback delivery succeeded (only for jobs with one)
+//
+// Recovery groups records by job ID: a submit with no terminal is an
+// unfinished job (re-admitted by the server under the same ID), a terminal
+// with an unacked callback is an undelivered webhook (delivery resumes),
+// and anything fully settled is garbage the next compaction drops. The
+// journal deliberately stores the client's solve payload, not the result —
+// results a finished job already proved live in the result store, so a
+// replayed job that was solved before the crash completes as a cache hit,
+// never a re-solve.
+
+// Journal record kinds.
+const (
+	JobSubmit   = "submit"
+	JobTerminal = "terminal"
+	JobWebhook  = "webhook"
+)
+
+// JobRecord is one journal entry. Which fields are meaningful depends on
+// Kind; the payloads the server owns (options, snapshots) are carried as raw
+// JSON so the store stays dependency-free.
+type JobRecord struct {
+	// Kind is JobSubmit, JobTerminal or JobWebhook.
+	Kind string `json:"kind"`
+	// ID is the job ID all three record kinds share.
+	ID string `json:"id"`
+
+	// Submit fields: everything needed to re-admit the job after a restart.
+	Tenant             string          `json:"tenant,omitempty"`
+	Matrix             string          `json:"matrix,omitempty"`
+	Options            json.RawMessage `json:"options,omitempty"`
+	Callback           string          `json:"callback,omitempty"`
+	Degrade            bool            `json:"degrade,omitempty"`
+	CancelOnDisconnect bool            `json:"cancel_on_disconnect,omitempty"`
+
+	// Terminal fields: the final state and the full JobJSON snapshot (the
+	// webhook delivery payload).
+	State string          `json:"state,omitempty"`
+	Job   json.RawMessage `json:"job,omitempty"`
+}
+
+// Journal record validation failure modes.
+var (
+	errNoJobID      = errors.New("store: journal record has no job ID")
+	errBadKind      = errors.New("store: journal record has an unknown kind")
+	errNoMatrix     = errors.New("store: submit record has no matrix")
+	errNoState      = errors.New("store: terminal record has no state")
+	ErrJournalClose = errors.New("store: journal closed")
+)
+
+// Validate checks a journal record's internal consistency. Like the result
+// store's Record.Validate, it gates both appends and recovery: a corrupt
+// frame that happens to checksum correctly still cannot smuggle in a record
+// the replay logic would trip over.
+func (r *JobRecord) Validate() error {
+	if r.ID == "" {
+		return errNoJobID
+	}
+	switch r.Kind {
+	case JobSubmit:
+		if r.Matrix == "" {
+			return errNoMatrix
+		}
+	case JobTerminal:
+		if r.State == "" {
+			return errNoState
+		}
+	case JobWebhook:
+		// The ID is the whole payload.
+	default:
+		return fmt.Errorf("%w: %q", errBadKind, r.Kind)
+	}
+	return nil
+}
+
+// journalEntry is one job's accumulated journal state.
+type journalEntry struct {
+	submit    *JobRecord
+	terminal  *JobRecord
+	delivered bool // a webhook record acked the callback
+}
+
+// settled reports whether nothing about this job needs to survive a
+// compaction: it reached a terminal state and either never had a callback
+// or had it delivered.
+func (e *journalEntry) settled() bool {
+	if e.terminal == nil {
+		return false
+	}
+	callback := e.terminal.Callback
+	if e.submit != nil && e.submit.Callback != "" {
+		callback = e.submit.Callback
+	}
+	return callback == "" || e.delivered
+}
+
+// JournalStats is a snapshot of the journal's counters.
+type JournalStats struct {
+	// Pending is the number of journaled jobs with no terminal record;
+	// Undelivered the number of terminal jobs whose webhook is unacked.
+	Pending     int `json:"pending"`
+	Undelivered int `json:"undelivered"`
+	// Loaded counts records replayed on open; SkippedCorrupt and
+	// TruncatedBytes mirror the result store's recovery counters.
+	Loaded         int64 `json:"loaded"`
+	SkippedCorrupt int64 `json:"skipped_corrupt"`
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// Appends counts records durably appended; AppendErrors disk-layer
+	// failures (the record's effect stays in memory for this process).
+	Appends      int64 `json:"appends"`
+	AppendErrors int64 `json:"append_errors"`
+	// Bytes is the journal file's current length; Compactions counts
+	// rewrites.
+	Bytes       int64 `json:"bytes"`
+	Compactions int64 `json:"compactions"`
+}
+
+// JournalReplay is what a restarted server learns from the journal.
+type JournalReplay struct {
+	// Pending are submit records with no terminal record, in journal order:
+	// jobs the crash interrupted, to be re-admitted under the same ID.
+	Pending []*JobRecord
+	// Undelivered are terminal records whose callback was never acked, in
+	// journal order: webhook deliveries to resume. Each carries the full
+	// terminal snapshot in Job and the callback URL in Callback (copied from
+	// the submit record when the terminal record lacks it).
+	Undelivered []*JobRecord
+}
+
+// journalName is the journal file inside its directory.
+const journalName = "jobs.log"
+
+// Journal is the durable job log. Safe for concurrent use. Create with
+// OpenJournal; always Close (it performs the final flush).
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	entries map[string]*journalEntry
+	order   []string // first-seen job order, for deterministic compaction
+	f       File     // nil after Close or an unrecoverable write failure
+	bytes   int64
+	dirty   bool
+	closed  bool
+	stats   JournalStats
+
+	flusherStop chan struct{}
+	flusherDone chan struct{}
+}
+
+// OpenJournal loads the job journal from dir (creating it if needed),
+// recovers what is recoverable, compacts away settled jobs, and returns a
+// journal ready for appends. Read the recovered work with Replay before
+// appending new records.
+func OpenJournal(dir string, opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create journal dir: %w", err)
+	}
+	j := &Journal{
+		dir:     dir,
+		opts:    opts,
+		entries: make(map[string]*journalEntry),
+	}
+
+	path := filepath.Join(dir, journalName)
+	data, err := opts.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: read journal: %w", err)
+	}
+	scan := scanFrames(data, opts.MaxRecordBytes, func(payload []byte) bool {
+		rec := new(JobRecord)
+		if err := json.Unmarshal(payload, rec); err != nil || rec.Validate() != nil {
+			return false
+		}
+		j.applyLocked(rec)
+		j.stats.Loaded++
+		return true
+	})
+	j.stats.SkippedCorrupt = scan.skippedRecords
+	j.stats.TruncatedBytes = scan.skippedBytes + scan.tornBytes
+
+	f, err := opts.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	if err := f.Truncate(scan.validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncate torn journal tail: %w", err)
+	}
+	if _, err := seekEnd(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek journal: %w", err)
+	}
+	j.f = f
+	j.bytes = scan.validEnd
+
+	if j.stats.SkippedCorrupt > 0 || j.stats.TruncatedBytes > 0 {
+		opts.Logger.Printf("journal: recovered %d records, skipped %d corrupt, discarded %d bytes",
+			j.stats.Loaded, j.stats.SkippedCorrupt, j.stats.TruncatedBytes)
+	}
+	// Boot-time compaction drops settled jobs so the journal stays
+	// proportional to outstanding work, not lifetime traffic.
+	if len(data) > 0 {
+		if err := j.compactLocked(); err != nil {
+			opts.Logger.Printf("journal: boot compaction failed: %v", err)
+		}
+	}
+
+	if opts.Sync == SyncInterval {
+		j.flusherStop = make(chan struct{})
+		j.flusherDone = make(chan struct{})
+		go j.flusher()
+	}
+	return j, nil
+}
+
+// applyLocked folds one record into the entry map. Last write wins per
+// field; a terminal record for a job with no submit still creates an entry
+// (its webhook may need delivering even though the submit frame was lost).
+func (j *Journal) applyLocked(rec *JobRecord) {
+	e, ok := j.entries[rec.ID]
+	if !ok {
+		e = &journalEntry{}
+		j.entries[rec.ID] = e
+		j.order = append(j.order, rec.ID)
+	}
+	switch rec.Kind {
+	case JobSubmit:
+		e.submit = rec
+	case JobTerminal:
+		e.terminal = rec
+	case JobWebhook:
+		e.delivered = true
+	}
+}
+
+// Replay reports the outstanding work recovered from disk: unfinished jobs
+// to re-admit and undelivered webhooks to resume.
+func (j *Journal) Replay() JournalReplay {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out JournalReplay
+	for _, id := range j.order {
+		e := j.entries[id]
+		switch {
+		case e.terminal == nil && e.submit != nil:
+			out.Pending = append(out.Pending, e.submit)
+		case e.terminal != nil && !e.settled():
+			term := *e.terminal
+			if term.Callback == "" && e.submit != nil {
+				term.Callback = e.submit.Callback
+			}
+			out.Undelivered = append(out.Undelivered, &term)
+		}
+	}
+	return out
+}
+
+// Append writes one record durably and folds it into the in-memory state.
+// Disk failures are counted and reported but leave the record applied in
+// memory — the running process keeps working; only restart durability is
+// degraded (matching the result store's contract).
+func (j *Journal) Append(rec *JobRecord) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode journal record: %w", err)
+	}
+	frame := appendFrame(nil, payload)
+	if len(frame) > j.opts.MaxRecordBytes {
+		return fmt.Errorf("store: journal record %s exceeds MaxRecordBytes", rec.ID)
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrJournalClose
+	}
+	j.applyLocked(rec)
+	if j.f == nil {
+		j.stats.AppendErrors++
+		return errors.New("store: journal unavailable")
+	}
+	n, err := j.f.Write(frame)
+	if err != nil || n != len(frame) {
+		j.stats.AppendErrors++
+		if terr := j.f.Truncate(j.bytes); terr == nil {
+			if _, serr := seekEnd(j.f); serr != nil {
+				j.f = nil
+			}
+		} else {
+			j.f = nil
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		j.opts.Logger.Printf("journal: append %s/%s failed: %v", rec.Kind, rec.ID, err)
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	j.bytes += int64(n)
+	j.dirty = true
+	j.stats.Appends++
+	if j.opts.Sync == SyncAlways {
+		if err := j.syncLocked(); err != nil {
+			return fmt.Errorf("store: journal fsync: %w", err)
+		}
+	}
+	if j.opts.CompactAfterBytes > 0 && j.bytes > j.opts.CompactAfterBytes {
+		if err := j.compactLocked(); err != nil {
+			j.opts.Logger.Printf("journal: auto-compaction failed: %v", err)
+		}
+	}
+	return nil
+}
+
+// Compact rewrites the journal keeping only unsettled jobs: the submit
+// record of every unfinished job, plus submit+terminal of every job with an
+// undelivered webhook. Rotation is atomic (temp + fsync + rename + dir
+// fsync), so a crash at any point leaves a journal that replays to the same
+// outstanding set.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrJournalClose
+	}
+	return j.compactLocked()
+}
+
+func (j *Journal) compactLocked() error {
+	tmpPath := filepath.Join(j.dir, journalName+".tmp")
+	tmp, err := j.opts.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open journal temp: %w", err)
+	}
+	var keptIDs []string
+	kept := make(map[string]*journalEntry, len(j.entries))
+	var bytes int64
+	write := func(rec *JobRecord) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		frame := appendFrame(nil, payload)
+		n, err := tmp.Write(frame)
+		if err != nil || n != len(frame) {
+			if err == nil {
+				err = io.ErrShortWrite
+			}
+			return err
+		}
+		bytes += int64(n)
+		return nil
+	}
+	for _, id := range j.order {
+		e := j.entries[id]
+		if e.settled() || (e.submit == nil && e.terminal == nil) {
+			continue
+		}
+		if e.submit != nil {
+			if err := write(e.submit); err != nil {
+				tmp.Close()
+				os.Remove(tmpPath)
+				return fmt.Errorf("store: write journal: %w", err)
+			}
+		}
+		if e.terminal != nil {
+			if err := write(e.terminal); err != nil {
+				tmp.Close()
+				os.Remove(tmpPath)
+				return fmt.Errorf("store: write journal: %w", err)
+			}
+		}
+		keptIDs = append(keptIDs, id)
+		kept[id] = e
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: sync journal temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: close journal temp: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(j.dir, journalName)); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: rotate journal: %w", err)
+	}
+	syncDir(j.dir)
+
+	// The rename replaced the inode the old handle pointed at: reopen so
+	// future appends land in the new file.
+	if j.f != nil {
+		j.f.Close()
+	}
+	f, err := j.opts.OpenFile(filepath.Join(j.dir, journalName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		j.f = nil
+		return fmt.Errorf("store: reopen journal: %w", err)
+	}
+	if _, err := seekEnd(f); err != nil {
+		f.Close()
+		j.f = nil
+		return fmt.Errorf("store: seek journal: %w", err)
+	}
+	j.f = f
+	j.bytes = bytes
+	j.dirty = false
+	j.order = keptIDs
+	j.entries = kept
+	j.stats.Compactions++
+	return nil
+}
+
+// Flush fsyncs any unsynced appends.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrJournalClose
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if !j.dirty || j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		j.opts.Logger.Printf("journal: fsync failed: %v", err)
+		return err
+	}
+	j.dirty = false
+	return nil
+}
+
+// flusher is the SyncInterval background loop.
+func (j *Journal) flusher() {
+	defer close(j.flusherDone)
+	t := time.NewTicker(j.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.flusherStop:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if !j.closed {
+				j.syncLocked()
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// Stats returns a snapshot of the journal's counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.stats
+	st.Bytes = j.bytes
+	for _, e := range j.entries {
+		switch {
+		case e.terminal == nil && e.submit != nil:
+			st.Pending++
+		case e.terminal != nil && !e.settled():
+			st.Undelivered++
+		}
+	}
+	return st
+}
+
+// Close flushes and closes the journal. Further operations return
+// ErrJournalClose.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	err := j.syncLocked()
+	if j.f != nil {
+		if cerr := j.f.Close(); err == nil {
+			err = cerr
+		}
+		j.f = nil
+	}
+	j.mu.Unlock()
+	if j.flusherStop != nil {
+		close(j.flusherStop)
+		<-j.flusherDone
+	}
+	return err
+}

@@ -51,9 +51,10 @@ func encodeRecord(rec *Record) ([]byte, error) {
 	return appendFrame(nil, payload), nil
 }
 
-// parseResult is one log replay's outcome.
-type parseResult struct {
-	records []*Record
+// frameScan is one log replay's framing outcome, independent of the record
+// type carried in the payloads. Both the result store (Record) and the job
+// journal (JobRecord) recover through it.
+type frameScan struct {
 	// skippedRecords counts frames dropped for CRC/decode/validation
 	// failures; skippedBytes counts raw bytes consumed by resync scans.
 	skippedRecords int64
@@ -67,13 +68,16 @@ type parseResult struct {
 	validEnd int64
 }
 
-// parseLog replays one log file's bytes. It never fails: damage is skipped
-// and counted, and whatever whole valid frames exist are returned in file
-// order. maxRecord bounds a single frame's claimed payload so a corrupt
-// length field cannot make the parser swallow the rest of the file as one
-// record.
-func parseLog(data []byte, maxRecord int) parseResult {
-	var out parseResult
+// scanFrames replays one log file's bytes, calling accept for each
+// whole, checksum-valid payload. It never fails: damage is skipped and
+// counted, and whatever whole valid frames exist are visited in file order.
+// maxRecord bounds a single frame's claimed payload so a corrupt length
+// field cannot make the parser swallow the rest of the file as one record.
+// accept returning false marks a well-framed but semantically invalid
+// record: it is counted as skipped, but — since the frame delimits itself
+// fine — the scan advances normally and validEnd still covers it.
+func scanFrames(data []byte, maxRecord int, accept func(payload []byte) bool) frameScan {
+	var out frameScan
 	var magicBytes [4]byte
 	binary.LittleEndian.PutUint32(magicBytes[:], logMagic)
 
@@ -129,18 +133,32 @@ func parseLog(data []byte, maxRecord int) parseResult {
 			resync(off + 1)
 			continue
 		}
-		rec := new(Record)
-		if err := json.Unmarshal(payload, rec); err != nil || rec.Validate() != nil {
-			// A well-framed but semantically invalid record: the frame
-			// delimits itself fine, so skip exactly this record.
+		if !accept(payload) {
 			out.skippedRecords++
-			off += frameHeader + length
-			out.validEnd = int64(off)
-			continue
 		}
-		out.records = append(out.records, rec)
 		off += frameHeader + length
 		out.validEnd = int64(off)
 	}
+	return out
+}
+
+// parseResult is the result store's log replay outcome: the frame scan plus
+// the decoded records.
+type parseResult struct {
+	frameScan
+	records []*Record
+}
+
+// parseLog replays one result-store log file's bytes into Records.
+func parseLog(data []byte, maxRecord int) parseResult {
+	var out parseResult
+	out.frameScan = scanFrames(data, maxRecord, func(payload []byte) bool {
+		rec := new(Record)
+		if err := json.Unmarshal(payload, rec); err != nil || rec.Validate() != nil {
+			return false
+		}
+		out.records = append(out.records, rec)
+		return true
+	})
 	return out
 }

@@ -44,6 +44,12 @@ type JobRequest struct {
 	// heuristic-only result (optimal=false, exit-code-2 semantics) instead
 	// of a 429.
 	Degrade bool `json:"degrade,omitempty"`
+	// CallbackURL, when set, names a webhook that receives the terminal
+	// JobJSON as a POST with at-least-once delivery (retried with backoff,
+	// resumed across server restarts). The URL is validated at submit
+	// against the server's configured allowlist; servers with no allowlist
+	// reject it.
+	CallbackURL string `json:"callback_url,omitempty"`
 }
 
 // SolveRequest returns the solve-payload view of the job request, for code
@@ -75,6 +81,14 @@ type JobJSON struct {
 	Result *ResultJSON `json:"result,omitempty"`
 	// Error is set when State is "failed".
 	Error string `json:"error,omitempty"`
+	// Recovered marks a job re-admitted from the durable journal after a
+	// server restart: same ID, solve re-run (or served from the result
+	// store) under a fresh admission.
+	Recovered bool `json:"recovered,omitempty"`
+	// Rehomed marks a gateway job resubmitted to another backend after its
+	// home died; the snapshot reflects the new backend's job. Sound because
+	// a result is a deterministic property of the matrix.
+	Rehomed bool `json:"rehomed,omitempty"`
 }
 
 // SSE event names on GET /v1/jobs/{id}/events. Every event's data line is a

@@ -5,9 +5,10 @@
 # row/column permutation and assert it comes back with the same depth as a
 # cache hit (fingerprint routing + shard cache through the gateway), wait
 # for the fresh result to be replicated to the ring successor so BOTH
-# backends answer it from cache, then kill one backend and assert the
-# gateway keeps serving. Any startup timeout fails fast with the daemons'
-# logs.
+# backends answer it from cache, then kill -9 the home backend of an
+# in-flight async job and assert the gateway re-homes it to the survivor
+# (same gw- ID, "rehomed":true, counted in /v1/metrics) while sync solves
+# keep working. Any startup timeout fails fast with the daemons' logs.
 set -euo pipefail
 
 FIG1B='101100\n010011\n101010\n010101\n111000\n000111'
@@ -164,8 +165,49 @@ done
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"rows":[[]]}' "http://$GW/v1/solve")
 [ "$CODE" = "400" ] || { echo "FAIL: zero-dimension matrix returned $CODE, want 400"; exit 1; }
 
-# Kill one backend hard; the gateway must keep serving (failover + probes).
-kill -9 "$PID2" 2>/dev/null || true
+# --- Job re-homing: kill a job's home backend mid-solve ---------------------
+# Submit a slow job through the gateway, find which backend accepted it (its
+# per-backend jobs.submitted counter moved), kill -9 that backend, and
+# assert a single gateway poll answers a live re-homed snapshot — same gw-
+# ID, "rehomed":true, no 502 — with the re-home counted in the gateway's
+# /v1/metrics. The job must still reach done on the surviving backend.
+HARD='1110101100\n1101010001\n1010111001\n1111101110\n0010101011\n0111001111\n1011000110\n0100101111\n0101010001\n1101100010'
+jobs_submitted() {
+  curl -sf "http://$1/v1/metrics" | grep -o '"jobs":{"submitted":[0-9]*' | grep -o '[0-9]*$'
+}
+B1_BEFORE=$(jobs_submitted "$ADDR1")
+B2_BEFORE=$(jobs_submitted "$ADDR2")
+RJOB=$(curl -sf -X POST -d "{\"matrix\":\"$HARD\"}" "http://$GW/v1/jobs")
+echo "rehome-job: $RJOB"
+RID=$(sed -n 's/.*"id":"\(gw-[0-9a-f]*\)".*/\1/p' <<<"$RJOB")
+[ -n "$RID" ] || { echo "FAIL: slow job submit returned no gw- ID: $RJOB"; exit 1; }
+HOMEPID=; HOMEADDR=
+if [ "$(jobs_submitted "$ADDR1")" -gt "$B1_BEFORE" ]; then
+  HOMEPID=$PID1; HOMEADDR=$ADDR1
+elif [ "$(jobs_submitted "$ADDR2")" -gt "$B2_BEFORE" ]; then
+  HOMEPID=$PID2; HOMEADDR=$ADDR2
+fi
+[ -n "$HOMEPID" ] || { echo "FAIL: no backend's jobs.submitted moved"; exit 1; }
+kill -9 "$HOMEPID"
+wait "$HOMEPID" 2>/dev/null || true
+
+RSNAP=$(curl -sf "http://$GW/v1/jobs/$RID") \
+  || { echo "FAIL: poll of dead-backend job failed (no re-home); log follows"; cat "$LOGGW"; exit 1; }
+echo "rehomed:  $RSNAP"
+grep -q "\"id\":\"$RID\"" <<<"$RSNAP" || { echo "FAIL: re-home changed the gateway ID: $RSNAP"; exit 1; }
+grep -q '"rehomed":true' <<<"$RSNAP" || { echo "FAIL: snapshot not flagged rehomed: $RSNAP"; exit 1; }
+for _ in $(seq 1 300); do
+  RSNAP=$(curl -sf "http://$GW/v1/jobs/$RID") || { echo "FAIL: re-homed job poll failed"; exit 1; }
+  grep -q '"state":"done"' <<<"$RSNAP" && break
+  sleep 0.1
+done
+grep -q '"state":"done"' <<<"$RSNAP" || { echo "FAIL: re-homed job never finished: $RSNAP"; exit 1; }
+grep -q '"rehomed":true' <<<"$RSNAP" || { echo "FAIL: terminal snapshot lost the rehomed flag: $RSNAP"; exit 1; }
+GWM=$(curl -sf "http://$GW/v1/metrics")
+grep -Eq '"rehomed":[1-9]' <<<"$GWM" || { echo "FAIL: gateway metrics count no re-home"; echo "$GWM"; exit 1; }
+
+# The dead backend's loss must not take the gateway down for sync solves
+# either (failover + probes).
 R3=$(curl -sf -X POST -d '{"matrix":"110\n011\n101"}' "http://$GW/v1/solve") \
   || { echo "FAIL: solve after backend kill failed"; cat "$LOGGW"; exit 1; }
 echo "failover: $R3"
@@ -195,4 +237,4 @@ if kill -0 "$PIDGW" 2>/dev/null; then
   cat "$LOGGW"
   exit 1
 fi
-echo "PASS: cluster smoke (2 backends + gateway, permuted hit through gateway, replication, batch split, proxied job+SSE, stitched trace, backend kill, drain)"
+echo "PASS: cluster smoke (2 backends + gateway, permuted hit through gateway, replication, batch split, proxied job+SSE, stitched trace, job re-homing after backend kill, drain)"

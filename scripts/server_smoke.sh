@@ -15,6 +15,13 @@
 # cancel-mid-solve frees the slot, a tenant over its quota gets a coded 429,
 # and a degrade-opted submit under the same quota pressure gets a heuristic
 # answer instead.
+#
+# The final phase is durable jobs: with -job-journal, two in-flight jobs
+# (one mid-solve, one queued with a callback_url) survive a kill -9 —
+# the restarted daemon replays the journal, finishes both under their
+# ORIGINAL IDs, serves the already-proved one from the store without
+# re-solving, and delivers the webhook at least once through an injected
+# first-attempt failure.
 set -euo pipefail
 
 FIG1B='101100\n010011\n101010\n010101\n111000\n000111'
@@ -234,6 +241,112 @@ if kill -0 $PID 2>/dev/null; then
   exit 1
 fi
 grep -q 'store flushed' "$LOG2" || { echo "FAIL: drain did not flush the store; log follows"; cat "$LOG2"; exit 1; }
+
+# --- Durable jobs: kill -9 mid-job, restart, same IDs, webhook, no re-solve
+go build -o /tmp/webhooksink-smoke ./cmd/webhooksink
+HOOKOUT=$(mktemp /tmp/ebmfd-smoke.XXXXXX.hooks)
+HOOKLOG=$(mktemp /tmp/ebmfd-smoke.XXXXXX.hooklog)
+# The sink 500s the first delivery, so success proves the retry path.
+/tmp/webhooksink-smoke -addr 127.0.0.1:0 -out "$HOOKOUT" -fail-first 1 >"$HOOKLOG" 2>&1 &
+HOOKPID=$!
+JOURNAL=$(mktemp -d /tmp/ebmfd-smoke-journal.XXXXXX)
+LOG3=$(mktemp /tmp/ebmfd-smoke.XXXXXX.log)
+trap 'kill $PID $HOOKPID 2>/dev/null || true; rm -rf "$STORE" "$JOURNAL"' EXIT
+
+HOOKADDR=
+for _ in $(seq 1 100); do
+  HOOKADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$HOOKLOG" | head -1)
+  [ -n "$HOOKADDR" ] && break
+  sleep 0.1
+done
+[ -n "$HOOKADDR" ] || { echo "FAIL: webhooksink never came up"; cat "$HOOKLOG"; exit 1; }
+
+# -concurrency 1: the hard job occupies the only slot, so the second job
+# (whose result the store already holds from phase one) is still queued at
+# kill time.
+/tmp/ebmfd-smoke -addr 127.0.0.1:0 -concurrency 1 -store "$STORE" \
+  -job-journal "$JOURNAL" -webhook-allow 127.0.0.1 >"$LOG3" 2>&1 &
+PID=$!
+ADDR=
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$LOG3" | head -1)
+  [ -n "$ADDR" ] && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: ebmfd with -job-journal exited during startup; log follows"
+    cat "$LOG3"; exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: no listen address with -job-journal; log follows"; cat "$LOG3"; exit 1; }
+
+HARD_JOB=$(curl -sf -X POST -d "{\"matrix\":\"$HARD\"}" "http://$ADDR/v1/jobs")
+HARD_ID=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$HARD_JOB")
+HOOK_JOB=$(curl -sf -X POST \
+  -d "{\"matrix\":\"$FIG1B_PERM\",\"callback_url\":\"http://$HOOKADDR/hook\"}" "http://$ADDR/v1/jobs")
+HOOK_ID=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$HOOK_JOB")
+[ -n "$HARD_ID" ] && [ -n "$HOOK_ID" ] || { echo "FAIL: journaled submits returned no IDs"; exit 1; }
+
+kill -9 $PID
+wait $PID 2>/dev/null || true
+
+LOG4=$(mktemp /tmp/ebmfd-smoke.XXXXXX.log)
+/tmp/ebmfd-smoke -addr 127.0.0.1:0 -concurrency 1 -store "$STORE" \
+  -job-journal "$JOURNAL" -webhook-allow 127.0.0.1 >"$LOG4" 2>&1 &
+PID=$!
+ADDR=
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$LOG4" | head -1)
+  [ -n "$ADDR" ] && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: ebmfd exited during journal replay; log follows"
+    cat "$LOG4"; exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: no listen address after journal replay; log follows"; cat "$LOG4"; exit 1; }
+grep -Eq 'journal-jobs=[1-9]' "$LOG4" || { echo "FAIL: restart loaded no journal records"; cat "$LOG4"; exit 1; }
+
+# Both journaled jobs must reach terminal under their ORIGINAL IDs — a
+# poll that 404s here is the bug this phase pins down.
+for _ in $(seq 1 300); do
+  HJ=$(curl -sf "http://$ADDR/v1/jobs/$HARD_ID") || { echo "FAIL: replayed hard job $HARD_ID not found"; cat "$LOG4"; exit 1; }
+  grep -q '"state":"done"' <<<"$HJ" && break
+  sleep 0.1
+done
+grep -q '"state":"done"' <<<"$HJ" || { echo "FAIL: replayed hard job never finished: $HJ"; exit 1; }
+grep -q '"recovered":true' <<<"$HJ" || { echo "FAIL: replayed hard job not marked recovered: $HJ"; exit 1; }
+for _ in $(seq 1 300); do
+  QJ=$(curl -sf "http://$ADDR/v1/jobs/$HOOK_ID") || { echo "FAIL: replayed stored job $HOOK_ID not found"; cat "$LOG4"; exit 1; }
+  grep -q '"state":"done"' <<<"$QJ" && break
+  sleep 0.1
+done
+echo "replayed: $QJ"
+grep -q '"recovered":true' <<<"$QJ" || { echo "FAIL: replayed job not marked recovered: $QJ"; exit 1; }
+# The proved result came back from the durable store, not a re-solve.
+grep -q '"cache_hit":true' <<<"$QJ" || { echo "FAIL: replayed job re-solved a stored result: $QJ"; exit 1; }
+grep -q '"depth":5' <<<"$QJ" || { echo "FAIL: replayed job depth != 5: $QJ"; exit 1; }
+
+# The webhook fires after the restart, surviving the sink's injected
+# first-delivery failure: at-least-once, across both a crash and a 500.
+HOOKED=
+for _ in $(seq 1 300); do
+  if grep -q "$HOOK_ID" "$HOOKOUT" 2>/dev/null; then HOOKED=1; break; fi
+  sleep 0.1
+done
+[ -n "$HOOKED" ] || { echo "FAIL: webhook never delivered; sink log follows"; cat "$HOOKLOG"; cat "$LOG4"; exit 1; }
+grep -q '"state":"done"' "$HOOKOUT" || { echo "FAIL: webhook body not terminal"; cat "$HOOKOUT"; exit 1; }
+METRICS=$(curl -sf "http://$ADDR/v1/metrics")
+grep -Eq '"delivered":[1-9]' <<<"$METRICS" || { echo "FAIL: metrics count no webhook delivery"; echo "$METRICS"; exit 1; }
+
+kill -TERM $PID
+for _ in $(seq 1 100); do
+  kill -0 $PID 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 $PID 2>/dev/null && { echo "FAIL: journaled daemon did not drain; log follows"; cat "$LOG4"; exit 1; }
+grep -q 'journal flushed' "$LOG4" || { echo "FAIL: drain did not flush the journal; log follows"; cat "$LOG4"; exit 1; }
+kill $HOOKPID 2>/dev/null || true
+
 trap - EXIT
-rm -rf "$STORE"
-echo "PASS: server smoke (free port, cold solve, permuted cache hit, portfolio, traces, jobs+SSE, cancel, quota codes, degrade, crash recovery, drain)"
+rm -rf "$STORE" "$JOURNAL"
+echo "PASS: server smoke (free port, cold solve, permuted cache hit, portfolio, traces, jobs+SSE, cancel, quota codes, degrade, crash recovery, durable jobs kill -9 replay, webhook at-least-once, drain)"
